@@ -1,0 +1,178 @@
+//! Criterion micro-benchmarks of the reproduction's core operations:
+//! map generation, Doppelgänger cache operations, BΔI compression,
+//! conventional cache accesses, and full-system memory accesses.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dg_cache::{CacheGeometry, ConventionalCache};
+use dg_mem::{Addr, AnnotationTable, ApproxRegion, BlockAddr, BlockData, ElemType, MemoryImage};
+use dg_system::{LlcKind, System, SystemConfig};
+use doppelganger::{DoppelgangerCache, DoppelgangerConfig, MapSpace};
+
+fn region() -> ApproxRegion {
+    ApproxRegion::new(Addr(0), 1 << 30, ElemType::F32, 0.0, 100.0)
+}
+
+fn block(v: f64) -> BlockData {
+    let vals: Vec<f64> = (0..16).map(|i| v + i as f64 * 0.01).collect();
+    BlockData::from_values(ElemType::F32, &vals)
+}
+
+fn bench_map_generation(c: &mut Criterion) {
+    let space = MapSpace::paper_default();
+    let r = region();
+    let b = block(42.0);
+    let mut g = c.benchmark_group("map");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("generate_14bit", |bench| {
+        bench.iter(|| space.map_block(black_box(&b), black_box(&r)))
+    });
+    g.finish();
+}
+
+fn bench_doppelganger_ops(c: &mut Criterion) {
+    let r = region();
+    let mut g = c.benchmark_group("doppelganger");
+    g.throughput(Throughput::Elements(1));
+
+    g.bench_function("insert_read_cycle", |bench| {
+        let mut cache = DoppelgangerCache::new(DoppelgangerConfig::paper_split());
+        let mut i = 0u64;
+        bench.iter(|| {
+            let addr = BlockAddr(i % 100_000);
+            if cache.read(addr).is_none() {
+                cache.insert_approx(addr, block((i % 97) as f64), &r);
+            }
+            i += 1;
+        })
+    });
+
+    g.bench_function("write_recompute_map", |bench| {
+        let mut cache = DoppelgangerCache::new(DoppelgangerConfig::paper_split());
+        cache.insert_approx(BlockAddr(1), block(10.0), &r);
+        let mut i = 0u64;
+        bench.iter(|| {
+            cache.write(BlockAddr(1), block((i % 50) as f64), Some(&r));
+            i += 1;
+        })
+    });
+    g.finish();
+}
+
+fn bench_bdi(c: &mut Criterion) {
+    let compressible = block(10.0);
+    let vals: Vec<f64> = (0..16).map(|i| (i as f64 + 0.123).exp()).collect();
+    let hard = BlockData::from_values(ElemType::F32, &vals);
+    let mut g = c.benchmark_group("bdi");
+    g.throughput(Throughput::Bytes(64));
+    g.bench_function("compress_similar", |bench| {
+        bench.iter(|| dg_compress::bdi::compressed_size(black_box(&compressible)))
+    });
+    g.bench_function("compress_incompressible", |bench| {
+        bench.iter(|| dg_compress::bdi::compressed_size(black_box(&hard)))
+    });
+    g.finish();
+}
+
+fn bench_conventional_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("conventional");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("llc_read_hit", |bench| {
+        let mut cache = ConventionalCache::new(CacheGeometry::from_capacity(2 << 20, 16));
+        cache.fill(BlockAddr(1), BlockData::zeroed());
+        bench.iter(|| cache.read(black_box(BlockAddr(1))))
+    });
+    g.bench_function("llc_fill_evict", |bench| {
+        let mut cache = ConventionalCache::new(CacheGeometry::from_capacity(64 << 10, 16));
+        let mut i = 0u64;
+        bench.iter(|| {
+            let addr = BlockAddr(i);
+            if !cache.contains(addr) {
+                cache.fill(addr, BlockData::zeroed());
+            }
+            i += 1;
+        })
+    });
+    g.finish();
+}
+
+fn bench_system_access(c: &mut Criterion) {
+    let mut g = c.benchmark_group("system");
+    g.throughput(Throughput::Elements(1));
+    for (name, cfg) in [
+        ("baseline_load", SystemConfig::tiny(LlcKind::Baseline)),
+        ("split_load", SystemConfig::tiny_split()),
+    ] {
+        g.bench_function(name, |bench| {
+            let mut annots = AnnotationTable::new();
+            annots.add(region());
+            let mut sys = System::new(cfg, MemoryImage::new(), annots);
+            let mut i = 0u64;
+            let mut buf = [0u8; 4];
+            bench.iter(|| {
+                sys.load(0, Addr((i * 4) % (1 << 22)), &mut buf);
+                i += 1;
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_compression_schemes(c: &mut Criterion) {
+    // Head-to-head per-block compression cost: BΔI vs FPC on the same
+    // inputs.
+    let ints = {
+        let vals: Vec<f64> = (0..16).map(|i| 1000.0 + 3.0 * i as f64).collect();
+        BlockData::from_values(ElemType::I32, &vals)
+    };
+    let mut g = c.benchmark_group("compression");
+    g.throughput(Throughput::Bytes(64));
+    g.bench_function("bdi_integers", |bench| {
+        bench.iter(|| dg_compress::bdi::compressed_size(black_box(&ints)))
+    });
+    g.bench_function("fpc_integers", |bench| {
+        bench.iter(|| dg_compress::fpc::compressed_size(black_box(&ints)))
+    });
+    g.finish();
+}
+
+fn bench_access_patterns(c: &mut Criterion) {
+    // Simulator throughput under classic patterns (cycles are simulated;
+    // this measures host-side simulation speed).
+    use dg_mem::synth;
+    let patterns = [
+        ("sequential", synth::sequential(Addr(0), 1024, 4096)),
+        ("zipfian", synth::zipfian(Addr(0), 4096, 4096, 1.0, 7)),
+        ("pointer_chase", synth::pointer_chase(Addr(0), 2048, 4096, 7)),
+    ];
+    let mut g = c.benchmark_group("patterns");
+    g.throughput(Throughput::Elements(4096));
+    for (name, pattern) in &patterns {
+        g.bench_function(*name, |bench| {
+            bench.iter(|| {
+                let mut sys = System::new(
+                    SystemConfig::tiny(LlcKind::Baseline),
+                    MemoryImage::new(),
+                    AnnotationTable::new(),
+                );
+                let mut buf = [0u8; 4];
+                for a in pattern {
+                    sys.load(0, a.addr, &mut buf);
+                }
+                sys.runtime_cycles()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(30)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_map_generation, bench_doppelganger_ops, bench_bdi,
+              bench_conventional_cache, bench_system_access,
+              bench_compression_schemes, bench_access_patterns
+}
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Ablation: similarity hash functions (paper §3.7 future work).
+//!
+//! The paper hashes each block with (average, range) and leaves other
+//! hash functions to future work. This ablation measures, for each
+//! alternative, (a) the approximate-data storage savings on baseline
+//! LLC snapshots and (b) end-to-end output error/runtime on the split
+//! design.
+//!
+//! Usage: `cargo run --release -p dg-bench --bin ablation_hash [--small]`
+
+use dg_bench::experiments::{kernel_names, mean, Sweep};
+use dg_bench::{figures, Table};
+use dg_system::similarity::avg_map_savings;
+use dg_system::LlcKind;
+use doppelganger::{MapHash, MapSpace};
+
+fn main() {
+    let scale = dg_bench::scale_from_args();
+    let columns: Vec<String> = MapHash::ALL.iter().map(|h| h.to_string()).collect();
+    let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+
+    // (a) Storage savings per hash on baseline snapshots.
+    let snaps = figures::baseline_snapshots(scale);
+    let mut savings = Table::new(&col_refs);
+    let mut cols = vec![Vec::new(); MapHash::ALL.len()];
+    for (name, ksnaps) in kernel_names().iter().zip(&snaps) {
+        let vals: Vec<f64> = MapHash::ALL
+            .iter()
+            .map(|&h| avg_map_savings(ksnaps, MapSpace::new(14).with_hash(h)))
+            .collect();
+        for (c, v) in cols.iter_mut().zip(&vals) {
+            c.push(*v);
+        }
+        savings.row_pct(name, &vals);
+    }
+    savings.row_pct("MEAN", &cols.iter().map(|c| mean(c)).collect::<Vec<_>>());
+    savings.print("Ablation: hash functions — storage savings (14-bit map space)");
+
+    // (b) End-to-end error per hash on the split design.
+    let mut sweep = Sweep::new(scale);
+    let mut error = Table::new(&col_refs);
+    let mut er_cols = vec![Vec::new(); MapHash::ALL.len()];
+    let mut results = Vec::new();
+    for &h in MapHash::ALL.iter() {
+        let mut cfg = scale.split_default();
+        if let LlcKind::Split(ref mut d) = cfg.llc {
+            d.map_space = MapSpace::new(14).with_hash(h);
+        }
+        results.push(sweep.run(&format!("hash-{h}"), cfg).to_vec());
+    }
+    for (i, name) in kernel_names().iter().enumerate() {
+        let vals: Vec<f64> = results.iter().map(|r| r[i].output_error).collect();
+        for (c, v) in er_cols.iter_mut().zip(&vals) {
+            c.push(*v);
+        }
+        error.row_pct(name, &vals);
+    }
+    error.row_pct("MEAN", &er_cols.iter().map(|c| mean(c)).collect::<Vec<_>>());
+    error.print("Ablation: hash functions — output error (split design)");
+}

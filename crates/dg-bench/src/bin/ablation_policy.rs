@@ -1,0 +1,60 @@
+//! Ablation: data-array replacement policy (paper §3.5 future work).
+//!
+//! Compares the paper's LRU data-array replacement against the
+//! sharing-aware "fewest sharers" policy the paper suggests exploring:
+//! evicting the data entry with the fewest associated tags preserves
+//! highly shared entries, at the cost of keeping cold singletons alive.
+//!
+//! Usage: `cargo run --release -p dg-bench --bin ablation_policy [--small]`
+
+use dg_bench::experiments::{kernel_names, mean, Sweep};
+use dg_bench::Table;
+use doppelganger::DataPolicy;
+
+fn main() {
+    let scale = dg_bench::scale_from_args();
+    let mut sweep = Sweep::new(scale);
+    let baseline = sweep.baseline();
+
+    let mut lru_cfg = scale.split_default();
+    lru_cfg.data_policy = DataPolicy::Lru;
+    let mut fs_cfg = scale.split_default();
+    fs_cfg.data_policy = DataPolicy::FewestSharers;
+
+    let lru = sweep.run("policy-lru", lru_cfg).to_vec();
+    let fs = sweep.run("policy-fewest-sharers", fs_cfg).to_vec();
+
+    let mut runtime = Table::new(&["LRU", "fewest-sharers"]);
+    let mut error = Table::new(&["LRU", "fewest-sharers"]);
+    let mut traffic = Table::new(&["LRU", "fewest-sharers"]);
+    let mut rt_cols = [Vec::new(), Vec::new()];
+    let mut er_cols = [Vec::new(), Vec::new()];
+    let mut tr_cols = [Vec::new(), Vec::new()];
+    for (i, name) in kernel_names().iter().enumerate() {
+        let b = &baseline[i];
+        let vals_rt = [
+            lru[i].runtime_cycles as f64 / b.runtime_cycles.max(1) as f64,
+            fs[i].runtime_cycles as f64 / b.runtime_cycles.max(1) as f64,
+        ];
+        let vals_er = [lru[i].output_error, fs[i].output_error];
+        let vals_tr = [
+            lru[i].off_chip_blocks as f64 / b.off_chip_blocks.max(1) as f64,
+            fs[i].off_chip_blocks as f64 / b.off_chip_blocks.max(1) as f64,
+        ];
+        for c in 0..2 {
+            rt_cols[c].push(vals_rt[c]);
+            er_cols[c].push(vals_er[c]);
+            tr_cols[c].push(vals_tr[c]);
+        }
+        runtime.row_num(name, &vals_rt);
+        error.row_pct(name, &vals_er);
+        traffic.row_num(name, &vals_tr);
+    }
+    runtime.row_num("MEAN", &[mean(&rt_cols[0]), mean(&rt_cols[1])]);
+    error.row_pct("MEAN", &[mean(&er_cols[0]), mean(&er_cols[1])]);
+    traffic.row_num("MEAN", &[mean(&tr_cols[0]), mean(&tr_cols[1])]);
+
+    runtime.print("Ablation: data-array policy — normalized runtime");
+    traffic.print("Ablation: data-array policy — normalized off-chip traffic");
+    error.print("Ablation: data-array policy — output error");
+}

@@ -1,0 +1,36 @@
+//! Where does the LLC's dynamic energy go? (extends Fig. 11's totals)
+//!
+//! Splits each benchmark's Doppelgänger-LLC dynamic energy into tag
+//! array, MTag array, data array, map-generation FPUs and the precise
+//! partition — quantifying the paper's claim that the 168 pJ map
+//! generations are affordable because they happen off the critical path
+//! and only on insertions/writebacks.
+//!
+//! Usage: `cargo run --release -p dg-bench --bin energy_breakdown [--small]`
+
+use dg_bench::experiments::{kernel_names, Sweep};
+use dg_bench::Table;
+
+fn main() {
+    let scale = dg_bench::scale_from_args();
+    let mut sweep = Sweep::new(scale);
+    let results = sweep.run("split-m14-d1/4", scale.split_default()).to_vec();
+
+    let mut t = Table::new(&["precise", "dopp tag", "MTag", "dopp data", "map FPUs"]);
+    for (name, r) in kernel_names().iter().zip(&results) {
+        let b = r.energy.breakdown;
+        let total = b.total_pj().max(1e-12);
+        t.row_pct(
+            name,
+            &[
+                b.precise_pj / total,
+                b.dopp_tag_pj / total,
+                b.mtag_pj / total,
+                b.dopp_data_pj / total,
+                b.map_pj / total,
+            ],
+        );
+    }
+    t.print("LLC dynamic-energy breakdown (split design, 14-bit, 1/4 data)");
+    println!("(shares of each benchmark's total dynamic LLC energy)");
+}

@@ -1,0 +1,11 @@
+//! Regenerates Fig. 2: approximate-data storage savings as the
+//! element-wise similarity threshold T is relaxed.
+//!
+//! Usage: `cargo run --release -p dg-bench --bin fig02_threshold [--small]`
+
+fn main() {
+    let scale = dg_bench::scale_from_args();
+    let snaps = dg_bench::figures::baseline_snapshots(scale);
+    dg_bench::figures::fig02(&snaps)
+        .print("Fig. 2: storage savings vs similarity threshold T");
+}

@@ -1,0 +1,10 @@
+//! Regenerates Fig. 7: approximate-data storage savings for varying
+//! Doppelganger map-space sizes (12/13/14-bit).
+//!
+//! Usage: `cargo run --release -p dg-bench --bin fig07_mapspace [--small]`
+
+fn main() {
+    let scale = dg_bench::scale_from_args();
+    let snaps = dg_bench::figures::baseline_snapshots(scale);
+    dg_bench::figures::fig07(&snaps).print("Fig. 7: storage savings vs map space");
+}

@@ -1,0 +1,11 @@
+//! Regenerates Fig. 8: Doppelganger vs base-delta-immediate compression
+//! and exact deduplication.
+//!
+//! Usage: `cargo run --release -p dg-bench --bin fig08_compare [--small]`
+
+fn main() {
+    let scale = dg_bench::scale_from_args();
+    let snaps = dg_bench::figures::baseline_snapshots(scale);
+    dg_bench::figures::fig08(&snaps)
+        .print("Fig. 8: storage savings vs BdI and exact deduplication");
+}

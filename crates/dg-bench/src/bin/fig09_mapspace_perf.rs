@@ -1,0 +1,13 @@
+//! Regenerates Fig. 9: output error (a) and normalized runtime (b) for
+//! 12/13/14-bit map spaces.
+//!
+//! Usage: `cargo run --release -p dg-bench --bin fig09_mapspace_perf [--small]`
+
+use dg_bench::Sweep;
+
+fn main() {
+    let mut sweep = Sweep::new(dg_bench::scale_from_args());
+    let (err, run) = dg_bench::figures::fig09(&mut sweep);
+    err.print("Fig. 9a: output error vs map space");
+    run.print("Fig. 9b: normalized runtime vs map space");
+}

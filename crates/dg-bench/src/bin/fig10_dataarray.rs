@@ -1,0 +1,13 @@
+//! Regenerates Fig. 10: output error (a) and normalized runtime (b) for
+//! 1/2, 1/4 and 1/8 approximate data arrays.
+//!
+//! Usage: `cargo run --release -p dg-bench --bin fig10_dataarray [--small]`
+
+use dg_bench::Sweep;
+
+fn main() {
+    let mut sweep = Sweep::new(dg_bench::scale_from_args());
+    let (err, run) = dg_bench::figures::fig10(&mut sweep);
+    err.print("Fig. 10a: output error vs data array size");
+    run.print("Fig. 10b: normalized runtime vs data array size");
+}

@@ -1,0 +1,13 @@
+//! Regenerates Fig. 11: LLC dynamic (a) and leakage (b) energy
+//! reduction for 1/2, 1/4 and 1/8 data arrays.
+//!
+//! Usage: `cargo run --release -p dg-bench --bin fig11_energy [--small]`
+
+use dg_bench::Sweep;
+
+fn main() {
+    let mut sweep = Sweep::new(dg_bench::scale_from_args());
+    let (dynamic, leakage) = dg_bench::figures::fig11(&mut sweep);
+    dynamic.print("Fig. 11a: LLC dynamic energy reduction");
+    leakage.print("Fig. 11b: LLC leakage energy reduction");
+}

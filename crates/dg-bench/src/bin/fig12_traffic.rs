@@ -1,0 +1,11 @@
+//! Regenerates Fig. 12: off-chip memory traffic normalized to the
+//! baseline 2 MB LLC.
+//!
+//! Usage: `cargo run --release -p dg-bench --bin fig12_traffic [--small]`
+
+use dg_bench::Sweep;
+
+fn main() {
+    let mut sweep = Sweep::new(dg_bench::scale_from_args());
+    dg_bench::figures::fig12(&mut sweep).print("Fig. 12: normalized off-chip traffic");
+}

@@ -1,0 +1,9 @@
+//! Regenerates Fig. 13: LLC area reduction for Doppelganger and
+//! uniDoppelganger with varying data-array sizes.
+//!
+//! Usage: `cargo run --release -p dg-bench --bin fig13_area [--small]`
+
+fn main() {
+    let scale = dg_bench::scale_from_args();
+    dg_bench::figures::fig13(scale).print("Fig. 13: LLC area reduction");
+}

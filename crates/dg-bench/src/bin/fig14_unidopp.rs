@@ -1,0 +1,14 @@
+//! Regenerates Fig. 14: uniDoppelganger output error (a), normalized
+//! runtime (b) and LLC dynamic energy reduction (c).
+//!
+//! Usage: `cargo run --release -p dg-bench --bin fig14_unidopp [--small]`
+
+use dg_bench::Sweep;
+
+fn main() {
+    let mut sweep = Sweep::new(dg_bench::scale_from_args());
+    let (err, run, dynamic) = dg_bench::figures::fig14(&mut sweep);
+    err.print("Fig. 14a: uniDoppelganger output error");
+    run.print("Fig. 14b: uniDoppelganger normalized runtime");
+    dynamic.print("Fig. 14c: uniDoppelganger LLC dynamic energy reduction");
+}

@@ -1,0 +1,57 @@
+//! Runs every table and figure of the paper's evaluation in one pass,
+//! sharing simulation runs between figures. This is the binary that
+//! generates the data recorded in EXPERIMENTS.md.
+//!
+//! Usage:
+//! `cargo run --release -p dg-bench --bin repro_all [--small] [--json PATH]`
+//!
+//! `--json PATH` additionally exports every evaluation as a JSON array
+//! of result rows.
+
+use dg_bench::figures;
+use dg_bench::Sweep;
+
+fn main() {
+    let scale = dg_bench::scale_from_args();
+    eprintln!("[repro_all] running at {scale:?} scale");
+
+    println!("\n== Table 3: hardware cost (CACTI-lite vs paper) ==\n");
+    println!("{}", figures::table3());
+    figures::fig13(scale).print("Fig. 13: LLC area reduction");
+
+    let snaps = figures::baseline_snapshots(scale);
+    figures::fig02(&snaps).print("Fig. 2: storage savings vs similarity threshold T");
+    figures::fig07(&snaps).print("Fig. 7: storage savings vs map space");
+    figures::fig08(&snaps).print("Fig. 8: storage savings vs BdI and exact deduplication");
+
+    let mut sweep = Sweep::new(scale);
+    figures::table2(&mut sweep).print("Table 2: approximate LLC footprint");
+
+    let (err, run) = figures::fig09(&mut sweep);
+    err.print("Fig. 9a: output error vs map space");
+    run.print("Fig. 9b: normalized runtime vs map space");
+
+    let (err, run) = figures::fig10(&mut sweep);
+    err.print("Fig. 10a: output error vs data array size");
+    run.print("Fig. 10b: normalized runtime vs data array size");
+
+    let (dynamic, leakage) = figures::fig11(&mut sweep);
+    dynamic.print("Fig. 11a: LLC dynamic energy reduction");
+    leakage.print("Fig. 11b: LLC leakage energy reduction");
+
+    figures::fig12(&mut sweep).print("Fig. 12: normalized off-chip traffic");
+
+    let (err, run, dynamic) = figures::fig14(&mut sweep);
+    err.print("Fig. 14a: uniDoppelganger output error");
+    run.print("Fig. 14b: uniDoppelganger normalized runtime");
+    dynamic.print("Fig. 14c: uniDoppelganger LLC dynamic energy reduction");
+
+    let argv: Vec<String> = std::env::args().collect();
+    if let Some(i) = argv.iter().position(|a| a == "--json") {
+        let path = argv.get(i + 1).map(String::as_str).unwrap_or("repro_results.json");
+        match dg_bench::results::export_sweep(&sweep, std::path::Path::new(path)) {
+            Ok(()) => eprintln!("[repro_all] wrote {path}"),
+            Err(e) => eprintln!("[repro_all] failed to write {path}: {e}"),
+        }
+    }
+}

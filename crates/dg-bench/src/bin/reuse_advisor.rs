@@ -1,0 +1,57 @@
+//! Data-array sizing advisor: reuse-distance analysis of each
+//! benchmark's approximate reference stream.
+//!
+//! Uses Mattson stack profiling (`dg_cache::ReuseProfile`) on a captured
+//! trace to predict, without any cache simulation, how large the
+//! Doppelgänger data array must be for the approximate working set to
+//! fit — the analytical companion to the Fig. 10/12 sweeps. Sharing
+//! shrinks the required capacity further (each shared entry holds
+//! several blocks), so the prediction here is an upper bound.
+//!
+//! Usage: `cargo run --release -p dg-bench --bin reuse_advisor [--small]`
+
+use dg_bench::experiments::{suite, Scale};
+use dg_bench::Table;
+use dg_cache::ReuseProfile;
+use dg_system::capture_trace;
+
+fn main() {
+    let scale = dg_bench::scale_from_args();
+    let (data_entries, label) = match scale {
+        Scale::Paper => (4096usize, "4K entries (paper 1/4 array)"),
+        Scale::Small => (128, "128 entries (small 1/4 array)"),
+    };
+
+    let mut t = Table::new(&["approx blocks", "90% hit needs", "99% hit needs", "fits 1/4?"]);
+    for kernel in suite(scale) {
+        let trace = capture_trace(kernel.as_ref(), scale.threads(), scale.threads());
+        let stream = trace
+            .cores
+            .iter()
+            .flatten()
+            .filter(|a| a.approx)
+            .map(|a| a.addr.block());
+        let p = ReuseProfile::from_stream(stream);
+        if p.references() == 0 {
+            t.row_strings(kernel.name(), vec!["0".into(), "-".into(), "-".into(), "-".into()]);
+            continue;
+        }
+        let c90 = p.capacity_for_hit_rate(0.90);
+        let c99 = p.capacity_for_hit_rate(0.99);
+        let fits = c90.map(|c| c <= data_entries);
+        t.row_strings(
+            kernel.name(),
+            vec![
+                p.cold_misses().to_string(),
+                c90.map_or("never".into(), |c| c.to_string()),
+                c99.map_or("never".into(), |c| c.to_string()),
+                fits.map_or("-".into(), |f| if f { "yes".into() } else { "NO".to_string() }),
+            ],
+        );
+    }
+    t.print(&format!("Reuse-distance sizing advisor vs {label}"));
+    println!(
+        "(capacities are full-stream upper bounds: L1/L2 filtering and\n\
+         Doppelganger sharing both reduce the pressure on the data array)"
+    );
+}

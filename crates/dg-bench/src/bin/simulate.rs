@@ -1,0 +1,262 @@
+//! `simulate` — the command-line front end to the simulator.
+//!
+//! Pick a benchmark and an LLC organization, get a full report:
+//! runtime, MPKI, off-chip traffic, LLC energy, output error and
+//! Doppelgänger sharing statistics.
+//!
+//! ```text
+//! USAGE:
+//!   simulate [--kernel NAME] [--llc baseline|split|unified]
+//!            [--map-bits M] [--data-frac N/D] [--threads T]
+//!            [--policy lru|fewest-sharers]
+//!            [--hash avg+range|avg|min+max|avg+stride]
+//!            [--small] [--seed S]
+//!
+//! EXAMPLES:
+//!   simulate --kernel jpeg --llc split --map-bits 12 --data-frac 1/8
+//!   simulate --kernel kmeans --llc unified --small
+//!   simulate --kernel inversek2j --llc split --policy fewest-sharers
+//! ```
+
+use dg_bench::experiments::Scale;
+use dg_system::{evaluate, LlcKind, SystemConfig};
+use doppelganger::{DataPolicy, MapHash, MapSpace};
+
+#[derive(Debug)]
+struct Args {
+    kernel: String,
+    llc: String,
+    map_bits: u32,
+    frac: (usize, usize),
+    threads: usize,
+    policy: DataPolicy,
+    hash: MapHash,
+    scale: Scale,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        kernel: "jpeg".to_string(),
+        llc: "split".to_string(),
+        map_bits: 14,
+        frac: (1, 4),
+        threads: 4,
+        policy: DataPolicy::Lru,
+        hash: MapHash::AvgRange,
+        scale: Scale::Paper,
+        seed: dg_bench::experiments::SEED,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let next = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i - 1).cloned().ok_or_else(|| "missing value for flag".to_string())
+    };
+    while i < argv.len() {
+        let flag = argv[i].clone();
+        i += 1;
+        match flag.as_str() {
+            "--kernel" => args.kernel = next(&mut i)?,
+            "--llc" => args.llc = next(&mut i)?,
+            "--map-bits" => {
+                args.map_bits = next(&mut i)?.parse().map_err(|e| format!("--map-bits: {e}"))?
+            }
+            "--data-frac" => {
+                let v = next(&mut i)?;
+                let (n, d) = v.split_once('/').ok_or("expected N/D, e.g. 1/4")?;
+                args.frac = (
+                    n.parse().map_err(|e| format!("--data-frac: {e}"))?,
+                    d.parse().map_err(|e| format!("--data-frac: {e}"))?,
+                );
+            }
+            "--threads" => {
+                args.threads = next(&mut i)?.parse().map_err(|e| format!("--threads: {e}"))?
+            }
+            "--policy" => {
+                args.policy = match next(&mut i)?.as_str() {
+                    "lru" => DataPolicy::Lru,
+                    "fewest-sharers" => DataPolicy::FewestSharers,
+                    other => return Err(format!("unknown policy '{other}'")),
+                }
+            }
+            "--hash" => {
+                args.hash = match next(&mut i)?.as_str() {
+                    "avg+range" => MapHash::AvgRange,
+                    "avg" => MapHash::AvgOnly,
+                    "min+max" => MapHash::MinMax,
+                    "avg+stride" => MapHash::AvgStride,
+                    other => return Err(format!("unknown hash '{other}'")),
+                }
+            }
+            "--small" => args.scale = Scale::Small,
+            "--seed" => args.seed = next(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--help" | "-h" => {
+                return Err("help".to_string());
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+fn usage() {
+    eprintln!(
+        "usage: simulate [--kernel NAME] [--llc baseline|split|unified] \
+         [--map-bits M] [--data-frac N/D] [--threads T] \
+         [--policy lru|fewest-sharers] [--hash avg+range|avg|min+max|avg+stride] \
+         [--small] [--seed S]\n\
+         kernels: blackscholes canneal ferret fluidanimate inversek2j \
+         jmeint jpeg kmeans swaptions"
+    );
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            if e != "help" {
+                eprintln!("error: {e}\n");
+            }
+            usage();
+            std::process::exit(if e == "help" { 0 } else { 2 });
+        }
+    };
+
+    let kernels = match args.scale {
+        Scale::Small => dg_workloads::small_suite(args.seed),
+        Scale::Paper => dg_workloads::paper_suite(args.seed),
+    };
+    let Some(kernel) = kernels.iter().find(|k| k.name() == args.kernel) else {
+        eprintln!("error: unknown kernel '{}'", args.kernel);
+        usage();
+        std::process::exit(2);
+    };
+
+    let map_space = MapSpace::new(args.map_bits).with_hash(args.hash);
+    let mut cfg: SystemConfig = match args.llc.as_str() {
+        "baseline" => args.scale.baseline(),
+        "split" => {
+            let mut c = args.scale.split(args.map_bits, args.frac.0, args.frac.1);
+            if let LlcKind::Split(ref mut d) = c.llc {
+                d.map_space = map_space;
+            }
+            c
+        }
+        "unified" => {
+            let mut c = args.scale.unified(args.frac.0, args.frac.1);
+            if let LlcKind::Unified(ref mut d) = c.llc {
+                d.map_space = map_space;
+            }
+            c
+        }
+        other => {
+            eprintln!("error: unknown llc kind '{other}'");
+            usage();
+            std::process::exit(2);
+        }
+    };
+    cfg.data_policy = args.policy;
+
+    eprintln!(
+        "simulating {} on {} LLC ({:?} scale, {} threads)...",
+        args.kernel, args.llc, args.scale, args.threads
+    );
+    let (detail_sys, _) = dg_system::run_on_system(kernel.as_ref(), cfg, args.threads);
+    let mut r = evaluate(kernel.as_ref(), cfg, args.threads);
+    let mut baseline = evaluate(kernel.as_ref(), args.scale.baseline(), args.threads);
+    if args.scale == Scale::Small {
+        // Behaviour simulated on scaled-down caches; energy/area priced
+        // at the corresponding paper-scale structures (Table 3 costs).
+        let paper = Scale::Paper;
+        let paper_cfg = match args.llc.as_str() {
+            "baseline" => paper.baseline(),
+            "split" => paper.split(args.map_bits, args.frac.0, args.frac.1),
+            _ => paper.unified(args.frac.0, args.frac.1),
+        };
+        r.energy = dg_system::llc_energy(&paper_cfg, &r.llc, r.runtime_cycles);
+        baseline.energy =
+            dg_system::llc_energy(&paper.baseline(), &baseline.llc, baseline.runtime_cycles);
+    }
+
+    println!("\n=== {} on {} LLC ===\n", args.kernel, args.llc);
+    println!("{:<32} {:>16}", "instructions", r.instructions);
+    println!(
+        "{:<32} {:>16} ({:.3}x baseline)",
+        "runtime (cycles)",
+        r.runtime_cycles,
+        r.runtime_cycles as f64 / baseline.runtime_cycles.max(1) as f64
+    );
+    println!("{:<32} {:>16.3}", "LLC MPKI", r.mpki());
+    println!(
+        "{:<32} {:>16} ({:.3}x baseline)",
+        "off-chip blocks",
+        r.off_chip_blocks,
+        r.off_chip_blocks as f64 / baseline.off_chip_blocks.max(1) as f64
+    );
+    println!(
+        "{:<32} {:>15.2}% (vs precise golden run)",
+        "output error",
+        r.output_error * 100.0
+    );
+    println!(
+        "{:<32} {:>15.1}% of LLC blocks",
+        "approximate footprint",
+        r.approx_fraction * 100.0
+    );
+    println!(
+        "{:<32} {:>16.2} ({:.2}x baseline reduction)",
+        "LLC dynamic energy (uJ)",
+        r.energy.llc_dynamic_pj * 1e-6,
+        baseline.energy.llc_dynamic_pj / r.energy.llc_dynamic_pj.max(1e-12)
+    );
+    println!(
+        "{:<32} {:>16.2} ({:.2}x baseline reduction)",
+        "LLC leakage energy (uJ)",
+        r.energy.llc_leakage_pj * 1e-6,
+        baseline.energy.llc_leakage_pj / r.energy.llc_leakage_pj.max(1e-12)
+    );
+    println!(
+        "{:<32} {:>16.2} ({:.2}x baseline reduction)",
+        "LLC area (mm2)",
+        r.energy.llc_area_mm2,
+        baseline.energy.llc_area_mm2 / r.energy.llc_area_mm2.max(1e-12)
+    );
+    {
+        // Per-element error distribution (tail behaviour, not just mean).
+        let golden = dg_system::golden_output(kernel.as_ref(), args.threads);
+        let (_, out) = dg_system::run_on_system(kernel.as_ref(), cfg, args.threads);
+        let stats = dg_workloads::metrics::error_stats(&golden, &out);
+        println!(
+            "{:<32} median {:.3}% / p95 {:.3}% / max {:.2}% ({:.1}% of outputs affected)",
+            "error distribution",
+            stats.median * 100.0,
+            stats.p95 * 100.0,
+            stats.max * 100.0,
+            stats.affected * 100.0
+        );
+    }
+    if args.llc != "baseline" {
+        println!();
+        println!(
+            "{:<32} {:>16}",
+            "doppelganger insertions", r.llc.dopp.insertions
+        );
+        println!(
+            "{:<32} {:>15.1}% joined an existing entry",
+            "sharing rate",
+            r.llc.dopp.sharing_rate() * 100.0
+        );
+        println!("{:<32} {:>16}", "map generations", r.llc.dopp.map_generations);
+        println!(
+            "{:<32} {:>16}",
+            "silent writes", r.llc.dopp.silent_writes
+        );
+        println!(
+            "{:<32} {:>16}",
+            "back-invalidations", r.llc.dopp.back_invalidations
+        );
+    }
+    println!("\n{}", dg_system::report::hierarchy_report(&detail_sys));
+    println!("{:<32} {:>16.2} cycles", "AMAT", detail_sys.amat());
+}

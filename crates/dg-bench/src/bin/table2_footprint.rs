@@ -1,0 +1,11 @@
+//! Regenerates Table 2: percentage of LLC blocks that are approximate.
+//!
+//! Usage: `cargo run --release -p dg-bench --bin table2_footprint [--small]`
+
+use dg_bench::Sweep;
+
+fn main() {
+    let scale = dg_bench::scale_from_args();
+    let mut sweep = Sweep::new(scale);
+    dg_bench::figures::table2(&mut sweep).print("Table 2: approximate LLC footprint");
+}

@@ -1,0 +1,9 @@
+//! Regenerates Table 3: per-structure hardware cost (bit budgets, total
+//! size, CACTI-lite area/latency/energy) next to the paper's values.
+//!
+//! Usage: `cargo run --release -p dg-bench --bin table3_hardware`
+
+fn main() {
+    println!("\n== Table 3: hardware cost (CACTI-lite vs paper) ==\n");
+    println!("{}", dg_bench::figures::table3());
+}

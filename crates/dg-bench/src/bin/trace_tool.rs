@@ -1,0 +1,90 @@
+//! Trace tooling: capture workload traces to disk, inspect them, and
+//! replay them against any LLC configuration.
+//!
+//! ```text
+//! trace_tool capture --kernel jpeg --out jpeg.trace [--small]
+//! trace_tool info    --in jpeg.trace
+//! trace_tool replay  --in jpeg.trace --llc baseline|split|unified [--small]
+//! ```
+
+use dg_bench::experiments::{suite, Scale};
+use dg_mem::Trace;
+use dg_system::{capture_trace, replay};
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+fn arg(argv: &[String], flag: &str) -> Option<String> {
+    argv.iter().position(|a| a == flag).and_then(|i| argv.get(i + 1)).cloned()
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  trace_tool capture --kernel NAME --out FILE [--small]\n  \
+         trace_tool info --in FILE\n  \
+         trace_tool replay --in FILE --llc baseline|split|unified [--small]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if argv.iter().any(|a| a == "--small") { Scale::Small } else { Scale::Paper };
+    match argv.first().map(String::as_str) {
+        Some("capture") => {
+            let kernel_name = arg(&argv, "--kernel").unwrap_or_else(|| usage());
+            let out = arg(&argv, "--out").unwrap_or_else(|| usage());
+            let kernels = suite(scale);
+            let Some(kernel) = kernels.iter().find(|k| k.name() == kernel_name) else {
+                eprintln!("unknown kernel '{kernel_name}'");
+                usage();
+            };
+            let trace = capture_trace(kernel.as_ref(), scale.threads(), scale.threads());
+            let mut w = BufWriter::new(File::create(&out).expect("create trace file"));
+            trace.write_to(&mut w).expect("write trace");
+            eprintln!(
+                "captured {} accesses ({} instructions) across {} cores -> {out}",
+                trace.len(),
+                trace.instructions(),
+                trace.cores.len()
+            );
+        }
+        Some("info") => {
+            let input = arg(&argv, "--in").unwrap_or_else(|| usage());
+            let mut r = BufReader::new(File::open(&input).expect("open trace file"));
+            let trace = Trace::read_from(&mut r).expect("parse trace");
+            println!("trace: {input}");
+            println!("  cores:        {}", trace.cores.len());
+            println!("  accesses:     {}", trace.len());
+            println!("  instructions: {}", trace.instructions());
+            println!("  annotations:  {}", trace.annotations.len());
+            println!("  image blocks: {}", trace.initial.populated_blocks());
+            for (c, stream) in trace.cores.iter().enumerate() {
+                let stores = stream.iter().filter(|a| a.kind.is_store()).count();
+                let approx = stream.iter().filter(|a| a.approx).count();
+                println!(
+                    "  core {c}: {} accesses ({} stores, {} approx)",
+                    stream.len(),
+                    stores,
+                    approx
+                );
+            }
+        }
+        Some("replay") => {
+            let input = arg(&argv, "--in").unwrap_or_else(|| usage());
+            let llc = arg(&argv, "--llc").unwrap_or_else(|| "baseline".into());
+            let mut r = BufReader::new(File::open(&input).expect("open trace file"));
+            let trace = Trace::read_from(&mut r).expect("parse trace");
+            let cfg = match llc.as_str() {
+                "baseline" => scale.baseline(),
+                "split" => scale.split_default(),
+                "unified" => scale.unified(1, 2),
+                _ => usage(),
+            };
+            let sys = replay(&trace, cfg);
+            println!("replayed {} accesses on {llc} LLC", trace.len());
+            print!("{}", dg_system::report::hierarchy_report(&sys));
+            println!("  runtime:         {} cycles", sys.runtime_cycles());
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,96 @@
+//! Reproduction gate: asserts the paper's headline claims hold, and
+//! exits non-zero if any band is violated — the artifact-evaluation
+//! entry point.
+//!
+//! Usage: `cargo run --release -p dg-bench --bin validate_repro [--small]`
+//!
+//! At paper scale the bands are the ones recorded in EXPERIMENTS.md; at
+//! `--small` scale only the structural claims (Table 3, area) and basic
+//! sanity bands are enforced.
+
+use dg_bench::experiments::{mean, Scale, Sweep};
+use dg_bench::figures;
+use dg_system::llc_area_mm2;
+use dg_system::similarity::avg_map_savings;
+use doppelganger::{DoppelgangerConfig, HardwareCost, MapSpace};
+
+struct Gate {
+    failures: u32,
+}
+
+impl Gate {
+    fn check(&mut self, name: &str, value: f64, lo: f64, hi: f64) {
+        let ok = (lo..=hi).contains(&value);
+        println!(
+            "{} {name}: {value:.3} (expected {lo:.3}..{hi:.3})",
+            if ok { "PASS" } else { "FAIL" }
+        );
+        if !ok {
+            self.failures += 1;
+        }
+    }
+}
+
+fn main() {
+    let scale = dg_bench::scale_from_args();
+    let mut gate = Gate { failures: 0 };
+
+    // --- Structural claims (scale independent) ---
+    let hw = HardwareCost::paper_system();
+    let split = DoppelgangerConfig::paper_split();
+    gate.check(
+        "Table 3: Doppelganger tag entry bits",
+        hw.doppel_tag_array(&split).tag_entry_bits as f64,
+        77.0,
+        77.0,
+    );
+    let baseline_kb = hw.conventional("b", 2 << 20, 16).total_kbytes();
+    let ours_kb = hw.conventional("p", 1 << 20, 16).total_kbytes()
+        + hw.doppel_tag_array(&split).total_kbytes()
+        + hw.doppel_data_array(&split).total_kbytes();
+    gate.check("Table 3: storage reduction", baseline_kb / ours_kb, 1.40, 1.46);
+    let area_red = llc_area_mm2(&Scale::Paper.baseline()) / llc_area_mm2(&Scale::Paper.split_default());
+    gate.check("Fig 13: LLC area reduction @1/4 (paper 1.55x)", area_red, 1.30, 1.75);
+
+    // --- Behavioural claims ---
+    let snaps = figures::baseline_snapshots(scale);
+    let savings: Vec<f64> = snaps
+        .iter()
+        .map(|ks| avg_map_savings(ks, MapSpace::new(14)))
+        .collect();
+    let (lo, hi) = match scale {
+        Scale::Paper => (0.30, 0.50), // paper: 37.9%
+        Scale::Small => (0.10, 0.70),
+    };
+    gate.check("Fig 7: mean 14-bit savings (paper 0.379)", mean(&savings), lo, hi);
+
+    let mut sweep = Sweep::new(scale);
+    let baseline = sweep.baseline();
+    let split_run = sweep.run("split-m14-d1/4", scale.split_default()).to_vec();
+    let err = mean(&split_run.iter().map(|r| r.output_error).collect::<Vec<_>>());
+    gate.check("Fig 9a: mean error @14-bit (paper ~0.1 or lower)", err, 0.0, 0.12);
+
+    let dyn_red: Vec<f64> = split_run
+        .iter()
+        .zip(&baseline)
+        .map(|(r, b)| b.energy.llc_dynamic_pj / r.energy.llc_dynamic_pj.max(1e-12))
+        .collect();
+    if scale == Scale::Paper {
+        gate.check("Fig 11a: mean dynamic reduction (paper 2.55x)", mean(&dyn_red), 2.0, 3.5);
+        let run_norm: Vec<f64> = split_run
+            .iter()
+            .zip(&baseline)
+            .map(|(r, b)| r.runtime_cycles as f64 / b.runtime_cycles.max(1) as f64)
+            .collect();
+        gate.check("Fig 10b: mean runtime overhead", mean(&run_norm), 0.99, 1.35);
+    }
+    // Every kernel on the baseline is bit-exact.
+    let exact = baseline.iter().filter(|r| r.output_error == 0.0).count();
+    gate.check("baseline exactness (kernels at 0 error)", exact as f64, 9.0, 9.0);
+
+    if gate.failures > 0 {
+        eprintln!("\nvalidation FAILED: {} claim(s) out of band", gate.failures);
+        std::process::exit(1);
+    }
+    println!("\nall reproduction claims within band");
+}

@@ -1,0 +1,139 @@
+//! Terminal bar charts — the figures, rendered like figures.
+
+use std::fmt::Write as _;
+
+/// A horizontal bar chart with one bar group per label (e.g. one group
+/// per benchmark with one bar per configuration), mirroring the paper's
+/// grouped-bar figures in plain text.
+#[derive(Debug)]
+pub struct BarChart {
+    series: Vec<String>,
+    groups: Vec<(String, Vec<f64>)>,
+    width: usize,
+    unit: Unit,
+}
+
+/// How bar values are annotated.
+#[derive(Clone, Copy, Debug)]
+pub enum Unit {
+    /// `42.0%`
+    Percent,
+    /// `2.55x`
+    Ratio,
+    /// plain number
+    Plain,
+}
+
+impl Unit {
+    fn format(self, v: f64) -> String {
+        match self {
+            Unit::Percent => format!("{:.1}%", v * 100.0),
+            Unit::Ratio => format!("{v:.2}x"),
+            Unit::Plain => format!("{v:.2}"),
+        }
+    }
+}
+
+impl BarChart {
+    /// A chart whose groups each carry one bar per `series` entry.
+    pub fn new(series: &[&str], unit: Unit) -> Self {
+        BarChart {
+            series: series.iter().map(|s| s.to_string()).collect(),
+            groups: Vec::new(),
+            width: 40,
+            unit,
+        }
+    }
+
+    /// Override the maximum bar width in characters (default 40).
+    pub fn with_width(mut self, width: usize) -> Self {
+        assert!(width >= 4, "bars need some room");
+        self.width = width;
+        self
+    }
+
+    /// Append one group of bars.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` does not match the series count.
+    pub fn group(&mut self, label: &str, values: &[f64]) {
+        assert_eq!(values.len(), self.series.len(), "series count mismatch");
+        self.groups.push((label.to_string(), values.to_vec()));
+    }
+
+    /// Render the chart.
+    pub fn render(&self) -> String {
+        let max = self
+            .groups
+            .iter()
+            .flat_map(|(_, vs)| vs.iter())
+            .cloned()
+            .fold(0.0f64, f64::max)
+            .max(1e-12);
+        let label_w = self
+            .groups
+            .iter()
+            .map(|(l, _)| l.len())
+            .chain(self.series.iter().map(|s| s.len()))
+            .max()
+            .unwrap_or(4);
+        let mut out = String::new();
+        for (label, values) in &self.groups {
+            writeln!(out, "{label}").unwrap();
+            for (name, &v) in self.series.iter().zip(values) {
+                let bar = ((v / max) * self.width as f64).round() as usize;
+                writeln!(
+                    out,
+                    "  {name:label_w$} |{:<width$}| {}",
+                    "#".repeat(bar),
+                    self.unit.format(v),
+                    width = self.width
+                )
+                .unwrap();
+            }
+        }
+        out
+    }
+
+    /// Print under a title.
+    pub fn print(&self, title: &str) {
+        println!("\n== {title} ==\n");
+        println!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_scale_to_the_maximum() {
+        let mut c = BarChart::new(&["a", "b"], Unit::Ratio).with_width(10);
+        c.group("bench", &[2.0, 1.0]);
+        let s = c.render();
+        assert!(s.contains("##########"), "max bar fills the width:\n{s}");
+        assert!(s.contains("#####|") || s.contains("##### "), "half bar:\n{s}");
+        assert!(s.contains("2.00x") && s.contains("1.00x"));
+    }
+
+    #[test]
+    fn percent_unit() {
+        let mut c = BarChart::new(&["x"], Unit::Percent);
+        c.group("g", &[0.379]);
+        assert!(c.render().contains("37.9%"));
+    }
+
+    #[test]
+    #[should_panic(expected = "series count mismatch")]
+    fn arity_checked() {
+        let mut c = BarChart::new(&["a"], Unit::Plain);
+        c.group("g", &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn empty_chart_renders() {
+        let c = BarChart::new(&["a"], Unit::Plain);
+        assert_eq!(c.render(), "");
+    }
+}

@@ -1,0 +1,251 @@
+//! Sweep machinery shared by the figure/table binaries.
+
+use dg_system::{evaluate, EvalResult, LlcKind, SystemConfig};
+use dg_workloads::Kernel;
+use doppelganger::{DoppelgangerConfig, MapSpace};
+use std::collections::HashMap;
+
+/// Experiment scale.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced problem sizes on proportionally scaled-down caches —
+    /// fast enough for CI.
+    Small,
+    /// The paper's Table 1 cache configuration with simulation-sized
+    /// working sets.
+    Paper,
+}
+
+/// The default seed for all experiments.
+pub const SEED: u64 = 0xd09;
+
+/// The benchmark suite at the given scale.
+pub fn suite(scale: Scale) -> Vec<Box<dyn Kernel>> {
+    suite_with_seed(scale, SEED)
+}
+
+/// The benchmark suite with an explicit input seed (multi-seed
+/// stability studies).
+pub fn suite_with_seed(scale: Scale, seed: u64) -> Vec<Box<dyn Kernel>> {
+    match scale {
+        Scale::Small => dg_workloads::small_suite(seed),
+        Scale::Paper => dg_workloads::paper_suite(seed),
+    }
+}
+
+/// The nine benchmark names in suite order.
+pub fn kernel_names() -> [&'static str; 9] {
+    [
+        "blackscholes",
+        "canneal",
+        "ferret",
+        "fluidanimate",
+        "inversek2j",
+        "jmeint",
+        "jpeg",
+        "kmeans",
+        "swaptions",
+    ]
+}
+
+impl Scale {
+    /// Worker threads (= cores) used for every run.
+    pub fn threads(self) -> usize {
+        4
+    }
+
+    fn doppel_base(self, unified: bool) -> DoppelgangerConfig {
+        match self {
+            Scale::Paper => {
+                if unified {
+                    DoppelgangerConfig::paper_unified()
+                } else {
+                    DoppelgangerConfig::paper_split()
+                }
+            }
+            Scale::Small => DoppelgangerConfig {
+                // 1/32-scale versions of the paper arrays.
+                tag_entries: if unified { 1024 } else { 512 },
+                tag_ways: 16,
+                data_entries: if unified { 512 } else { 128 },
+                data_ways: 16,
+                map_space: MapSpace::paper_default(),
+                unified,
+            },
+        }
+    }
+
+    fn base_config(self) -> SystemConfig {
+        match self {
+            Scale::Paper => SystemConfig::paper_baseline(),
+            Scale::Small => SystemConfig::tiny(LlcKind::Baseline),
+        }
+    }
+
+    /// The baseline system (conventional LLC).
+    pub fn baseline(self) -> SystemConfig {
+        self.base_config()
+    }
+
+    /// The split system with an `m`-bit map space and a
+    /// `numer/denom`-of-tag-capacity data array.
+    pub fn split(self, m_bits: u32, numer: usize, denom: usize) -> SystemConfig {
+        let dopp = self
+            .doppel_base(false)
+            .with_map_space(m_bits)
+            .with_data_fraction(numer, denom);
+        SystemConfig { llc: LlcKind::Split(dopp), ..self.base_config() }
+    }
+
+    /// The paper's base split design point: 14-bit maps, 1/4 data array.
+    pub fn split_default(self) -> SystemConfig {
+        self.split(14, 1, 4)
+    }
+
+    /// The uniDoppelgänger system with a `numer/denom` data array.
+    pub fn unified(self, numer: usize, denom: usize) -> SystemConfig {
+        let dopp = self.doppel_base(true).with_data_fraction(numer, denom);
+        SystemConfig { llc: LlcKind::Unified(dopp), ..self.base_config() }
+    }
+}
+
+/// Runs (kernel × configuration) evaluations, caching results so
+/// binaries can reference the same run from several tables.
+///
+/// Independent kernel evaluations for one configuration run on separate
+/// OS threads.
+#[derive(Debug)]
+pub struct Sweep {
+    scale: Scale,
+    cache: HashMap<String, Vec<EvalResult>>,
+}
+
+impl Sweep {
+    /// A sweep at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        Sweep { scale, cache: HashMap::new() }
+    }
+
+    /// The sweep's scale.
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    /// Evaluate the whole suite under `cfg`, caching under `label`.
+    /// Returns results in suite order.
+    pub fn run(&mut self, label: &str, cfg: SystemConfig) -> &[EvalResult] {
+        if !self.cache.contains_key(label) {
+            let threads = self.scale.threads();
+            let kernels = suite(self.scale);
+            let mut results: Vec<Option<EvalResult>> = Vec::new();
+            results.resize_with(kernels.len(), || None);
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for kernel in &kernels {
+                    handles.push(scope.spawn(move || evaluate(kernel.as_ref(), cfg, threads)));
+                }
+                for (slot, h) in results.iter_mut().zip(handles) {
+                    *slot = Some(h.join().expect("evaluation thread panicked"));
+                }
+            });
+            let results: Vec<EvalResult> =
+                results.into_iter().map(|r| r.expect("filled")).collect();
+            eprintln!("[sweep] finished configuration '{label}'");
+            self.cache.insert(label.to_string(), results);
+        }
+        &self.cache[label]
+    }
+
+    /// Baseline results (cached).
+    pub fn baseline(&mut self) -> Vec<EvalResult> {
+        self.run("baseline", self.scale.baseline()).to_vec()
+    }
+
+    /// Iterate over every cached `(label, results)` pair.
+    pub fn cached_runs(&self) -> impl Iterator<Item = (&str, &[EvalResult])> {
+        self.cache.iter().map(|(k, v)| (k.as_str(), v.as_slice()))
+    }
+}
+
+/// Arithmetic mean.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Per-kernel ratio `baseline_metric / variant_metric` (a "reduction"),
+/// guarding against zero denominators.
+pub fn reduction(baseline: f64, variant: f64) -> f64 {
+    if variant <= 0.0 {
+        0.0
+    } else {
+        baseline / variant
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_configs_are_consistent() {
+        let s = Scale::Small;
+        assert_eq!(s.baseline().llc, LlcKind::Baseline);
+        match s.split(12, 1, 8).llc {
+            LlcKind::Split(d) => {
+                assert_eq!(d.map_space.m_bits(), 12);
+                assert_eq!(d.data_entries, 512 / 8);
+            }
+            _ => panic!(),
+        }
+        match s.unified(3, 4).llc {
+            LlcKind::Unified(d) => assert_eq!(d.data_entries, 768),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn paper_split_default_matches_table1() {
+        match Scale::Paper.split_default().llc {
+            LlcKind::Split(d) => {
+                assert_eq!(d.tag_entries, 16 * 1024);
+                assert_eq!(d.data_entries, 4 * 1024);
+                assert_eq!(d.map_space.m_bits(), 14);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn sweep_caches_runs() {
+        let mut sweep = Sweep::new(Scale::Small);
+        let cfg = Scale::Small.baseline();
+        let first = sweep.run("baseline", cfg).to_vec();
+        let again = sweep.run("baseline", cfg).to_vec();
+        assert_eq!(first.len(), 9);
+        for (a, b) in first.iter().zip(&again) {
+            assert_eq!(a.runtime_cycles, b.runtime_cycles);
+            assert_eq!(a.kernel, b.kernel);
+        }
+    }
+
+    #[test]
+    fn suite_order_matches_names() {
+        let kernels = suite(Scale::Small);
+        let names = kernel_names();
+        for (k, n) in kernels.iter().zip(names) {
+            assert_eq!(k.name(), n);
+        }
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(reduction(4.0, 2.0), 2.0);
+        assert_eq!(reduction(4.0, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,379 @@
+//! One report function per table/figure of the paper's evaluation.
+//!
+//! Binaries in `src/bin/` are thin wrappers over these functions; the
+//! `repro_all` binary calls all of them, sharing one [`Sweep`] so
+//! configurations evaluated by several figures run once.
+
+use crate::experiments::{kernel_names, mean, reduction, suite, Scale, Sweep};
+use crate::Table;
+use dg_system::similarity::{
+    avg_bdi_savings, avg_dedup_savings, avg_dopp_bdi_savings, avg_map_savings,
+    avg_threshold_savings, Snapshot,
+};
+use dg_system::{collect_snapshots, llc_area_mm2};
+use doppelganger::{DoppelgangerConfig, HardwareCost, MapSpace};
+
+/// Per-kernel LLC snapshots under the baseline configuration, in suite
+/// order (the input to Figs. 2, 7 and 8).
+pub fn baseline_snapshots(scale: Scale) -> Vec<Vec<Snapshot>> {
+    let kernels = suite(scale);
+    let cfg = scale.baseline();
+    let threads = scale.threads();
+    let mut out: Vec<Option<Vec<Snapshot>>> = Vec::new();
+    out.resize_with(kernels.len(), || None);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for kernel in &kernels {
+            handles.push(scope.spawn(move || collect_snapshots(kernel.as_ref(), cfg, threads)));
+        }
+        for (slot, h) in out.iter_mut().zip(handles) {
+            *slot = Some(h.join().expect("snapshot thread panicked"));
+        }
+    });
+    out.into_iter().map(|s| s.expect("filled")).collect()
+}
+
+
+/// Fig. 2: approximate-data storage savings vs. element-wise similarity
+/// threshold T ∈ {0, 0.01, 0.1, 1, 10}%.
+pub fn fig02(snaps: &[Vec<Snapshot>]) -> Table {
+    let thresholds = [0.0, 0.0001, 0.001, 0.01, 0.1];
+    let mut t = Table::new(&["T=0%", "T=0.01%", "T=0.1%", "T=1%", "T=10%"]);
+    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); thresholds.len()];
+    for (name, ksnaps) in kernel_names().iter().zip(snaps) {
+        let vals: Vec<f64> = thresholds
+            .iter()
+            .map(|&th| avg_threshold_savings(ksnaps, th, 4096))
+            .collect();
+        for (c, v) in cols.iter_mut().zip(&vals) {
+            c.push(*v);
+        }
+        t.row_pct(name, &vals);
+    }
+    t.row_pct("MEAN", &cols.iter().map(|c| mean(c)).collect::<Vec<_>>());
+    t
+}
+
+/// Table 2: percentage of LLC blocks that are approximate, with the
+/// paper's reported values alongside.
+pub fn table2(sweep: &mut Sweep) -> Table {
+    let paper = [61.8, 38.0, 45.9, 3.6, 99.7, 94.7, 98.4, 59.6, 1.5];
+    let results = sweep.baseline();
+    let mut t = Table::new(&["measured", "paper"]);
+    for (r, p) in results.iter().zip(paper) {
+        t.row_strings(
+            r.kernel,
+            vec![format!("{:.1}%", r.approx_fraction * 100.0), format!("{p:.1}%")],
+        );
+    }
+    let measured: Vec<f64> = results.iter().map(|r| r.approx_fraction).collect();
+    t.row_strings(
+        "MEAN",
+        vec![
+            format!("{:.1}%", mean(&measured) * 100.0),
+            format!("{:.1}%", paper.iter().sum::<f64>() / paper.len() as f64),
+        ],
+    );
+    t
+}
+
+/// Fig. 7: approximate-data storage savings for 12/13/14-bit map
+/// spaces.
+pub fn fig07(snaps: &[Vec<Snapshot>]) -> Table {
+    let spaces = [12, 13, 14];
+    let mut t = Table::new(&["12-bit", "13-bit", "14-bit"]);
+    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); spaces.len()];
+    for (name, ksnaps) in kernel_names().iter().zip(snaps) {
+        let vals: Vec<f64> = spaces
+            .iter()
+            .map(|&m| avg_map_savings(ksnaps, MapSpace::new(m)))
+            .collect();
+        for (c, v) in cols.iter_mut().zip(&vals) {
+            c.push(*v);
+        }
+        t.row_pct(name, &vals);
+    }
+    t.row_pct("MEAN", &cols.iter().map(|c| mean(c)).collect::<Vec<_>>());
+    t
+}
+
+/// Fig. 8: BΔI vs. exact dedup vs. 14-bit Doppelgänger vs. 14-bit
+/// Doppelgänger + BΔI.
+pub fn fig08(snaps: &[Vec<Snapshot>]) -> Table {
+    let mut t = Table::new(&["BdI", "exact dedup", "14-bit Dopp", "Dopp+BdI"]);
+    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    for (name, ksnaps) in kernel_names().iter().zip(snaps) {
+        let vals = vec![
+            avg_bdi_savings(ksnaps),
+            avg_dedup_savings(ksnaps),
+            avg_map_savings(ksnaps, MapSpace::new(14)),
+            avg_dopp_bdi_savings(ksnaps, MapSpace::new(14)),
+        ];
+        for (c, v) in cols.iter_mut().zip(&vals) {
+            c.push(*v);
+        }
+        t.row_pct(name, &vals);
+    }
+    t.row_pct("MEAN", &cols.iter().map(|c| mean(c)).collect::<Vec<_>>());
+    t
+}
+
+fn error_and_runtime(
+    sweep: &mut Sweep,
+    labels: &[&str],
+    configs: &[dg_system::SystemConfig],
+    columns: &[&str],
+) -> (Table, Table) {
+    let baseline = sweep.baseline();
+    let mut err = Table::new(columns);
+    let mut run = Table::new(columns);
+    let n = kernel_names().len();
+    let mut err_cols = vec![Vec::new(); configs.len()];
+    let mut run_cols = vec![Vec::new(); configs.len()];
+    let mut per_kernel_err = vec![Vec::new(); n];
+    let mut per_kernel_run = vec![Vec::new(); n];
+    for ((label, cfg), (ec, rc)) in labels
+        .iter()
+        .zip(configs)
+        .zip(err_cols.iter_mut().zip(run_cols.iter_mut()))
+    {
+        let results = sweep.run(label, *cfg).to_vec();
+        for (i, (r, b)) in results.iter().zip(&baseline).enumerate() {
+            let norm = r.runtime_cycles as f64 / b.runtime_cycles.max(1) as f64;
+            per_kernel_err[i].push(r.output_error);
+            per_kernel_run[i].push(norm);
+            ec.push(r.output_error);
+            rc.push(norm);
+        }
+    }
+    for (i, name) in kernel_names().iter().enumerate() {
+        err.row_pct(name, &per_kernel_err[i]);
+        run.row_num(name, &per_kernel_run[i]);
+    }
+    err.row_pct("MEAN", &err_cols.iter().map(|c| mean(c)).collect::<Vec<_>>());
+    run.row_num("MEAN", &run_cols.iter().map(|c| mean(c)).collect::<Vec<_>>());
+    (err, run)
+}
+
+/// Fig. 9: output error (a) and normalized runtime (b) for 12/13/14-bit
+/// map spaces (split design, 1/4 data array).
+pub fn fig09(sweep: &mut Sweep) -> (Table, Table) {
+    let scale = sweep.scale();
+    error_and_runtime(
+        sweep,
+        &["split-m12-d1/4", "split-m13-d1/4", "split-m14-d1/4"],
+        &[scale.split(12, 1, 4), scale.split(13, 1, 4), scale.split(14, 1, 4)],
+        &["12-bit", "13-bit", "14-bit"],
+    )
+}
+
+/// Fig. 10: output error (a) and normalized runtime (b) for 1/2, 1/4
+/// and 1/8 data arrays (split design, 14-bit maps).
+pub fn fig10(sweep: &mut Sweep) -> (Table, Table) {
+    let scale = sweep.scale();
+    error_and_runtime(
+        sweep,
+        &["split-m14-d1/2", "split-m14-d1/4", "split-m14-d1/8"],
+        &[scale.split(14, 1, 2), scale.split(14, 1, 4), scale.split(14, 1, 8)],
+        &["1/2 data", "1/4 data", "1/8 data"],
+    )
+}
+
+fn energy_tables(
+    sweep: &mut Sweep,
+    labels: &[&str],
+    configs: &[dg_system::SystemConfig],
+    columns: &[&str],
+) -> (Table, Table) {
+    let baseline = sweep.baseline();
+    let mut dyn_t = Table::new(columns);
+    let mut leak_t = Table::new(columns);
+    let n = kernel_names().len();
+    let mut dyn_cols = vec![Vec::new(); configs.len()];
+    let mut leak_cols = vec![Vec::new(); configs.len()];
+    let mut per_kernel_dyn = vec![Vec::new(); n];
+    let mut per_kernel_leak = vec![Vec::new(); n];
+    for ((label, cfg), (dc, lc)) in labels
+        .iter()
+        .zip(configs)
+        .zip(dyn_cols.iter_mut().zip(leak_cols.iter_mut()))
+    {
+        let results = sweep.run(label, *cfg).to_vec();
+        for (i, (r, b)) in results.iter().zip(&baseline).enumerate() {
+            let d = reduction(b.energy.llc_dynamic_pj, r.energy.llc_dynamic_pj);
+            let l = reduction(b.energy.llc_leakage_pj, r.energy.llc_leakage_pj);
+            per_kernel_dyn[i].push(d);
+            per_kernel_leak[i].push(l);
+            dc.push(d);
+            lc.push(l);
+        }
+    }
+    for (i, name) in kernel_names().iter().enumerate() {
+        dyn_t.row_ratio(name, &per_kernel_dyn[i]);
+        leak_t.row_ratio(name, &per_kernel_leak[i]);
+    }
+    dyn_t.row_ratio("MEAN", &dyn_cols.iter().map(|c| mean(c)).collect::<Vec<_>>());
+    leak_t.row_ratio("MEAN", &leak_cols.iter().map(|c| mean(c)).collect::<Vec<_>>());
+    (dyn_t, leak_t)
+}
+
+/// Fig. 11: LLC dynamic (a) and leakage (b) energy reduction for 1/2,
+/// 1/4 and 1/8 data arrays.
+pub fn fig11(sweep: &mut Sweep) -> (Table, Table) {
+    let scale = sweep.scale();
+    energy_tables(
+        sweep,
+        &["split-m14-d1/2", "split-m14-d1/4", "split-m14-d1/8"],
+        &[scale.split(14, 1, 2), scale.split(14, 1, 4), scale.split(14, 1, 8)],
+        &["1/2 data", "1/4 data", "1/8 data"],
+    )
+}
+
+/// Fig. 12: off-chip memory traffic normalized to the baseline.
+pub fn fig12(sweep: &mut Sweep) -> Table {
+    let scale = sweep.scale();
+    let baseline = sweep.baseline();
+    let labels = ["split-m14-d1/2", "split-m14-d1/4", "split-m14-d1/8"];
+    let configs = [scale.split(14, 1, 2), scale.split(14, 1, 4), scale.split(14, 1, 8)];
+    let mut t = Table::new(&["1/2 data", "1/4 data", "1/8 data"]);
+    let n = kernel_names().len();
+    let mut cols = vec![Vec::new(); 3];
+    let mut per_kernel = vec![Vec::new(); n];
+    for ((label, cfg), col) in labels.iter().zip(configs).zip(cols.iter_mut()) {
+        let results = sweep.run(label, cfg).to_vec();
+        for (i, (r, b)) in results.iter().zip(&baseline).enumerate() {
+            let norm = r.off_chip_blocks as f64 / b.off_chip_blocks.max(1) as f64;
+            per_kernel[i].push(norm);
+            col.push(norm);
+        }
+    }
+    for (i, name) in kernel_names().iter().enumerate() {
+        t.row_num(name, &per_kernel[i]);
+    }
+    t.row_num("MEAN", &cols.iter().map(|c| mean(c)).collect::<Vec<_>>());
+    t
+}
+
+/// Fig. 13: LLC area reduction for the split design (1/2, 1/4, 1/8 data
+/// arrays) and uniDoppelgänger (3/4, 1/2, 1/4). Pure configuration —
+/// no simulation needed, so it always evaluates the paper-scale
+/// structures (toy-sized caches would be dominated by the fixed
+/// map-generation FPU area).
+pub fn fig13(_scale: Scale) -> Table {
+    let scale = Scale::Paper;
+    let base = llc_area_mm2(&scale.baseline());
+    let mut t = Table::new(&["area reduction"]);
+    for (label, cfg) in [
+        ("Doppelganger 1/2", scale.split(14, 1, 2)),
+        ("Doppelganger 1/4", scale.split(14, 1, 4)),
+        ("Doppelganger 1/8", scale.split(14, 1, 8)),
+        ("uniDoppelganger 3/4", scale.unified(3, 4)),
+        ("uniDoppelganger 1/2", scale.unified(1, 2)),
+        ("uniDoppelganger 1/4", scale.unified(1, 4)),
+    ] {
+        t.row_ratio(label, &[reduction(base, llc_area_mm2(&cfg))]);
+    }
+    t
+}
+
+/// Fig. 14: uniDoppelgänger output error (a), normalized runtime (b)
+/// and LLC dynamic energy reduction (c) for 3/4, 1/2 and 1/4 data
+/// arrays.
+pub fn fig14(sweep: &mut Sweep) -> (Table, Table, Table) {
+    let scale = sweep.scale();
+    let labels = ["uni-d3/4", "uni-d1/2", "uni-d1/4"];
+    let configs = [scale.unified(3, 4), scale.unified(1, 2), scale.unified(1, 4)];
+    let columns = ["3/4 data", "1/2 data", "1/4 data"];
+    let (err, run) = error_and_runtime(sweep, &labels, &configs, &columns);
+    let (dyn_t, _) = energy_tables(sweep, &labels, &configs, &columns);
+    (err, run, dyn_t)
+}
+
+/// Table 3: hardware cost of every structure — our computed bit budgets
+/// and CACTI-lite estimates next to the paper's reported values.
+pub fn table3() -> String {
+    use dg_energy::{CactiLite, PAPER_TABLE3};
+    let hw = HardwareCost::paper_system();
+    let model = CactiLite::new();
+    let split = DoppelgangerConfig::paper_split();
+    let uni = DoppelgangerConfig::paper_unified();
+
+    let structures = [
+        hw.conventional("baseline 2MB LLC", 2 << 20, 16),
+        hw.conventional("1MB precise cache", 1 << 20, 16),
+        hw.doppel_tag_array(&split),
+        hw.doppel_data_array(&split),
+        hw.doppel_tag_array(&uni),
+        hw.doppel_data_array(&uni),
+    ];
+
+    let mut t = Table::new(&[
+        "entries",
+        "tag bits",
+        "size KB",
+        "area mm2",
+        "tag ns",
+        "data ns",
+        "tag pJ",
+        "data pJ",
+        "paper KB / mm2",
+    ]);
+    for (s, p) in structures.iter().zip(PAPER_TABLE3) {
+        let tag_kb = s.tag_bits_total() as f64 / 8.0 / 1024.0;
+        let data_kb = (s.data_bits_total() > 0)
+            .then_some(s.data_bits_total() as f64 / 8.0 / 1024.0);
+        let est = model.structure(tag_kb, data_kb);
+        t.row_strings(
+            &s.name,
+            vec![
+                format!("{}", s.entries),
+                format!("{}", s.tag_entry_bits),
+                format!("{:.0}", s.total_kbytes()),
+                format!("{:.2}", est.area_mm2()),
+                format!("{:.2}", est.tag.latency_ns),
+                est.data.map_or("-".into(), |d| format!("{:.2}", d.latency_ns)),
+                format!("{:.1}", est.tag.read_energy_pj),
+                est.data.map_or("-".into(), |d| format!("{:.1}", d.read_energy_pj)),
+                format!("{:.0} / {:.2}", p.total_kbytes, p.area_mm2),
+            ],
+        );
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig13_area_reductions_match_paper_shape() {
+        let t = fig13(Scale::Paper);
+        let s = t.render();
+        assert!(s.contains("Doppelganger 1/2"));
+        assert!(s.contains("uniDoppelganger 1/4"));
+    }
+
+    #[test]
+    fn table3_includes_all_structures() {
+        let s = table3();
+        for name in ["baseline 2MB LLC", "uniDoppelganger data array"] {
+            assert!(s.contains(name), "missing {name}");
+        }
+        assert!(s.contains("77"), "Doppelganger tag entry bits");
+    }
+
+    #[test]
+    fn small_scale_end_to_end_smoke() {
+        let mut sweep = Sweep::new(Scale::Small);
+        let snaps = baseline_snapshots(Scale::Small);
+        assert_eq!(snaps.len(), 9);
+        let _ = fig02(&snaps);
+        let _ = fig07(&snaps);
+        let _ = fig08(&snaps);
+        let _ = table2(&mut sweep);
+        let (e, r) = fig10(&mut sweep);
+        assert!(e.render().contains("MEAN"));
+        assert!(r.render().contains("MEAN"));
+        let _ = fig12(&mut sweep);
+    }
+}

@@ -1,0 +1,32 @@
+//! Shared harness for regenerating every table and figure of the
+//! paper's evaluation.
+//!
+//! Each `src/bin/*` binary reproduces one table or figure; this library
+//! provides the common pieces: scale selection, system configurations,
+//! the kernel suite, result caching across sweep points, and table
+//! printing. Run any binary with `--small` for a fast reduced-scale
+//! pass (small kernels on proportionally scaled-down caches) or without
+//! flags for the paper-scale configuration (Table 1 caches).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod chart;
+pub mod experiments;
+pub mod figures;
+pub mod results;
+pub mod table;
+
+pub use chart::{BarChart, Unit};
+pub use experiments::{kernel_names, suite, Scale, Sweep};
+pub use table::Table;
+
+/// Parse the common command-line flags (`--small`) of a bench binary.
+pub fn scale_from_args() -> Scale {
+    let small = std::env::args().any(|a| a == "--small");
+    if small {
+        Scale::Small
+    } else {
+        Scale::Paper
+    }
+}

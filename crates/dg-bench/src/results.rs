@@ -1,0 +1,102 @@
+//! Machine-readable result export.
+
+use crate::experiments::Sweep;
+use dg_system::EvalResult;
+use serde::Serialize;
+use std::path::Path;
+
+/// One evaluation flattened for export.
+#[derive(Debug, Serialize)]
+pub struct ResultRow {
+    /// Configuration label (e.g. `split-m14-d1/4`).
+    pub config: String,
+    /// Benchmark name.
+    pub kernel: String,
+    /// Simulated runtime, cycles.
+    pub runtime_cycles: u64,
+    /// Total simulated instructions.
+    pub instructions: u64,
+    /// Application output error, 0–1.
+    pub output_error: f64,
+    /// Off-chip traffic, blocks.
+    pub off_chip_blocks: u64,
+    /// LLC misses per thousand instructions.
+    pub mpki: f64,
+    /// LLC lookups / hits.
+    pub llc_lookups: u64,
+    /// LLC hits.
+    pub llc_hits: u64,
+    /// Doppelgänger insertions that joined an existing entry.
+    pub shared_insertions: u64,
+    /// Doppelgänger map generations.
+    pub map_generations: u64,
+    /// LLC dynamic energy, pJ.
+    pub llc_dynamic_pj: f64,
+    /// LLC leakage energy, pJ.
+    pub llc_leakage_pj: f64,
+    /// LLC area, mm².
+    pub llc_area_mm2: f64,
+    /// Average approximate fraction of LLC blocks.
+    pub approx_fraction: f64,
+}
+
+impl ResultRow {
+    /// Flatten one evaluation under a configuration label.
+    pub fn from_eval(config: &str, r: &EvalResult) -> Self {
+        ResultRow {
+            config: config.to_string(),
+            kernel: r.kernel.to_string(),
+            runtime_cycles: r.runtime_cycles,
+            instructions: r.instructions,
+            output_error: r.output_error,
+            off_chip_blocks: r.off_chip_blocks,
+            mpki: r.mpki(),
+            llc_lookups: r.llc.lookups,
+            llc_hits: r.llc.hits,
+            shared_insertions: r.llc.dopp.shared_insertions,
+            map_generations: r.llc.dopp.map_generations,
+            llc_dynamic_pj: r.energy.llc_dynamic_pj,
+            llc_leakage_pj: r.energy.llc_leakage_pj,
+            llc_area_mm2: r.energy.llc_area_mm2,
+            approx_fraction: r.approx_fraction,
+        }
+    }
+}
+
+/// Export every cached run of a sweep as pretty-printed JSON.
+///
+/// # Errors
+///
+/// Returns any I/O or serialization error.
+pub fn export_sweep(sweep: &Sweep, path: &Path) -> std::io::Result<()> {
+    let rows: Vec<ResultRow> = sweep
+        .cached_runs()
+        .flat_map(|(label, results)| {
+            results.iter().map(move |r| ResultRow::from_eval(label, r))
+        })
+        .collect();
+    let json = serde_json::to_string_pretty(&rows)?;
+    std::fs::write(path, json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::Scale;
+
+    #[test]
+    fn export_produces_valid_json() {
+        let mut sweep = Sweep::new(Scale::Small);
+        sweep.baseline();
+        let dir = std::env::temp_dir().join("dg_bench_results_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rows.json");
+        export_sweep(&sweep, &path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let rows: serde_json::Value = serde_json::from_str(&text).unwrap();
+        let arr = rows.as_array().unwrap();
+        assert_eq!(arr.len(), 9);
+        assert_eq!(arr[0]["config"], "baseline");
+        assert!(arr[0]["runtime_cycles"].as_u64().unwrap() > 0);
+    }
+}

@@ -1,0 +1,256 @@
+//! Generic set-associative array with replacement bookkeeping.
+
+use crate::{CacheGeometry, Lru, Replacer};
+
+/// A set-associative array of caller-defined entries.
+///
+/// `TagArray` owns placement (set × way grid), validity, and the
+/// replacement policy; the meaning of an entry (`E`) is up to the
+/// caller. The conventional cache, the Doppelgänger tag array, and the
+/// MTag/data array are all built on it.
+///
+/// # Example
+///
+/// ```
+/// use dg_cache::{CacheGeometry, TagArray};
+/// let mut arr: TagArray<u64> = TagArray::new(CacheGeometry::from_entries(8, 2));
+/// let set = 0;
+/// assert!(arr.find(set, |&e| e == 99).is_none());
+/// let (way, evicted) = arr.insert(set, 99);
+/// assert!(evicted.is_none());
+/// assert_eq!(arr.find(set, |&e| e == 99), Some(way));
+/// ```
+#[derive(Debug)]
+pub struct TagArray<E, R: Replacer = Lru> {
+    geom: CacheGeometry,
+    entries: Vec<Option<E>>,
+    policy: R,
+}
+
+impl<E> TagArray<E, Lru> {
+    /// An empty array with LRU replacement (the paper's default).
+    pub fn new(geom: CacheGeometry) -> Self {
+        let policy = Lru::new(geom.sets(), geom.ways());
+        TagArray::with_policy(geom, policy)
+    }
+}
+
+impl<E, R: Replacer> TagArray<E, R> {
+    /// An empty array with an explicit replacement policy.
+    pub fn with_policy(geom: CacheGeometry, policy: R) -> Self {
+        let mut entries = Vec::new();
+        entries.resize_with(geom.entries(), || None);
+        TagArray { geom, entries, policy }
+    }
+
+    /// The array's geometry.
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geom
+    }
+
+    #[inline]
+    fn slot(&self, set: usize, way: usize) -> usize {
+        debug_assert!(set < self.geom.sets() && way < self.geom.ways());
+        set * self.geom.ways() + way
+    }
+
+    /// The entry at `(set, way)`, if valid.
+    pub fn get(&self, set: usize, way: usize) -> Option<&E> {
+        self.entries[self.slot(set, way)].as_ref()
+    }
+
+    /// Mutable access to the entry at `(set, way)`, if valid.
+    ///
+    /// Does **not** update replacement state; call [`TagArray::touch`]
+    /// if the mutation models an access.
+    pub fn get_mut(&mut self, set: usize, way: usize) -> Option<&mut E> {
+        let slot = self.slot(set, way);
+        self.entries[slot].as_mut()
+    }
+
+    /// Find the way in `set` whose entry satisfies `pred`.
+    ///
+    /// Does not touch replacement state (lookups that should count as
+    /// uses must call [`TagArray::touch`]).
+    pub fn find(&self, set: usize, pred: impl Fn(&E) -> bool) -> Option<usize> {
+        (0..self.geom.ways()).find(|&w| self.get(set, w).is_some_and(&pred))
+    }
+
+    /// Record a use of `(set, way)` for the replacement policy.
+    pub fn touch(&mut self, set: usize, way: usize) {
+        self.policy.touch(set, way);
+    }
+
+    /// The way that would be victimized by the next insertion into a
+    /// full `set` (an invalid way if one exists).
+    pub fn victim_way(&mut self, set: usize) -> usize {
+        if let Some(w) = (0..self.geom.ways()).find(|&w| self.get(set, w).is_none()) {
+            return w;
+        }
+        self.policy.victim(set)
+    }
+
+    /// Insert `entry` into `set`, evicting if the set is full.
+    ///
+    /// Returns the chosen way and the displaced entry (if any). The new
+    /// entry becomes the most recently used.
+    pub fn insert(&mut self, set: usize, entry: E) -> (usize, Option<E>) {
+        let way = self.victim_way(set);
+        let slot = self.slot(set, way);
+        let old = self.entries[slot].replace(entry);
+        self.policy.fill(set, way);
+        (way, old)
+    }
+
+    /// Insert `entry` at an explicit `(set, way)`, returning the
+    /// displaced entry (if any).
+    pub fn insert_at(&mut self, set: usize, way: usize, entry: E) -> Option<E> {
+        let slot = self.slot(set, way);
+        let old = self.entries[slot].replace(entry);
+        self.policy.fill(set, way);
+        old
+    }
+
+    /// Invalidate `(set, way)`, returning the removed entry.
+    pub fn invalidate(&mut self, set: usize, way: usize) -> Option<E> {
+        let slot = self.slot(set, way);
+        self.entries[slot].take()
+    }
+
+    /// Number of valid entries in `set`.
+    pub fn occupancy(&self, set: usize) -> usize {
+        (0..self.geom.ways()).filter(|&w| self.get(set, w).is_some()).count()
+    }
+
+    /// Number of valid entries in the whole array.
+    pub fn len(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// Whether the array holds no valid entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.iter().all(Option::is_none)
+    }
+
+    /// Iterate over all valid entries as `(set, way, &entry)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, &E)> {
+        let ways = self.geom.ways();
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, e)| e.as_ref().map(|e| (i / ways, i % ways, e)))
+    }
+
+    /// Iterate mutably over all valid entries as `(set, way, &mut entry)`.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (usize, usize, &mut E)> {
+        let ways = self.geom.ways();
+        self.entries
+            .iter_mut()
+            .enumerate()
+            .filter_map(move |(i, e)| e.as_mut().map(|e| (i / ways, i % ways, e)))
+    }
+
+    /// Remove every entry, leaving replacement state untouched.
+    pub fn clear(&mut self) {
+        for e in &mut self.entries {
+            *e = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> TagArray<u64> {
+        TagArray::new(CacheGeometry::from_entries(8, 4)) // 2 sets x 4 ways
+    }
+
+    #[test]
+    fn insert_prefers_invalid_ways() {
+        let mut a = small();
+        let (w0, e0) = a.insert(0, 10);
+        let (w1, e1) = a.insert(0, 11);
+        assert_ne!(w0, w1);
+        assert!(e0.is_none() && e1.is_none());
+        assert_eq!(a.occupancy(0), 2);
+    }
+
+    #[test]
+    fn full_set_evicts_lru() {
+        let mut a = small();
+        for v in 0..4 {
+            a.insert(0, v);
+        }
+        // Touch 0 so entry value 0 is MRU; LRU is value 1.
+        let way0 = a.find(0, |&e| e == 0).unwrap();
+        a.touch(0, way0);
+        let (_, evicted) = a.insert(0, 99);
+        assert_eq!(evicted, Some(1));
+        assert_eq!(a.occupancy(0), 4);
+    }
+
+    #[test]
+    fn find_and_get() {
+        let mut a = small();
+        a.insert(1, 42);
+        let w = a.find(1, |&e| e == 42).unwrap();
+        assert_eq!(a.get(1, w), Some(&42));
+        assert!(a.find(0, |&e| e == 42).is_none());
+    }
+
+    #[test]
+    fn invalidate_frees_way() {
+        let mut a = small();
+        let (w, _) = a.insert(0, 5);
+        assert_eq!(a.invalidate(0, w), Some(5));
+        assert_eq!(a.invalidate(0, w), None);
+        assert_eq!(a.occupancy(0), 0);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn iter_reports_positions() {
+        let mut a = small();
+        a.insert(0, 1);
+        a.insert(1, 2);
+        let mut items: Vec<(usize, u64)> = a.iter().map(|(s, _, &e)| (s, e)).collect();
+        items.sort_unstable();
+        assert_eq!(items, vec![(0, 1), (1, 2)]);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn iter_mut_mutates_in_place() {
+        let mut a = small();
+        a.insert(0, 1);
+        for (_, _, e) in a.iter_mut() {
+            *e += 100;
+        }
+        assert!(a.find(0, |&e| e == 101).is_some());
+    }
+
+    #[test]
+    fn insert_at_explicit_position() {
+        let mut a = small();
+        assert!(a.insert_at(1, 3, 7).is_none());
+        assert_eq!(a.get(1, 3), Some(&7));
+        assert_eq!(a.insert_at(1, 3, 8), Some(7));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut a = small();
+        a.insert(0, 1);
+        a.clear();
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn mutation_via_get_mut() {
+        let mut a = small();
+        let (w, _) = a.insert(0, 1);
+        *a.get_mut(0, w).unwrap() = 9;
+        assert_eq!(a.get(0, w), Some(&9));
+    }
+}

@@ -1,0 +1,415 @@
+//! A conventional write-back, data-carrying cache.
+
+use crate::{CacheGeometry, CacheStats, Lru, Replacer, TagArray};
+use dg_mem::{BlockAddr, BlockData};
+
+/// One valid line of a conventional cache.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Line {
+    tag: u64,
+    /// Whether the line has been written since it was filled.
+    pub dirty: bool,
+    /// The cached 64-byte block contents.
+    pub data: BlockData,
+}
+
+/// A line displaced from a cache by an insertion.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Evicted {
+    /// The displaced block's address.
+    pub addr: BlockAddr,
+    /// Whether the block must be written back.
+    pub dirty: bool,
+    /// The displaced block's contents.
+    pub data: BlockData,
+}
+
+/// A conventional set-associative, write-back, allocate-on-miss cache.
+///
+/// This models the paper's baseline 2 MB LLC, the 1 MB precise LLC
+/// partition of the split design, and — with smaller geometries — the
+/// private L1 and L2 levels (Table 1).
+///
+/// The cache is a passive container: it answers hits, accepts fills and
+/// reports evictions. Miss handling (fetching from the next level) is
+/// composed by the hierarchy in `dg-system`.
+///
+/// # Example
+///
+/// ```
+/// use dg_cache::{CacheGeometry, ConventionalCache};
+/// use dg_mem::{BlockAddr, BlockData};
+///
+/// let mut c = ConventionalCache::new(CacheGeometry::from_capacity(16 * 1024, 4));
+/// let addr = BlockAddr(7);
+/// assert!(c.read(addr).is_none());                       // cold miss
+/// c.fill(addr, BlockData::zeroed());
+/// assert!(c.read(addr).is_some());                       // now hits
+/// ```
+#[derive(Debug)]
+pub struct ConventionalCache<R: Replacer = Lru> {
+    array: TagArray<Line, R>,
+    stats: CacheStats,
+}
+
+impl ConventionalCache {
+    /// An empty cache with the given geometry and LRU replacement.
+    pub fn new(geom: CacheGeometry) -> Self {
+        ConventionalCache { array: TagArray::new(geom), stats: CacheStats::default() }
+    }
+}
+
+impl<R: Replacer> ConventionalCache<R> {
+    /// An empty cache with an explicit replacement policy (e.g.
+    /// [`crate::Srrip`] or [`crate::Fifo`]).
+    pub fn with_policy(geom: CacheGeometry, policy: R) -> Self {
+        ConventionalCache { array: TagArray::with_policy(geom, policy), stats: CacheStats::default() }
+    }
+
+    /// The cache's geometry.
+    pub fn geometry(&self) -> &CacheGeometry {
+        self.array.geometry()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Reset statistics (e.g. after warm-up).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    fn locate(&self, addr: BlockAddr) -> Option<usize> {
+        let set = self.array.geometry().set_of(addr);
+        let tag = self.array.geometry().tag_of(addr);
+        self.array.find(set, |l| l.tag == tag)
+    }
+
+    /// Whether `addr` is present (no stats or LRU update).
+    pub fn contains(&self, addr: BlockAddr) -> bool {
+        self.locate(addr).is_some()
+    }
+
+    /// Read `addr`: on a hit, returns the block and updates LRU/stats;
+    /// on a miss, records the miss and returns `None`.
+    pub fn read(&mut self, addr: BlockAddr) -> Option<BlockData> {
+        let set = self.array.geometry().set_of(addr);
+        match self.locate(addr) {
+            Some(way) => {
+                self.array.touch(set, way);
+                self.stats.record_hit();
+                Some(self.array.get(set, way).expect("located way is valid").data)
+            }
+            None => {
+                self.stats.record_miss();
+                None
+            }
+        }
+    }
+
+    /// Write the full block at `addr`: on a hit, updates the data, sets
+    /// the dirty bit and returns `true`; on a miss returns `false`
+    /// (write-allocate is composed by the caller via [`Self::fill`]).
+    pub fn write(&mut self, addr: BlockAddr, data: BlockData) -> bool {
+        let set = self.array.geometry().set_of(addr);
+        match self.locate(addr) {
+            Some(way) => {
+                self.array.touch(set, way);
+                self.stats.record_hit();
+                let line = self.array.get_mut(set, way).expect("located way is valid");
+                line.data = data;
+                line.dirty = true;
+                true
+            }
+            None => {
+                self.stats.record_miss();
+                false
+            }
+        }
+    }
+
+    /// Update bytes `[offset, offset+bytes.len())` of a resident block,
+    /// setting its dirty bit. Returns `false` on a miss (no stats).
+    pub fn write_bytes(&mut self, addr: BlockAddr, offset: usize, bytes: &[u8]) -> bool {
+        let set = self.array.geometry().set_of(addr);
+        match self.locate(addr) {
+            Some(way) => {
+                self.array.touch(set, way);
+                let line = self.array.get_mut(set, way).expect("located way is valid");
+                line.data.as_bytes_mut()[offset..offset + bytes.len()].copy_from_slice(bytes);
+                line.dirty = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Insert a clean copy of `addr` (a fill from the next level),
+    /// evicting if needed.
+    pub fn fill(&mut self, addr: BlockAddr, data: BlockData) -> Option<Evicted> {
+        self.fill_with(addr, data, false)
+    }
+
+    /// Insert `addr` with an explicit dirty bit, evicting if needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is already resident (fills must be misses).
+    pub fn fill_with(&mut self, addr: BlockAddr, data: BlockData, dirty: bool) -> Option<Evicted> {
+        assert!(self.locate(addr).is_none(), "fill of a resident block");
+        let geom = *self.array.geometry();
+        let set = geom.set_of(addr);
+        let line = Line { tag: geom.tag_of(addr), dirty, data };
+        self.stats.record_insertion();
+        let (_, old) = self.array.insert(set, line);
+        old.map(|l| {
+            self.stats.record_eviction(l.dirty);
+            Evicted { addr: geom.block_addr(l.tag, set), dirty: l.dirty, data: l.data }
+        })
+    }
+
+    /// Remove `addr` if present, returning its final state (used for
+    /// back-invalidations and inclusion enforcement).
+    pub fn invalidate(&mut self, addr: BlockAddr) -> Option<Evicted> {
+        let set = self.array.geometry().set_of(addr);
+        let way = self.locate(addr)?;
+        let line = self.array.invalidate(set, way).expect("located way is valid");
+        self.stats.record_invalidation();
+        Some(Evicted { addr, dirty: line.dirty, data: line.data })
+    }
+
+    /// The resident block's data, if present (no stats or LRU update).
+    pub fn peek(&self, addr: BlockAddr) -> Option<&BlockData> {
+        let set = self.array.geometry().set_of(addr);
+        self.locate(addr).map(|way| &self.array.get(set, way).expect("valid").data)
+    }
+
+    /// The resident block's data and dirty bit, if present (no stats or
+    /// LRU update). Used by coherence to pull a modified copy.
+    pub fn peek_line(&self, addr: BlockAddr) -> Option<(&BlockData, bool)> {
+        let set = self.array.geometry().set_of(addr);
+        self.locate(addr).map(|way| {
+            let line = self.array.get(set, way).expect("valid");
+            (&line.data, line.dirty)
+        })
+    }
+
+    /// Clear a resident block's dirty bit (an M → S downgrade after the
+    /// modified copy was written back). Returns `false` on a miss.
+    pub fn clear_dirty(&mut self, addr: BlockAddr) -> bool {
+        let set = self.array.geometry().set_of(addr);
+        match self.locate(addr) {
+            Some(way) => {
+                self.array.get_mut(set, way).expect("valid").dirty = false;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Mark a resident block dirty (e.g. on an upper-level writeback hit).
+    pub fn mark_dirty(&mut self, addr: BlockAddr) -> bool {
+        let set = self.array.geometry().set_of(addr);
+        match self.locate(addr) {
+            Some(way) => {
+                self.array.get_mut(set, way).expect("valid").dirty = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of resident blocks.
+    pub fn len(&self) -> usize {
+        self.array.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.array.is_empty()
+    }
+
+    /// Iterate over resident blocks as `(addr, dirty, &data)`.
+    pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockAddr, bool, &BlockData)> {
+        let geom = *self.array.geometry();
+        self.array
+            .iter()
+            .map(move |(set, _, line)| (geom.block_addr(line.tag, set), line.dirty, &line.data))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_mem::ElemType;
+
+    fn tiny() -> ConventionalCache {
+        // 2 sets x 2 ways.
+        ConventionalCache::new(CacheGeometry::from_entries(4, 2))
+    }
+
+    fn blk(v: f64) -> BlockData {
+        BlockData::from_values(ElemType::F64, &[v])
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert!(c.read(BlockAddr(0)).is_none());
+        c.fill(BlockAddr(0), blk(1.0));
+        assert_eq!(c.read(BlockAddr(0)), Some(blk(1.0)));
+        assert_eq!(c.stats().misses, 1);
+        assert_eq!(c.stats().hits, 1);
+    }
+
+    #[test]
+    fn write_hit_sets_dirty_and_eviction_reports_it() {
+        let mut c = tiny();
+        c.fill(BlockAddr(0), blk(1.0));
+        assert!(c.write(BlockAddr(0), blk(2.0)));
+        // Fill two more blocks mapping to set 0 (even block addresses).
+        c.fill(BlockAddr(2), blk(3.0));
+        let ev = c.fill(BlockAddr(4), blk(4.0)).expect("set 0 is full");
+        assert_eq!(ev.addr, BlockAddr(0));
+        assert!(ev.dirty);
+        assert_eq!(ev.data, blk(2.0));
+    }
+
+    #[test]
+    fn clean_eviction_not_dirty() {
+        let mut c = tiny();
+        c.fill(BlockAddr(0), blk(1.0));
+        c.fill(BlockAddr(2), blk(2.0));
+        let ev = c.fill(BlockAddr(4), blk(3.0)).unwrap();
+        assert!(!ev.dirty);
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.stats().dirty_evictions, 0);
+    }
+
+    #[test]
+    fn write_miss_returns_false() {
+        let mut c = tiny();
+        assert!(!c.write(BlockAddr(0), blk(1.0)));
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn write_bytes_partial_update() {
+        let mut c = tiny();
+        c.fill(BlockAddr(0), blk(1.0));
+        let newv = 9.0f64.to_le_bytes();
+        assert!(c.write_bytes(BlockAddr(0), 8, &newv));
+        let got = c.peek(BlockAddr(0)).unwrap();
+        assert_eq!(got.elem(ElemType::F64, 0), 1.0);
+        assert_eq!(got.elem(ElemType::F64, 1), 9.0);
+    }
+
+    #[test]
+    fn invalidate_removes_block() {
+        let mut c = tiny();
+        c.fill(BlockAddr(0), blk(1.0));
+        c.write(BlockAddr(0), blk(2.0));
+        let inv = c.invalidate(BlockAddr(0)).unwrap();
+        assert!(inv.dirty);
+        assert!(!c.contains(BlockAddr(0)));
+        assert!(c.invalidate(BlockAddr(0)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "fill of a resident block")]
+    fn double_fill_rejected() {
+        let mut c = tiny();
+        c.fill(BlockAddr(0), blk(1.0));
+        c.fill(BlockAddr(0), blk(2.0));
+    }
+
+    #[test]
+    fn lru_within_set() {
+        let mut c = tiny();
+        c.fill(BlockAddr(0), blk(1.0));
+        c.fill(BlockAddr(2), blk(2.0));
+        // Touch block 0 so block 2 is LRU.
+        c.read(BlockAddr(0));
+        let ev = c.fill(BlockAddr(4), blk(3.0)).unwrap();
+        assert_eq!(ev.addr, BlockAddr(2));
+    }
+
+    #[test]
+    fn iter_blocks_round_trips_addresses() {
+        let mut c = tiny();
+        c.fill(BlockAddr(5), blk(1.0));
+        c.fill(BlockAddr(10), blk(2.0));
+        let mut addrs: Vec<u64> = c.iter_blocks().map(|(a, _, _)| a.0).collect();
+        addrs.sort_unstable();
+        assert_eq!(addrs, vec![5, 10]);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn srrip_cache_resists_scans_better_than_lru() {
+        use crate::Srrip;
+        let geom = CacheGeometry::from_entries(8, 8); // one 8-way set
+        let mut lru = ConventionalCache::new(geom);
+        let mut srrip = ConventionalCache::with_policy(geom, Srrip::new(1, 8));
+
+        // A hot block re-referenced between one-shot scan blocks.
+        let hot = BlockAddr(0);
+        let run = |c: &mut dyn FnMut(BlockAddr) -> bool| -> u64 {
+            let mut hot_hits = 0;
+            for i in 1..200u64 {
+                if c(hot) {
+                    hot_hits += 1;
+                }
+                c(BlockAddr(i)); // scan block, never reused
+            }
+            hot_hits
+        };
+        let mut drive_lru = |addr: BlockAddr| -> bool {
+            if lru.read(addr).is_some() {
+                true
+            } else {
+                lru.fill(addr, BlockData::zeroed());
+                false
+            }
+        };
+        let lru_hits = run(&mut drive_lru);
+        let mut drive_srrip = |addr: BlockAddr| -> bool {
+            if srrip.read(addr).is_some() {
+                true
+            } else {
+                srrip.fill(addr, BlockData::zeroed());
+                false
+            }
+        };
+        let srrip_hits = run(&mut drive_srrip);
+        assert!(
+            srrip_hits >= lru_hits,
+            "SRRIP ({srrip_hits}) should match or beat LRU ({lru_hits}) on a scan mix"
+        );
+        assert!(srrip_hits > 150, "hot block should mostly hit under SRRIP: {srrip_hits}");
+    }
+
+    #[test]
+    fn fifo_cache_works_end_to_end() {
+        use crate::Fifo;
+        let geom = CacheGeometry::from_entries(4, 2);
+        let mut c = ConventionalCache::with_policy(geom, Fifo::new(2, 2));
+        c.fill(BlockAddr(0), blk(1.0));
+        c.fill(BlockAddr(2), blk(2.0));
+        c.read(BlockAddr(0)); // a hit must not refresh FIFO order
+        let ev = c.fill(BlockAddr(4), blk(3.0)).unwrap();
+        assert_eq!(ev.addr, BlockAddr(0), "FIFO evicts the oldest fill");
+    }
+
+    #[test]
+    fn mark_dirty_on_resident() {
+        let mut c = tiny();
+        c.fill(BlockAddr(1), blk(1.0));
+        assert!(c.mark_dirty(BlockAddr(1)));
+        assert!(!c.mark_dirty(BlockAddr(3)));
+        let ev = c.invalidate(BlockAddr(1)).unwrap();
+        assert!(ev.dirty);
+    }
+}

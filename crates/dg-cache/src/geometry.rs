@@ -1,0 +1,192 @@
+//! Cache size / associativity / indexing arithmetic.
+
+use dg_mem::{BlockAddr, BLOCK_BYTES};
+use std::fmt;
+
+/// The physical organization of a set-associative structure.
+///
+/// # Example
+///
+/// ```
+/// use dg_cache::CacheGeometry;
+/// // The paper's baseline LLC: 2 MB, 16-way, 64 B blocks (Table 1).
+/// let g = CacheGeometry::from_capacity(2 * 1024 * 1024, 16);
+/// assert_eq!(g.entries(), 32 * 1024);   // 32 K blocks (Table 3)
+/// assert_eq!(g.sets(), 2048);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheGeometry {
+    sets: usize,
+    ways: usize,
+}
+
+impl CacheGeometry {
+    /// Geometry from a data capacity in bytes and associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting set count is zero or not a power of two,
+    /// or if `ways` is zero.
+    pub fn from_capacity(capacity_bytes: usize, ways: usize) -> Self {
+        assert!(ways > 0, "associativity must be positive");
+        let entries = capacity_bytes / BLOCK_BYTES;
+        assert!(entries.is_multiple_of(ways), "capacity must be a whole number of sets");
+        Self::from_entries(entries, ways)
+    }
+
+    /// Geometry from a total entry count and associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a positive power-of-two multiple of
+    /// `ways`.
+    pub fn from_entries(entries: usize, ways: usize) -> Self {
+        assert!(ways > 0, "associativity must be positive");
+        assert!(entries >= ways && entries.is_multiple_of(ways), "entries must be a multiple of ways");
+        let sets = entries / ways;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        CacheGeometry { sets, ways }
+    }
+
+    /// Number of sets.
+    #[inline]
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Associativity (ways per set).
+    #[inline]
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Total entries (sets × ways).
+    #[inline]
+    pub fn entries(&self) -> usize {
+        self.sets * self.ways
+    }
+
+    /// Data capacity in bytes if every entry holds one 64 B block.
+    #[inline]
+    pub fn capacity_bytes(&self) -> usize {
+        self.entries() * BLOCK_BYTES
+    }
+
+    /// Set index for a block address.
+    #[inline]
+    pub fn set_of(&self, addr: BlockAddr) -> usize {
+        addr.set_index(self.sets)
+    }
+
+    /// Tag for a block address.
+    #[inline]
+    pub fn tag_of(&self, addr: BlockAddr) -> u64 {
+        addr.tag(self.sets)
+    }
+
+    /// Number of set-index bits.
+    #[inline]
+    pub fn index_bits(&self) -> u32 {
+        self.sets.trailing_zeros()
+    }
+
+    /// Reconstruct the block address from a tag and set index.
+    #[inline]
+    pub fn block_addr(&self, tag: u64, set: usize) -> BlockAddr {
+        BlockAddr((tag << self.index_bits()) | set as u64)
+    }
+
+    /// Tag width in bits for a physical address space of
+    /// `addr_bits`-bit byte addresses (as Table 3 reports).
+    #[inline]
+    pub fn tag_bits(&self, addr_bits: u32) -> u32 {
+        addr_bits - dg_mem::BLOCK_OFFSET_BITS - self.index_bits()
+    }
+}
+
+impl fmt::Debug for CacheGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CacheGeometry({} KiB: {} sets x {} ways)",
+            self.capacity_bytes() / 1024,
+            self.sets,
+            self.ways
+        )
+    }
+}
+
+impl fmt::Display for CacheGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} sets x {} ways", self.sets, self.ways)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_table1_configurations() {
+        // Baseline 2 MB 16-way LLC: 32 K entries.
+        let llc = CacheGeometry::from_capacity(2 << 20, 16);
+        assert_eq!(llc.entries(), 32 * 1024);
+        assert_eq!(llc.sets(), 2048);
+        assert_eq!(llc.index_bits(), 11);
+        // 32-bit addresses: 32 - 6 (offset) - 11 (index) = 15 tag bits (Table 3).
+        assert_eq!(llc.tag_bits(32), 15);
+
+        // 16 KB 4-way L1.
+        let l1 = CacheGeometry::from_capacity(16 << 10, 4);
+        assert_eq!(l1.entries(), 256);
+        assert_eq!(l1.sets(), 64);
+
+        // 128 KB 8-way L2.
+        let l2 = CacheGeometry::from_capacity(128 << 10, 8);
+        assert_eq!(l2.entries(), 2048);
+
+        // Doppelganger tag array: 16 K tags 16-way (1 MB tag-equivalent),
+        // 16 tag bits per Table 3.
+        let dtag = CacheGeometry::from_entries(16 * 1024, 16);
+        assert_eq!(dtag.tag_bits(32), 16);
+
+        // Doppelganger 1/4 data array: 4 K entries, 16-way.
+        let ddata = CacheGeometry::from_entries(4 * 1024, 16);
+        assert_eq!(ddata.capacity_bytes(), 256 << 10);
+    }
+
+    #[test]
+    fn set_and_tag_round_trip() {
+        let g = CacheGeometry::from_capacity(1 << 20, 16);
+        let addr = BlockAddr(0x0012_3456);
+        let set = g.set_of(addr);
+        let tag = g.tag_of(addr);
+        assert_eq!(g.block_addr(tag, set), addr);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_sets() {
+        CacheGeometry::from_entries(48, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of ways")]
+    fn rejects_partial_sets() {
+        CacheGeometry::from_entries(17, 16);
+    }
+
+    #[test]
+    fn direct_mapped_works() {
+        let g = CacheGeometry::from_entries(64, 1);
+        assert_eq!(g.sets(), 64);
+        assert_eq!(g.ways(), 1);
+    }
+
+    #[test]
+    fn debug_mentions_shape() {
+        let g = CacheGeometry::from_capacity(2 << 20, 16);
+        let s = format!("{:?}", g);
+        assert!(s.contains("2048 sets"));
+    }
+}

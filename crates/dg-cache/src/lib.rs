@@ -1,0 +1,42 @@
+//! Cache substrate for the Doppelgänger reproduction.
+//!
+//! Everything a conventional multi-level cache hierarchy needs, built
+//! from scratch:
+//!
+//! * [`CacheGeometry`] — size / associativity / block-size arithmetic.
+//! * [`Replacer`] and implementations ([`Lru`], [`Fifo`], [`RandomRepl`],
+//!   [`Srrip`]) — pluggable per-set replacement policies.
+//! * [`TagArray`] — a generic set-associative array of caller-defined
+//!   entries with replacement-policy bookkeeping.
+//! * [`ConventionalCache`] — a data-carrying write-back cache used for
+//!   the private L1/L2 levels, the precise LLC partition, and the
+//!   baseline 2 MB LLC.
+//! * [`Sharers`] — directory sharer sets for MSI coherence at an
+//!   inclusive LLC.
+//! * [`WritebackBuffer`] — the LLC's buffer of pending DRAM writes.
+//! * [`CacheStats`] — hit/miss/eviction/writeback accounting.
+//!
+//! The full hierarchy orchestration (4 cores, L1→L2→LLC→memory, MSI,
+//! timing) lives in `dg-system`; the Doppelgänger LLC itself is in the
+//! `doppelganger` crate. Both are clients of this substrate.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod array;
+mod cache;
+mod geometry;
+mod replacement;
+pub mod reuse;
+mod sharers;
+mod stats;
+mod writeback;
+
+pub use array::TagArray;
+pub use cache::{ConventionalCache, Evicted, Line};
+pub use geometry::CacheGeometry;
+pub use replacement::{Fifo, Lru, RandomRepl, Replacer, Srrip};
+pub use reuse::ReuseProfile;
+pub use sharers::Sharers;
+pub use stats::CacheStats;
+pub use writeback::WritebackBuffer;

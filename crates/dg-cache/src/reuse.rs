@@ -1,0 +1,222 @@
+//! Reuse-distance (LRU stack) analysis.
+//!
+//! Mattson's classic stack algorithm: for each reference, the *reuse
+//! distance* is the number of distinct blocks touched since the last
+//! reference to the same block. A fully-associative LRU cache of
+//! capacity `C` hits exactly the references with distance `< C`, so one
+//! profile predicts the miss curve for **every** capacity at once —
+//! which is how an architect decides whether a working set will fit the
+//! Doppelgänger data array before running a full simulation.
+
+use dg_mem::BlockAddr;
+use std::collections::HashMap;
+
+/// A reuse-distance profile of one reference stream.
+///
+/// # Example
+///
+/// ```
+/// use dg_cache::ReuseProfile;
+/// use dg_mem::BlockAddr;
+///
+/// // A cyclic scan of 4 blocks: every non-cold reference has reuse
+/// // distance 3, so it fits in a 4-block cache but not a 2-block one.
+/// let stream: Vec<BlockAddr> = (0..20).map(|i| BlockAddr(i % 4)).collect();
+/// let p = ReuseProfile::from_stream(stream);
+/// assert_eq!(p.cold_misses(), 4);
+/// assert!(p.hit_rate(4) > 0.75);
+/// assert_eq!(p.hit_rate(2), 0.0);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ReuseProfile {
+    /// `histogram[d]` = number of references with reuse distance `d`.
+    histogram: Vec<u64>,
+    cold: u64,
+    total: u64,
+}
+
+impl ReuseProfile {
+    /// An empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Profile a whole reference stream.
+    pub fn from_stream(stream: impl IntoIterator<Item = BlockAddr>) -> Self {
+        let mut p = ReuseProfile::new();
+        let mut stack: Vec<BlockAddr> = Vec::new();
+        let mut position: HashMap<BlockAddr, ()> = HashMap::new();
+        for addr in stream {
+            if let std::collections::hash_map::Entry::Vacant(e) = position.entry(addr) {
+                p.record_cold();
+                e.insert(());
+                stack.push(addr);
+            } else {
+                // Find the depth (0 = most recent) and move to top.
+                let depth = stack
+                    .iter()
+                    .rev()
+                    .position(|&a| a == addr)
+                    .expect("tracked block is on the stack");
+                p.record(depth as u64);
+                let idx = stack.len() - 1 - depth;
+                stack.remove(idx);
+                stack.push(addr);
+            }
+        }
+        p
+    }
+
+    /// Record one reference with reuse distance `d`.
+    pub fn record(&mut self, d: u64) {
+        let idx = d as usize;
+        if self.histogram.len() <= idx {
+            self.histogram.resize(idx + 1, 0);
+        }
+        self.histogram[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Record a cold (first-touch) reference.
+    pub fn record_cold(&mut self) {
+        self.cold += 1;
+        self.total += 1;
+    }
+
+    /// Total references profiled.
+    pub fn references(&self) -> u64 {
+        self.total
+    }
+
+    /// Cold (compulsory) misses — distinct blocks touched.
+    pub fn cold_misses(&self) -> u64 {
+        self.cold
+    }
+
+    /// Predicted hit rate of a fully-associative LRU cache holding
+    /// `capacity_blocks` blocks: the fraction of references with reuse
+    /// distance below the capacity.
+    pub fn hit_rate(&self, capacity_blocks: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let hits: u64 = self
+            .histogram
+            .iter()
+            .take(capacity_blocks)
+            .sum();
+        hits as f64 / self.total as f64
+    }
+
+    /// Predicted misses for a capacity (cold + capacity misses).
+    pub fn misses(&self, capacity_blocks: usize) -> u64 {
+        self.total - (self.hit_rate(capacity_blocks) * self.total as f64).round() as u64
+    }
+
+    /// The full miss curve over the given capacities.
+    pub fn miss_curve(&self, capacities: &[usize]) -> Vec<(usize, f64)> {
+        capacities
+            .iter()
+            .map(|&c| (c, 1.0 - self.hit_rate(c)))
+            .collect()
+    }
+
+    /// The smallest capacity achieving at least `target` hit rate
+    /// (`None` if even an infinite cache cannot — cold misses dominate).
+    pub fn capacity_for_hit_rate(&self, target: f64) -> Option<usize> {
+        let max = self.histogram.len() + 1;
+        (1..=max).find(|&c| self.hit_rate(c) >= target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(blocks: &[u64]) -> Vec<BlockAddr> {
+        blocks.iter().map(|&b| BlockAddr(b)).collect()
+    }
+
+    #[test]
+    fn cold_misses_count_distinct_blocks() {
+        let p = ReuseProfile::from_stream(stream(&[1, 2, 3, 1, 2, 3]));
+        assert_eq!(p.cold_misses(), 3);
+        assert_eq!(p.references(), 6);
+    }
+
+    #[test]
+    fn immediate_reuse_has_distance_zero() {
+        let p = ReuseProfile::from_stream(stream(&[5, 5, 5]));
+        assert_eq!(p.cold_misses(), 1);
+        // Two references at distance 0: hit in any cache with >=1 block.
+        assert!((p.hit_rate(1) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cyclic_scan_distances_equal_universe_minus_one() {
+        let refs: Vec<u64> = (0..30).map(|i| i % 5).collect();
+        let p = ReuseProfile::from_stream(stream(&refs));
+        assert_eq!(p.cold_misses(), 5);
+        // 25 reuses, all at distance 4.
+        assert_eq!(p.hit_rate(4), 0.0);
+        assert!((p.hit_rate(5) - 25.0 / 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn miss_curve_is_monotone_nonincreasing() {
+        let refs = dg_mem::synth::zipfian(dg_mem::Addr(0), 256, 5000, 0.9, 7);
+        let p = ReuseProfile::from_stream(refs.iter().map(|a| a.addr.block()));
+        let curve = p.miss_curve(&[1, 2, 4, 8, 16, 32, 64, 128, 256, 512]);
+        for w in curve.windows(2) {
+            assert!(w[1].1 <= w[0].1 + 1e-12, "miss curve must not increase: {curve:?}");
+        }
+        // An infinite cache leaves only cold misses.
+        let only_cold = p.cold_misses() as f64 / p.references() as f64;
+        assert!((curve.last().unwrap().1 - only_cold).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_for_hit_rate_finds_the_knee() {
+        let refs: Vec<u64> = (0..100).map(|i| i % 10).collect();
+        let p = ReuseProfile::from_stream(stream(&refs));
+        // 90/100 references reusable, all at distance 9.
+        assert_eq!(p.capacity_for_hit_rate(0.9), Some(10));
+        assert_eq!(p.capacity_for_hit_rate(0.95), None);
+    }
+
+    #[test]
+    fn prediction_matches_a_real_lru_cache() {
+        // Cross-check against an actual fully-associative LRU model.
+        use std::collections::VecDeque;
+        let refs = dg_mem::synth::uniform_random(dg_mem::Addr(0), 64, 2000, 11);
+        let blocks: Vec<BlockAddr> = refs.iter().map(|a| a.addr.block()).collect();
+        let p = ReuseProfile::from_stream(blocks.clone());
+        for capacity in [4usize, 16, 48] {
+            let mut lru: VecDeque<BlockAddr> = VecDeque::new();
+            let mut hits = 0u64;
+            for &b in &blocks {
+                if let Some(pos) = lru.iter().position(|&x| x == b) {
+                    hits += 1;
+                    lru.remove(pos);
+                } else if lru.len() == capacity {
+                    lru.pop_front();
+                }
+                lru.push_back(b);
+            }
+            let measured = hits as f64 / blocks.len() as f64;
+            let predicted = p.hit_rate(capacity);
+            assert!(
+                (measured - predicted).abs() < 1e-12,
+                "capacity {capacity}: predicted {predicted} vs measured {measured}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_profile() {
+        let p = ReuseProfile::new();
+        assert_eq!(p.hit_rate(100), 0.0);
+        assert_eq!(p.references(), 0);
+        assert_eq!(p.capacity_for_hit_rate(0.5), None);
+    }
+}

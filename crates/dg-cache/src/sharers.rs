@@ -1,0 +1,171 @@
+//! Directory sharer sets for MSI coherence.
+
+use std::fmt;
+
+/// A full-map sharer vector for a directory entry (Table 3 budgets
+/// 4 bits per entry for the 4-core CMP).
+///
+/// Tracks which private caches hold a copy of a block and whether one
+/// of them holds it modified (MSI's `M` state lives logically at the
+/// owner; the directory remembers who the owner is).
+///
+/// # Example
+///
+/// ```
+/// use dg_cache::Sharers;
+/// let mut s = Sharers::new();
+/// s.add(0);
+/// s.add(2);
+/// assert_eq!(s.count(), 2);
+/// assert!(s.contains(2));
+/// s.set_owner(2);        // core 2 upgrades to Modified
+/// assert_eq!(s.owner(), Some(2));
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Sharers {
+    mask: u8,
+    owner: Option<u8>,
+}
+
+impl Sharers {
+    /// Maximum cores a full-map vector supports here.
+    pub const MAX_CORES: usize = 8;
+
+    /// An empty sharer set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `core` as a sharer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core >= MAX_CORES`.
+    pub fn add(&mut self, core: usize) {
+        assert!(core < Self::MAX_CORES);
+        self.mask |= 1 << core;
+    }
+
+    /// Remove `core` as a sharer (clears ownership if it was the owner).
+    pub fn remove(&mut self, core: usize) {
+        assert!(core < Self::MAX_CORES);
+        self.mask &= !(1 << core);
+        if self.owner == Some(core as u8) {
+            self.owner = None;
+        }
+    }
+
+    /// Whether `core` currently shares the block.
+    pub fn contains(&self, core: usize) -> bool {
+        core < Self::MAX_CORES && self.mask & (1 << core) != 0
+    }
+
+    /// Number of sharers.
+    pub fn count(&self) -> u32 {
+        self.mask.count_ones()
+    }
+
+    /// Whether nobody shares the block.
+    pub fn is_empty(&self) -> bool {
+        self.mask == 0
+    }
+
+    /// Mark `core` as the modified owner (adds it as a sharer too).
+    pub fn set_owner(&mut self, core: usize) {
+        self.add(core);
+        self.owner = Some(core as u8);
+    }
+
+    /// The modified owner, if any.
+    pub fn owner(&self) -> Option<usize> {
+        self.owner.map(|c| c as usize)
+    }
+
+    /// Downgrade the owner to a plain sharer (M → S at the owner).
+    pub fn clear_owner(&mut self) {
+        self.owner = None;
+    }
+
+    /// Iterate over sharer core ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..Self::MAX_CORES).filter(move |&c| self.contains(c))
+    }
+
+    /// Remove everyone.
+    pub fn clear(&mut self) {
+        self.mask = 0;
+        self.owner = None;
+    }
+}
+
+impl fmt::Debug for Sharers {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Sharers({:#010b}", self.mask)?;
+        if let Some(o) = self.owner {
+            write!(f, ", owner={o}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_remove_contains() {
+        let mut s = Sharers::new();
+        assert!(s.is_empty());
+        s.add(1);
+        s.add(3);
+        assert!(s.contains(1) && s.contains(3) && !s.contains(0));
+        assert_eq!(s.count(), 2);
+        s.remove(1);
+        assert!(!s.contains(1));
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    fn owner_lifecycle() {
+        let mut s = Sharers::new();
+        s.set_owner(2);
+        assert_eq!(s.owner(), Some(2));
+        assert!(s.contains(2));
+        s.clear_owner();
+        assert_eq!(s.owner(), None);
+        assert!(s.contains(2), "downgrade keeps the sharer");
+    }
+
+    #[test]
+    fn removing_owner_clears_ownership() {
+        let mut s = Sharers::new();
+        s.set_owner(2);
+        s.remove(2);
+        assert_eq!(s.owner(), None);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let mut s = Sharers::new();
+        s.add(5);
+        s.add(0);
+        s.add(3);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 3, 5]);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut s = Sharers::new();
+        s.set_owner(1);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.owner(), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_out_of_range_core() {
+        Sharers::new().add(8);
+    }
+}

@@ -1,0 +1,179 @@
+//! Exact cache-content deduplication (Tian et al., ICS 2014 style).
+//!
+//! The second lossless baseline of Fig. 8: byte-identical blocks are
+//! detected (hash + full comparison to rule out collisions) and stored
+//! once, with reference counting.
+
+use crate::CompressionReport;
+use dg_mem::{BlockAddr, BlockData, BLOCK_BYTES};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+/// A reference-counted store of unique block contents, modeling an
+/// exact-deduplication LLC data array.
+///
+/// # Example
+///
+/// ```
+/// use dg_compress::DedupStore;
+/// use dg_mem::{BlockAddr, BlockData, ElemType};
+///
+/// let mut store = DedupStore::new();
+/// let b = BlockData::from_values(ElemType::F32, &[1.0; 16]);
+/// store.insert(BlockAddr(1), b);
+/// store.insert(BlockAddr(2), b);            // identical content
+/// assert_eq!(store.tracked_blocks(), 2);
+/// assert_eq!(store.unique_blocks(), 1);     // stored once
+/// ```
+#[derive(Debug, Default)]
+pub struct DedupStore {
+    // Content -> (refcount). BlockData is 64 bytes and hashable.
+    contents: HashMap<BlockData, usize>,
+    // Which content each address currently holds.
+    by_addr: HashMap<BlockAddr, BlockData>,
+}
+
+impl DedupStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert (or overwrite) the block at `addr`.
+    pub fn insert(&mut self, addr: BlockAddr, data: BlockData) {
+        self.remove(addr);
+        *self.contents.entry(data).or_insert(0) += 1;
+        self.by_addr.insert(addr, data);
+    }
+
+    /// Remove the block at `addr`, if tracked.
+    pub fn remove(&mut self, addr: BlockAddr) {
+        if let Some(old) = self.by_addr.remove(&addr) {
+            if let Entry::Occupied(mut e) = self.contents.entry(old) {
+                *e.get_mut() -= 1;
+                if *e.get() == 0 {
+                    e.remove();
+                }
+            }
+        }
+    }
+
+    /// The content stored for `addr`, if any (always exact).
+    pub fn get(&self, addr: BlockAddr) -> Option<&BlockData> {
+        self.by_addr.get(&addr)
+    }
+
+    /// Number of addresses tracked.
+    pub fn tracked_blocks(&self) -> usize {
+        self.by_addr.len()
+    }
+
+    /// Number of unique contents actually stored.
+    pub fn unique_blocks(&self) -> usize {
+        self.contents.len()
+    }
+
+    /// Number of addresses sharing the content at `addr`.
+    pub fn ref_count(&self, addr: BlockAddr) -> usize {
+        self.by_addr
+            .get(&addr)
+            .and_then(|d| self.contents.get(d))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// The storage savings this store currently achieves.
+    pub fn report(&self) -> CompressionReport {
+        CompressionReport {
+            original_bytes: (self.tracked_blocks() * BLOCK_BYTES) as u64,
+            stored_bytes: (self.unique_blocks() * BLOCK_BYTES) as u64,
+        }
+    }
+}
+
+/// Exact-deduplication storage savings over a snapshot of blocks
+/// (one Fig. 8 bar): unique contents / total.
+pub fn dedup_savings<'a>(blocks: impl IntoIterator<Item = &'a BlockData>) -> CompressionReport {
+    let mut total = 0u64;
+    let mut unique = std::collections::HashSet::new();
+    for b in blocks {
+        total += 1;
+        unique.insert(*b.as_bytes());
+    }
+    CompressionReport {
+        original_bytes: total * BLOCK_BYTES as u64,
+        stored_bytes: unique.len() as u64 * BLOCK_BYTES as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_mem::ElemType;
+
+    fn blk(v: f64) -> BlockData {
+        BlockData::from_values(ElemType::F32, &[v; 16])
+    }
+
+    #[test]
+    fn identical_blocks_dedup() {
+        let mut s = DedupStore::new();
+        s.insert(BlockAddr(1), blk(1.0));
+        s.insert(BlockAddr(2), blk(1.0));
+        s.insert(BlockAddr(3), blk(2.0));
+        assert_eq!(s.tracked_blocks(), 3);
+        assert_eq!(s.unique_blocks(), 2);
+        assert_eq!(s.ref_count(BlockAddr(1)), 2);
+        assert_eq!(s.ref_count(BlockAddr(3)), 1);
+    }
+
+    #[test]
+    fn nearly_identical_blocks_do_not_dedup() {
+        // The Doppelganger motivation: exact dedup misses approximate
+        // similarity entirely.
+        let mut s = DedupStore::new();
+        s.insert(BlockAddr(1), blk(1.0));
+        s.insert(BlockAddr(2), blk(1.0000001));
+        assert_eq!(s.unique_blocks(), 2);
+        assert_eq!(s.report().savings(), 0.0);
+    }
+
+    #[test]
+    fn remove_releases_content() {
+        let mut s = DedupStore::new();
+        s.insert(BlockAddr(1), blk(1.0));
+        s.insert(BlockAddr(2), blk(1.0));
+        s.remove(BlockAddr(1));
+        assert_eq!(s.unique_blocks(), 1);
+        s.remove(BlockAddr(2));
+        assert_eq!(s.unique_blocks(), 0);
+        assert_eq!(s.ref_count(BlockAddr(2)), 0);
+    }
+
+    #[test]
+    fn overwrite_replaces_content() {
+        let mut s = DedupStore::new();
+        s.insert(BlockAddr(1), blk(1.0));
+        s.insert(BlockAddr(1), blk(2.0));
+        assert_eq!(s.tracked_blocks(), 1);
+        assert_eq!(s.unique_blocks(), 1);
+        assert_eq!(s.get(BlockAddr(1)), Some(&blk(2.0)));
+    }
+
+    #[test]
+    fn reads_are_exact() {
+        let mut s = DedupStore::new();
+        s.insert(BlockAddr(1), blk(1.25));
+        assert_eq!(s.get(BlockAddr(1)), Some(&blk(1.25)));
+        assert_eq!(s.get(BlockAddr(9)), None);
+    }
+
+    #[test]
+    fn savings_function_matches_store() {
+        let blocks = [blk(1.0), blk(1.0), blk(2.0), blk(3.0)];
+        let r = dedup_savings(blocks.iter());
+        assert_eq!(r.original_bytes, 4 * 64);
+        assert_eq!(r.stored_bytes, 3 * 64);
+        assert_eq!(r.savings(), 0.25);
+    }
+}

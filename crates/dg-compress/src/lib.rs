@@ -1,0 +1,157 @@
+//! Value-based cache-storage baselines for the Doppelgänger comparison
+//! (paper §5.1, Fig. 8).
+//!
+//! Two lossless techniques the paper compares against:
+//!
+//! * [`bdi`] — **Base-Delta-Immediate** compression (Pekhimenko et al.,
+//!   PACT 2012): blocks whose values have a small dynamic range are
+//!   stored as one base plus narrow deltas (with an implicit zero base
+//!   for small immediates).
+//! * [`dedup`] — **exact deduplication** (Tian et al., ICS 2014 style):
+//!   byte-identical blocks are stored once.
+//!
+//! Plus one extension baseline beyond the paper's Fig. 8:
+//!
+//! * [`fpc`] — **Frequent Pattern Compression** (Alameldeen & Wood,
+//!   ISCA 2004), the significance-based scheme the paper cites in its
+//!   related work.
+//!
+//! Both operate on the same `dg_mem::BlockData` snapshots the
+//! Doppelgänger analyses consume, so Fig. 8's four bars come from one
+//! code path.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bdi;
+pub mod dedup;
+pub mod fpc;
+
+pub use bdi::{bdi_savings, BdiEncoding};
+pub use dedup::{dedup_savings, DedupStore};
+pub use fpc::{fpc_savings, FpcPattern};
+
+use dg_mem::{BlockData, BLOCK_BYTES};
+
+/// A per-block lossless compression scheme, unifying BΔI and FPC behind
+/// one interface so sweeps and downstream users can treat them
+/// uniformly.
+pub trait CompressionScheme {
+    /// Scheme name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Compressed size of one 64 B block, in bytes (≤ 64).
+    fn compressed_size(&self, block: &BlockData) -> usize;
+
+    /// Savings over a set of blocks.
+    fn savings<'a>(&self, blocks: impl IntoIterator<Item = &'a BlockData>) -> CompressionReport
+    where
+        Self: Sized,
+    {
+        let mut original = 0;
+        let mut stored = 0;
+        for b in blocks {
+            original += BLOCK_BYTES as u64;
+            stored += self.compressed_size(b) as u64;
+        }
+        CompressionReport { original_bytes: original, stored_bytes: stored }
+    }
+}
+
+/// BΔI as a [`CompressionScheme`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Bdi;
+
+impl CompressionScheme for Bdi {
+    fn name(&self) -> &'static str {
+        "bdi"
+    }
+
+    fn compressed_size(&self, block: &BlockData) -> usize {
+        bdi::compressed_size(block)
+    }
+}
+
+/// FPC as a [`CompressionScheme`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Fpc;
+
+impl CompressionScheme for Fpc {
+    fn name(&self) -> &'static str {
+        "fpc"
+    }
+
+    fn compressed_size(&self, block: &BlockData) -> usize {
+        fpc::compressed_size(block)
+    }
+}
+
+/// Storage-savings summary shared by the baselines.
+///
+/// `savings()` is `1 − stored_bytes / original_bytes`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CompressionReport {
+    /// Bytes the blocks occupy uncompressed (64 per block).
+    pub original_bytes: u64,
+    /// Bytes after the technique is applied.
+    pub stored_bytes: u64,
+}
+
+impl CompressionReport {
+    /// Fraction of storage saved (0 when no blocks were considered).
+    pub fn savings(&self) -> f64 {
+        if self.original_bytes == 0 {
+            0.0
+        } else {
+            1.0 - self.stored_bytes as f64 / self.original_bytes as f64
+        }
+    }
+
+    /// Compression ratio (original / stored; 1 when empty).
+    pub fn ratio(&self) -> f64 {
+        if self.stored_bytes == 0 {
+            1.0
+        } else {
+            self.original_bytes as f64 / self.stored_bytes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_math() {
+        let r = CompressionReport { original_bytes: 128, stored_bytes: 64 };
+        assert_eq!(r.savings(), 0.5);
+        assert_eq!(r.ratio(), 2.0);
+    }
+
+    #[test]
+    fn empty_report() {
+        let r = CompressionReport { original_bytes: 0, stored_bytes: 0 };
+        assert_eq!(r.savings(), 0.0);
+        assert_eq!(r.ratio(), 1.0);
+    }
+
+    #[test]
+    fn schemes_share_one_interface() {
+        use dg_mem::ElemType;
+        let zero = BlockData::zeroed();
+        let small = BlockData::from_values(ElemType::I32, &[5.0; 16]);
+        let blocks = [zero, small];
+        for (scheme, name) in [
+            (&Bdi as &dyn CompressionScheme, "bdi"),
+            (&Fpc as &dyn CompressionScheme, "fpc"),
+        ] {
+            assert_eq!(scheme.name(), name);
+            for b in &blocks {
+                let sz = scheme.compressed_size(b);
+                assert!((1..=64).contains(&sz), "{name}: size {sz}");
+            }
+        }
+        assert!(Bdi.savings(blocks.iter()).savings() > 0.5);
+        assert!(Fpc.savings(blocks.iter()).savings() > 0.5);
+    }
+}

@@ -1,0 +1,91 @@
+//! Turning activity counts into energy.
+
+use std::fmt;
+
+/// Accumulates dynamic energy from per-event costs and converts leakage
+/// power × time into energy.
+///
+/// # Example
+///
+/// ```
+/// use dg_energy::EnergyAccount;
+/// let mut acct = EnergyAccount::new();
+/// acct.add(1000, 24.8);                       // 1000 tag reads at 24.8 pJ
+/// acct.add(10, dg_energy::MAP_ENERGY_PJ);     // 10 map generations
+/// assert_eq!(acct.dynamic_pj(), 1000.0 * 24.8 + 10.0 * 168.0);
+///
+/// // 1 M cycles at 1 GHz with 50 mW of leakage:
+/// let leak = EnergyAccount::leakage_pj(50.0, 1_000_000, 1.0);
+/// assert_eq!(leak, 50.0 * 1.0e6); // mW × ns = pJ
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EnergyAccount {
+    dynamic_pj: f64,
+}
+
+impl EnergyAccount {
+    /// An empty account.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `count` events costing `pj_per_event` each.
+    pub fn add(&mut self, count: u64, pj_per_event: f64) {
+        self.dynamic_pj += count as f64 * pj_per_event;
+    }
+
+    /// Add a raw energy amount in picojoules.
+    pub fn add_pj(&mut self, pj: f64) {
+        self.dynamic_pj += pj;
+    }
+
+    /// Accumulated dynamic energy, pJ.
+    pub fn dynamic_pj(&self) -> f64 {
+        self.dynamic_pj
+    }
+
+    /// Accumulated dynamic energy, µJ.
+    pub fn dynamic_uj(&self) -> f64 {
+        self.dynamic_pj * 1e-6
+    }
+
+    /// Leakage energy in pJ for `leakage_mw` milliwatts sustained over
+    /// `cycles` cycles at `freq_ghz` GHz (mW × ns = pJ).
+    pub fn leakage_pj(leakage_mw: f64, cycles: u64, freq_ghz: f64) -> f64 {
+        let ns = cycles as f64 / freq_ghz;
+        leakage_mw * ns
+    }
+}
+
+impl fmt::Display for EnergyAccount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} uJ dynamic", self.dynamic_uj())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates() {
+        let mut a = EnergyAccount::new();
+        a.add(10, 5.0);
+        a.add_pj(1.5);
+        assert_eq!(a.dynamic_pj(), 51.5);
+        assert!((a.dynamic_uj() - 51.5e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn leakage_units() {
+        // 1 mW over 1 ns is 1 pJ.
+        assert_eq!(EnergyAccount::leakage_pj(1.0, 1, 1.0), 1.0);
+        // Halving frequency doubles wall time and thus leakage energy.
+        assert_eq!(EnergyAccount::leakage_pj(1.0, 100, 0.5), 200.0);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(EnergyAccount::new().to_string().contains("uJ"));
+    }
+}

@@ -1,0 +1,296 @@
+//! The CACTI-lite analytical array model.
+
+use std::fmt;
+
+/// Cost of accessing one SRAM array (a tag array, an MTag array, or a
+/// data array).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ArrayCost {
+    /// Silicon area, mm².
+    pub area_mm2: f64,
+    /// Access latency, ns.
+    pub latency_ns: f64,
+    /// Dynamic energy per access, pJ.
+    pub read_energy_pj: f64,
+}
+
+/// Cost estimate for a full cache structure: its tag (metadata) portion,
+/// its data portion (absent for pure tag arrays), and leakage power.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StructureEstimate {
+    /// The metadata array (address tags or MTags).
+    pub tag: ArrayCost,
+    /// The block-data array, if the structure stores data.
+    pub data: Option<ArrayCost>,
+    /// Leakage power, mW.
+    pub leakage_mw: f64,
+}
+
+impl StructureEstimate {
+    /// Total area (tag + data), mm².
+    pub fn area_mm2(&self) -> f64 {
+        self.tag.area_mm2 + self.data.map_or(0.0, |d| d.area_mm2)
+    }
+
+    /// Latency of a full sequential access (tag lookup then data read).
+    pub fn access_latency_ns(&self) -> f64 {
+        self.tag.latency_ns + self.data.map_or(0.0, |d| d.latency_ns)
+    }
+
+    /// Dynamic energy of a full access (tag + data), pJ.
+    pub fn access_energy_pj(&self) -> f64 {
+        self.tag.read_energy_pj + self.data.map_or(0.0, |d| d.read_energy_pj)
+    }
+}
+
+impl fmt::Display for StructureEstimate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "area {:.2} mm2, tag {:.2} ns / {:.1} pJ",
+            self.area_mm2(),
+            self.tag.latency_ns,
+            self.tag.read_energy_pj
+        )?;
+        if let Some(d) = self.data {
+            write!(f, ", data {:.2} ns / {:.1} pJ", d.latency_ns, d.read_energy_pj)?;
+        }
+        write!(f, ", leakage {:.1} mW", self.leakage_mw)
+    }
+}
+
+/// The CACTI-lite model: power-law area/latency/energy scaling for
+/// 32 nm SRAM arrays, calibrated against the paper's Table 3.
+///
+/// Calibration (least-squares in log space over the Table 3 anchors):
+///
+/// | quantity | law | anchors used |
+/// |---|---|---|
+/// | tag-array area | `1.03e-3 · KB^1.036` mm² | Dopp (154 KB → 0.19), uniDopp (316 KB → 0.40) tag arrays |
+/// | data-array area | `1.46e-3 · KB^1.03` mm² | 256 KB → 0.449, 1 MB → 1.85, 2 MB → 3.99 (data portions) |
+/// | tag energy | `0.427 · KB^0.863` pJ | 54.7 KB → 13.5 … 316 KB → 61.3 |
+/// | data energy | `0.283 · KB^1.018` pJ | 256 KB → 80.3, 1 MB → 322.7, 2 MB → 667.4 |
+/// | tag latency | `0.145 · KB^0.283` ns | same tag anchors |
+/// | data latency | `0.121 · KB^0.308` ns | same data anchors |
+/// | leakage | `0.080 · KB` mW | linear in stored bits (paper's leakage reduction tracks storage: 1.43× storage ↔ 1.41× leakage) |
+///
+/// # Example
+///
+/// ```
+/// use dg_energy::CactiLite;
+/// let m = CactiLite::new();
+/// // The baseline 2 MB LLC: ~0.6 ns tag, ~1.27 ns data (Table 3).
+/// let est = m.structure(105.5, Some(2048.0));
+/// assert!((est.tag.latency_ns - 0.61).abs() < 0.1);
+/// assert!((est.data.unwrap().latency_ns - 1.27).abs() < 0.13);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct CactiLite {
+    tag_area: (f64, f64),
+    data_area: (f64, f64),
+    tag_energy: (f64, f64),
+    data_energy: (f64, f64),
+    tag_latency: (f64, f64),
+    data_latency: (f64, f64),
+    leakage_mw_per_kb: f64,
+}
+
+impl CactiLite {
+    /// The model with the Table 3-calibrated 32 nm constants.
+    pub fn new() -> Self {
+        CactiLite {
+            tag_area: (1.03e-3, 1.036),
+            data_area: (1.46e-3, 1.03),
+            tag_energy: (0.427, 0.863),
+            data_energy: (0.283, 1.018),
+            tag_latency: (0.145, 0.283),
+            data_latency: (0.121, 0.308),
+            leakage_mw_per_kb: 0.080,
+        }
+    }
+
+    fn pow((a, b): (f64, f64), kb: f64) -> f64 {
+        a * kb.powf(b)
+    }
+
+    /// Cost of a metadata (tag/MTag) array of `kbytes` kilobytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kbytes` is not positive.
+    pub fn tag_array(&self, kbytes: f64) -> ArrayCost {
+        assert!(kbytes > 0.0, "array size must be positive");
+        ArrayCost {
+            area_mm2: Self::pow(self.tag_area, kbytes),
+            latency_ns: Self::pow(self.tag_latency, kbytes),
+            read_energy_pj: Self::pow(self.tag_energy, kbytes),
+        }
+    }
+
+    /// Cost of a block-data array of `kbytes` kilobytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kbytes` is not positive.
+    pub fn data_array(&self, kbytes: f64) -> ArrayCost {
+        assert!(kbytes > 0.0, "array size must be positive");
+        ArrayCost {
+            area_mm2: Self::pow(self.data_area, kbytes),
+            latency_ns: Self::pow(self.data_latency, kbytes),
+            read_energy_pj: Self::pow(self.data_energy, kbytes),
+        }
+    }
+
+    /// Full structure estimate from its tag-portion and (optional)
+    /// data-portion sizes in kilobytes.
+    pub fn structure(&self, tag_kbytes: f64, data_kbytes: Option<f64>) -> StructureEstimate {
+        let total_kb = tag_kbytes + data_kbytes.unwrap_or(0.0);
+        StructureEstimate {
+            tag: self.tag_array(tag_kbytes),
+            data: data_kbytes.map(|kb| self.data_array(kb)),
+            leakage_mw: self.leakage_mw_per_kb * total_kb,
+        }
+    }
+}
+
+impl CactiLite {
+    /// A copy of the model with every area, dynamic-energy and leakage
+    /// constant multiplied by the given factors — a first-order
+    /// technology-node scaling knob (e.g. 32 nm → 22 nm is roughly
+    /// `scaled(0.5, 0.6, 0.8)`; exponents are left untouched).
+    pub fn scaled(mut self, area: f64, energy: f64, leakage: f64) -> Self {
+        assert!(area > 0.0 && energy > 0.0 && leakage > 0.0, "factors must be positive");
+        self.tag_area.0 *= area;
+        self.data_area.0 *= area;
+        self.tag_energy.0 *= energy;
+        self.data_energy.0 *= energy;
+        self.leakage_mw_per_kb *= leakage;
+        self
+    }
+}
+
+impl Default for CactiLite {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::PAPER_TABLE3;
+
+    /// The model must reproduce every Table 3 anchor within tolerance.
+    #[test]
+    fn reproduces_table3_anchors() {
+        let m = CactiLite::new();
+        for s in PAPER_TABLE3 {
+            let est = m.structure(s.tag_kbytes, s.data_kbytes);
+            let rel = |got: f64, want: f64| (got - want).abs() / want;
+            assert!(
+                rel(est.area_mm2(), s.area_mm2) < 0.15,
+                "{}: area {:.3} vs paper {:.3}",
+                s.name,
+                est.area_mm2(),
+                s.area_mm2
+            );
+            assert!(
+                rel(est.tag.read_energy_pj, s.tag_energy_pj) < 0.20,
+                "{}: tag energy {:.1} vs paper {:.1}",
+                s.name,
+                est.tag.read_energy_pj,
+                s.tag_energy_pj
+            );
+            assert!(
+                rel(est.tag.latency_ns, s.tag_latency_ns) < 0.30,
+                "{}: tag latency {:.2} vs paper {:.2}",
+                s.name,
+                est.tag.latency_ns,
+                s.tag_latency_ns
+            );
+            if let (Some(d), Some(want_e), Some(want_l)) =
+                (est.data, s.data_energy_pj, s.data_latency_ns)
+            {
+                assert!(
+                    rel(d.read_energy_pj, want_e) < 0.10,
+                    "{}: data energy {:.1} vs paper {:.1}",
+                    s.name,
+                    d.read_energy_pj,
+                    want_e
+                );
+                assert!(
+                    rel(d.latency_ns, want_l) < 0.10,
+                    "{}: data latency {:.2} vs paper {:.2}",
+                    s.name,
+                    d.latency_ns,
+                    want_l
+                );
+            }
+        }
+    }
+
+    /// §5.6's latency claim: a Doppelgänger MTag + data access is ~1.31×
+    /// faster than the baseline's data access.
+    #[test]
+    fn doppel_data_access_latency_advantage() {
+        let m = CactiLite::new();
+        let baseline_data = m.data_array(2048.0).latency_ns;
+        // 1/4 data array: 18.6 KB of MTags + 256 KB of data.
+        let mtag = m.tag_array(18.6).latency_ns;
+        let data = m.data_array(256.0).latency_ns;
+        let advantage = baseline_data / (mtag + data);
+        assert!(
+            advantage > 1.15 && advantage < 1.5,
+            "expected ~1.31x latency advantage, got {advantage:.2}"
+        );
+    }
+
+    #[test]
+    fn monotone_in_capacity() {
+        let m = CactiLite::new();
+        let small = m.data_array(128.0);
+        let large = m.data_array(1024.0);
+        assert!(large.area_mm2 > small.area_mm2);
+        assert!(large.latency_ns > small.latency_ns);
+        assert!(large.read_energy_pj > small.read_energy_pj);
+    }
+
+    #[test]
+    fn leakage_tracks_total_bits() {
+        let m = CactiLite::new();
+        let a = m.structure(100.0, Some(900.0));
+        let b = m.structure(50.0, Some(450.0));
+        assert!((a.leakage_mw / b.leakage_mw - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_size() {
+        CactiLite::new().tag_array(0.0);
+    }
+
+    #[test]
+    fn technology_scaling_multiplies_linearly() {
+        let base = CactiLite::new();
+        let shrunk = CactiLite::new().scaled(0.5, 0.6, 0.8);
+        let a = base.structure(100.0, Some(1000.0));
+        let b = shrunk.structure(100.0, Some(1000.0));
+        assert!((b.area_mm2() / a.area_mm2() - 0.5).abs() < 1e-9);
+        assert!((b.access_energy_pj() / a.access_energy_pj() - 0.6).abs() < 1e-9);
+        assert!((b.leakage_mw / a.leakage_mw - 0.8).abs() < 1e-9);
+        // Latency is untouched by first-order scaling here.
+        assert_eq!(a.access_latency_ns(), b.access_latency_ns());
+    }
+
+    #[test]
+    #[should_panic(expected = "factors must be positive")]
+    fn scaling_rejects_nonpositive_factors() {
+        let _ = CactiLite::new().scaled(0.0, 1.0, 1.0);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let est = CactiLite::new().structure(10.0, Some(100.0));
+        assert!(est.to_string().contains("area"));
+    }
+}

@@ -1,0 +1,278 @@
+//! Programmer annotations of approximate address-space regions.
+
+use crate::{Addr, ElemType};
+use std::fmt;
+
+/// One annotated approximate region of the address space (§4.1).
+///
+/// The programmer declares which data can be approximated, the element
+/// data type, and the expected range of values (`min`, `max`). The range
+/// is conservative: runtime values outside it are clamped (§4.1).
+///
+/// # Example
+///
+/// ```
+/// use dg_mem::{Addr, ApproxRegion, ElemType};
+/// let pixels = ApproxRegion::new(Addr(0x1000), 4096, ElemType::U8, 0.0, 255.0);
+/// assert!(pixels.contains(Addr(0x1800)));
+/// assert_eq!(pixels.clamp(300.0), 255.0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ApproxRegion {
+    /// First byte of the region.
+    pub start: Addr,
+    /// Length in bytes.
+    pub len: u64,
+    /// Element data type of the region.
+    pub ty: ElemType,
+    /// Smallest expected element value.
+    pub min: f64,
+    /// Largest expected element value.
+    pub max: f64,
+}
+
+impl ApproxRegion {
+    /// Create a region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max` or `len == 0`.
+    pub fn new(start: Addr, len: u64, ty: ElemType, min: f64, max: f64) -> Self {
+        assert!(min <= max, "annotation range must satisfy min <= max");
+        assert!(len > 0, "annotation region must be non-empty");
+        ApproxRegion { start, len, ty, min, max }
+    }
+
+    /// Whether `addr` falls inside the region.
+    #[inline]
+    pub fn contains(&self, addr: Addr) -> bool {
+        addr.0 >= self.start.0 && addr.0 < self.start.0 + self.len
+    }
+
+    /// One past the last byte of the region.
+    #[inline]
+    pub fn end(&self) -> Addr {
+        Addr(self.start.0 + self.len)
+    }
+
+    /// Width of the annotated value range (`max − min`).
+    #[inline]
+    pub fn range(&self) -> f64 {
+        self.max - self.min
+    }
+
+    /// Clamp a runtime value into the annotated range (§4.1).
+    #[inline]
+    pub fn clamp(&self, value: f64) -> f64 {
+        value.clamp(self.min, self.max)
+    }
+}
+
+impl fmt::Display for ApproxRegion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}..{}) {} in [{}, {}]",
+            self.start,
+            self.end(),
+            self.ty,
+            self.min,
+            self.max
+        )
+    }
+}
+
+/// The set of annotated regions for an application.
+///
+/// This models the small buffer at the LLC that stores the per-application
+/// range information sent once at program start (§4.1). Lookup answers,
+/// for a given address, whether the access is approximate and under which
+/// annotation.
+///
+/// # Example
+///
+/// ```
+/// use dg_mem::{Addr, AnnotationTable, ApproxRegion, ElemType};
+/// let mut t = AnnotationTable::new();
+/// t.add(ApproxRegion::new(Addr(0), 64, ElemType::F32, 0.0, 1.0));
+/// assert!(t.lookup(Addr(4)).is_some());
+/// assert!(t.lookup(Addr(64)).is_none());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct AnnotationTable {
+    regions: Vec<ApproxRegion>,
+}
+
+impl AnnotationTable {
+    /// An empty table (fully precise application).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a region, keeping the table sorted by start address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region overlaps an existing one.
+    pub fn add(&mut self, region: ApproxRegion) {
+        let pos = self
+            .regions
+            .partition_point(|r| r.start.0 < region.start.0);
+        if pos > 0 {
+            assert!(
+                self.regions[pos - 1].end().0 <= region.start.0,
+                "annotated regions must not overlap"
+            );
+        }
+        if pos < self.regions.len() {
+            assert!(
+                region.end().0 <= self.regions[pos].start.0,
+                "annotated regions must not overlap"
+            );
+        }
+        self.regions.insert(pos, region);
+    }
+
+    /// The annotation covering `addr`, if any.
+    pub fn lookup(&self, addr: Addr) -> Option<&ApproxRegion> {
+        let pos = self.regions.partition_point(|r| r.start.0 <= addr.0);
+        if pos == 0 {
+            return None;
+        }
+        let r = &self.regions[pos - 1];
+        r.contains(addr).then_some(r)
+    }
+
+    /// Whether `addr` is annotated approximate.
+    #[inline]
+    pub fn is_approx(&self, addr: Addr) -> bool {
+        self.lookup(addr).is_some()
+    }
+
+    /// Iterate over all regions in address order.
+    pub fn iter(&self) -> impl Iterator<Item = &ApproxRegion> {
+        self.regions.iter()
+    }
+
+    /// Number of annotated regions.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Whether no regions are annotated.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+}
+
+impl FromIterator<ApproxRegion> for AnnotationTable {
+    fn from_iter<I: IntoIterator<Item = ApproxRegion>>(iter: I) -> Self {
+        let mut t = AnnotationTable::new();
+        for r in iter {
+            t.add(r);
+        }
+        t
+    }
+}
+
+impl Extend<ApproxRegion> for AnnotationTable {
+    fn extend<I: IntoIterator<Item = ApproxRegion>>(&mut self, iter: I) {
+        for r in iter {
+            self.add(r);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region(start: u64, len: u64) -> ApproxRegion {
+        ApproxRegion::new(Addr(start), len, ElemType::F32, -1.0, 1.0)
+    }
+
+    #[test]
+    fn contains_and_end() {
+        let r = region(100, 50);
+        assert!(r.contains(Addr(100)));
+        assert!(r.contains(Addr(149)));
+        assert!(!r.contains(Addr(150)));
+        assert!(!r.contains(Addr(99)));
+        assert_eq!(r.end(), Addr(150));
+    }
+
+    #[test]
+    fn clamp_values() {
+        let r = region(0, 10);
+        assert_eq!(r.clamp(2.0), 1.0);
+        assert_eq!(r.clamp(-2.0), -1.0);
+        assert_eq!(r.clamp(0.5), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "min <= max")]
+    fn rejects_inverted_range() {
+        ApproxRegion::new(Addr(0), 1, ElemType::F32, 1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty_region() {
+        ApproxRegion::new(Addr(0), 0, ElemType::F32, 0.0, 1.0);
+    }
+
+    #[test]
+    fn table_lookup_sorted_inserts() {
+        let mut t = AnnotationTable::new();
+        t.add(region(200, 10));
+        t.add(region(0, 10));
+        t.add(region(100, 10));
+        assert_eq!(t.len(), 3);
+        assert!(t.is_approx(Addr(5)));
+        assert!(t.is_approx(Addr(105)));
+        assert!(t.is_approx(Addr(205)));
+        assert!(!t.is_approx(Addr(50)));
+        assert!(!t.is_approx(Addr(210)));
+        // Regions come back in address order.
+        let starts: Vec<u64> = t.iter().map(|r| r.start.0).collect();
+        assert_eq!(starts, vec![0, 100, 200]);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn table_rejects_overlap() {
+        let mut t = AnnotationTable::new();
+        t.add(region(0, 100));
+        t.add(region(50, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn table_rejects_overlap_before() {
+        let mut t = AnnotationTable::new();
+        t.add(region(50, 10));
+        t.add(region(0, 51));
+    }
+
+    #[test]
+    fn adjacent_regions_allowed() {
+        let mut t = AnnotationTable::new();
+        t.add(region(0, 10));
+        t.add(region(10, 10));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let t: AnnotationTable = [region(0, 10), region(20, 10)].into_iter().collect();
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn empty_table_is_precise() {
+        let t = AnnotationTable::new();
+        assert!(t.is_empty());
+        assert!(!t.is_approx(Addr(0)));
+    }
+}

@@ -1,0 +1,252 @@
+//! 64-byte cache-block data with typed element views.
+
+use crate::{ElemType, BLOCK_BYTES};
+use std::fmt;
+
+/// The raw contents of one 64-byte cache block.
+///
+/// Blocks are plain byte containers; interpretation as typed elements is
+/// supplied per access via [`ElemType`], mirroring the paper's assumption
+/// that the data type is carried with each memory instruction (§3.7).
+///
+/// # Example
+///
+/// ```
+/// use dg_mem::{BlockData, ElemType};
+/// let mut b = BlockData::zeroed();
+/// b.write_elem(ElemType::F32, 0, 1.0);
+/// b.write_elem(ElemType::F32, 1, 3.0);
+/// let stats = b.stats(ElemType::F32);
+/// assert_eq!(stats.max, 3.0);
+/// assert_eq!(stats.range(), 3.0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockData {
+    bytes: [u8; BLOCK_BYTES],
+}
+
+impl BlockData {
+    /// A block of all-zero bytes.
+    #[inline]
+    pub fn zeroed() -> Self {
+        BlockData { bytes: [0; BLOCK_BYTES] }
+    }
+
+    /// A block with the given raw contents.
+    #[inline]
+    pub fn from_bytes(bytes: [u8; BLOCK_BYTES]) -> Self {
+        BlockData { bytes }
+    }
+
+    /// Build a block from typed element values.
+    ///
+    /// Missing trailing elements are zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` holds more elements than fit in a block.
+    pub fn from_values(ty: ElemType, values: &[f64]) -> Self {
+        assert!(values.len() <= ty.elems_per_block(), "too many elements for a block");
+        let mut b = BlockData::zeroed();
+        for (i, &v) in values.iter().enumerate() {
+            b.write_elem(ty, i, v);
+        }
+        b
+    }
+
+    /// Borrow the raw bytes.
+    #[inline]
+    pub fn as_bytes(&self) -> &[u8; BLOCK_BYTES] {
+        &self.bytes
+    }
+
+    /// Mutably borrow the raw bytes.
+    #[inline]
+    pub fn as_bytes_mut(&mut self) -> &mut [u8; BLOCK_BYTES] {
+        &mut self.bytes
+    }
+
+    /// Read element `idx` interpreted as `ty`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds for the element type.
+    #[inline]
+    pub fn elem(&self, ty: ElemType, idx: usize) -> f64 {
+        let off = idx * ty.bytes();
+        ty.decode(&self.bytes[off..off + ty.bytes()])
+    }
+
+    /// Write element `idx` interpreted as `ty`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds for the element type.
+    #[inline]
+    pub fn write_elem(&mut self, ty: ElemType, idx: usize, value: f64) {
+        let off = idx * ty.bytes();
+        ty.encode(value, &mut self.bytes[off..off + ty.bytes()]);
+    }
+
+    /// Iterate over all elements of the block interpreted as `ty`.
+    pub fn elems(&self, ty: ElemType) -> impl Iterator<Item = f64> + '_ {
+        (0..ty.elems_per_block()).map(move |i| self.elem(ty, i))
+    }
+
+    /// Value statistics (min / max / sum) over the block's elements.
+    ///
+    /// These are exactly the quantities Doppelgänger's two hash functions
+    /// consume: the *average* and the *range* of element values (§3.7).
+    pub fn stats(&self, ty: ElemType) -> BlockStats {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        let n = ty.elems_per_block();
+        for v in self.elems(ty) {
+            min = min.min(v);
+            max = max.max(v);
+            sum += v;
+        }
+        BlockStats { min, max, sum, count: n }
+    }
+
+    /// Element-wise approximate similarity test of §2.
+    ///
+    /// Two blocks are approximately similar under threshold `t` if every
+    /// corresponding pair of elements differs by no more than
+    /// `t × (max − min)` of the annotated value range. `t` is a fraction
+    /// (`0.01` = 1%).
+    pub fn approx_similar(&self, other: &BlockData, ty: ElemType, t: f64, range: f64) -> bool {
+        let tol = t * range;
+        self.elems(ty)
+            .zip(other.elems(ty))
+            .all(|(a, b)| (a - b).abs() <= tol || (a.is_nan() && b.is_nan()))
+    }
+}
+
+impl Default for BlockData {
+    fn default() -> Self {
+        BlockData::zeroed()
+    }
+}
+
+impl fmt::Debug for BlockData {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BlockData({:02x?}…)", &self.bytes[..8])
+    }
+}
+
+/// Min / max / sum / count statistics over a block's typed elements.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BlockStats {
+    /// Smallest element value.
+    pub min: f64,
+    /// Largest element value.
+    pub max: f64,
+    /// Sum of element values.
+    pub sum: f64,
+    /// Number of elements.
+    pub count: usize,
+}
+
+impl BlockStats {
+    /// Mean of the element values — Doppelgänger's first hash function.
+    #[inline]
+    pub fn average(&self) -> f64 {
+        self.sum / self.count as f64
+    }
+
+    /// Largest minus smallest value — Doppelgänger's second hash function.
+    #[inline]
+    pub fn range(&self) -> f64 {
+        self.max - self.min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_block_stats() {
+        let b = BlockData::zeroed();
+        let s = b.stats(ElemType::F32);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 0.0);
+        assert_eq!(s.average(), 0.0);
+        assert_eq!(s.range(), 0.0);
+        assert_eq!(s.count, 16);
+    }
+
+    #[test]
+    fn from_values_and_elem_round_trip() {
+        let vals = [1.0, 2.0, 3.0, 4.0];
+        let b = BlockData::from_values(ElemType::F64, &vals);
+        for (i, &v) in vals.iter().enumerate() {
+            assert_eq!(b.elem(ElemType::F64, i), v);
+        }
+        // Trailing elements are zero.
+        assert_eq!(b.elem(ElemType::F64, 7), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "too many elements")]
+    fn from_values_rejects_overflow() {
+        BlockData::from_values(ElemType::F64, &[0.0; 9]);
+    }
+
+    #[test]
+    fn stats_average_and_range() {
+        let b = BlockData::from_values(ElemType::F64, &[2.0, 4.0, 6.0, 8.0, 0.0, 0.0, 0.0, 0.0]);
+        let s = b.stats(ElemType::F64);
+        assert_eq!(s.average(), 20.0 / 8.0);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 8.0);
+        assert_eq!(s.range(), 8.0);
+    }
+
+    #[test]
+    fn paper_fig1_example_blocks() {
+        // RGB pixel values from Fig. 1b, two pixels per block.
+        let b1 = BlockData::from_values(
+            ElemType::U8,
+            &[92.0, 131.0, 183.0, 91.0, 132.0, 186.0],
+        );
+        let b2 = BlockData::from_values(
+            ElemType::U8,
+            &[90.0, 131.0, 185.0, 93.0, 133.0, 184.0],
+        );
+        let b3 = BlockData::from_values(ElemType::U8, &[35.0, 31.0, 29.0, 43.0, 38.0, 37.0]);
+        // With T = 1% of the 0-255 range (tolerance 2.55), blocks 1 and 2
+        // are approximately similar; block 3 is not similar to either.
+        // (Only the first 6 elements are populated; the rest are 0 in all
+        // blocks and trivially match.)
+        assert!(b1.approx_similar(&b2, ElemType::U8, 0.01, 255.0));
+        assert!(!b1.approx_similar(&b3, ElemType::U8, 0.01, 255.0));
+        // With T = 0%, blocks 1 and 2 are NOT similar (values differ).
+        assert!(!b1.approx_similar(&b2, ElemType::U8, 0.0, 255.0));
+    }
+
+    #[test]
+    fn approx_similar_is_reflexive_and_symmetric() {
+        let b1 = BlockData::from_values(ElemType::F32, &[1.0, 2.0, 3.0]);
+        let b2 = BlockData::from_values(ElemType::F32, &[1.1, 2.1, 3.1]);
+        assert!(b1.approx_similar(&b1, ElemType::F32, 0.0, 10.0));
+        assert_eq!(
+            b1.approx_similar(&b2, ElemType::F32, 0.02, 10.0),
+            b2.approx_similar(&b1, ElemType::F32, 0.02, 10.0)
+        );
+    }
+
+    #[test]
+    fn write_elem_updates_bytes() {
+        let mut b = BlockData::zeroed();
+        b.write_elem(ElemType::U8, 63, 7.0);
+        assert_eq!(b.as_bytes()[63], 7);
+    }
+
+    #[test]
+    fn debug_nonempty() {
+        assert!(!format!("{:?}", BlockData::zeroed()).is_empty());
+    }
+}

@@ -1,0 +1,204 @@
+//! Numerical element types subject to approximation.
+
+use std::fmt;
+
+/// The element data types the paper's annotations cover (§2, §4.1).
+///
+/// Approximate data is numerical: integers and floating point. The
+/// programmer declares the type of each annotated element so the cache
+/// can interpret block bytes when hashing values into maps.
+///
+/// # Example
+///
+/// ```
+/// use dg_mem::ElemType;
+/// assert_eq!(ElemType::F32.bytes(), 4);
+/// assert_eq!(ElemType::F32.elems_per_block(), 16);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ElemType {
+    /// Unsigned 8-bit integer (e.g. single-channel pixels).
+    U8,
+    /// Signed 32-bit integer.
+    I32,
+    /// IEEE-754 single precision.
+    F32,
+    /// IEEE-754 double precision.
+    F64,
+}
+
+impl ElemType {
+    /// All element types, in declaration order.
+    pub const ALL: [ElemType; 4] = [ElemType::U8, ElemType::I32, ElemType::F32, ElemType::F64];
+
+    /// Size of one element in bytes.
+    #[inline]
+    pub fn bytes(self) -> usize {
+        match self {
+            ElemType::U8 => 1,
+            ElemType::I32 => 4,
+            ElemType::F32 => 4,
+            ElemType::F64 => 8,
+        }
+    }
+
+    /// Number of elements in a 64-byte cache block.
+    #[inline]
+    pub fn elems_per_block(self) -> usize {
+        crate::BLOCK_BYTES / self.bytes()
+    }
+
+    /// Number of value bits in the element representation.
+    ///
+    /// Used by the map-generation rule of §3.7: if the map space `M`
+    /// exceeds this width, the quantization step is skipped.
+    #[inline]
+    pub fn bits(self) -> u32 {
+        (self.bytes() * 8) as u32
+    }
+
+    /// A stable one-byte code for serialization.
+    #[inline]
+    pub fn code(self) -> u8 {
+        match self {
+            ElemType::U8 => 0,
+            ElemType::I32 => 1,
+            ElemType::F32 => 2,
+            ElemType::F64 => 3,
+        }
+    }
+
+    /// Inverse of [`ElemType::code`].
+    pub fn from_code(code: u8) -> Option<ElemType> {
+        Some(match code {
+            0 => ElemType::U8,
+            1 => ElemType::I32,
+            2 => ElemType::F32,
+            3 => ElemType::F64,
+            _ => return None,
+        })
+    }
+
+    /// Decode the element starting at `bytes[0]` as an `f64` value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is shorter than [`ElemType::bytes`].
+    #[inline]
+    pub fn decode(self, bytes: &[u8]) -> f64 {
+        match self {
+            ElemType::U8 => bytes[0] as f64,
+            ElemType::I32 => i32::from_le_bytes(bytes[..4].try_into().unwrap()) as f64,
+            ElemType::F32 => f32::from_le_bytes(bytes[..4].try_into().unwrap()) as f64,
+            ElemType::F64 => f64::from_le_bytes(bytes[..8].try_into().unwrap()),
+        }
+    }
+
+    /// Encode `value` into `bytes[0..self.bytes()]`.
+    ///
+    /// Values outside the representable range of the target type
+    /// saturate (e.g. `300.0` encodes as `255u8`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is shorter than [`ElemType::bytes`].
+    #[inline]
+    pub fn encode(self, value: f64, bytes: &mut [u8]) {
+        match self {
+            ElemType::U8 => bytes[0] = value.clamp(0.0, 255.0) as u8,
+            ElemType::I32 => bytes[..4]
+                .copy_from_slice(&(value.clamp(i32::MIN as f64, i32::MAX as f64) as i32).to_le_bytes()),
+            ElemType::F32 => bytes[..4].copy_from_slice(&(value as f32).to_le_bytes()),
+            ElemType::F64 => bytes[..8].copy_from_slice(&value.to_le_bytes()),
+        }
+    }
+}
+
+impl fmt::Display for ElemType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ElemType::U8 => "u8",
+            ElemType::I32 => "i32",
+            ElemType::F32 => "f32",
+            ElemType::F64 => "f64",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(ElemType::U8.bytes(), 1);
+        assert_eq!(ElemType::I32.bytes(), 4);
+        assert_eq!(ElemType::F32.bytes(), 4);
+        assert_eq!(ElemType::F64.bytes(), 8);
+    }
+
+    #[test]
+    fn elems_per_block_matches_paper() {
+        // "at most 16 floating-point elements per 64-byte block" (§4).
+        assert_eq!(ElemType::F32.elems_per_block(), 16);
+        assert_eq!(ElemType::F64.elems_per_block(), 8);
+        assert_eq!(ElemType::U8.elems_per_block(), 64);
+    }
+
+    #[test]
+    fn decode_encode_round_trip_f32() {
+        let mut b = [0u8; 4];
+        ElemType::F32.encode(3.25, &mut b);
+        assert_eq!(ElemType::F32.decode(&b), 3.25);
+    }
+
+    #[test]
+    fn decode_encode_round_trip_f64() {
+        let mut b = [0u8; 8];
+        ElemType::F64.encode(-1.0e100, &mut b);
+        assert_eq!(ElemType::F64.decode(&b), -1.0e100);
+    }
+
+    #[test]
+    fn decode_encode_round_trip_i32() {
+        let mut b = [0u8; 4];
+        ElemType::I32.encode(-12345.0, &mut b);
+        assert_eq!(ElemType::I32.decode(&b), -12345.0);
+    }
+
+    #[test]
+    fn u8_saturates() {
+        let mut b = [0u8; 1];
+        ElemType::U8.encode(300.0, &mut b);
+        assert_eq!(b[0], 255);
+        ElemType::U8.encode(-5.0, &mut b);
+        assert_eq!(b[0], 0);
+    }
+
+    #[test]
+    fn i32_saturates() {
+        let mut b = [0u8; 4];
+        ElemType::I32.encode(1e20, &mut b);
+        assert_eq!(ElemType::I32.decode(&b), i32::MAX as f64);
+    }
+
+    #[test]
+    fn bits() {
+        assert_eq!(ElemType::U8.bits(), 8);
+        assert_eq!(ElemType::F64.bits(), 64);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(ElemType::F32.to_string(), "f32");
+    }
+
+    #[test]
+    fn code_round_trips() {
+        for ty in ElemType::ALL {
+            assert_eq!(ElemType::from_code(ty.code()), Some(ty));
+        }
+        assert_eq!(ElemType::from_code(99), None);
+    }
+}

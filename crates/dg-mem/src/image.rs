@@ -1,0 +1,137 @@
+//! Sparse functional main-memory image.
+
+use crate::{Addr, BlockAddr, BlockData, Memory, BLOCK_BYTES};
+use std::collections::HashMap;
+
+/// A sparse, functional image of main memory at block granularity.
+///
+/// Unallocated blocks read as zero. The image serves three roles:
+///
+/// 1. The precise backing store behind every simulated cache hierarchy.
+/// 2. The "golden" memory for precise reference runs of workloads.
+/// 3. The initial-state snapshot embedded in a [`crate::Trace`].
+///
+/// # Example
+///
+/// ```
+/// use dg_mem::{Addr, Memory, MemoryImage};
+/// let mut m = MemoryImage::new();
+/// m.store_f64(Addr(8), 2.5);
+/// assert_eq!(m.load_f64(Addr(8)), 2.5);
+/// assert_eq!(m.load_f64(Addr(4096)), 0.0); // untouched memory reads zero
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct MemoryImage {
+    blocks: HashMap<u64, BlockData>,
+}
+
+impl MemoryImage {
+    /// An empty (all-zero) memory image.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Read the full 64-byte block at `addr` (zero if never written).
+    #[inline]
+    pub fn block(&self, addr: BlockAddr) -> BlockData {
+        self.blocks.get(&addr.0).copied().unwrap_or_default()
+    }
+
+    /// Overwrite the full 64-byte block at `addr`.
+    #[inline]
+    pub fn set_block(&mut self, addr: BlockAddr, data: BlockData) {
+        self.blocks.insert(addr.0, data);
+    }
+
+    /// Number of blocks that have been written at least once.
+    pub fn populated_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Iterate over all populated blocks in unspecified order.
+    pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockAddr, &BlockData)> {
+        self.blocks.iter().map(|(&a, d)| (BlockAddr(a), d))
+    }
+}
+
+impl Memory for MemoryImage {
+    fn load_bytes(&mut self, addr: Addr, buf: &mut [u8]) {
+        let off = addr.block_offset();
+        assert!(
+            off + buf.len() <= BLOCK_BYTES,
+            "access must not cross a block boundary"
+        );
+        let block = self.block(addr.block());
+        buf.copy_from_slice(&block.as_bytes()[off..off + buf.len()]);
+    }
+
+    fn store_bytes(&mut self, addr: Addr, bytes: &[u8]) {
+        let off = addr.block_offset();
+        assert!(
+            off + bytes.len() <= BLOCK_BYTES,
+            "access must not cross a block boundary"
+        );
+        let entry = self.blocks.entry(addr.block().0).or_default();
+        entry.as_bytes_mut()[off..off + bytes.len()].copy_from_slice(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ElemType;
+
+    #[test]
+    fn zero_initialised() {
+        let mut m = MemoryImage::new();
+        assert_eq!(m.load_f32(Addr(123 * 4)), 0.0);
+        assert_eq!(m.populated_blocks(), 0);
+    }
+
+    #[test]
+    fn store_load_round_trip_all_types() {
+        let mut m = MemoryImage::new();
+        m.store_u8(Addr(0), 17);
+        m.store_i32(Addr(4), -42);
+        m.store_f32(Addr(8), 1.5);
+        m.store_f64(Addr(16), -2.25);
+        assert_eq!(m.load_u8(Addr(0)), 17);
+        assert_eq!(m.load_i32(Addr(4)), -42);
+        assert_eq!(m.load_f32(Addr(8)), 1.5);
+        assert_eq!(m.load_f64(Addr(16)), -2.25);
+    }
+
+    #[test]
+    fn block_view_sees_stores() {
+        let mut m = MemoryImage::new();
+        m.store_f32(Addr(64), 9.0);
+        let b = m.block(BlockAddr(1));
+        assert_eq!(b.elem(ElemType::F32, 0), 9.0);
+    }
+
+    #[test]
+    fn set_block_overwrites() {
+        let mut m = MemoryImage::new();
+        let b = BlockData::from_values(ElemType::F32, &[5.0; 16]);
+        m.set_block(BlockAddr(3), b);
+        assert_eq!(m.load_f32(Addr(3 * 64)), 5.0);
+        assert_eq!(m.populated_blocks(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "block boundary")]
+    fn cross_block_store_rejected() {
+        let mut m = MemoryImage::new();
+        m.store_f64(Addr(60), 1.0);
+    }
+
+    #[test]
+    fn iter_blocks_yields_populated() {
+        let mut m = MemoryImage::new();
+        m.store_u8(Addr(0), 1);
+        m.store_u8(Addr(200), 2);
+        let mut addrs: Vec<u64> = m.iter_blocks().map(|(a, _)| a.0).collect();
+        addrs.sort_unstable();
+        assert_eq!(addrs, vec![0, 3]);
+    }
+}

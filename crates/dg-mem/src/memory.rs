@@ -1,0 +1,223 @@
+//! The load/store interface workload kernels execute against.
+
+use crate::{Access, AccessKind, Addr, AnnotationTable};
+
+/// A byte-addressable memory that kernels load from and store to.
+///
+/// Three implementations matter in this workspace:
+///
+/// * [`crate::MemoryImage`] — the precise functional store (golden runs).
+/// * [`RecordingMemory`] — wraps an image, additionally emitting an
+///   [`Access`] record per operation (trace capture).
+/// * `dg-system`'s functional cache system — routes accesses through a
+///   simulated hierarchy so approximate loads can return *doppelgänger*
+///   values, feeding approximation error back into the computation.
+///
+/// Accesses must not cross a 64-byte block boundary; all the typed
+/// helpers below are naturally aligned so this holds automatically for
+/// aligned data.
+pub trait Memory {
+    /// Load `buf.len()` bytes starting at `addr`.
+    fn load_bytes(&mut self, addr: Addr, buf: &mut [u8]);
+
+    /// Store `bytes` starting at `addr`.
+    fn store_bytes(&mut self, addr: Addr, bytes: &[u8]);
+
+    /// Account for `ops` non-memory operations executed since the last
+    /// access (used by timing models; the default implementation ignores
+    /// it).
+    fn think(&mut self, ops: u32) {
+        let _ = ops;
+    }
+
+    /// Load an `u8`.
+    fn load_u8(&mut self, addr: Addr) -> u8 {
+        let mut b = [0u8; 1];
+        self.load_bytes(addr, &mut b);
+        b[0]
+    }
+
+    /// Store an `u8`.
+    fn store_u8(&mut self, addr: Addr, v: u8) {
+        self.store_bytes(addr, &[v]);
+    }
+
+    /// Load an `i32` (little endian).
+    fn load_i32(&mut self, addr: Addr) -> i32 {
+        let mut b = [0u8; 4];
+        self.load_bytes(addr, &mut b);
+        i32::from_le_bytes(b)
+    }
+
+    /// Store an `i32` (little endian).
+    fn store_i32(&mut self, addr: Addr, v: i32) {
+        self.store_bytes(addr, &v.to_le_bytes());
+    }
+
+    /// Load an `f32`.
+    fn load_f32(&mut self, addr: Addr) -> f32 {
+        let mut b = [0u8; 4];
+        self.load_bytes(addr, &mut b);
+        f32::from_le_bytes(b)
+    }
+
+    /// Store an `f32`.
+    fn store_f32(&mut self, addr: Addr, v: f32) {
+        self.store_bytes(addr, &v.to_le_bytes());
+    }
+
+    /// Load an `f64`.
+    fn load_f64(&mut self, addr: Addr) -> f64 {
+        let mut b = [0u8; 8];
+        self.load_bytes(addr, &mut b);
+        f64::from_le_bytes(b)
+    }
+
+    /// Store an `f64`.
+    fn store_f64(&mut self, addr: Addr, v: f64) {
+        self.store_bytes(addr, &v.to_le_bytes());
+    }
+}
+
+impl<M: Memory + ?Sized> Memory for &mut M {
+    fn load_bytes(&mut self, addr: Addr, buf: &mut [u8]) {
+        (**self).load_bytes(addr, buf)
+    }
+    fn store_bytes(&mut self, addr: Addr, bytes: &[u8]) {
+        (**self).store_bytes(addr, bytes)
+    }
+    fn think(&mut self, ops: u32) {
+        (**self).think(ops)
+    }
+}
+
+/// A [`Memory`] adapter that forwards to an inner memory while recording
+/// every access (with its approximate/precise classification) for later
+/// trace-driven replay.
+///
+/// # Example
+///
+/// ```
+/// use dg_mem::{Addr, AnnotationTable, ApproxRegion, ElemType, Memory,
+///              MemoryImage, RecordingMemory};
+/// let mut image = MemoryImage::new();
+/// let mut annots = AnnotationTable::new();
+/// annots.add(ApproxRegion::new(Addr(0), 64, ElemType::F32, 0.0, 1.0));
+/// let mut rec = RecordingMemory::new(&mut image, &annots);
+/// rec.store_f32(Addr(0), 0.5);
+/// rec.think(3);
+/// let _ = rec.load_f32(Addr(128));
+/// let accesses = rec.into_accesses();
+/// assert_eq!(accesses.len(), 2);
+/// assert!(accesses[0].approx);        // annotated store
+/// assert!(!accesses[1].approx);       // unannotated load
+/// assert_eq!(accesses[1].think, 3);
+/// ```
+#[derive(Debug)]
+pub struct RecordingMemory<'a, M> {
+    inner: M,
+    annots: &'a AnnotationTable,
+    accesses: Vec<Access>,
+    pending_think: u32,
+}
+
+impl<'a, M: Memory> RecordingMemory<'a, M> {
+    /// Wrap `inner`, classifying accesses against `annots`.
+    pub fn new(inner: M, annots: &'a AnnotationTable) -> Self {
+        RecordingMemory { inner, annots, accesses: Vec::new(), pending_think: 0 }
+    }
+
+    /// The recorded access stream, consuming the recorder.
+    pub fn into_accesses(self) -> Vec<Access> {
+        self.accesses
+    }
+
+    /// Number of accesses recorded so far.
+    pub fn recorded(&self) -> usize {
+        self.accesses.len()
+    }
+
+    fn record(&mut self, addr: Addr, kind: AccessKind, size: usize, data: Option<[u8; 8]>) {
+        self.accesses.push(Access {
+            addr,
+            kind,
+            size: size as u8,
+            approx: self.annots.is_approx(addr),
+            think: self.pending_think,
+            data,
+        });
+        self.pending_think = 0;
+    }
+}
+
+impl<M: Memory> Memory for RecordingMemory<'_, M> {
+    fn load_bytes(&mut self, addr: Addr, buf: &mut [u8]) {
+        self.record(addr, AccessKind::Load, buf.len(), None);
+        self.inner.load_bytes(addr, buf);
+    }
+
+    fn store_bytes(&mut self, addr: Addr, bytes: &[u8]) {
+        let mut payload = [0u8; 8];
+        payload[..bytes.len()].copy_from_slice(bytes);
+        self.record(addr, AccessKind::Store, bytes.len(), Some(payload));
+        self.inner.store_bytes(addr, bytes);
+    }
+
+    fn think(&mut self, ops: u32) {
+        self.pending_think = self.pending_think.saturating_add(ops);
+        self.inner.think(ops);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ApproxRegion, ElemType, MemoryImage};
+
+    #[test]
+    fn recording_forwards_values() {
+        let mut image = MemoryImage::new();
+        let annots = AnnotationTable::new();
+        let mut rec = RecordingMemory::new(&mut image, &annots);
+        rec.store_f64(Addr(0), 4.0);
+        assert_eq!(rec.load_f64(Addr(0)), 4.0);
+        assert_eq!(rec.recorded(), 2);
+    }
+
+    #[test]
+    fn think_accumulates_until_next_access() {
+        let mut image = MemoryImage::new();
+        let annots = AnnotationTable::new();
+        let mut rec = RecordingMemory::new(&mut image, &annots);
+        rec.think(2);
+        rec.think(3);
+        rec.store_u8(Addr(0), 1);
+        rec.store_u8(Addr(1), 1);
+        let acc = rec.into_accesses();
+        assert_eq!(acc[0].think, 5);
+        assert_eq!(acc[1].think, 0);
+    }
+
+    #[test]
+    fn classification_follows_annotations() {
+        let mut image = MemoryImage::new();
+        let mut annots = AnnotationTable::new();
+        annots.add(ApproxRegion::new(Addr(64), 64, ElemType::F32, 0.0, 1.0));
+        let mut rec = RecordingMemory::new(&mut image, &annots);
+        let _ = rec.load_f32(Addr(0));
+        let _ = rec.load_f32(Addr(64));
+        let acc = rec.into_accesses();
+        assert!(!acc[0].approx);
+        assert!(acc[1].approx);
+    }
+
+    #[test]
+    fn mut_ref_is_memory() {
+        fn takes_memory<M: Memory>(m: &mut M) {
+            m.store_u8(Addr(0), 9);
+        }
+        let mut image = MemoryImage::new();
+        takes_memory(&mut image);
+        assert_eq!(image.load_u8(Addr(0)), 9);
+    }
+}

@@ -1,0 +1,196 @@
+//! Synthetic access-pattern generators.
+//!
+//! Classic cache-characterization patterns (sequential streams, strided
+//! walks, uniform and Zipfian random references, pointer chases) for
+//! exercising the cache substrate independently of the workload
+//! kernels. All generators are deterministic in their seed via an
+//! internal splitmix64 generator — no external RNG state.
+
+use crate::{Access, AccessKind, Addr, BLOCK_BYTES};
+
+/// A tiny deterministic PRNG (splitmix64) for the generators.
+#[derive(Clone, Copy, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeded generator.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn read4(addr: u64) -> Access {
+    Access::new(Addr(addr), AccessKind::Load, 4)
+}
+
+/// A sequential read stream over `blocks` consecutive blocks, repeated
+/// until `accesses` accesses are emitted (one access per block visit).
+pub fn sequential(base: Addr, blocks: u64, accesses: usize) -> Vec<Access> {
+    assert!(blocks > 0);
+    (0..accesses)
+        .map(|i| read4(base.0 + (i as u64 % blocks) * BLOCK_BYTES as u64))
+        .collect()
+}
+
+/// A strided walk: every `stride_blocks`-th block over a universe of
+/// `blocks`, wrapping around.
+pub fn strided(base: Addr, blocks: u64, stride_blocks: u64, accesses: usize) -> Vec<Access> {
+    assert!(blocks > 0 && stride_blocks > 0);
+    (0..accesses)
+        .map(|i| {
+            let b = (i as u64 * stride_blocks) % blocks;
+            read4(base.0 + b * BLOCK_BYTES as u64)
+        })
+        .collect()
+}
+
+/// Uniform random reads over `blocks` blocks.
+pub fn uniform_random(base: Addr, blocks: u64, accesses: usize, seed: u64) -> Vec<Access> {
+    let mut rng = SplitMix64::new(seed);
+    (0..accesses)
+        .map(|_| read4(base.0 + rng.below(blocks) * BLOCK_BYTES as u64))
+        .collect()
+}
+
+/// Zipfian random reads: block `k` is referenced with probability
+/// proportional to `1/(k+1)^theta` — the classic skewed-popularity
+/// pattern (hot blocks get most references).
+pub fn zipfian(base: Addr, blocks: u64, accesses: usize, theta: f64, seed: u64) -> Vec<Access> {
+    assert!(blocks > 0 && theta >= 0.0);
+    // Precompute the CDF (fine for the universes used in benches/tests).
+    let weights: Vec<f64> = (0..blocks).map(|k| 1.0 / ((k + 1) as f64).powf(theta)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(blocks as usize);
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+    let mut rng = SplitMix64::new(seed);
+    (0..accesses)
+        .map(|_| {
+            let u = rng.unit();
+            let k = cdf.partition_point(|&c| c < u) as u64;
+            read4(base.0 + k.min(blocks - 1) * BLOCK_BYTES as u64)
+        })
+        .collect()
+}
+
+/// A pointer chase: a random cyclic permutation over `blocks` blocks,
+/// followed for `accesses` steps — the classic latency-bound pattern
+/// with zero spatial locality and a reuse distance equal to the
+/// universe size.
+pub fn pointer_chase(base: Addr, blocks: u64, accesses: usize, seed: u64) -> Vec<Access> {
+    assert!(blocks > 0);
+    // Fisher-Yates over the block indices to build one big cycle.
+    let mut perm: Vec<u64> = (0..blocks).collect();
+    let mut rng = SplitMix64::new(seed);
+    for i in (1..perm.len()).rev() {
+        let j = rng.below(i as u64 + 1) as usize;
+        perm.swap(i, j);
+    }
+    let mut out = Vec::with_capacity(accesses);
+    let mut pos = 0usize;
+    for _ in 0..accesses {
+        out.push(read4(base.0 + perm[pos] * BLOCK_BYTES as u64));
+        pos = (pos + 1) % perm.len();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let u = a.unit();
+        assert!((0.0..1.0).contains(&u));
+    }
+
+    #[test]
+    fn sequential_wraps() {
+        let s = sequential(Addr(0), 4, 10);
+        assert_eq!(s.len(), 10);
+        assert_eq!(s[0].addr, Addr(0));
+        assert_eq!(s[4].addr, Addr(0));
+        assert_eq!(s[5].addr, Addr(64));
+    }
+
+    #[test]
+    fn strided_covers_coprime_universe() {
+        let s = strided(Addr(0), 8, 3, 8);
+        let blocks: HashSet<u64> = s.iter().map(|a| a.addr.block().0).collect();
+        assert_eq!(blocks.len(), 8, "stride 3 over 8 blocks visits all");
+    }
+
+    #[test]
+    fn uniform_stays_in_universe() {
+        let s = uniform_random(Addr(0), 16, 500, 3);
+        assert!(s.iter().all(|a| a.addr.block().0 < 16));
+        let blocks: HashSet<u64> = s.iter().map(|a| a.addr.block().0).collect();
+        assert!(blocks.len() > 8, "500 draws should hit most of 16 blocks");
+    }
+
+    #[test]
+    fn zipfian_is_skewed() {
+        let s = zipfian(Addr(0), 64, 4000, 1.0, 9);
+        let hot = s.iter().filter(|a| a.addr.block().0 == 0).count();
+        let cold = s.iter().filter(|a| a.addr.block().0 == 63).count();
+        assert!(hot > 10 * cold.max(1), "hot block {hot} vs cold {cold}");
+    }
+
+    #[test]
+    fn zipfian_theta_zero_is_roughly_uniform() {
+        let s = zipfian(Addr(0), 8, 8000, 0.0, 5);
+        let mut counts = [0usize; 8];
+        for a in &s {
+            counts[a.addr.block().0 as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "non-uniform at theta=0: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn pointer_chase_visits_everything_once_per_cycle() {
+        let s = pointer_chase(Addr(0), 32, 32, 11);
+        let blocks: HashSet<u64> = s.iter().map(|a| a.addr.block().0).collect();
+        assert_eq!(blocks.len(), 32);
+        // Second cycle repeats the first exactly.
+        let s2 = pointer_chase(Addr(0), 32, 64, 11);
+        assert_eq!(&s2[..32], &s2[32..]);
+    }
+}

@@ -1,0 +1,179 @@
+//! Multi-core memory-access traces.
+
+use crate::{Access, AnnotationTable, MemoryImage};
+
+/// A complete multi-core trace: an initial memory image, the
+/// per-application annotation table, and one access stream per core.
+///
+/// The timing simulator (`dg-system`) replays the per-core streams
+/// round-robin at access granularity against a simulated hierarchy,
+/// applying store payloads to its memory image as it goes.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    /// Memory contents at the start of the trace.
+    pub initial: MemoryImage,
+    /// The application's approximate-region annotations.
+    pub annotations: AnnotationTable,
+    /// Per-core access streams.
+    pub cores: Vec<Vec<Access>>,
+}
+
+impl Trace {
+    /// Total number of accesses across all cores.
+    pub fn len(&self) -> usize {
+        self.cores.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the trace has no accesses.
+    pub fn is_empty(&self) -> bool {
+        self.cores.iter().all(Vec::is_empty)
+    }
+
+    /// Total simulated instructions (memory accesses + think ops),
+    /// used for MPKI and runtime-per-instruction normalization.
+    pub fn instructions(&self) -> u64 {
+        self.cores
+            .iter()
+            .flatten()
+            .map(|a| 1 + a.think as u64)
+            .sum()
+    }
+
+    /// Iterate over `(core, access)` pairs, interleaving cores
+    /// round-robin one access at a time.
+    pub fn interleaved(&self) -> InterleavedIter<'_> {
+        InterleavedIter { trace: self, cursors: vec![0; self.cores.len()], next_core: 0 }
+    }
+}
+
+/// Round-robin interleaving iterator over a [`Trace`]'s cores.
+///
+/// Produced by [`Trace::interleaved`]. Cores that run out of accesses are
+/// skipped; iteration ends when every core is exhausted.
+#[derive(Debug)]
+pub struct InterleavedIter<'a> {
+    trace: &'a Trace,
+    cursors: Vec<usize>,
+    next_core: usize,
+}
+
+impl<'a> Iterator for InterleavedIter<'a> {
+    type Item = (usize, &'a Access);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let n = self.trace.cores.len();
+        for probe in 0..n {
+            let core = (self.next_core + probe) % n;
+            let cur = self.cursors[core];
+            if cur < self.trace.cores[core].len() {
+                self.cursors[core] += 1;
+                self.next_core = (core + 1) % n;
+                return Some((core, &self.trace.cores[core][cur]));
+            }
+        }
+        None
+    }
+}
+
+/// Incrementally builds a [`Trace`] from per-core recording sessions.
+///
+/// # Example
+///
+/// ```
+/// use dg_mem::{Addr, AccessKind, Access, AnnotationTable, MemoryImage, TraceBuilder};
+/// let mut b = TraceBuilder::new(MemoryImage::new(), AnnotationTable::new(), 2);
+/// b.push(0, Access::new(Addr(0), AccessKind::Load, 4));
+/// b.push(1, Access::new(Addr(64), AccessKind::Load, 4));
+/// let trace = b.build();
+/// assert_eq!(trace.len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct TraceBuilder {
+    trace: Trace,
+}
+
+impl TraceBuilder {
+    /// Start a trace with the given initial image and annotations for
+    /// `cores` cores.
+    pub fn new(initial: MemoryImage, annotations: AnnotationTable, cores: usize) -> Self {
+        TraceBuilder {
+            trace: Trace { initial, annotations, cores: vec![Vec::new(); cores] },
+        }
+    }
+
+    /// Append one access to `core`'s stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn push(&mut self, core: usize, access: Access) {
+        self.trace.cores[core].push(access);
+    }
+
+    /// Append a whole stream to `core`.
+    pub fn extend(&mut self, core: usize, accesses: impl IntoIterator<Item = Access>) {
+        self.trace.cores[core].extend(accesses);
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Trace {
+        self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AccessKind, Addr};
+
+    fn acc(a: u64) -> Access {
+        Access::new(Addr(a), AccessKind::Load, 4)
+    }
+
+    fn trace_with(cores: Vec<Vec<Access>>) -> Trace {
+        Trace { initial: MemoryImage::new(), annotations: AnnotationTable::new(), cores }
+    }
+
+    #[test]
+    fn len_and_instructions() {
+        let mut a0 = acc(0);
+        a0.think = 9;
+        let t = trace_with(vec![vec![a0, acc(64)], vec![acc(128)]]);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        // 3 accesses + 9 think ops.
+        assert_eq!(t.instructions(), 12);
+    }
+
+    #[test]
+    fn interleaves_round_robin() {
+        let t = trace_with(vec![
+            vec![acc(0), acc(1), acc(2)],
+            vec![acc(100)],
+            vec![acc(200), acc(201)],
+        ]);
+        let order: Vec<(usize, u64)> = t.interleaved().map(|(c, a)| (c, a.addr.0)).collect();
+        assert_eq!(
+            order,
+            vec![(0, 0), (1, 100), (2, 200), (0, 1), (2, 201), (0, 2)]
+        );
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = trace_with(vec![vec![], vec![]]);
+        assert!(t.is_empty());
+        assert_eq!(t.interleaved().count(), 0);
+    }
+
+    #[test]
+    fn builder_routes_to_cores() {
+        let mut b = TraceBuilder::new(MemoryImage::new(), AnnotationTable::new(), 4);
+        b.push(3, acc(7));
+        b.extend(0, vec![acc(1), acc(2)]);
+        let t = b.build();
+        assert_eq!(t.cores[0].len(), 2);
+        assert_eq!(t.cores[3].len(), 1);
+        assert_eq!(t.len(), 3);
+    }
+}

@@ -1,0 +1,167 @@
+//! System configuration (paper Table 1).
+
+use doppelganger::{DataPolicy, DoppelgangerConfig};
+
+/// Which LLC organization the system simulates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LlcKind {
+    /// The baseline: one conventional 2 MB, 16-way LLC.
+    Baseline,
+    /// The split design: a 1 MB conventional precise cache plus a
+    /// Doppelgänger cache for approximate data (§3).
+    Split(DoppelgangerConfig),
+    /// uniDoppelgänger: precise and approximate blocks share one
+    /// Doppelgänger-organized cache (§3.8).
+    Unified(DoppelgangerConfig),
+}
+
+impl LlcKind {
+    /// The paper's split configuration at the base design point
+    /// (14-bit map space, 1/4 data array).
+    pub fn paper_split() -> Self {
+        LlcKind::Split(DoppelgangerConfig::paper_split())
+    }
+
+    /// The paper's uniDoppelgänger configuration (14-bit map space,
+    /// 1/2 data array).
+    pub fn paper_unified() -> Self {
+        LlcKind::Unified(DoppelgangerConfig::paper_unified())
+    }
+}
+
+/// Full system configuration (Table 1 defaults).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SystemConfig {
+    /// Number of cores (paper: 4).
+    pub cores: usize,
+    /// Private L1 capacity in bytes (paper: 16 KB).
+    pub l1_bytes: usize,
+    /// L1 associativity (paper: 4).
+    pub l1_ways: usize,
+    /// L1 access latency in cycles (paper: 1).
+    pub l1_latency: u64,
+    /// Private L2 capacity in bytes (paper: 128 KB).
+    pub l2_bytes: usize,
+    /// L2 associativity (paper: 8).
+    pub l2_ways: usize,
+    /// L2 access latency in cycles (paper: 3).
+    pub l2_latency: u64,
+    /// Baseline LLC capacity in bytes (paper: 2 MB).
+    pub llc_bytes: usize,
+    /// LLC associativity (paper: 16).
+    pub llc_ways: usize,
+    /// LLC access latency in cycles (paper: 6; the Doppelgänger LLC is
+    /// also 6, Table 1).
+    pub llc_latency: u64,
+    /// Main-memory latency in cycles (paper: 160).
+    pub mem_latency: u64,
+    /// Clock frequency in GHz (paper: 1).
+    pub freq_ghz: f64,
+    /// The LLC organization under test.
+    pub llc: LlcKind,
+    /// Victim policy for the Doppelgänger data array (ignored by the
+    /// baseline). Default: LRU, the paper's policy.
+    pub data_policy: DataPolicy,
+}
+
+impl SystemConfig {
+    /// The paper's baseline system (Table 1).
+    pub fn paper_baseline() -> Self {
+        SystemConfig {
+            cores: 4,
+            l1_bytes: 16 << 10,
+            l1_ways: 4,
+            l1_latency: 1,
+            l2_bytes: 128 << 10,
+            l2_ways: 8,
+            l2_latency: 3,
+            llc_bytes: 2 << 20,
+            llc_ways: 16,
+            llc_latency: 6,
+            mem_latency: 160,
+            freq_ghz: 1.0,
+            llc: LlcKind::Baseline,
+            data_policy: DataPolicy::Lru,
+        }
+    }
+
+    /// The paper's split Doppelgänger system.
+    pub fn paper_split() -> Self {
+        SystemConfig { llc: LlcKind::paper_split(), ..Self::paper_baseline() }
+    }
+
+    /// The paper's uniDoppelgänger system.
+    pub fn paper_unified() -> Self {
+        SystemConfig { llc: LlcKind::paper_unified(), ..Self::paper_baseline() }
+    }
+
+    /// A scaled-down configuration for fast tests: same shape, smaller
+    /// caches (L1 2 KB, L2 8 KB, LLC 64 KB baseline).
+    pub fn tiny(llc: LlcKind) -> Self {
+        SystemConfig {
+            cores: 4,
+            l1_bytes: 2 << 10,
+            l1_ways: 4,
+            l1_latency: 1,
+            l2_bytes: 8 << 10,
+            l2_ways: 8,
+            l2_latency: 3,
+            llc_bytes: 64 << 10,
+            llc_ways: 16,
+            llc_latency: 6,
+            mem_latency: 160,
+            freq_ghz: 1.0,
+            llc,
+            data_policy: DataPolicy::Lru,
+        }
+    }
+
+    /// A tiny split configuration whose Doppelgänger arrays match the
+    /// tiny baseline's capacity budget (32 KB precise + 512-tag
+    /// Doppelgänger with a 1/4 data array).
+    pub fn tiny_split() -> Self {
+        let dopp = DoppelgangerConfig {
+            tag_entries: 512,
+            tag_ways: 16,
+            data_entries: 128,
+            data_ways: 16,
+            map_space: doppelganger::MapSpace::paper_default(),
+            unified: false,
+        };
+        SystemConfig::tiny(LlcKind::Split(dopp))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_baseline_matches_table1() {
+        let c = SystemConfig::paper_baseline();
+        assert_eq!(c.cores, 4);
+        assert_eq!(c.l1_bytes, 16 * 1024);
+        assert_eq!(c.l2_bytes, 128 * 1024);
+        assert_eq!(c.llc_bytes, 2 * 1024 * 1024);
+        assert_eq!(c.mem_latency, 160);
+        assert_eq!(c.llc, LlcKind::Baseline);
+    }
+
+    #[test]
+    fn split_uses_paper_doppelganger() {
+        let c = SystemConfig::paper_split();
+        match c.llc {
+            LlcKind::Split(d) => {
+                assert_eq!(d.tag_entries, 16 * 1024);
+                assert_eq!(d.data_entries, 4 * 1024);
+            }
+            _ => panic!("expected split"),
+        }
+    }
+
+    #[test]
+    fn tiny_is_small() {
+        let c = SystemConfig::tiny_split();
+        assert!(c.llc_bytes <= 64 * 1024);
+    }
+}

@@ -1,0 +1,504 @@
+//! The shared LLC in its three organizations (baseline / split /
+//! uniDoppelgänger).
+
+use crate::{LlcKind, SystemConfig};
+use dg_cache::{CacheGeometry, CacheStats, ConventionalCache};
+use dg_mem::{ApproxRegion, BlockAddr, BlockData, MemoryImage};
+use doppelganger::{DoppStats, DoppelgangerCache, WriteOutcome};
+
+/// A block pushed out of the LLC (eviction or Doppelgänger data-entry
+/// displacement). The hierarchy must back-invalidate private copies
+/// and, if `dirty`, write `data` back to memory.
+#[derive(Clone, Copy, Debug)]
+pub struct DisplacedBlock {
+    /// The displaced block's address.
+    pub addr: BlockAddr,
+    /// Whether a writeback is required.
+    pub dirty: bool,
+    /// The data to write back (the shared representative for
+    /// approximate blocks).
+    pub data: BlockData,
+}
+
+/// Result of an LLC read or writeback.
+#[derive(Debug, Default)]
+pub struct LlcOutcome {
+    /// Whether the access hit in the LLC.
+    pub hit: bool,
+    /// Data returned to the upper level (for reads). On a miss this is
+    /// the block fetched from memory — the paper forwards the fetched
+    /// values to L2 immediately, before (and regardless of) map-based
+    /// sharing in the data array (§3.3).
+    pub data: BlockData,
+    /// Blocks displaced by this access.
+    pub displaced: Vec<DisplacedBlock>,
+    /// Whether main memory was read (off-chip traffic).
+    pub fetched_from_memory: bool,
+}
+
+/// Activity counters for LLC energy accounting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LlcCounters {
+    /// Conventional-portion tag probes (baseline LLC or precise cache).
+    pub precise_tag_accesses: u64,
+    /// Conventional-portion data-array accesses.
+    pub precise_data_accesses: u64,
+    /// Doppelgänger statistics (zeroed for the baseline).
+    pub dopp: DoppStats,
+    /// Total LLC lookups.
+    pub lookups: u64,
+    /// Total LLC lookup hits.
+    pub hits: u64,
+}
+
+impl LlcCounters {
+    /// LLC miss count.
+    pub fn misses(&self) -> u64 {
+        self.lookups - self.hits
+    }
+
+    /// Miss rate in misses per thousand instructions.
+    pub fn mpki(&self, instructions: u64) -> f64 {
+        if instructions == 0 {
+            0.0
+        } else {
+            self.misses() as f64 * 1000.0 / instructions as f64
+        }
+    }
+}
+
+/// The last-level cache under test.
+#[derive(Debug)]
+pub enum Llc {
+    /// One conventional cache (the 2 MB baseline).
+    Baseline(ConventionalCache),
+    /// Precise conventional cache + Doppelgänger approximate cache.
+    Split {
+        /// The 1 MB precise partition.
+        precise: ConventionalCache,
+        /// The Doppelgänger partition.
+        doppel: DoppelgangerCache,
+    },
+    /// uniDoppelgänger: everything in one Doppelgänger-organized cache.
+    Unified(DoppelgangerCache),
+}
+
+impl Llc {
+    /// Build the LLC described by `cfg`.
+    pub fn new(cfg: &SystemConfig) -> Self {
+        match cfg.llc {
+            LlcKind::Baseline => Llc::Baseline(ConventionalCache::new(
+                CacheGeometry::from_capacity(cfg.llc_bytes, cfg.llc_ways),
+            )),
+            LlcKind::Split(dopp) => {
+                let mut doppel = DoppelgangerCache::new(dopp);
+                doppel.set_data_policy(cfg.data_policy);
+                Llc::Split {
+                    precise: ConventionalCache::new(CacheGeometry::from_capacity(
+                        cfg.llc_bytes / 2,
+                        cfg.llc_ways,
+                    )),
+                    doppel,
+                }
+            }
+            LlcKind::Unified(dopp) => {
+                assert!(dopp.unified, "unified LLC requires a unified Doppelganger config");
+                let mut doppel = DoppelgangerCache::new(dopp);
+                doppel.set_data_policy(cfg.data_policy);
+                Llc::Unified(doppel)
+            }
+        }
+    }
+
+    /// Read `addr`; on a miss, fetch from `dram` and insert.
+    ///
+    /// `region` is the annotation covering the block (`None` for
+    /// precise blocks) — it routes the request in the split design and
+    /// drives map generation.
+    pub fn read(
+        &mut self,
+        addr: BlockAddr,
+        region: Option<&ApproxRegion>,
+        dram: &mut MemoryImage,
+    ) -> LlcOutcome {
+        match self {
+            Llc::Baseline(cache) => Self::conventional_read(cache, addr, dram),
+            Llc::Split { precise, doppel } => match region {
+                None => Self::conventional_read(precise, addr, dram),
+                Some(r) => Self::doppel_read(doppel, addr, Some(r), dram),
+            },
+            Llc::Unified(doppel) => Self::doppel_read(doppel, addr, region, dram),
+        }
+    }
+
+    /// Accept a dirty writeback from an L2.
+    pub fn writeback(
+        &mut self,
+        addr: BlockAddr,
+        data: BlockData,
+        region: Option<&ApproxRegion>,
+    ) -> LlcOutcome {
+        match self {
+            Llc::Baseline(cache) => Self::conventional_writeback(cache, addr, data),
+            Llc::Split { precise, doppel } => match region {
+                None => Self::conventional_writeback(precise, addr, data),
+                Some(r) => Self::doppel_writeback(doppel, addr, data, Some(r)),
+            },
+            Llc::Unified(doppel) => Self::doppel_writeback(doppel, addr, data, region),
+        }
+    }
+
+    /// Whether `addr` is resident.
+    pub fn contains(&self, addr: BlockAddr) -> bool {
+        match self {
+            Llc::Baseline(c) => c.contains(addr),
+            Llc::Split { precise, doppel } => precise.contains(addr) || doppel.contains(addr),
+            Llc::Unified(d) => d.contains(addr),
+        }
+    }
+
+    /// Activity counters for energy accounting and MPKI.
+    pub fn counters(&self) -> LlcCounters {
+        fn conv(stats: &CacheStats) -> (u64, u64) {
+            // Every lookup probes the tag array; hits and fills touch
+            // the data array.
+            (stats.accesses(), stats.hits + stats.insertions)
+        }
+        match self {
+            Llc::Baseline(c) => {
+                let (t, d) = conv(c.stats());
+                LlcCounters {
+                    precise_tag_accesses: t,
+                    precise_data_accesses: d,
+                    dopp: DoppStats::default(),
+                    lookups: c.stats().accesses(),
+                    hits: c.stats().hits,
+                }
+            }
+            Llc::Split { precise, doppel } => {
+                let (t, d) = conv(precise.stats());
+                LlcCounters {
+                    precise_tag_accesses: t,
+                    precise_data_accesses: d,
+                    dopp: *doppel.stats(),
+                    lookups: precise.stats().accesses() + doppel.stats().lookups(),
+                    hits: precise.stats().hits + doppel.stats().hits,
+                }
+            }
+            Llc::Unified(d) => LlcCounters {
+                precise_tag_accesses: 0,
+                precise_data_accesses: 0,
+                dopp: *d.stats(),
+                lookups: d.stats().lookups(),
+                hits: d.stats().hits,
+            },
+        }
+    }
+
+    /// Snapshot the LLC-resident blocks as `(addr, data)` pairs —
+    /// the raw material for the similarity analyses (Figs. 2, 7, 8).
+    ///
+    /// For Doppelgänger organizations, each tag contributes the shared
+    /// representative it currently reads as.
+    pub fn resident_blocks(&self) -> Vec<(BlockAddr, BlockData)> {
+        match self {
+            Llc::Baseline(c) => c.iter_blocks().map(|(a, _, d)| (a, *d)).collect(),
+            Llc::Split { precise, doppel } => precise
+                .iter_blocks()
+                .map(|(a, _, d)| (a, *d))
+                .chain(doppel.iter_blocks().map(|(a, _, _, d)| (a, *d)))
+                .collect(),
+            Llc::Unified(d) => d.iter_blocks().map(|(a, _, _, d)| (a, *d)).collect(),
+        }
+    }
+
+    /// Current tag-sharing factor of the Doppelgänger arrays (resident
+    /// tags per data entry; 1.0 means no sharing, 0.0 for the baseline
+    /// or an empty cache). The paper reports a 4.4 average (§3.5).
+    pub fn sharing_factor(&self) -> f64 {
+        match self {
+            Llc::Baseline(_) => 0.0,
+            Llc::Split { doppel, .. } => doppel.avg_tags_per_data(),
+            Llc::Unified(d) => d.avg_tags_per_data(),
+        }
+    }
+
+    /// Reset activity statistics (cache contents untouched).
+    pub fn reset_stats(&mut self) {
+        match self {
+            Llc::Baseline(c) => c.reset_stats(),
+            Llc::Split { precise, doppel } => {
+                precise.reset_stats();
+                doppel.reset_stats();
+            }
+            Llc::Unified(d) => d.reset_stats(),
+        }
+    }
+
+    /// Write every dirty block back to `dram`, clearing dirty bits.
+    pub fn flush_dirty(&mut self, dram: &mut MemoryImage) {
+        fn flush_conventional(cache: &mut ConventionalCache, dram: &mut MemoryImage) {
+            let dirty: Vec<(dg_mem::BlockAddr, BlockData)> = cache
+                .iter_blocks()
+                .filter(|(_, d, _)| *d)
+                .map(|(a, _, data)| (a, *data))
+                .collect();
+            for (a, data) in dirty {
+                dram.set_block(a, data);
+                cache.clear_dirty(a);
+            }
+        }
+        match self {
+            Llc::Baseline(c) => flush_conventional(c, dram),
+            Llc::Split { precise, doppel } => {
+                flush_conventional(precise, dram);
+                doppel.flush_dirty(|a, data| dram.set_block(a, data));
+            }
+            Llc::Unified(d) => d.flush_dirty(|a, data| dram.set_block(a, data)),
+        }
+    }
+
+    /// Verify the Doppelgänger structural invariants (no-op for the
+    /// baseline). Panics on violation; used by integration and property
+    /// tests.
+    pub fn check_invariants(&self) {
+        match self {
+            Llc::Baseline(_) => {}
+            Llc::Split { doppel, .. } => doppel.check_invariants(),
+            Llc::Unified(d) => d.check_invariants(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+
+    fn conventional_read(
+        cache: &mut ConventionalCache,
+        addr: BlockAddr,
+        dram: &mut MemoryImage,
+    ) -> LlcOutcome {
+        if let Some(data) = cache.read(addr) {
+            return LlcOutcome { hit: true, data, ..Default::default() };
+        }
+        let data = dram.block(addr);
+        let mut displaced = Vec::new();
+        if let Some(ev) = cache.fill(addr, data) {
+            displaced.push(DisplacedBlock { addr: ev.addr, dirty: ev.dirty, data: ev.data });
+        }
+        LlcOutcome { hit: false, data, displaced, fetched_from_memory: true }
+    }
+
+    fn conventional_writeback(
+        cache: &mut ConventionalCache,
+        addr: BlockAddr,
+        data: BlockData,
+    ) -> LlcOutcome {
+        if cache.write(addr, data) {
+            return LlcOutcome { hit: true, data, ..Default::default() };
+        }
+        // Non-inclusive corner (the block was displaced concurrently):
+        // allocate it dirty.
+        let mut displaced = Vec::new();
+        if let Some(ev) = cache.fill_with(addr, data, true) {
+            displaced.push(DisplacedBlock { addr: ev.addr, dirty: ev.dirty, data: ev.data });
+        }
+        LlcOutcome { hit: false, data, displaced, fetched_from_memory: false }
+    }
+
+    fn doppel_read(
+        doppel: &mut DoppelgangerCache,
+        addr: BlockAddr,
+        region: Option<&ApproxRegion>,
+        dram: &mut MemoryImage,
+    ) -> LlcOutcome {
+        if let Some(data) = doppel.read(addr) {
+            return LlcOutcome { hit: true, data, ..Default::default() };
+        }
+        let data = dram.block(addr);
+        let outcome = match region {
+            Some(r) => doppel.insert_approx(addr, data, r),
+            None => doppel.insert_precise(addr, data),
+        };
+        LlcOutcome {
+            hit: false,
+            data,
+            displaced: convert_displaced(outcome.displaced),
+            fetched_from_memory: true,
+        }
+    }
+
+    fn doppel_writeback(
+        doppel: &mut DoppelgangerCache,
+        addr: BlockAddr,
+        data: BlockData,
+        region: Option<&ApproxRegion>,
+    ) -> LlcOutcome {
+        match doppel.write(addr, data, region) {
+            WriteOutcome::NotResident => {
+                // Allocate (non-inclusive corner), then mark dirty.
+                let outcome = match region {
+                    Some(r) => doppel.insert_approx(addr, data, r),
+                    None => doppel.insert_precise(addr, data),
+                };
+                doppel.mark_dirty(addr);
+                LlcOutcome {
+                    hit: false,
+                    data,
+                    displaced: convert_displaced(outcome.displaced),
+                    fetched_from_memory: false,
+                }
+            }
+            WriteOutcome::SameMap | WriteOutcome::PreciseUpdated => {
+                LlcOutcome { hit: true, data, ..Default::default() }
+            }
+            WriteOutcome::Moved { displaced, .. } => LlcOutcome {
+                hit: true,
+                data,
+                displaced: convert_displaced(displaced),
+                fetched_from_memory: false,
+            },
+        }
+    }
+}
+
+fn convert_displaced(d: Vec<doppelganger::Displaced>) -> Vec<DisplacedBlock> {
+    d.into_iter()
+        .map(|d| DisplacedBlock { addr: d.addr, dirty: d.dirty, data: d.data })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_mem::{Addr, ElemType};
+
+    fn region() -> ApproxRegion {
+        ApproxRegion::new(Addr(0), 1 << 30, ElemType::F32, 0.0, 100.0)
+    }
+
+    fn blk(v: f64) -> BlockData {
+        BlockData::from_values(ElemType::F32, &[v; 16])
+    }
+
+    fn tiny_baseline() -> Llc {
+        Llc::new(&SystemConfig::tiny(LlcKind::Baseline))
+    }
+
+    fn tiny_split() -> Llc {
+        Llc::new(&SystemConfig::tiny_split())
+    }
+
+    #[test]
+    fn baseline_read_miss_fetches_exact_data() {
+        let mut dram = MemoryImage::new();
+        dram.set_block(BlockAddr(5), blk(7.5));
+        let mut llc = tiny_baseline();
+        let out = llc.read(BlockAddr(5), None, &mut dram);
+        assert!(!out.hit);
+        assert!(out.fetched_from_memory);
+        assert_eq!(out.data, blk(7.5));
+        // Second read hits.
+        let out2 = llc.read(BlockAddr(5), None, &mut dram);
+        assert!(out2.hit);
+        assert_eq!(out2.data, blk(7.5));
+    }
+
+    #[test]
+    fn split_routes_by_region() {
+        let mut dram = MemoryImage::new();
+        dram.set_block(BlockAddr(1), blk(1.0));
+        dram.set_block(BlockAddr(2), blk(2.0));
+        let mut llc = tiny_split();
+        let r = region();
+        llc.read(BlockAddr(1), Some(&r), &mut dram); // approximate
+        llc.read(BlockAddr(2), None, &mut dram); // precise
+        match &llc {
+            Llc::Split { precise, doppel } => {
+                assert!(doppel.contains(BlockAddr(1)));
+                assert!(!doppel.contains(BlockAddr(2)));
+                assert!(precise.contains(BlockAddr(2)));
+                assert!(!precise.contains(BlockAddr(1)));
+            }
+            _ => unreachable!(),
+        }
+        assert!(llc.contains(BlockAddr(1)) && llc.contains(BlockAddr(2)));
+    }
+
+    #[test]
+    fn miss_forwards_fetched_values_not_representative() {
+        // §3.3: the fetched block goes to L2 immediately even when the
+        // data array already holds a similar block.
+        let mut dram = MemoryImage::new();
+        dram.set_block(BlockAddr(1), blk(10.0));
+        dram.set_block(BlockAddr(2), blk(10.001));
+        let mut llc = tiny_split();
+        let r = region();
+        llc.read(BlockAddr(1), Some(&r), &mut dram);
+        let out = llc.read(BlockAddr(2), Some(&r), &mut dram);
+        assert_eq!(out.data, blk(10.001), "miss returns fetched values");
+        // But a subsequent LLC hit serves the doppelganger.
+        let out = llc.read(BlockAddr(2), Some(&r), &mut dram);
+        assert!(out.hit);
+        assert_eq!(out.data, blk(10.0), "hit returns the representative");
+    }
+
+    #[test]
+    fn writeback_hits_set_dirty_and_report() {
+        let mut dram = MemoryImage::new();
+        dram.set_block(BlockAddr(1), blk(5.0));
+        let mut llc = tiny_baseline();
+        llc.read(BlockAddr(1), None, &mut dram);
+        let out = llc.writeback(BlockAddr(1), blk(6.0), None);
+        assert!(out.hit);
+        let counters = llc.counters();
+        assert!(counters.lookups >= 2);
+    }
+
+    #[test]
+    fn unified_takes_both_kinds() {
+        let dopp = doppelganger::DoppelgangerConfig {
+            tag_entries: 512,
+            tag_ways: 16,
+            data_entries: 256,
+            data_ways: 16,
+            map_space: doppelganger::MapSpace::paper_default(),
+            unified: true,
+        };
+        let mut dram = MemoryImage::new();
+        dram.set_block(BlockAddr(1), blk(1.0));
+        dram.set_block(BlockAddr(2), blk(1.0));
+        let mut llc = Llc::new(&SystemConfig::tiny(LlcKind::Unified(dopp)));
+        let r = region();
+        llc.read(BlockAddr(1), Some(&r), &mut dram);
+        llc.read(BlockAddr(2), None, &mut dram);
+        assert!(llc.contains(BlockAddr(1)) && llc.contains(BlockAddr(2)));
+        let counters = llc.counters();
+        assert_eq!(counters.dopp.insertions, 2);
+        assert_eq!(counters.dopp.precise_insertions, 1);
+    }
+
+    #[test]
+    fn counters_track_hits_and_misses() {
+        let mut dram = MemoryImage::new();
+        let mut llc = tiny_baseline();
+        llc.read(BlockAddr(1), None, &mut dram);
+        llc.read(BlockAddr(1), None, &mut dram);
+        llc.read(BlockAddr(2), None, &mut dram);
+        let c = llc.counters();
+        assert_eq!(c.lookups, 3);
+        assert_eq!(c.hits, 1);
+        assert_eq!(c.misses(), 2);
+        assert!(c.mpki(1000) > 0.0);
+    }
+
+    #[test]
+    fn resident_blocks_snapshot() {
+        let mut dram = MemoryImage::new();
+        dram.set_block(BlockAddr(3), blk(3.0));
+        let mut llc = tiny_split();
+        let r = region();
+        llc.read(BlockAddr(3), Some(&r), &mut dram);
+        let snap = llc.resident_blocks();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].0, BlockAddr(3));
+    }
+}

@@ -1,0 +1,705 @@
+//! The full simulated system: 4 cores with private L1/L2 caches, a
+//! shared LLC (baseline / split / uniDoppelgänger), an MSI directory,
+//! a writeback buffer, and main memory — with cycle accounting per
+//! Table 1.
+//!
+//! The system is *execution-driven*: workload kernels perform their
+//! loads and stores directly against [`CoreMemory`], so values flow
+//! through the simulated hierarchy and approximate (doppelgänger)
+//! values read from the LLC feed back into the computation — the same
+//! methodology the paper uses to measure application output error.
+
+use crate::{DisplacedBlock, Llc, LlcCounters, SystemConfig};
+use dg_cache::{CacheGeometry, CacheStats, ConventionalCache, Sharers, WritebackBuffer};
+use dg_mem::{Addr, AnnotationTable, ApproxRegion, BlockAddr, BlockData, Memory, MemoryImage};
+use std::collections::HashMap;
+
+/// The simulated system.
+#[derive(Debug)]
+pub struct System {
+    cfg: SystemConfig,
+    l1: Vec<ConventionalCache>,
+    l2: Vec<ConventionalCache>,
+    llc: Llc,
+    dram: MemoryImage,
+    annots: AnnotationTable,
+    directory: HashMap<BlockAddr, Sharers>,
+    wb: WritebackBuffer,
+    cycles: Vec<u64>,
+    insts: Vec<u64>,
+    off_chip_reads: u64,
+    back_invalidations: u64,
+}
+
+impl System {
+    /// Build a system with `initial` memory contents and the
+    /// application's annotations.
+    pub fn new(cfg: SystemConfig, initial: MemoryImage, annots: AnnotationTable) -> Self {
+        assert!(cfg.cores >= 1 && cfg.cores <= Sharers::MAX_CORES);
+        let l1_geom = CacheGeometry::from_capacity(cfg.l1_bytes, cfg.l1_ways);
+        let l2_geom = CacheGeometry::from_capacity(cfg.l2_bytes, cfg.l2_ways);
+        System {
+            llc: Llc::new(&cfg),
+            l1: (0..cfg.cores).map(|_| ConventionalCache::new(l1_geom)).collect(),
+            l2: (0..cfg.cores).map(|_| ConventionalCache::new(l2_geom)).collect(),
+            dram: initial,
+            annots,
+            directory: HashMap::new(),
+            wb: WritebackBuffer::new(),
+            cycles: vec![0; cfg.cores],
+            insts: vec![0; cfg.cores],
+            off_chip_reads: 0,
+            back_invalidations: 0,
+            cfg,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// The annotation covering a block, if any. Annotated arrays are
+    /// block-aligned, so one annotation covers a whole block.
+    fn region_of(&self, block: BlockAddr) -> Option<ApproxRegion> {
+        self.annots.lookup(block.base()).copied()
+    }
+
+    // ------------------------------------------------------------------
+    // Core-visible operations.
+    // ------------------------------------------------------------------
+
+    /// Account `ops` non-memory operations on `core`.
+    pub fn think(&mut self, core: usize, ops: u32) {
+        self.cycles[core] += ops as u64;
+        self.insts[core] += ops as u64;
+    }
+
+    /// Perform a load of `buf.len()` bytes at `addr` on `core`.
+    pub fn load(&mut self, core: usize, addr: Addr, buf: &mut [u8]) {
+        self.insts[core] += 1;
+        let block = addr.block();
+        self.ensure_present(core, block, false);
+        let data = self.l1[core].peek(block).expect("ensure_present fills L1");
+        let off = addr.block_offset();
+        buf.copy_from_slice(&data.as_bytes()[off..off + buf.len()]);
+    }
+
+    /// Perform a store of `bytes` at `addr` on `core`.
+    pub fn store(&mut self, core: usize, addr: Addr, bytes: &[u8]) {
+        self.insts[core] += 1;
+        let block = addr.block();
+        self.ensure_present(core, block, true);
+        let wrote = self.l1[core].write_bytes(block, addr.block_offset(), bytes);
+        debug_assert!(wrote, "ensure_present fills L1");
+    }
+
+    // ------------------------------------------------------------------
+    // Hierarchy mechanics.
+    // ------------------------------------------------------------------
+
+    /// Make `block` present in `core`'s L1, with write permission if
+    /// `for_write`, charging cycles along the way.
+    fn ensure_present(&mut self, core: usize, block: BlockAddr, for_write: bool) {
+        self.cycles[core] += self.cfg.l1_latency;
+        if self.l1[core].read(block).is_some() {
+            if for_write {
+                self.acquire_ownership(core, block);
+            }
+            return;
+        }
+
+        self.cycles[core] += self.cfg.l2_latency;
+        if let Some(data) = self.l2[core].read(block) {
+            self.fill_l1(core, block, data);
+            if for_write {
+                self.acquire_ownership(core, block);
+            }
+            return;
+        }
+
+        // LLC access.
+        self.cycles[core] += self.cfg.llc_latency;
+        let region = self.region_of(block);
+
+        // If a remote core holds the block modified, it writes back
+        // first (one extra LLC transaction).
+        let remote_owner = self
+            .directory
+            .get(&block)
+            .and_then(|s| s.owner())
+            .filter(|&o| o != core);
+        if let Some(owner) = remote_owner {
+            self.remote_writeback(owner, block, region.as_ref());
+            self.cycles[core] += self.cfg.llc_latency;
+        }
+
+        let out = self.llc.read(block, region.as_ref(), &mut self.dram);
+        if out.fetched_from_memory {
+            self.cycles[core] += self.cfg.mem_latency;
+            self.off_chip_reads += 1;
+        }
+        let data = out.data;
+        self.handle_displaced(out.displaced);
+        self.directory.entry(block).or_default().add(core);
+
+        self.fill_l2(core, block, data);
+        self.fill_l1(core, block, data);
+        if for_write {
+            self.acquire_ownership(core, block);
+        }
+    }
+
+    /// Gain exclusive ownership of `block` for `core`, invalidating
+    /// other sharers' private copies (MSI upgrade).
+    fn acquire_ownership(&mut self, core: usize, block: BlockAddr) {
+        let sharers = self.directory.entry(block).or_default();
+        sharers.add(core);
+        if sharers.owner() == Some(core) {
+            return;
+        }
+        let others: Vec<usize> = sharers.iter().filter(|&c| c != core).collect();
+        if !others.is_empty() {
+            // Invalidation round-trip through the directory.
+            self.cycles[core] += self.cfg.llc_latency;
+        }
+        let region = self.region_of(block);
+        for c in others {
+            // A remote modified copy is written back before invalidation.
+            let mut payload: Option<BlockData> = None;
+            if let Some(ev) = self.l1[c].invalidate(block) {
+                if ev.dirty {
+                    payload = Some(ev.data);
+                }
+            }
+            if let Some(ev) = self.l2[c].invalidate(block) {
+                if ev.dirty && payload.is_none() {
+                    payload = Some(ev.data);
+                }
+            }
+            if let Some(data) = payload {
+                let out = self.llc.writeback(block, data, region.as_ref());
+                self.handle_displaced(out.displaced);
+            }
+            self.directory.get_mut(&block).expect("present").remove(c);
+        }
+        self.directory.get_mut(&block).expect("present").set_owner(core);
+    }
+
+    /// Pull `owner`'s modified copy of `block` back into the LLC and
+    /// downgrade the owner to a plain sharer.
+    ///
+    /// The owner's retained copies are synchronised to the written-back
+    /// payload: after the downgrade every level agrees on the data, so a
+    /// silent eviction of the now-clean L1 line cannot strand stale data
+    /// in the L2.
+    fn remote_writeback(&mut self, owner: usize, block: BlockAddr, region: Option<&ApproxRegion>) {
+        let mut payload: Option<BlockData> = None;
+        if let Some((data, dirty)) = self.l1[owner].peek_line(block) {
+            if dirty {
+                payload = Some(*data);
+            }
+            self.l1[owner].clear_dirty(block);
+        }
+        if let Some((data, dirty)) = self.l2[owner].peek_line(block) {
+            if dirty && payload.is_none() {
+                payload = Some(*data);
+            }
+        }
+        if let Some(data) = payload {
+            // Refresh the owner's L2 copy (it may be staler than L1),
+            // then mark it clean — the LLC now holds the canonical copy.
+            if self.l2[owner].contains(block) {
+                self.l2[owner].write(block, data);
+            }
+            let out = self.llc.writeback(block, data, region);
+            self.handle_displaced(out.displaced);
+        }
+        self.l2[owner].clear_dirty(block);
+        if let Some(s) = self.directory.get_mut(&block) {
+            s.clear_owner();
+        }
+    }
+
+    /// Fill `core`'s L2, handling the inclusion eviction chain.
+    fn fill_l2(&mut self, core: usize, block: BlockAddr, data: BlockData) {
+        let Some(ev) = self.l2[core].fill(block, data) else {
+            return;
+        };
+        // L1 ⊆ L2: the evicted block's L1 copy must go too; its data is
+        // the freshest if dirty.
+        let mut dirty = ev.dirty;
+        let mut payload = ev.data;
+        if let Some(l1ev) = self.l1[core].invalidate(ev.addr) {
+            if l1ev.dirty {
+                dirty = true;
+                payload = l1ev.data;
+            }
+        }
+        if let Some(s) = self.directory.get_mut(&ev.addr) {
+            s.remove(core);
+        }
+        if dirty {
+            let region = self.region_of(ev.addr);
+            let out = self.llc.writeback(ev.addr, payload, region.as_ref());
+            self.handle_displaced(out.displaced);
+        }
+    }
+
+    /// Fill `core`'s L1; a dirty victim falls back into the L2.
+    fn fill_l1(&mut self, core: usize, block: BlockAddr, data: BlockData) {
+        let Some(ev) = self.l1[core].fill(block, data) else {
+            return;
+        };
+        if ev.dirty {
+            let wrote = self.l2[core].write(ev.addr, ev.data);
+            debug_assert!(wrote, "L1 victims are L2-resident (inclusion)");
+        }
+    }
+
+    /// Process LLC displacements: back-invalidate every private copy
+    /// (inclusive LLC) and queue writebacks for dirty blocks.
+    fn handle_displaced(&mut self, displaced: Vec<DisplacedBlock>) {
+        for d in displaced {
+            let mut dirty = d.dirty;
+            let mut payload = d.data;
+            for c in 0..self.cfg.cores {
+                // L2 first, then L1 — the L1 copy is the freshest.
+                if let Some(ev) = self.l2[c].invalidate(d.addr) {
+                    if ev.dirty {
+                        dirty = true;
+                        payload = ev.data;
+                    }
+                    self.back_invalidations += 1;
+                }
+                if let Some(ev) = self.l1[c].invalidate(d.addr) {
+                    if ev.dirty {
+                        dirty = true;
+                        payload = ev.data;
+                    }
+                }
+            }
+            self.directory.remove(&d.addr);
+            if dirty {
+                self.wb.push(d.addr, payload);
+            }
+        }
+        // Drain queued writebacks to DRAM (traffic stays counted).
+        let dram = &mut self.dram;
+        self.wb.drain_to(|addr, data| dram.set_block(addr, data));
+    }
+
+    // ------------------------------------------------------------------
+    // Reporting.
+    // ------------------------------------------------------------------
+
+    /// Simulated runtime: the slowest core's cycle count.
+    pub fn runtime_cycles(&self) -> u64 {
+        self.cycles.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total instructions (memory accesses + think ops) across cores.
+    pub fn total_instructions(&self) -> u64 {
+        self.insts.iter().sum()
+    }
+
+    /// Per-core cycle counts.
+    pub fn core_cycles(&self) -> &[u64] {
+        &self.cycles
+    }
+
+    /// Off-chip traffic in blocks: DRAM reads + writebacks.
+    pub fn off_chip_blocks(&self) -> u64 {
+        self.off_chip_reads + self.wb.total_writebacks()
+    }
+
+    /// DRAM reads (LLC miss fills).
+    pub fn off_chip_reads(&self) -> u64 {
+        self.off_chip_reads
+    }
+
+    /// Writebacks that reached DRAM.
+    pub fn off_chip_writes(&self) -> u64 {
+        self.wb.total_writebacks()
+    }
+
+    /// Back-invalidations delivered to private caches.
+    pub fn back_invalidations(&self) -> u64 {
+        self.back_invalidations
+    }
+
+    /// The LLC's activity counters.
+    pub fn llc_counters(&self) -> LlcCounters {
+        self.llc.counters()
+    }
+
+    /// Current Doppelgänger tag-sharing factor (see
+    /// [`crate::Llc::sharing_factor`]).
+    pub fn llc_sharing_factor(&self) -> f64 {
+        self.llc.sharing_factor()
+    }
+
+    /// Average memory access time in cycles, from the per-level hit
+    /// counts and the configured latencies (the textbook AMAT).
+    pub fn amat(&self) -> f64 {
+        let l1 = self.l1_stats();
+        if l1.accesses() == 0 {
+            return 0.0;
+        }
+        let l2 = self.l2_stats();
+        let llc = self.llc_counters();
+        let total = l1.accesses() as f64;
+        let cfg = &self.cfg;
+        let cycles = l1.accesses() as f64 * cfg.l1_latency as f64
+            + l2.accesses() as f64 * cfg.l2_latency as f64
+            + llc.lookups as f64 * cfg.llc_latency as f64
+            + self.off_chip_reads as f64 * cfg.mem_latency as f64;
+        cycles / total
+    }
+
+    /// Aggregate L1 statistics across cores.
+    pub fn l1_stats(&self) -> CacheStats {
+        let mut s = CacheStats::default();
+        for c in &self.l1 {
+            s += *c.stats();
+        }
+        s
+    }
+
+    /// Aggregate L2 statistics across cores.
+    pub fn l2_stats(&self) -> CacheStats {
+        let mut s = CacheStats::default();
+        for c in &self.l2 {
+            s += *c.stats();
+        }
+        s
+    }
+
+    /// The LLC-resident approximate blocks with their annotations —
+    /// the snapshots consumed by the similarity analyses.
+    pub fn approx_llc_snapshot(&self) -> Vec<(BlockData, ApproxRegion)> {
+        self.llc
+            .resident_blocks()
+            .into_iter()
+            .filter_map(|(addr, data)| self.region_of(addr).map(|r| (data, r)))
+            .collect()
+    }
+
+    /// Fraction of LLC-resident blocks that are annotated approximate
+    /// (Table 2's measurement).
+    pub fn approx_llc_fraction(&self) -> f64 {
+        let blocks = self.llc.resident_blocks();
+        if blocks.is_empty() {
+            return 0.0;
+        }
+        let approx = blocks.iter().filter(|(a, _)| self.region_of(*a).is_some()).count();
+        approx as f64 / blocks.len() as f64
+    }
+
+    /// Direct access to the simulated DRAM (e.g. for golden-state
+    /// comparisons in tests).
+    pub fn dram(&self) -> &MemoryImage {
+        &self.dram
+    }
+
+    /// Verify the LLC's structural invariants (Doppelgänger tag lists,
+    /// map consistency); panics on violation.
+    pub fn check_llc_invariants(&self) {
+        self.llc.check_invariants();
+    }
+
+    /// Reset every statistic and cycle counter while keeping cache
+    /// contents — the standard warm-up idiom: run a warm-up slice,
+    /// `reset_stats()`, then measure the region of interest.
+    pub fn reset_stats(&mut self) {
+        for c in &mut self.l1 {
+            c.reset_stats();
+        }
+        for c in &mut self.l2 {
+            c.reset_stats();
+        }
+        self.llc.reset_stats();
+        self.cycles.iter_mut().for_each(|c| *c = 0);
+        self.insts.iter_mut().for_each(|c| *c = 0);
+        self.off_chip_reads = 0;
+        self.back_invalidations = 0;
+        self.wb.reset_total();
+    }
+
+    /// Flush every dirty line in the hierarchy down to DRAM (L1 → L2 →
+    /// LLC → memory), leaving caches clean. Used to compare final
+    /// memory images against golden runs.
+    pub fn flush(&mut self) {
+        for core in 0..self.cfg.cores {
+            let dirty_l1: Vec<(BlockAddr, BlockData)> = self.l1[core]
+                .iter_blocks()
+                .filter(|(_, d, _)| *d)
+                .map(|(a, _, data)| (a, *data))
+                .collect();
+            for (a, data) in dirty_l1 {
+                // Propagate into the L2 copy (inclusion guarantees it).
+                self.l2[core].write(a, data);
+                self.l1[core].clear_dirty(a);
+            }
+            let dirty_l2: Vec<(BlockAddr, BlockData)> = self.l2[core]
+                .iter_blocks()
+                .filter(|(_, d, _)| *d)
+                .map(|(a, _, data)| (a, *data))
+                .collect();
+            for (a, data) in dirty_l2 {
+                let region = self.region_of(a);
+                let out = self.llc.writeback(a, data, region.as_ref());
+                self.handle_displaced(out.displaced);
+                self.l2[core].clear_dirty(a);
+            }
+        }
+        self.llc.flush_dirty(&mut self.dram);
+    }
+
+    /// A [`Memory`] view of this system as seen from `core`.
+    pub fn core_memory(&mut self, core: usize) -> CoreMemory<'_> {
+        assert!(core < self.cfg.cores);
+        CoreMemory { sys: self, core }
+    }
+}
+
+/// A [`Memory`] adapter routing one core's loads/stores through the
+/// simulated hierarchy.
+#[derive(Debug)]
+pub struct CoreMemory<'a> {
+    sys: &'a mut System,
+    core: usize,
+}
+
+impl CoreMemory<'_> {
+    /// Switch which core subsequent accesses are attributed to.
+    pub fn set_core(&mut self, core: usize) {
+        assert!(core < self.sys.cfg.cores);
+        self.core = core;
+    }
+}
+
+impl Memory for CoreMemory<'_> {
+    fn load_bytes(&mut self, addr: Addr, buf: &mut [u8]) {
+        self.sys.load(self.core, addr, buf);
+    }
+
+    fn store_bytes(&mut self, addr: Addr, bytes: &[u8]) {
+        self.sys.store(self.core, addr, bytes);
+    }
+
+    fn think(&mut self, ops: u32) {
+        self.sys.think(self.core, ops);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LlcKind;
+    use dg_mem::ElemType;
+
+    fn sys(llc: LlcKind) -> System {
+        System::new(SystemConfig::tiny(llc), MemoryImage::new(), AnnotationTable::new())
+    }
+
+    fn annotated_split() -> System {
+        let mut annots = AnnotationTable::new();
+        annots.add(ApproxRegion::new(Addr(0), 1 << 20, ElemType::F32, 0.0, 100.0));
+        System::new(SystemConfig::tiny_split(), MemoryImage::new(), annots)
+    }
+
+    #[test]
+    fn load_returns_stored_value_baseline() {
+        let mut s = sys(LlcKind::Baseline);
+        s.store(0, Addr(0x40), &1.5f32.to_le_bytes());
+        let mut buf = [0u8; 4];
+        s.load(0, Addr(0x40), &mut buf);
+        assert_eq!(f32::from_le_bytes(buf), 1.5);
+    }
+
+    #[test]
+    fn baseline_is_always_exact() {
+        let mut s = sys(LlcKind::Baseline);
+        // Write values across far more blocks than L1/L2 hold.
+        for i in 0..4096u64 {
+            s.store(0, Addr(i * 64), &(i as f32).to_le_bytes());
+        }
+        for i in 0..4096u64 {
+            let mut buf = [0u8; 4];
+            s.load(0, Addr(i * 64), &mut buf);
+            assert_eq!(f32::from_le_bytes(buf), i as f32, "block {i}");
+        }
+    }
+
+    #[test]
+    fn timing_charges_hierarchy_latencies() {
+        let mut s = sys(LlcKind::Baseline);
+        let mut buf = [0u8; 4];
+        s.load(0, Addr(0), &mut buf);
+        // Cold miss walks L1+L2+LLC+memory: 1+3+6+160.
+        assert_eq!(s.runtime_cycles(), 170);
+        s.load(0, Addr(0), &mut buf);
+        // L1 hit adds a single cycle.
+        assert_eq!(s.runtime_cycles(), 171);
+        assert_eq!(s.total_instructions(), 2);
+    }
+
+    #[test]
+    fn think_advances_cycles_and_instructions() {
+        let mut s = sys(LlcKind::Baseline);
+        s.think(2, 100);
+        assert_eq!(s.runtime_cycles(), 100);
+        assert_eq!(s.total_instructions(), 100);
+    }
+
+    #[test]
+    fn coherence_passes_dirty_data_between_cores() {
+        let mut s = sys(LlcKind::Baseline);
+        s.store(0, Addr(0x80), &42.0f32.to_le_bytes());
+        let mut buf = [0u8; 4];
+        s.load(1, Addr(0x80), &mut buf);
+        assert_eq!(f32::from_le_bytes(buf), 42.0, "core 1 must see core 0's store");
+    }
+
+    #[test]
+    fn store_store_transfer_between_cores() {
+        let mut s = sys(LlcKind::Baseline);
+        s.store(0, Addr(0x80), &1.0f32.to_le_bytes());
+        s.store(1, Addr(0x80), &2.0f32.to_le_bytes());
+        let mut buf = [0u8; 4];
+        s.load(2, Addr(0x80), &mut buf);
+        assert_eq!(f32::from_le_bytes(buf), 2.0);
+    }
+
+    #[test]
+    fn approximate_loads_can_return_doppelganger_values() {
+        let mut s = annotated_split();
+        // Two blocks with nearly identical contents.
+        for lane in 0..16u64 {
+            s.store(0, Addr(lane * 4), &10.0f32.to_le_bytes());
+            s.store(0, Addr(0x40 + lane * 4), &10.001f32.to_le_bytes());
+        }
+        // Push both out of the private caches so they round-trip the
+        // Doppelganger LLC (write enough unrelated precise blocks).
+        for i in 0..2048u64 {
+            let mut buf = [0u8; 4];
+            s.load(0, Addr(0x100000 + i * 64), &mut buf);
+        }
+        let mut buf = [0u8; 4];
+        s.load(0, Addr(0x40), &mut buf);
+        let seen = f32::from_le_bytes(buf);
+        // The second block reads as its doppelganger (10.0) or — if the
+        // blocks were evicted in between — its own written-back value;
+        // under an approximate region either is acceptable, but exact
+        // bit-precision of 10.001 through the doppel path means sharing
+        // happened with 10.001 as the representative.
+        assert!(
+            (seen - 10.0).abs() < 0.01,
+            "approximate value out of tolerance: {seen}"
+        );
+    }
+
+    #[test]
+    fn precise_data_in_split_design_is_exact() {
+        let mut s = annotated_split();
+        // Addresses above the annotated region are precise.
+        for i in 0..512u64 {
+            let a = Addr(0x200000 + i * 64);
+            s.store(0, a, &(i as f64).to_le_bytes());
+        }
+        for i in 0..512u64 {
+            let a = Addr(0x200000 + i * 64);
+            let mut buf = [0u8; 8];
+            s.load(0, a, &mut buf);
+            assert_eq!(f64::from_le_bytes(buf), i as f64);
+        }
+    }
+
+    #[test]
+    fn off_chip_traffic_counts_reads_and_writes() {
+        let mut s = sys(LlcKind::Baseline);
+        // Touch more blocks than the whole hierarchy holds to force
+        // writebacks of dirty lines.
+        for i in 0..4096u64 {
+            s.store(0, Addr(i * 64), &7.0f32.to_le_bytes());
+        }
+        assert!(s.off_chip_reads() >= 4096, "each cold store fetches its block");
+        assert!(s.off_chip_writes() > 0, "dirty evictions must reach DRAM");
+        assert_eq!(s.off_chip_blocks(), s.off_chip_reads() + s.off_chip_writes());
+    }
+
+    #[test]
+    fn llc_counters_accumulate() {
+        let mut s = sys(LlcKind::Baseline);
+        let mut buf = [0u8; 4];
+        s.load(0, Addr(0), &mut buf);
+        s.load(0, Addr(64 * 1024), &mut buf);
+        let c = s.llc_counters();
+        assert_eq!(c.lookups, 2);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn amat_tracks_hit_locality() {
+        // All L1 hits after the first touch: AMAT approaches 1 cycle.
+        let mut s = sys(LlcKind::Baseline);
+        let mut buf = [0u8; 4];
+        for _ in 0..1000 {
+            s.load(0, Addr(0), &mut buf);
+        }
+        assert!(s.amat() < 1.5, "hot-loop AMAT {:.2} should be ~1", s.amat());
+        // A pure miss stream pushes AMAT toward the full path latency.
+        let mut s = sys(LlcKind::Baseline);
+        for i in 0..1000u64 {
+            s.load(0, Addr(i * 64 * 64), &mut buf);
+        }
+        assert!(s.amat() > 100.0, "miss-stream AMAT {:.2} should be memory-bound", s.amat());
+    }
+
+    #[test]
+    fn core_memory_adapter_works_with_kernels() {
+        let mut s = sys(LlcKind::Baseline);
+        let mut mem = s.core_memory(1);
+        mem.store_f64(Addr(0x100), 9.25);
+        assert_eq!(mem.load_f64(Addr(0x100)), 9.25);
+        mem.think(5);
+        assert!(s.total_instructions() >= 7);
+    }
+
+    #[test]
+    fn approx_fraction_reflects_annotations() {
+        let mut s = annotated_split();
+        let mut buf = [0u8; 4];
+        s.load(0, Addr(0), &mut buf); // approx (annotated region)
+        s.load(0, Addr(0x200000), &mut buf); // precise
+        let f = s.approx_llc_fraction();
+        assert!((f - 0.5).abs() < 1e-9, "got {f}");
+        assert_eq!(s.approx_llc_snapshot().len(), 1);
+    }
+
+    #[test]
+    fn inclusion_back_invalidates_private_copies() {
+        // An LLC smaller than the L2 forces inclusion victims whose
+        // private copies are still live; exactness must survive the
+        // back-invalidation + writeback dance.
+        let cfg = SystemConfig {
+            l2_bytes: 32 << 10,
+            llc_bytes: 8 << 10,
+            ..SystemConfig::tiny(LlcKind::Baseline)
+        };
+        let mut s = System::new(cfg, MemoryImage::new(), AnnotationTable::new());
+        for round in 0..3u64 {
+            for i in 0..512u64 {
+                let v = (round * 10000 + i) as f32;
+                s.store(0, Addr(i * 64), &v.to_le_bytes());
+            }
+        }
+        for i in 0..512u64 {
+            let mut buf = [0u8; 4];
+            s.load(0, Addr(i * 64), &mut buf);
+            assert_eq!(f32::from_le_bytes(buf), (2 * 10000 + i) as f32);
+        }
+        assert!(s.back_invalidations() > 0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Cache-hierarchy characterization with synthetic access patterns:
+//! the substrate must respond to classic patterns the way real caches
+//! do.
+
+use dg_mem::synth;
+use dg_mem::{Access, Addr, AnnotationTable, MemoryImage};
+use dg_system::{LlcKind, System, SystemConfig};
+
+fn run_pattern(sys: &mut System, pattern: &[Access]) {
+    let mut buf = [0u8; 8];
+    for a in pattern {
+        match a.payload() {
+            Some(bytes) => sys.store(0, a.addr, bytes),
+            None => sys.load(0, a.addr, &mut buf[..a.size as usize]),
+        }
+    }
+}
+
+fn fresh() -> System {
+    System::new(
+        SystemConfig::tiny(LlcKind::Baseline),
+        MemoryImage::new(),
+        AnnotationTable::new(),
+    )
+}
+
+/// LLC hit rate of the second pass over a pattern (first pass warms).
+fn warmed_llc_hit_rate(pattern: &[Access]) -> f64 {
+    let mut sys = fresh();
+    run_pattern(&mut sys, pattern);
+    sys.reset_stats();
+    run_pattern(&mut sys, pattern);
+    let c = sys.llc_counters();
+    if c.lookups == 0 {
+        // Everything hit in the private levels.
+        1.0
+    } else {
+        c.hits as f64 / c.lookups as f64
+    }
+}
+
+#[test]
+fn resident_stream_hits_after_warmup() {
+    // 256 blocks = 16 KB: fits the 64 KB tiny LLC easily.
+    let pattern = synth::sequential(Addr(0), 256, 512);
+    assert!(
+        warmed_llc_hit_rate(&pattern) > 0.95,
+        "resident stream should hit"
+    );
+}
+
+#[test]
+fn oversized_stream_thrashes_lru() {
+    // 2048 blocks = 128 KB, twice the LLC: cyclic + LRU = ~0% hits.
+    let pattern = synth::sequential(Addr(0), 2048, 4096);
+    assert!(
+        warmed_llc_hit_rate(&pattern) < 0.05,
+        "cyclic oversize stream must thrash"
+    );
+}
+
+#[test]
+fn zipfian_lands_between_the_extremes() {
+    // Universe 4x the LLC, but heavily skewed: the hot head fits.
+    let pattern = synth::zipfian(Addr(0), 4096, 20_000, 1.0, 42);
+    let rate = warmed_llc_hit_rate(&pattern);
+    assert!(
+        (0.2..0.98).contains(&rate),
+        "zipfian hit rate {rate:.2} should be intermediate"
+    );
+}
+
+#[test]
+fn pointer_chase_defeats_spatial_locality() {
+    // Chase over 2x the LLC: every step misses once the cycle exceeds
+    // capacity.
+    let chase = synth::pointer_chase(Addr(0), 2048, 4096, 3);
+    let seq = synth::sequential(Addr(0), 64, 4096);
+    assert!(warmed_llc_hit_rate(&chase) < warmed_llc_hit_rate(&seq));
+}
+
+#[test]
+fn strided_pattern_uses_fewer_blocks() {
+    let mut sys = fresh();
+    run_pattern(&mut sys, &synth::strided(Addr(0), 1024, 16, 64));
+    // 64 accesses at stride 16 over 1024 blocks touch exactly 64 blocks.
+    assert_eq!(sys.llc_counters().lookups, 64);
+    assert_eq!(sys.llc_counters().misses(), 64);
+}
+
+#[test]
+fn reset_stats_preserves_contents() {
+    let pattern = synth::sequential(Addr(0), 128, 128);
+    let mut sys = fresh();
+    run_pattern(&mut sys, &pattern);
+    let cold_misses = sys.llc_counters().misses();
+    assert_eq!(cold_misses, 128);
+    sys.reset_stats();
+    assert_eq!(sys.llc_counters().lookups, 0);
+    assert_eq!(sys.runtime_cycles(), 0);
+    assert_eq!(sys.off_chip_blocks(), 0);
+    // Contents survived the reset: the second pass hits.
+    run_pattern(&mut sys, &pattern);
+    assert_eq!(sys.llc_counters().misses(), 0, "reset must not drop cache contents");
+}

@@ -1,0 +1,137 @@
+//! Typed array views over simulated memory.
+//!
+//! Kernels lay out their data as contiguous arrays in the simulated
+//! address space; these views provide bounds-checked, typed access
+//! through any [`Memory`] implementation.
+
+use dg_mem::{Addr, ApproxRegion, ElemType, Memory};
+
+macro_rules! typed_array {
+    ($(#[$doc:meta])* $name:ident, $ty:ty, $elem:expr, $load:ident, $store:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+        pub struct $name {
+            base: Addr,
+            len: usize,
+        }
+
+        impl $name {
+            /// A view of `len` elements starting at `base`.
+            pub fn new(base: Addr, len: usize) -> Self {
+                Self { base, len }
+            }
+
+            /// Number of elements.
+            pub fn len(&self) -> usize {
+                self.len
+            }
+
+            /// Whether the array is empty.
+            pub fn is_empty(&self) -> bool {
+                self.len == 0
+            }
+
+            /// First byte address.
+            pub fn base(&self) -> Addr {
+                self.base
+            }
+
+            /// Size of the array in bytes.
+            pub fn bytes(&self) -> u64 {
+                (self.len * $elem.bytes()) as u64
+            }
+
+            /// Address of element `i`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `i` is out of bounds.
+            pub fn addr(&self, i: usize) -> Addr {
+                assert!(i < self.len, "index {i} out of bounds ({})", self.len);
+                self.base.offset((i * $elem.bytes()) as u64)
+            }
+
+            /// Load element `i` through `mem`.
+            pub fn get(&self, mem: &mut dyn Memory, i: usize) -> $ty {
+                mem.$load(self.addr(i))
+            }
+
+            /// Store element `i` through `mem`.
+            pub fn set(&self, mem: &mut dyn Memory, i: usize, v: $ty) {
+                mem.$store(self.addr(i), v)
+            }
+
+            /// An annotation covering exactly this array.
+            pub fn annotation(&self, min: f64, max: f64) -> ApproxRegion {
+                ApproxRegion::new(self.base, self.bytes().max(1), $elem, min, max)
+            }
+        }
+    };
+}
+
+typed_array!(
+    /// An `f32` array in simulated memory.
+    ArrayF32, f32, ElemType::F32, load_f32, store_f32
+);
+typed_array!(
+    /// An `f64` array in simulated memory.
+    ArrayF64, f64, ElemType::F64, load_f64, store_f64
+);
+typed_array!(
+    /// An `i32` array in simulated memory.
+    ArrayI32, i32, ElemType::I32, load_i32, store_i32
+);
+typed_array!(
+    /// A `u8` array in simulated memory.
+    ArrayU8, u8, ElemType::U8, load_u8, store_u8
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_mem::MemoryImage;
+
+    #[test]
+    fn round_trip_all_types() {
+        let mut mem = MemoryImage::new();
+        let f = ArrayF32::new(Addr(0), 4);
+        let d = ArrayF64::new(Addr(64), 4);
+        let i = ArrayI32::new(Addr(128), 4);
+        let b = ArrayU8::new(Addr(192), 4);
+        f.set(&mut mem, 1, 1.5);
+        d.set(&mut mem, 2, -2.5);
+        i.set(&mut mem, 3, -7);
+        b.set(&mut mem, 0, 200);
+        assert_eq!(f.get(&mut mem, 1), 1.5);
+        assert_eq!(d.get(&mut mem, 2), -2.5);
+        assert_eq!(i.get(&mut mem, 3), -7);
+        assert_eq!(b.get(&mut mem, 0), 200);
+    }
+
+    #[test]
+    fn addressing() {
+        let f = ArrayF32::new(Addr(0x100), 10);
+        assert_eq!(f.addr(0), Addr(0x100));
+        assert_eq!(f.addr(3), Addr(0x10c));
+        assert_eq!(f.bytes(), 40);
+        assert_eq!(f.len(), 10);
+        assert!(!f.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn bounds_checked() {
+        let f = ArrayF32::new(Addr(0), 2);
+        f.addr(2);
+    }
+
+    #[test]
+    fn annotation_covers_array() {
+        let f = ArrayF32::new(Addr(0x40), 16);
+        let r = f.annotation(0.0, 1.0);
+        assert!(r.contains(Addr(0x40)));
+        assert!(r.contains(Addr(0x40 + 63)));
+        assert!(!r.contains(Addr(0x40 + 64)));
+        assert_eq!(r.ty, ElemType::F32);
+    }
+}

@@ -1,0 +1,98 @@
+//! The kernel abstraction all nine benchmarks implement.
+
+use dg_mem::{AnnotationTable, Memory, MemoryImage};
+use std::fmt::Debug;
+
+/// One benchmark kernel.
+///
+/// Execution is organised as a sequence of *phases* (barrier-separated
+/// steps, e.g. one k-means assign or update step). Within a phase, work
+/// is partitioned across `threads` data-parallel workers; the driver
+/// runs workers of the same phase back-to-back, which is equivalent to
+/// a barrier-synchronised parallel execution because workers of one
+/// phase touch disjoint output ranges.
+///
+/// Kernels are plain data (`Send + Sync`), so independent evaluations
+/// can run on separate OS threads in the bench harness.
+pub trait Kernel: Debug + Send + Sync {
+    /// The benchmark's name (matches the paper's Table 2).
+    fn name(&self) -> &'static str;
+
+    /// Populate `mem` with the initial data set and return the
+    /// programmer annotations. Deterministic in the kernel's seed.
+    fn setup(&self, mem: &mut MemoryImage) -> AnnotationTable;
+
+    /// Total number of barrier-separated phases.
+    fn phases(&self) -> usize;
+
+    /// Run worker `tid` of `threads` for `phase`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `phase >= self.phases()` or
+    /// `tid >= threads`.
+    fn run_phase(&self, mem: &mut dyn Memory, phase: usize, tid: usize, threads: usize);
+
+    /// Read the application's final output from memory.
+    fn output(&self, mem: &mut dyn Memory) -> Vec<f64>;
+
+    /// The benchmark's output-error metric, in `[0, 1]`: compares an
+    /// approximate run's output against the precise run's.
+    fn error_metric(&self, precise: &[f64], approx: &[f64]) -> f64;
+}
+
+/// Run every phase of `kernel` to completion with `threads` workers.
+pub fn run_to_completion(kernel: &dyn Kernel, mem: &mut dyn Memory, threads: usize) {
+    run_phase_range(kernel, mem, 0..kernel.phases(), threads);
+}
+
+/// Run a contiguous range of phases (useful for warm-up splits).
+pub fn run_phase_range(
+    kernel: &dyn Kernel,
+    mem: &mut dyn Memory,
+    phases: std::ops::Range<usize>,
+    threads: usize,
+) {
+    assert!(threads > 0, "at least one thread required");
+    for phase in phases {
+        for tid in 0..threads {
+            kernel.run_phase(mem, phase, tid, threads);
+        }
+    }
+}
+
+/// Evenly partition `n` items among `threads` workers; returns worker
+/// `tid`'s half-open range.
+pub fn partition(n: usize, tid: usize, threads: usize) -> std::ops::Range<usize> {
+    let per = n.div_ceil(threads);
+    let start = (tid * per).min(n);
+    let end = ((tid + 1) * per).min(n);
+    start..end
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_covers_everything_once() {
+        for n in [0usize, 1, 7, 64, 100] {
+            for threads in [1usize, 2, 3, 4, 7] {
+                let mut seen = vec![false; n];
+                for tid in 0..threads {
+                    for i in partition(n, tid, threads) {
+                        assert!(!seen[i], "item {i} assigned twice");
+                        seen[i] = true;
+                    }
+                }
+                assert!(seen.iter().all(|&s| s), "n={n} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_is_balanced() {
+        let sizes: Vec<usize> = (0..4).map(|t| partition(100, t, 4).len()).collect();
+        assert_eq!(sizes, vec![25, 25, 25, 25]);
+    }
+}

@@ -1,0 +1,311 @@
+//! PARSEC `canneal`: simulated-annealing netlist placement.
+//!
+//! Elements live on a 2D grid; two-pin nets connect random element
+//! pairs. The kernel repeatedly proposes swapping two elements'
+//! positions and accepts the swap if it shortens total wirelength (or,
+//! early on, if it lengthens it by less than the current temperature —
+//! a deterministic annealing schedule). The paper's error metric is the
+//! relative difference in final routing cost.
+//!
+//! Annotated approximate: the element coordinates — integer grid slots,
+//! as in the real benchmark (the paper notes BΔI is very effective on
+//! canneal's integer values). The netlist topology and adjacency
+//! structures stay precise, matching canneal's ~38% approximate LLC
+//! footprint (Table 2).
+
+use crate::kernel::partition;
+use crate::metrics::scalar_relative_error;
+use crate::{ArrayI32, Kernel};
+use dg_mem::{AddressSpace, AnnotationTable, Memory, MemoryImage};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Annealing temperature steps.
+const STEPS: usize = 6;
+/// Swap proposals per element per step (scaled by partition size).
+const PROPOSALS_PER_ELEM: usize = 1;
+
+/// The canneal kernel.
+#[derive(Debug)]
+pub struct Canneal {
+    elements: usize,
+    /// Movable elements; indices beyond this are filler cells pinned at
+    /// the origin (standard-cell designs contain fill cells, which give
+    /// canneal a run of identical zero blocks).
+    active: usize,
+    nets: usize,
+    seed: u64,
+    grid: i32,
+    x: ArrayI32,
+    y: ArrayI32,
+    /// Net endpoints: `net_a[j]`–`net_b[j]`.
+    net_a: ArrayI32,
+    net_b: ArrayI32,
+    /// CSR adjacency: nets touching element `i` are
+    /// `adj_nets[adj_index[i] .. adj_index[i+1]]`.
+    adj_index: ArrayI32,
+    adj_nets: ArrayI32,
+}
+
+impl Canneal {
+    /// A netlist of `elements` elements and `nets` two-pin nets.
+    pub fn new(elements: usize, nets: usize, seed: u64) -> Self {
+        assert!(elements >= 2 && nets > 0);
+        let mut space = AddressSpace::new();
+        let grid = ((elements as f32).sqrt() * 4.0) as i32;
+        let x = ArrayI32::new(space.alloc_blocks(4 * elements as u64), elements);
+        let y = ArrayI32::new(space.alloc_blocks(4 * elements as u64), elements);
+        let net_a = ArrayI32::new(space.alloc_blocks(4 * nets as u64), nets);
+        let net_b = ArrayI32::new(space.alloc_blocks(4 * nets as u64), nets);
+        let adj_index = ArrayI32::new(space.alloc_blocks(4 * (elements + 1) as u64), elements + 1);
+        let adj_nets = ArrayI32::new(space.alloc_blocks(4 * (2 * nets) as u64), 2 * nets);
+        let active = (elements * 4 / 5).max(2);
+        Canneal { elements, active, nets, seed, grid, x, y, net_a, net_b, adj_index, adj_nets }
+    }
+
+    /// Wirelength of net `j` (half-perimeter = Manhattan for 2 pins).
+    fn net_len(&self, mem: &mut dyn Memory, j: usize) -> i64 {
+        let a = self.net_a.get(mem, j) as usize;
+        let b = self.net_b.get(mem, j) as usize;
+        let dx = (self.x.get(mem, a) - self.x.get(mem, b)) as i64;
+        let dy = (self.y.get(mem, a) - self.y.get(mem, b)) as i64;
+        mem.think(6);
+        dx.abs() + dy.abs()
+    }
+
+    /// Sum of lengths of all nets adjacent to element `e`.
+    fn adjacent_cost(&self, mem: &mut dyn Memory, e: usize) -> i64 {
+        let start = self.adj_index.get(mem, e) as usize;
+        let end = self.adj_index.get(mem, e + 1) as usize;
+        let mut cost = 0;
+        for k in start..end {
+            let j = self.adj_nets.get(mem, k) as usize;
+            cost += self.net_len(mem, j);
+        }
+        cost
+    }
+
+    /// Total wirelength over all nets.
+    fn total_cost(&self, mem: &mut dyn Memory) -> f64 {
+        (0..self.nets).map(|j| self.net_len(mem, j) as f64).sum()
+    }
+
+    fn temperature(&self, step: usize) -> f32 {
+        // Falls from grid/8 to 0 over the schedule.
+        let frac = 1.0 - step as f32 / STEPS as f32;
+        self.grid as f32 / 8.0 * frac * frac
+    }
+
+    /// Full placement scan (bounding-box statistics) — touches every
+    /// element's coordinates, including the pinned filler cells, as the
+    /// real benchmark's cost bookkeeping does.
+    fn placement_scan(&self, mem: &mut dyn Memory) -> (i32, i32) {
+        let mut max_x = 0;
+        let mut max_y = 0;
+        for i in 0..self.elements {
+            max_x = max_x.max(self.x.get(mem, i));
+            max_y = max_y.max(self.y.get(mem, i));
+            mem.think(2);
+        }
+        (max_x, max_y)
+    }
+}
+
+impl Kernel for Canneal {
+    fn name(&self) -> &'static str {
+        "canneal"
+    }
+
+    fn setup(&self, mem: &mut MemoryImage) -> AnnotationTable {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xca11ea1);
+        for i in 0..self.active {
+            self.x.set(mem, i, rng.gen_range(0..self.grid));
+            self.y.set(mem, i, rng.gen_range(0..self.grid));
+        }
+        // Filler cells sit at the origin and never move.
+        for i in self.active..self.elements {
+            self.x.set(mem, i, 0);
+            self.y.set(mem, i, 0);
+        }
+        // Random nets among movable elements, biased toward nearby
+        // indices so annealing has structure to exploit.
+        let mut degree = vec![0u32; self.elements];
+        for j in 0..self.nets {
+            let a = rng.gen_range(0..self.active);
+            let spread = (self.active / 16).max(2);
+            let b = (a + rng.gen_range(1..spread)) % self.active;
+            self.net_a.set(mem, j, a as i32);
+            self.net_b.set(mem, j, b as i32);
+            degree[a] += 1;
+            degree[b] += 1;
+        }
+        // Build the CSR adjacency.
+        let mut cursor = vec![0u32; self.elements + 1];
+        for i in 0..self.elements {
+            cursor[i + 1] = cursor[i] + degree[i];
+        }
+        for i in 0..=self.elements {
+            self.adj_index.set(mem, i, cursor[i] as i32);
+        }
+        let mut fill = cursor.clone();
+        for j in 0..self.nets {
+            let a = self.net_a.get(mem, j) as usize;
+            let b = self.net_b.get(mem, j) as usize;
+            self.adj_nets.set(mem, fill[a] as usize, j as i32);
+            fill[a] += 1;
+            self.adj_nets.set(mem, fill[b] as usize, j as i32);
+            fill[b] += 1;
+        }
+        let mut t = AnnotationTable::new();
+        t.add(self.x.annotation(0.0, self.grid as f64));
+        t.add(self.y.annotation(0.0, self.grid as f64));
+        t
+    }
+
+    fn phases(&self) -> usize {
+        STEPS
+    }
+
+    fn run_phase(&self, mem: &mut dyn Memory, phase: usize, tid: usize, threads: usize) {
+        let temp = self.temperature(phase);
+        // Work is split among a fixed number of virtual workers so the
+        // proposal stream (and thus the result) does not depend on the
+        // physical thread count.
+        const VIRTUAL_WORKERS: usize = 4;
+        for worker in (0..VIRTUAL_WORKERS).filter(|w| w % threads == tid % threads) {
+            if worker == 0 {
+                // Cost bookkeeping touches the whole placement once per
+                // temperature step.
+                let _ = self.placement_scan(mem);
+            }
+            self.run_worker(mem, phase, worker, VIRTUAL_WORKERS, temp);
+        }
+    }
+
+    fn output(&self, mem: &mut dyn Memory) -> Vec<f64> {
+        vec![self.total_cost(mem)]
+    }
+
+    fn error_metric(&self, precise: &[f64], approx: &[f64]) -> f64 {
+        scalar_relative_error(precise[0], approx[0])
+    }
+}
+
+impl Canneal {
+    fn run_worker(
+        &self,
+        mem: &mut dyn Memory,
+        phase: usize,
+        worker: usize,
+        workers: usize,
+        temp: f32,
+    ) {
+        let range = partition(self.active, worker, workers);
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ ((phase as u64) << 32) ^ ((worker as u64) << 16));
+        let proposals = range.len() * PROPOSALS_PER_ELEM;
+        for _ in 0..proposals {
+            // Swap two elements from this worker's own partition (keeps
+            // workers independent within a phase).
+            let e1 = rng.gen_range(range.clone());
+            let e2 = rng.gen_range(range.clone());
+            if e1 == e2 {
+                continue;
+            }
+            let before = self.adjacent_cost(mem, e1) + self.adjacent_cost(mem, e2);
+            // Tentatively swap coordinates.
+            let (x1, y1) = (self.x.get(mem, e1), self.y.get(mem, e1));
+            let (x2, y2) = (self.x.get(mem, e2), self.y.get(mem, e2));
+            self.x.set(mem, e1, x2);
+            self.y.set(mem, e1, y2);
+            self.x.set(mem, e2, x1);
+            self.y.set(mem, e2, y1);
+            let after = self.adjacent_cost(mem, e1) + self.adjacent_cost(mem, e2);
+            mem.think(12);
+            if (after - before) as f32 > temp {
+                // Reject: restore.
+                self.x.set(mem, e1, x1);
+                self.y.set(mem, e1, y1);
+                self.x.set(mem, e2, x2);
+                self.y.set(mem, e2, y2);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{prepare, run_to_completion};
+
+    #[test]
+    fn annealing_reduces_cost() {
+        let k = Canneal::new(512, 1500, 9);
+        let mut p = prepare(&k);
+        let before = k.total_cost(&mut p.image);
+        run_to_completion(&k, &mut p.image, 1);
+        let after = k.total_cost(&mut p.image);
+        assert!(
+            after < before * 0.9,
+            "annealing should cut wirelength: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn adjacency_is_consistent() {
+        let k = Canneal::new(128, 300, 3);
+        let mut p = prepare(&k);
+        let mem = &mut p.image;
+        // Every net appears exactly twice in the adjacency lists.
+        let mut count = vec![0u32; 300];
+        let total = k.adj_index.get(mem, 128) as usize;
+        assert_eq!(total, 600);
+        for kidx in 0..total {
+            count[k.adj_nets.get(mem, kidx) as usize] += 1;
+        }
+        assert!(count.iter().all(|&c| c == 2));
+    }
+
+    #[test]
+    fn filler_cells_stay_pinned_at_origin() {
+        let k = Canneal::new(256, 600, 5);
+        let mut p = prepare(&k);
+        run_to_completion(&k, &mut p.image, 4);
+        let mem = &mut p.image;
+        for i in k.active..k.elements {
+            assert_eq!(k.x.get(mem, i), 0, "filler {i} moved");
+            assert_eq!(k.y.get(mem, i), 0, "filler {i} moved");
+        }
+        assert!(k.active < k.elements, "some fillers must exist");
+    }
+
+    #[test]
+    fn coordinates_are_integer_grid_slots() {
+        let k = Canneal::new(128, 300, 2);
+        let p = prepare(&k);
+        let mem = &mut p.image.clone();
+        for i in 0..k.elements {
+            let x = k.x.get(mem, i);
+            let y = k.y.get(mem, i);
+            assert!((0..k.grid).contains(&x) || x == 0);
+            assert!((0..k.grid).contains(&y) || y == 0);
+        }
+    }
+
+    #[test]
+    fn placement_scan_reports_bounds() {
+        let k = Canneal::new(64, 120, 9);
+        let mut p = prepare(&k);
+        let (mx, my) = k.placement_scan(&mut p.image);
+        assert!(mx > 0 && mx < k.grid);
+        assert!(my > 0 && my < k.grid);
+    }
+
+    #[test]
+    fn temperature_schedule_decreases_to_zero() {
+        let k = Canneal::new(64, 100, 0);
+        let temps: Vec<f32> = (0..STEPS).map(|s| k.temperature(s)).collect();
+        assert!(temps.windows(2).all(|w| w[1] <= w[0]));
+        assert!(temps[STEPS - 1] < temps[0] * 0.1);
+    }
+}

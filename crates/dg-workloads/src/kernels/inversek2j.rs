@@ -1,0 +1,168 @@
+//! AxBench `inversek2j`: inverse kinematics for a 2-joint arm.
+//!
+//! For each target point `(x, y)` reachable by a two-link arm, compute
+//! the joint angles `(θ1, θ2)` in closed form. Nearly the entire data
+//! footprint — the targets and the angle outputs — is annotated
+//! approximate, matching inversek2j's 99.7% approximate LLC footprint
+//! (Table 2).
+
+use crate::kernel::partition;
+use crate::metrics::mean_relative_error;
+use crate::{ArrayF32, Kernel};
+use dg_mem::{AddressSpace, AnnotationTable, Memory, MemoryImage};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::f32::consts::PI;
+
+/// Link lengths of the arm.
+const L1: f32 = 0.5;
+const L2: f32 = 0.5;
+
+/// The inversek2j kernel.
+#[derive(Debug)]
+/// # Example
+///
+/// ```
+/// use dg_workloads::{kernels::Inversek2j, run_to_completion, prepare, Kernel};
+/// let kernel = Inversek2j::new(64, 1);
+/// let mut p = prepare(&kernel);
+/// run_to_completion(&kernel, &mut p.image, 1);
+/// let angles = kernel.output(&mut p.image);
+/// assert_eq!(angles.len(), 128); // theta1 and theta2 per target
+/// ```
+pub struct Inversek2j {
+    n: usize,
+    seed: u64,
+    tx: ArrayF32,
+    ty: ArrayF32,
+    theta1: ArrayF32,
+    theta2: ArrayF32,
+}
+
+impl Inversek2j {
+    /// `n` target points.
+    pub fn new(n: usize, seed: u64) -> Self {
+        assert!(n > 0);
+        let mut space = AddressSpace::new();
+        let alloc = |space: &mut AddressSpace| ArrayF32::new(space.alloc_blocks(4 * n as u64), n);
+        Inversek2j {
+            n,
+            seed,
+            tx: alloc(&mut space),
+            ty: alloc(&mut space),
+            theta1: alloc(&mut space),
+            theta2: alloc(&mut space),
+        }
+    }
+
+    /// Closed-form 2-joint inverse kinematics (elbow-down solution).
+    fn solve(x: f32, y: f32) -> (f32, f32) {
+        let d2 = x * x + y * y;
+        let cos_t2 = ((d2 - L1 * L1 - L2 * L2) / (2.0 * L1 * L2)).clamp(-1.0, 1.0);
+        let t2 = cos_t2.acos();
+        let k1 = L1 + L2 * cos_t2;
+        let k2 = L2 * t2.sin();
+        let t1 = y.atan2(x) - k2.atan2(k1);
+        (t1, t2)
+    }
+
+    /// Forward kinematics, for validation.
+    #[cfg(test)]
+    fn forward(t1: f32, t2: f32) -> (f32, f32) {
+        let x = L1 * t1.cos() + L2 * (t1 + t2).cos();
+        let y = L1 * t1.sin() + L2 * (t1 + t2).sin();
+        (x, y)
+    }
+}
+
+impl Kernel for Inversek2j {
+    fn name(&self) -> &'static str {
+        "inversek2j"
+    }
+
+    fn setup(&self, mem: &mut MemoryImage) -> AnnotationTable {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x1c2);
+        for i in 0..self.n {
+            // Reachable targets: radius within (0.2, 0.95), smooth path
+            // so consecutive targets are similar (a robot sweep).
+            let sweep = i as f32 / self.n as f32 * 2.0 * PI;
+            let r = 0.55 + 0.35 * (3.0 * sweep).sin() * rng.gen_range(0.9..1.0);
+            let phi = sweep + rng.gen_range(-0.02..0.02);
+            self.tx.set(mem, i, r * phi.cos());
+            self.ty.set(mem, i, r * phi.sin());
+        }
+        let mut t = AnnotationTable::new();
+        let reach = (L1 + L2) as f64;
+        t.add(self.tx.annotation(-reach, reach));
+        t.add(self.ty.annotation(-reach, reach));
+        t.add(self.theta1.annotation(-2.0 * PI as f64, 2.0 * PI as f64));
+        t.add(self.theta2.annotation(0.0, PI as f64));
+        t
+    }
+
+    fn phases(&self) -> usize {
+        1
+    }
+
+    fn run_phase(&self, mem: &mut dyn Memory, _phase: usize, tid: usize, threads: usize) {
+        for i in partition(self.n, tid, threads) {
+            let x = self.tx.get(mem, i);
+            let y = self.ty.get(mem, i);
+            mem.think(40); // acos/atan2/sqrt chain
+            let (t1, t2) = Self::solve(x, y);
+            self.theta1.set(mem, i, t1);
+            self.theta2.set(mem, i, t2);
+        }
+    }
+
+    fn output(&self, mem: &mut dyn Memory) -> Vec<f64> {
+        let mut out = Vec::with_capacity(2 * self.n);
+        for i in 0..self.n {
+            out.push(self.theta1.get(mem, i) as f64);
+        }
+        for i in 0..self.n {
+            out.push(self.theta2.get(mem, i) as f64);
+        }
+        out
+    }
+
+    fn error_metric(&self, precise: &[f64], approx: &[f64]) -> f64 {
+        mean_relative_error(precise, approx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{prepare, run_to_completion};
+
+    #[test]
+    fn inverse_then_forward_recovers_target() {
+        let k = Inversek2j::new(128, 4);
+        let mut p = prepare(&k);
+        run_to_completion(&k, &mut p.image, 1);
+        let mem = &mut p.image;
+        for i in 0..128 {
+            let (tx, ty) = (k.tx.get(mem, i), k.ty.get(mem, i));
+            let (t1, t2) = (k.theta1.get(mem, i), k.theta2.get(mem, i));
+            let (fx, fy) = Inversek2j::forward(t1, t2);
+            assert!(
+                (fx - tx).abs() < 1e-3 && (fy - ty).abs() < 1e-3,
+                "IK wrong at {i}: target ({tx},{ty}), got ({fx},{fy})"
+            );
+        }
+    }
+
+    #[test]
+    fn targets_are_reachable() {
+        let k = Inversek2j::new(64, 1);
+        let mut p = prepare(&k);
+        let mem = &mut p.image;
+        for i in 0..64 {
+            let (x, y) = (k.tx.get(mem, i), k.ty.get(mem, i));
+            let r = (x * x + y * y).sqrt();
+            assert!(r <= L1 + L2, "target {i} unreachable (r={r})");
+            assert!(r >= (L1 - L2).abs(), "target {i} inside dead zone");
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! AxBench `jmeint`: triangle-triangle intersection tests.
+//!
+//! For each pair of 3D triangles, decide whether they intersect
+//! (a separating-axis test). The triangle coordinates are annotated
+//! approximate; jmeint's approximate LLC footprint is 94.7% (Table 2).
+//! The error metric is the fraction of misclassified pairs.
+
+use crate::kernel::partition;
+use crate::metrics::mismatch_rate;
+use crate::{ArrayF32, ArrayI32, Kernel};
+use dg_mem::{AddressSpace, AnnotationTable, Memory, MemoryImage};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Floats per pair: two triangles × three vertices × xyz.
+const FLOATS_PER_PAIR: usize = 18;
+
+type Vec3 = [f32; 3];
+type Tri = [Vec3; 3];
+
+/// The jmeint kernel.
+#[derive(Debug)]
+pub struct Jmeint {
+    pairs: usize,
+    seed: u64,
+    coords: ArrayF32,
+    result: ArrayI32,
+}
+
+impl Jmeint {
+    /// `pairs` triangle pairs.
+    pub fn new(pairs: usize, seed: u64) -> Self {
+        assert!(pairs > 0);
+        let mut space = AddressSpace::new();
+        let coords =
+            ArrayF32::new(space.alloc_blocks((4 * pairs * FLOATS_PER_PAIR) as u64), pairs * FLOATS_PER_PAIR);
+        let result = ArrayI32::new(space.alloc_blocks(4 * pairs as u64), pairs);
+        Jmeint { pairs, seed, coords, result }
+    }
+
+    fn load_tri(&self, mem: &mut dyn Memory, pair: usize, which: usize) -> Tri {
+        let base = pair * FLOATS_PER_PAIR + which * 9;
+        let mut t = [[0.0f32; 3]; 3];
+        for v in 0..3 {
+            for c in 0..3 {
+                t[v][c] = self.coords.get(mem, base + v * 3 + c);
+            }
+        }
+        t
+    }
+
+    fn sub(a: Vec3, b: Vec3) -> Vec3 {
+        [a[0] - b[0], a[1] - b[1], a[2] - b[2]]
+    }
+
+    fn cross(a: Vec3, b: Vec3) -> Vec3 {
+        [
+            a[1] * b[2] - a[2] * b[1],
+            a[2] * b[0] - a[0] * b[2],
+            a[0] * b[1] - a[1] * b[0],
+        ]
+    }
+
+    fn dot(a: Vec3, b: Vec3) -> f32 {
+        a[0] * b[0] + a[1] * b[1] + a[2] * b[2]
+    }
+
+    /// Signed distances of `t`'s vertices from the plane of `other`.
+    fn plane_distances(t: &Tri, other: &Tri) -> [f32; 3] {
+        let n = Self::cross(Self::sub(other[1], other[0]), Self::sub(other[2], other[0]));
+        let d = -Self::dot(n, other[0]);
+        [
+            Self::dot(n, t[0]) + d,
+            Self::dot(n, t[1]) + d,
+            Self::dot(n, t[2]) + d,
+        ]
+    }
+
+    /// Separating-axis triangle-triangle intersection (Möller-style:
+    /// plane rejection tests, then axis tests on edge cross products).
+    fn intersects(t1: &Tri, t2: &Tri) -> bool {
+        let d1 = Self::plane_distances(t1, t2);
+        if d1.iter().all(|&d| d > 1e-7) || d1.iter().all(|&d| d < -1e-7) {
+            return false;
+        }
+        let d2 = Self::plane_distances(t2, t1);
+        if d2.iter().all(|&d| d > 1e-7) || d2.iter().all(|&d| d < -1e-7) {
+            return false;
+        }
+        // Full SAT over the 9 edge-pair cross products plus face normals.
+        let edges1 = [
+            Self::sub(t1[1], t1[0]),
+            Self::sub(t1[2], t1[1]),
+            Self::sub(t1[0], t1[2]),
+        ];
+        let edges2 = [
+            Self::sub(t2[1], t2[0]),
+            Self::sub(t2[2], t2[1]),
+            Self::sub(t2[0], t2[2]),
+        ];
+        let n1 = Self::cross(edges1[0], edges1[1]);
+        let n2 = Self::cross(edges2[0], edges2[1]);
+        let mut axes: Vec<Vec3> = Vec::with_capacity(17);
+        axes.push(n1);
+        axes.push(n2);
+        for e1 in &edges1 {
+            for e2 in &edges2 {
+                axes.push(Self::cross(*e1, *e2));
+            }
+        }
+        // In-plane edge normals handle the coplanar case, where every
+        // edge-pair cross product is parallel to the face normal.
+        for e in &edges1 {
+            axes.push(Self::cross(n1, *e));
+        }
+        for e in &edges2 {
+            axes.push(Self::cross(n2, *e));
+        }
+        for axis in axes {
+            if Self::dot(axis, axis) < 1e-12 {
+                continue;
+            }
+            let p1: Vec<f32> = t1.iter().map(|&v| Self::dot(axis, v)).collect();
+            let p2: Vec<f32> = t2.iter().map(|&v| Self::dot(axis, v)).collect();
+            let (min1, max1) = (
+                p1.iter().cloned().fold(f32::INFINITY, f32::min),
+                p1.iter().cloned().fold(f32::NEG_INFINITY, f32::max),
+            );
+            let (min2, max2) = (
+                p2.iter().cloned().fold(f32::INFINITY, f32::min),
+                p2.iter().cloned().fold(f32::NEG_INFINITY, f32::max),
+            );
+            if max1 < min2 || max2 < min1 {
+                return false; // separating axis found
+            }
+        }
+        true
+    }
+}
+
+impl Kernel for Jmeint {
+    fn name(&self) -> &'static str {
+        "jmeint"
+    }
+
+    fn setup(&self, mem: &mut MemoryImage) -> AnnotationTable {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x13e);
+        // Triangles come from meshes: vertices are drawn from a shared
+        // pool and whole triangles recur across pairs (adjacent faces
+        // of the same model are tested against many partners). This is
+        // where jmeint's block-granularity similarity comes from
+        // despite its poor element-wise similarity (paper §2 vs §5.1).
+        let pool_size = (self.pairs / 2).max(8);
+        let pool: Vec<[f32; 3]> = (0..pool_size)
+            .map(|_| {
+                [
+                    rng.gen_range(0.0..1.0f32),
+                    rng.gen_range(0.0..1.0f32),
+                    rng.gen_range(0.0..1.0f32),
+                ]
+            })
+            .collect();
+        // A library of triangles over the pooled vertices.
+        let tri_lib: Vec<[usize; 3]> = (0..pool_size)
+            .map(|i| {
+                let a = i;
+                let b = (i + 1 + rng.gen_range(0..4)) % pool_size;
+                let c = (i + 5 + rng.gen_range(0..7)) % pool_size;
+                [a, b, c]
+            })
+            .collect();
+        for p in 0..self.pairs {
+            for which in 0..2 {
+                let tri = &tri_lib[rng.gen_range(0..tri_lib.len())];
+                // A small jitter moves one model relative to the other.
+                let jitter: f32 = if which == 1 { rng.gen_range(-0.05..0.05) } else { 0.0 };
+                for v in 0..3 {
+                    let base = p * FLOATS_PER_PAIR + which * 9 + v * 3;
+                    let vert = pool[tri[v]];
+                    for c in 0..3 {
+                        self.coords
+                            .set(mem, base + c, (vert[c] + jitter).clamp(0.0, 1.0));
+                    }
+                }
+            }
+        }
+        let mut t = AnnotationTable::new();
+        t.add(self.coords.annotation(0.0, 1.0));
+        t
+    }
+
+    fn phases(&self) -> usize {
+        1
+    }
+
+    fn run_phase(&self, mem: &mut dyn Memory, _phase: usize, tid: usize, threads: usize) {
+        for p in partition(self.pairs, tid, threads) {
+            let t1 = self.load_tri(mem, p, 0);
+            let t2 = self.load_tri(mem, p, 1);
+            mem.think(180); // SAT axis tests
+            let hit = Self::intersects(&t1, &t2);
+            self.result.set(mem, p, hit as i32);
+        }
+    }
+
+    fn output(&self, mem: &mut dyn Memory) -> Vec<f64> {
+        (0..self.pairs).map(|p| self.result.get(mem, p) as f64).collect()
+    }
+
+    fn error_metric(&self, precise: &[f64], approx: &[f64]) -> f64 {
+        mismatch_rate(precise, approx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{prepare, run_to_completion};
+
+    fn tri(a: Vec3, b: Vec3, c: Vec3) -> Tri {
+        [a, b, c]
+    }
+
+    #[test]
+    fn coplanar_far_triangles_do_not_intersect() {
+        let t1 = tri([0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [0.0, 1.0, 0.0]);
+        let t2 = tri([10.0, 10.0, 0.0], [11.0, 10.0, 0.0], [10.0, 11.0, 0.0]);
+        assert!(!Jmeint::intersects(&t1, &t2));
+    }
+
+    #[test]
+    fn piercing_triangles_intersect() {
+        let t1 = tri([0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [0.0, 1.0, 0.0]);
+        // A triangle crossing through t1's plane inside it.
+        let t2 = tri([0.2, 0.2, -0.5], [0.3, 0.2, 0.5], [0.2, 0.3, 0.5]);
+        assert!(Jmeint::intersects(&t1, &t2));
+    }
+
+    #[test]
+    fn parallel_offset_triangles_do_not_intersect() {
+        let t1 = tri([0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [0.0, 1.0, 0.0]);
+        let t2 = tri([0.0, 0.0, 0.1], [1.0, 0.0, 0.1], [0.0, 1.0, 0.1]);
+        assert!(!Jmeint::intersects(&t1, &t2));
+    }
+
+    #[test]
+    fn workload_produces_mixed_classifications() {
+        let k = Jmeint::new(512, 3);
+        let mut p = prepare(&k);
+        run_to_completion(&k, &mut p.image, 2);
+        let out = k.output(&mut p.image);
+        let positives = out.iter().filter(|&&v| v == 1.0).count();
+        // The generator aims for a healthy mix of outcomes.
+        assert!(positives > 50 && positives < 462, "got {positives}/512 intersections");
+    }
+}

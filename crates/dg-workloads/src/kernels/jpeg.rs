@@ -1,0 +1,240 @@
+//! AxBench `jpeg`: DCT + quantization image codec.
+//!
+//! Encodes a grayscale image 8×8 block at a time — forward DCT,
+//! quantization with the standard JPEG luminance table — then decodes it
+//! back (dequantize, inverse DCT). Input pixels, coefficient planes and
+//! the decoded output are all annotated approximate (jpeg's approximate
+//! LLC footprint is 98.4%, Table 2). The error metric is the decoded
+//! image's RMSE, normalized to the 255 pixel range.
+
+use crate::kernel::partition;
+use crate::metrics::normalized_rmse;
+use crate::{ArrayF32, ArrayU8, Kernel};
+use dg_mem::{AddressSpace, AnnotationTable, Memory, MemoryImage};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::f32::consts::PI;
+
+/// The standard JPEG luminance quantization table (quality ~50).
+#[rustfmt::skip]
+const QTABLE: [f32; 64] = [
+    16.0, 11.0, 10.0, 16.0, 24.0, 40.0, 51.0, 61.0,
+    12.0, 12.0, 14.0, 19.0, 26.0, 58.0, 60.0, 55.0,
+    14.0, 13.0, 16.0, 24.0, 40.0, 57.0, 69.0, 56.0,
+    14.0, 17.0, 22.0, 29.0, 51.0, 87.0, 80.0, 62.0,
+    18.0, 22.0, 37.0, 56.0, 68.0, 109.0, 103.0, 77.0,
+    24.0, 35.0, 55.0, 64.0, 81.0, 104.0, 113.0, 92.0,
+    49.0, 64.0, 78.0, 87.0, 103.0, 121.0, 120.0, 101.0,
+    72.0, 92.0, 95.0, 98.0, 112.0, 100.0, 103.0, 99.0,
+];
+
+/// The jpeg kernel.
+#[derive(Debug)]
+/// # Example
+///
+/// ```
+/// use dg_workloads::{kernels::Jpeg, run_to_completion, prepare, Kernel};
+/// let kernel = Jpeg::new(16, 16, 3);
+/// let mut p = prepare(&kernel);
+/// run_to_completion(&kernel, &mut p.image, 1);
+/// let decoded = kernel.output(&mut p.image);
+/// assert_eq!(decoded.len(), 256);
+/// assert!(decoded.iter().all(|&v| (0.0..=255.0).contains(&v)));
+/// ```
+pub struct Jpeg {
+    width: usize,
+    height: usize,
+    seed: u64,
+    input: ArrayU8,
+    /// Quantized DCT coefficients (stored as f32 planes).
+    coeffs: ArrayF32,
+    output: ArrayU8,
+}
+
+impl Jpeg {
+    /// A `width × height` grayscale image (both multiples of 8).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both dimensions are positive multiples of 8.
+    pub fn new(width: usize, height: usize, seed: u64) -> Self {
+        assert!(
+            width.is_multiple_of(8) && height.is_multiple_of(8) && width > 0 && height > 0,
+            "image dimensions must be positive multiples of 8"
+        );
+        let n = width * height;
+        let mut space = AddressSpace::new();
+        let input = ArrayU8::new(space.alloc_blocks(n as u64), n);
+        let coeffs = ArrayF32::new(space.alloc_blocks(4 * n as u64), n);
+        let output = ArrayU8::new(space.alloc_blocks(n as u64), n);
+        Jpeg { width, height, seed, input, coeffs, output }
+    }
+
+    fn blocks(&self) -> usize {
+        (self.width / 8) * (self.height / 8)
+    }
+
+    fn block_origin(&self, b: usize) -> (usize, usize) {
+        let bw = self.width / 8;
+        ((b % bw) * 8, (b / bw) * 8)
+    }
+
+    fn dct_coef(u: usize, x: usize) -> f32 {
+        let cu = if u == 0 { (0.5f32).sqrt() } else { 1.0 };
+        0.5 * cu * ((2 * x + 1) as f32 * u as f32 * PI / 16.0).cos()
+    }
+
+    fn forward_block(&self, mem: &mut dyn Memory, b: usize) {
+        let (ox, oy) = self.block_origin(b);
+        // Load the 8x8 tile, centered around 0.
+        let mut tile = [[0.0f32; 8]; 8];
+        for y in 0..8 {
+            for x in 0..8 {
+                tile[y][x] = self.input.get(mem, (oy + y) * self.width + ox + x) as f32 - 128.0;
+            }
+        }
+        for v in 0..8 {
+            for u in 0..8 {
+                let mut acc = 0.0;
+                for y in 0..8 {
+                    for x in 0..8 {
+                        acc += tile[y][x] * Self::dct_coef(u, x) * Self::dct_coef(v, y);
+                    }
+                }
+                mem.think(140);
+                let q = (acc / QTABLE[v * 8 + u]).round();
+                self.coeffs.set(mem, (oy + v) * self.width + ox + u, q);
+            }
+        }
+    }
+
+    fn inverse_block(&self, mem: &mut dyn Memory, b: usize) {
+        let (ox, oy) = self.block_origin(b);
+        let mut coeff = [[0.0f32; 8]; 8];
+        for v in 0..8 {
+            for u in 0..8 {
+                coeff[v][u] =
+                    self.coeffs.get(mem, (oy + v) * self.width + ox + u) * QTABLE[v * 8 + u];
+            }
+        }
+        for y in 0..8 {
+            for x in 0..8 {
+                let mut acc = 0.0;
+                for v in 0..8 {
+                    for u in 0..8 {
+                        acc += coeff[v][u] * Self::dct_coef(u, x) * Self::dct_coef(v, y);
+                    }
+                }
+                mem.think(140);
+                let pixel = (acc + 128.0).round().clamp(0.0, 255.0) as u8;
+                self.output.set(mem, (oy + y) * self.width + ox + x, pixel);
+            }
+        }
+    }
+}
+
+impl Kernel for Jpeg {
+    fn name(&self) -> &'static str {
+        "jpeg"
+    }
+
+    fn setup(&self, mem: &mut MemoryImage) -> AnnotationTable {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x39e6);
+        // A natural-looking test card: smooth gradients + soft blobs +
+        // mild noise, so neighbouring blocks are approximately similar
+        // (the paper's Fig. 1 scenario).
+        let blobs: Vec<(f32, f32, f32, f32)> = (0..6)
+            .map(|_| {
+                (
+                    rng.gen_range(0.0..self.width as f32),
+                    rng.gen_range(0.0..self.height as f32),
+                    rng.gen_range(12.0..40.0),
+                    rng.gen_range(30.0..90.0),
+                )
+            })
+            .collect();
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let mut v = 90.0
+                    + 50.0 * (x as f32 / self.width as f32)
+                    + 25.0 * (y as f32 / self.height as f32);
+                for &(bx, by, r, a) in &blobs {
+                    let d2 = (x as f32 - bx).powi(2) + (y as f32 - by).powi(2);
+                    v += a * (-d2 / (2.0 * r * r)).exp();
+                }
+                v += rng.gen_range(-3.0..3.0);
+                self.input.set(mem, y * self.width + x, v.clamp(0.0, 255.0) as u8);
+            }
+        }
+        let mut t = AnnotationTable::new();
+        t.add(self.input.annotation(0.0, 255.0));
+        t.add(self.coeffs.annotation(-128.0, 128.0));
+        t.add(self.output.annotation(0.0, 255.0));
+        t
+    }
+
+    fn phases(&self) -> usize {
+        2 // forward+quantize, then dequantize+inverse
+    }
+
+    fn run_phase(&self, mem: &mut dyn Memory, phase: usize, tid: usize, threads: usize) {
+        for b in partition(self.blocks(), tid, threads) {
+            if phase == 0 {
+                self.forward_block(mem, b);
+            } else {
+                self.inverse_block(mem, b);
+            }
+        }
+    }
+
+    fn output(&self, mem: &mut dyn Memory) -> Vec<f64> {
+        (0..self.width * self.height)
+            .map(|i| self.output.get(mem, i) as f64)
+            .collect()
+    }
+
+    fn error_metric(&self, precise: &[f64], approx: &[f64]) -> f64 {
+        normalized_rmse(precise, approx, 255.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{prepare, run_to_completion};
+
+    #[test]
+    fn codec_roughly_preserves_the_image() {
+        let k = Jpeg::new(32, 32, 6);
+        let mut p = prepare(&k);
+        let original: Vec<f64> = {
+            let mem = &mut p.image;
+            (0..32 * 32).map(|i| k.input.get(mem, i) as f64).collect()
+        };
+        run_to_completion(&k, &mut p.image, 1);
+        let decoded = k.output(&mut p.image);
+        let err = normalized_rmse(&original, &decoded, 255.0);
+        // Quality-50 JPEG on a smooth image: a few percent RMSE.
+        assert!(err < 0.08, "codec destroyed the image: RMSE {err}");
+        assert!(err > 0.0, "lossless would be suspicious at quality 50");
+    }
+
+    #[test]
+    fn dct_basis_is_orthonormal() {
+        for u in 0..8 {
+            for v in 0..8 {
+                let dot: f32 = (0..8)
+                    .map(|x| Jpeg::dct_coef(u, x) * Jpeg::dct_coef(v, x))
+                    .sum();
+                let expect = if u == v { 1.0 } else { 0.0 };
+                assert!((dot - expect).abs() < 1e-5, "basis {u},{v}: {dot}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multiples of 8")]
+    fn rejects_unaligned_dimensions() {
+        Jpeg::new(30, 32, 0);
+    }
+}

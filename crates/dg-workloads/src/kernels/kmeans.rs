@@ -1,0 +1,223 @@
+//! AxBench `kmeans`: k-means clustering.
+//!
+//! Lloyd's algorithm: alternate assigning points to their nearest
+//! centroid and recomputing centroids as cluster means. Points and
+//! centroids are annotated approximate (kmeans' approximate LLC
+//! footprint is 59.6%, Table 2); the integer assignment array stays
+//! precise. The error metric is the mean relative error of the final
+//! centroid coordinates.
+
+use crate::kernel::partition;
+use crate::metrics::mean_relative_error;
+use crate::{ArrayF32, ArrayI32, Kernel};
+use dg_mem::{AddressSpace, AnnotationTable, Memory, MemoryImage};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The kmeans kernel.
+#[derive(Debug)]
+/// # Example
+///
+/// ```
+/// use dg_workloads::{kernels::Kmeans, run_to_completion, prepare, Kernel};
+/// let kernel = Kmeans::new(64, 4, 4, 2, 9);
+/// let mut p = prepare(&kernel);
+/// run_to_completion(&kernel, &mut p.image, 2);
+/// assert_eq!(kernel.output(&mut p.image).len(), 16); // k x dim centroids
+/// ```
+pub struct Kmeans {
+    points: usize,
+    dim: usize,
+    k: usize,
+    iterations: usize,
+    seed: u64,
+    /// Point coordinates, row-major `points × dim`.
+    data: ArrayF32,
+    /// Centroid coordinates, row-major `k × dim`.
+    centroids: ArrayF32,
+    /// Current assignment of each point.
+    assign: ArrayI32,
+}
+
+impl Kmeans {
+    /// Cluster `points` `dim`-dimensional points into `k` clusters for
+    /// `iterations` Lloyd iterations.
+    pub fn new(points: usize, dim: usize, k: usize, iterations: usize, seed: u64) -> Self {
+        assert!(points >= k && k > 0 && dim > 0 && iterations > 0);
+        let mut space = AddressSpace::new();
+        let data = ArrayF32::new(space.alloc_blocks((4 * points * dim) as u64), points * dim);
+        let centroids = ArrayF32::new(space.alloc_blocks((4 * k * dim) as u64), k * dim);
+        let assign = ArrayI32::new(space.alloc_blocks(4 * points as u64), points);
+        Kmeans { points, dim, k, iterations, seed, data, centroids, assign }
+    }
+
+    fn distance2(&self, mem: &mut dyn Memory, point: usize, centroid: usize) -> f32 {
+        let mut sum = 0.0;
+        for j in 0..self.dim {
+            let d = self.data.get(mem, point * self.dim + j)
+                - self.centroids.get(mem, centroid * self.dim + j);
+            sum += d * d;
+        }
+        mem.think(3 * self.dim as u32);
+        sum
+    }
+}
+
+impl Kernel for Kmeans {
+    fn name(&self) -> &'static str {
+        "kmeans"
+    }
+
+    fn setup(&self, mem: &mut MemoryImage) -> AnnotationTable {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x63a5);
+        // AxBench's kmeans clusters image pixels: coordinates are
+        // 8-bit-quantized color channels and flat image regions yield
+        // many duplicate points.
+        let centers: Vec<Vec<f32>> = (0..self.k)
+            .map(|_| (0..self.dim).map(|_| rng.gen_range(0.15..0.85)).collect())
+            .collect();
+        let quantize = |v: f32| (v.clamp(0.0, 1.0) * 255.0).round() / 255.0;
+        // Flat image regions duplicate whole block-aligned runs of
+        // points (`run` points cover whole 64 B blocks).
+        let run = (16usize).div_ceil(self.dim).max(1);
+        let mut i = 0;
+        while i < self.points {
+            let end = (i + run).min(self.points);
+            if i >= run.max(self.k) && rng.gen_bool(0.35) {
+                let src = rng.gen_range(0..i / run) * run;
+                for k in 0..end - i {
+                    for j in 0..self.dim {
+                        let v = self.data.get(mem, (src + k) * self.dim + j);
+                        self.data.set(mem, (i + k) * self.dim + j, v);
+                    }
+                }
+            } else {
+                for idx in i..end {
+                    let c = &centers[idx % self.k];
+                    for j in 0..self.dim {
+                        let v = quantize(c[j] + rng.gen_range(-0.06..0.06));
+                        self.data.set(mem, idx * self.dim + j, v);
+                    }
+                }
+            }
+            i = end;
+        }
+        // Initialize centroids to the first k points (standard seeding).
+        for c in 0..self.k {
+            for j in 0..self.dim {
+                let v = self.data.get(mem, c * self.dim + j);
+                self.centroids.set(mem, c * self.dim + j, v);
+            }
+        }
+        for i in 0..self.points {
+            self.assign.set(mem, i, 0);
+        }
+        let mut t = AnnotationTable::new();
+        t.add(self.data.annotation(0.0, 1.0));
+        t.add(self.centroids.annotation(0.0, 1.0));
+        t
+    }
+
+    fn phases(&self) -> usize {
+        2 * self.iterations
+    }
+
+    fn run_phase(&self, mem: &mut dyn Memory, phase: usize, tid: usize, threads: usize) {
+        if phase.is_multiple_of(2) {
+            // Assign step: each worker labels its partition.
+            for i in partition(self.points, tid, threads) {
+                let mut best = 0;
+                let mut best_d = f32::INFINITY;
+                for c in 0..self.k {
+                    let d = self.distance2(mem, i, c);
+                    if d < best_d {
+                        best_d = d;
+                        best = c;
+                    }
+                }
+                self.assign.set(mem, i, best as i32);
+            }
+        } else if tid == 0 {
+            // Update step: a serial reduction over all points.
+            let mut sums = vec![0.0f64; self.k * self.dim];
+            let mut counts = vec![0u32; self.k];
+            for i in 0..self.points {
+                let c = self.assign.get(mem, i) as usize;
+                counts[c] += 1;
+                for j in 0..self.dim {
+                    sums[c * self.dim + j] += self.data.get(mem, i * self.dim + j) as f64;
+                }
+                mem.think(2 * self.dim as u32);
+            }
+            for c in 0..self.k {
+                if counts[c] == 0 {
+                    continue; // keep an empty cluster's old centroid
+                }
+                for j in 0..self.dim {
+                    let mean = (sums[c * self.dim + j] / counts[c] as f64) as f32;
+                    self.centroids.set(mem, c * self.dim + j, mean);
+                }
+            }
+        }
+    }
+
+    fn output(&self, mem: &mut dyn Memory) -> Vec<f64> {
+        (0..self.k * self.dim)
+            .map(|i| self.centroids.get(mem, i) as f64)
+            .collect()
+    }
+
+    fn error_metric(&self, precise: &[f64], approx: &[f64]) -> f64 {
+        mean_relative_error(precise, approx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{prepare, run_to_completion};
+
+    #[test]
+    fn clustering_tightens_inertia() {
+        let k = Kmeans::new(256, 4, 4, 4, 8);
+        let mut p = prepare(&k);
+        let inertia = |k: &Kmeans, mem: &mut MemoryImage| -> f64 {
+            (0..k.points)
+                .map(|i| {
+                    (0..k.k)
+                        .map(|c| k.distance2(mem, i, c) as f64)
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .sum()
+        };
+        let before = inertia(&k, &mut p.image);
+        run_to_completion(&k, &mut p.image, 2);
+        let after = inertia(&k, &mut p.image);
+        assert!(after <= before, "k-means must not increase inertia: {before} -> {after}");
+    }
+
+    #[test]
+    fn centroids_stay_in_unit_box() {
+        let k = Kmeans::new(128, 4, 4, 3, 1);
+        let mut p = prepare(&k);
+        run_to_completion(&k, &mut p.image, 4);
+        for v in k.output(&mut p.image) {
+            assert!((0.0..=1.0).contains(&v), "centroid escaped: {v}");
+        }
+    }
+
+    #[test]
+    fn assignments_match_nearest_centroid_after_assign_phase() {
+        let k = Kmeans::new(64, 4, 4, 1, 2);
+        let mut p = prepare(&k);
+        crate::run_phase_range(&k, &mut p.image, 0..1, 1);
+        let mem = &mut p.image;
+        for i in 0..64 {
+            let assigned = k.assign.get(mem, i) as usize;
+            let d_assigned = k.distance2(mem, i, assigned);
+            for c in 0..4 {
+                assert!(k.distance2(mem, i, c) >= d_assigned - 1e-6);
+            }
+        }
+    }
+}

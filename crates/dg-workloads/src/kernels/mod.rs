@@ -1,0 +1,87 @@
+//! The nine paper benchmarks (PARSEC + AxBench re-implementations).
+//!
+//! | kernel | suite | algorithm | approximate data (annotated) | error metric |
+//! |---|---|---|---|---|
+//! | [`Blackscholes`] | PARSEC | closed-form option pricing | option parameters | mean relative price error |
+//! | [`Canneal`] | PARSEC | simulated-annealing placement | element coordinates | relative routing-cost error |
+//! | [`Ferret`] | PARSEC | content-based similarity search | feature vectors | top-K rank mismatch |
+//! | [`Fluidanimate`] | PARSEC | SPH fluid simulation | particle densities | mean relative position error |
+//! | [`Inversek2j`] | AxBench | 2-joint inverse kinematics | target and angle arrays | mean relative angle error |
+//! | [`Jmeint`] | AxBench | triangle-pair intersection | triangle coordinates | classification mismatch rate |
+//! | [`Jpeg`] | AxBench | DCT + quantization codec | image planes and coefficients | normalized RMSE |
+//! | [`Kmeans`] | AxBench | k-means clustering | point and centroid coordinates | mean relative centroid error |
+//! | [`Swaptions`] | PARSEC | Monte-Carlo swaption pricing | swaption parameters | mean relative price error |
+
+mod blackscholes;
+mod canneal;
+mod ferret;
+mod fluidanimate;
+mod inversek2j;
+mod jmeint;
+mod jpeg;
+mod kmeans;
+mod swaptions;
+
+pub use blackscholes::Blackscholes;
+pub use canneal::Canneal;
+pub use ferret::Ferret;
+pub use fluidanimate::Fluidanimate;
+pub use inversek2j::Inversek2j;
+pub use jmeint::Jmeint;
+pub use jpeg::Jpeg;
+pub use kmeans::Kmeans;
+pub use swaptions::Swaptions;
+
+#[cfg(test)]
+mod suite_tests {
+    use crate::{prepare, run_to_completion};
+
+    /// Shared smoke test: every kernel sets up, runs with 1 and 4
+    /// threads, and produces identical output on a precise memory
+    /// (thread count must not change precise semantics).
+    #[test]
+    fn all_kernels_are_thread_count_invariant() {
+        for kernel in crate::small_suite(7) {
+            let mut p1 = prepare(kernel.as_ref());
+            run_to_completion(kernel.as_ref(), &mut p1.image, 1);
+            let out1 = kernel.output(&mut p1.image);
+
+            let mut p4 = prepare(kernel.as_ref());
+            run_to_completion(kernel.as_ref(), &mut p4.image, 4);
+            let out4 = kernel.output(&mut p4.image);
+
+            assert_eq!(out1, out4, "{} differs across thread counts", kernel.name());
+            assert!(!out1.is_empty(), "{} has empty output", kernel.name());
+        }
+    }
+
+    /// Every kernel is deterministic in its seed.
+    #[test]
+    fn all_kernels_deterministic() {
+        for (a, b) in crate::small_suite(3).into_iter().zip(crate::small_suite(3)) {
+            let mut pa = prepare(a.as_ref());
+            run_to_completion(a.as_ref(), &mut pa.image, 2);
+            let mut pb = prepare(b.as_ref());
+            run_to_completion(b.as_ref(), &mut pb.image, 2);
+            assert_eq!(a.output(&mut pa.image), b.output(&mut pb.image), "{}", a.name());
+        }
+    }
+
+    /// Every kernel annotates at least one approximate region, and the
+    /// error metric is zero for identical outputs.
+    #[test]
+    fn annotations_and_zero_error() {
+        for kernel in crate::small_suite(5) {
+            let mut p = prepare(kernel.as_ref());
+            assert!(
+                !p.annotations.is_empty(),
+                "{} has no approximate annotations",
+                kernel.name()
+            );
+            run_to_completion(kernel.as_ref(), &mut p.image, 1);
+            let out = kernel.output(&mut p.image);
+            let err = kernel.error_metric(&out, &out);
+            assert_eq!(err, 0.0, "{} self-error nonzero", kernel.name());
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! PARSEC `swaptions`: Monte-Carlo swaption pricing.
+//!
+//! Prices a portfolio of European swaptions by simulating short-rate
+//! paths (a one-factor Hull-White-style model driven by precomputed
+//! Gaussian shocks) and averaging discounted payoffs. Only the small
+//! swaption-parameter arrays are annotated approximate — the large
+//! random-shock buffers are precise intermediates — matching swaptions'
+//! tiny approximate LLC footprint (Table 2: 1.5%).
+
+use crate::kernel::partition;
+use crate::metrics::mean_relative_error;
+use crate::{ArrayF32, ArrayF64, Kernel};
+use dg_mem::{AddressSpace, AnnotationTable, Memory, MemoryImage};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Timesteps per simulated path.
+const STEPS: usize = 16;
+
+/// Floats per swaption record: (strike, rate0, vol, tenor).
+const FIELDS: usize = 4;
+
+/// The swaptions kernel.
+#[derive(Debug)]
+pub struct Swaptions {
+    swaptions: usize,
+    paths: usize,
+    seed: u64,
+    /// Approximate inputs, AoS layout: records of
+    /// (strike, rate0, vol, tenor), four records per 64 B block.
+    params: ArrayF32,
+    /// Precise Gaussian shocks, `paths × STEPS`.
+    shocks: ArrayF32,
+    /// Output prices.
+    price: ArrayF64,
+}
+
+impl Swaptions {
+    /// `swaptions` instruments priced over `paths` Monte-Carlo paths.
+    pub fn new(swaptions: usize, paths: usize, seed: u64) -> Self {
+        assert!(swaptions > 0 && paths > 0);
+        let mut space = AddressSpace::new();
+        let alloc_f = |space: &mut AddressSpace, n: usize| ArrayF32::new(space.alloc_blocks(4 * n as u64), n);
+        Swaptions {
+            swaptions,
+            paths,
+            seed,
+            params: alloc_f(&mut space, swaptions * FIELDS),
+            shocks: alloc_f(&mut space, paths * STEPS),
+            price: ArrayF64::new(space.alloc_blocks(8 * swaptions as u64), swaptions),
+        }
+    }
+
+    fn field(&self, mem: &mut dyn Memory, s: usize, f: usize) -> f32 {
+        self.params.get(mem, s * FIELDS + f)
+    }
+
+    fn set_field(&self, mem: &mut dyn Memory, s: usize, f: usize, v: f32) {
+        self.params.set(mem, s * FIELDS + f, v)
+    }
+
+    /// Price one swaption by path simulation.
+    fn price_one(&self, mem: &mut dyn Memory, s: usize) -> f64 {
+        let strike = self.field(mem, s, 0);
+        let r0 = self.field(mem, s, 1);
+        let vol = self.field(mem, s, 2);
+        let tenor = self.field(mem, s, 3).max(0.5);
+        let dt = tenor / STEPS as f32;
+        let mut sum = 0.0f64;
+        for p in 0..self.paths {
+            // Simulate the short rate with mean reversion toward r0.
+            let mut r = r0;
+            let mut discount = 0.0f32;
+            for t in 0..STEPS {
+                let z = self.shocks.get(mem, p * STEPS + t);
+                r += 0.1 * (r0 - r) * dt + vol * z * dt.sqrt();
+                r = r.max(0.0);
+                discount += r * dt;
+                mem.think(10);
+            }
+            // Payer swaption payoff at expiry: the positive part of the
+            // terminal rate over the strike, annuity-weighted.
+            let payoff = (r - strike).max(0.0) * tenor;
+            sum += ((-discount).exp() * payoff) as f64;
+        }
+        sum / self.paths as f64
+    }
+}
+
+impl Kernel for Swaptions {
+    fn name(&self) -> &'static str {
+        "swaptions"
+    }
+
+    fn setup(&self, mem: &mut MemoryImage) -> AnnotationTable {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x54a9);
+        // Interest-rate parameters share a handful of market-quoted
+        // values (the exact redundancy noted in §2).
+        let rates = [0.02f32, 0.025, 0.03];
+        // Four records per 64 B block; repeat earlier block-aligned runs
+        // (the same instruments reappear across books).
+        const CHUNK: usize = 4;
+        let mut s0 = 0;
+        while s0 < self.swaptions {
+            let end = (s0 + CHUNK).min(self.swaptions);
+            if s0 >= CHUNK && rng.gen_bool(0.5) {
+                let src = rng.gen_range(0..s0 / CHUNK) * CHUNK;
+                // Half exact repeats, half re-marked records with noise
+                // below the 14-bit map bin (6/2^14 ≈ 3.7e-4).
+                let noise: f32 =
+                    if rng.gen_bool(0.5) { 0.0 } else { rng.gen_range(1.0e-6..5.0e-5) };
+                for k in 0..end - s0 {
+                    for f in 0..FIELDS {
+                        let v = self.field(mem, src + k, f);
+                        self.set_field(mem, s0 + k, f, v + noise);
+                    }
+                }
+            } else {
+                for s in s0..end {
+                    self.set_field(mem, s, 0, rng.gen_range(0.015..0.045));
+                    self.set_field(mem, s, 1, rates[rng.gen_range(0..rates.len())]);
+                    self.set_field(mem, s, 2, rng.gen_range(0.005..0.02));
+                    self.set_field(mem, s, 3, rng.gen_range(1.0..5.0));
+                }
+            }
+            s0 = end;
+        }
+        // Box-Muller Gaussian shocks (precise data).
+        let mut i = 0;
+        while i < self.paths * STEPS {
+            let u1: f32 = rng.gen_range(1e-6..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            let mag = (-2.0 * u1.ln()).sqrt();
+            self.shocks.set(mem, i, mag * (2.0 * std::f32::consts::PI * u2).cos());
+            i += 1;
+            if i < self.paths * STEPS {
+                self.shocks.set(mem, i, mag * (2.0 * std::f32::consts::PI * u2).sin());
+                i += 1;
+            }
+        }
+        let mut t = AnnotationTable::new();
+        // One conservative range covers every field of the record —
+        // exactly the single-range-per-type simplification the paper
+        // describes (§4.1) and blames for swaptions' sensitivity (§5.2:
+        // rates are much smaller than tenors, so they are "overly
+        // susceptible to approximate similarity").
+        t.add(self.params.annotation(0.0, 6.0));
+        t
+    }
+
+    fn phases(&self) -> usize {
+        1
+    }
+
+    fn run_phase(&self, mem: &mut dyn Memory, _phase: usize, tid: usize, threads: usize) {
+        for s in partition(self.swaptions, tid, threads) {
+            let p = self.price_one(mem, s);
+            self.price.set(mem, s, p);
+        }
+    }
+
+    fn output(&self, mem: &mut dyn Memory) -> Vec<f64> {
+        (0..self.swaptions).map(|s| self.price.get(mem, s)).collect()
+    }
+
+    fn error_metric(&self, precise: &[f64], approx: &[f64]) -> f64 {
+        mean_relative_error(precise, approx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{prepare, run_to_completion};
+
+    #[test]
+    fn prices_are_nonnegative_and_small() {
+        let k = Swaptions::new(16, 64, 3);
+        let mut p = prepare(&k);
+        run_to_completion(&k, &mut p.image, 2);
+        for v in k.output(&mut p.image) {
+            assert!(v >= 0.0, "negative swaption price {v}");
+            assert!(v < 1.0, "implausible swaption price {v}");
+        }
+    }
+
+    #[test]
+    fn deeper_in_the_money_is_worth_more() {
+        // Manually craft two swaptions identical except for the strike.
+        let k = Swaptions::new(2, 256, 5);
+        let mut p = prepare(&k);
+        let mem = &mut p.image;
+        for s in 0..2 {
+            k.set_field(mem, s, 1, 0.03);
+            k.set_field(mem, s, 2, 0.01);
+            k.set_field(mem, s, 3, 3.0);
+        }
+        k.set_field(mem, 0, 0, 0.020); // deep in the money
+        k.set_field(mem, 1, 0, 0.040); // out of the money
+        run_to_completion(&k, &mut p.image, 1);
+        let out = k.output(&mut p.image);
+        assert!(out[0] > out[1], "lower strike must be worth more: {out:?}");
+    }
+
+    #[test]
+    fn shocks_look_standard_normal() {
+        let k = Swaptions::new(2, 512, 9);
+        let mut p = prepare(&k);
+        let mem = &mut p.image;
+        let n = 512 * STEPS;
+        let mut sum = 0.0f64;
+        let mut sum2 = 0.0f64;
+        for i in 0..n {
+            let z = k.shocks.get(mem, i) as f64;
+            sum += z;
+            sum2 += z * z;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.05, "shock mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "shock variance {var}");
+    }
+}

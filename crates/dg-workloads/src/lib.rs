@@ -1,0 +1,105 @@
+//! Annotated approximate-computing workloads (paper §4.1).
+//!
+//! The paper evaluates Doppelgänger on PARSEC and AxBench applications.
+//! Those suites are C/C++ binaries instrumented with Pin; here each
+//! benchmark is re-implemented from scratch as a small Rust kernel that
+//!
+//! * computes the **real algorithm** (Black-Scholes pricing, simulated
+//!   annealing, feature-vector search, SPH fluid step, 2-joint inverse
+//!   kinematics, triangle-pair intersection, JPEG DCT + quantization,
+//!   k-means clustering, Monte-Carlo swaption pricing) on synthetic,
+//!   seeded inputs;
+//! * performs **all data accesses through the [`dg_mem::Memory`]
+//!   interface**, so the same kernel can run against a precise memory
+//!   image (golden run), a recording memory (trace capture for the
+//!   timing simulator) or a functional cache model (approximation feeds
+//!   back into the computation — the paper's Pin methodology);
+//! * carries the paper's **programmer annotations**: which arrays are
+//!   approximate, their element type and expected value range
+//!   (Table 2's approximate LLC footprints guided which arrays are
+//!   annotated);
+//! * defines the paper's **output-error metric** for its final output.
+//!
+//! # Example
+//!
+//! ```
+//! use dg_workloads::{Kernel, kernels::Blackscholes, run_to_completion};
+//! use dg_mem::MemoryImage;
+//!
+//! let kernel = Blackscholes::new(256, 42);
+//! let mut mem = MemoryImage::new();
+//! let annots = kernel.setup(&mut mem);
+//! assert!(!annots.is_empty());
+//! run_to_completion(&kernel, &mut mem, 1);
+//! let out = kernel.output(&mut mem);
+//! assert_eq!(out.len(), 2 * 256); // a call and a put price per option
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+// The kernels deliberately keep the C-style indexed loops of the
+// original PARSEC/AxBench codes they re-implement.
+#![allow(clippy::needless_range_loop)]
+
+mod array;
+mod kernel;
+pub mod kernels;
+pub mod metrics;
+
+pub use array::{ArrayF32, ArrayF64, ArrayI32, ArrayU8};
+pub use kernel::{run_phase_range, run_to_completion, Kernel};
+
+use dg_mem::{AnnotationTable, MemoryImage};
+
+/// Construct every paper benchmark at its default (simulation-friendly)
+/// scale with a fixed seed.
+///
+/// Names match the paper's Table 2: `blackscholes`, `canneal`, `ferret`,
+/// `fluidanimate`, `inversek2j`, `jmeint`, `jpeg`, `kmeans`,
+/// `swaptions`.
+pub fn paper_suite(seed: u64) -> Vec<Box<dyn Kernel>> {
+    vec![
+        Box::new(kernels::Blackscholes::new(24 * 1024, seed)),
+        Box::new(kernels::Canneal::new(32 * 1024, 36_000, seed)),
+        Box::new(kernels::Ferret::new(1280, 48, 32, seed)),
+        Box::new(kernels::Fluidanimate::new(6 * 1024, 3, seed)),
+        Box::new(kernels::Inversek2j::new(48 * 1024, seed)),
+        Box::new(kernels::Jmeint::new(16 * 1024, seed)),
+        Box::new(kernels::Jpeg::new(256, 256, seed)),
+        Box::new(kernels::Kmeans::new(5 * 1024, 16, 8, 5, seed)),
+        Box::new(kernels::Swaptions::new(96, 1024, seed)),
+    ]
+}
+
+/// A smaller suite for fast tests and examples (same kernels, reduced
+/// problem sizes).
+pub fn small_suite(seed: u64) -> Vec<Box<dyn Kernel>> {
+    vec![
+        Box::new(kernels::Blackscholes::new(512, seed)),
+        Box::new(kernels::Canneal::new(1024, 2_000, seed)),
+        Box::new(kernels::Ferret::new(256, 8, 16, seed)),
+        Box::new(kernels::Fluidanimate::new(256, 2, seed)),
+        Box::new(kernels::Inversek2j::new(1024, seed)),
+        Box::new(kernels::Jmeint::new(512, seed)),
+        Box::new(kernels::Jpeg::new(64, 64, seed)),
+        Box::new(kernels::Kmeans::new(512, 8, 4, 3, seed)),
+        Box::new(kernels::Swaptions::new(8, 32, seed)),
+    ]
+}
+
+/// Prepared state for a kernel: its initial memory image and
+/// annotations.
+#[derive(Debug)]
+pub struct Prepared {
+    /// Memory contents after [`Kernel::setup`].
+    pub image: MemoryImage,
+    /// The kernel's approximate-region annotations.
+    pub annotations: AnnotationTable,
+}
+
+/// Run a kernel's setup into a fresh image.
+pub fn prepare(kernel: &dyn Kernel) -> Prepared {
+    let mut image = MemoryImage::new();
+    let annotations = kernel.setup(&mut image);
+    Prepared { image, annotations }
+}

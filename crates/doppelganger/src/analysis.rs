@@ -1,0 +1,197 @@
+//! Offline approximate-similarity analyses (paper §2, §5.1).
+//!
+//! These functions measure, over a snapshot of LLC-resident approximate
+//! blocks, how much data storage could be saved if similar blocks shared
+//! one data entry. They regenerate:
+//!
+//! * **Fig. 2** — element-wise similarity under a threshold `T`
+//!   ([`threshold_savings`]);
+//! * **Fig. 7** — map-based similarity for varying map spaces
+//!   ([`map_savings`]);
+//! * the Doppelgänger columns of **Fig. 8**.
+
+use crate::MapSpace;
+use dg_mem::{ApproxRegion, BlockData};
+use std::collections::HashSet;
+
+/// Result of a storage-savings analysis over a set of approximate
+/// blocks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SavingsReport {
+    /// Number of approximate blocks considered.
+    pub total_blocks: usize,
+    /// Number of data blocks that must actually be stored.
+    pub stored_blocks: usize,
+}
+
+impl SavingsReport {
+    /// Fraction of approximate data storage saved
+    /// (`1 − stored/total`; 0 when no blocks were considered).
+    pub fn savings(&self) -> f64 {
+        if self.total_blocks == 0 {
+            0.0
+        } else {
+            1.0 - self.stored_blocks as f64 / self.total_blocks as f64
+        }
+    }
+}
+
+/// Storage savings when blocks with equal Doppelgänger maps share one
+/// entry (Fig. 7): `stored` is the number of *unique maps*.
+///
+/// # Example
+///
+/// ```
+/// use doppelganger::{MapSpace, analysis::map_savings};
+/// use dg_mem::{Addr, ApproxRegion, BlockData, ElemType};
+///
+/// let r = ApproxRegion::new(Addr(0), 1 << 20, ElemType::F32, 0.0, 100.0);
+/// let blocks = [
+///     BlockData::from_values(ElemType::F32, &[10.0; 16]),
+///     BlockData::from_values(ElemType::F32, &[10.001; 16]), // same map
+///     BlockData::from_values(ElemType::F32, &[90.0; 16]),   // different
+/// ];
+/// let report = map_savings(blocks.iter().map(|b| (b, &r)), MapSpace::new(14));
+/// assert_eq!(report.total_blocks, 3);
+/// assert_eq!(report.stored_blocks, 2);
+/// ```
+pub fn map_savings<'a>(
+    blocks: impl IntoIterator<Item = (&'a BlockData, &'a ApproxRegion)>,
+    space: MapSpace,
+) -> SavingsReport {
+    let mut total = 0;
+    let mut unique = HashSet::new();
+    for (block, region) in blocks {
+        total += 1;
+        // Maps are only comparable within the same annotation (type and
+        // range); key the set by the annotation's identity too.
+        let key = (
+            region.ty,
+            region.min.to_bits(),
+            region.max.to_bits(),
+            space.map_block(block, region),
+        );
+        unique.insert(key);
+    }
+    SavingsReport { total_blocks: total, stored_blocks: unique.len() }
+}
+
+/// Storage savings under the element-wise similarity definition of §2
+/// (Fig. 2): two blocks are approximately similar if **every** pair of
+/// corresponding elements differs by at most `t` (a fraction, e.g.
+/// `0.01` for 1%) of the annotated value range.
+///
+/// Uses greedy representative clustering: each block joins the first
+/// already-stored block it is similar to, otherwise it becomes a new
+/// representative. `stored` is the number of representatives. `t == 0`
+/// uses exact byte equality (a hash set), matching the paper's
+/// observation that T = 0% is plain deduplication.
+pub fn threshold_savings<'a>(
+    blocks: impl IntoIterator<Item = (&'a BlockData, &'a ApproxRegion)>,
+    t: f64,
+) -> SavingsReport {
+    let blocks: Vec<_> = blocks.into_iter().collect();
+    let total = blocks.len();
+    if t == 0.0 {
+        let unique: HashSet<&[u8; 64]> = blocks.iter().map(|(b, _)| b.as_bytes()).collect();
+        return SavingsReport { total_blocks: total, stored_blocks: unique.len() };
+    }
+    // Greedy clustering against stored representatives; comparable only
+    // within the same annotation envelope.
+    let mut reps: Vec<(&BlockData, &ApproxRegion)> = Vec::new();
+    for (block, region) in &blocks {
+        let found = reps.iter().any(|(rep, rep_region)| {
+            rep_region.ty == region.ty
+                && rep_region.min == region.min
+                && rep_region.max == region.max
+                && block.approx_similar(rep, region.ty, t, region.range())
+        });
+        if !found {
+            reps.push((block, region));
+        }
+    }
+    SavingsReport { total_blocks: total, stored_blocks: reps.len() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_mem::{Addr, ElemType};
+
+    fn r() -> ApproxRegion {
+        ApproxRegion::new(Addr(0), 1 << 20, ElemType::F32, 0.0, 100.0)
+    }
+
+    fn blk(v: f64) -> BlockData {
+        BlockData::from_values(ElemType::F32, &[v; 16])
+    }
+
+    #[test]
+    fn empty_input_saves_nothing() {
+        let region = r();
+        let report = map_savings(std::iter::empty(), MapSpace::new(14));
+        assert_eq!(report.savings(), 0.0);
+        let report = threshold_savings(std::iter::empty(), 0.01);
+        assert_eq!(report.savings(), 0.0);
+        let _ = region;
+    }
+
+    #[test]
+    fn identical_blocks_save_maximally() {
+        let region = r();
+        let blocks = vec![blk(5.0); 4];
+        let report = map_savings(blocks.iter().map(|b| (b, &region)), MapSpace::new(14));
+        assert_eq!(report.stored_blocks, 1);
+        // Paper's example: 4 similar blocks => 75% savings.
+        assert_eq!(report.savings(), 0.75);
+    }
+
+    #[test]
+    fn threshold_zero_is_exact_dedup() {
+        let region = r();
+        let blocks = [blk(5.0), blk(5.0), blk(5.001)];
+        let report = threshold_savings(blocks.iter().map(|b| (b, &region)), 0.0);
+        assert_eq!(report.stored_blocks, 2);
+    }
+
+    #[test]
+    fn relaxing_threshold_increases_savings() {
+        let region = r();
+        let blocks: Vec<BlockData> = (0..10).map(|i| blk(10.0 + i as f64 * 0.05)).collect();
+        let tight = threshold_savings(blocks.iter().map(|b| (b, &region)), 0.0001);
+        let loose = threshold_savings(blocks.iter().map(|b| (b, &region)), 0.01);
+        assert!(loose.savings() >= tight.savings());
+        assert!(loose.savings() > 0.5, "0.45 spread within 1% of 100-range");
+    }
+
+    #[test]
+    fn larger_map_space_reduces_savings() {
+        let region = r();
+        let blocks: Vec<BlockData> = (0..32).map(|i| blk(10.0 + i as f64 * 0.02)).collect();
+        let coarse = map_savings(blocks.iter().map(|b| (b, &region)), MapSpace::new(8));
+        let fine = map_savings(blocks.iter().map(|b| (b, &region)), MapSpace::new(16));
+        assert!(coarse.savings() >= fine.savings());
+    }
+
+    #[test]
+    fn blocks_from_different_annotations_never_merge() {
+        let ra = r();
+        let rb = ApproxRegion::new(Addr(0), 1 << 20, ElemType::F32, 0.0, 200.0);
+        let b = blk(10.0);
+        let report = map_savings([(&b, &ra), (&b, &rb)], MapSpace::new(14));
+        assert_eq!(report.stored_blocks, 2);
+    }
+
+    #[test]
+    fn one_element_violation_defeats_threshold_similarity() {
+        // §2: "only one pair of elements needs to exceed the threshold T
+        // to deem the entire block not similar".
+        let region = r();
+        let a = blk(10.0);
+        let mut vals = [10.0; 16];
+        vals[7] = 90.0;
+        let b = BlockData::from_values(ElemType::F32, &vals);
+        let report = threshold_savings([(&a, &region), (&b, &region)], 0.01);
+        assert_eq!(report.stored_blocks, 2);
+    }
+}

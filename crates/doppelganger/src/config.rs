@@ -1,0 +1,154 @@
+//! Doppelgänger cache configuration.
+
+use crate::MapSpace;
+use dg_cache::CacheGeometry;
+
+/// Configuration of a Doppelgänger (or uniDoppelgänger) cache.
+///
+/// # Example
+///
+/// ```
+/// use doppelganger::DoppelgangerConfig;
+/// // The paper's split-LLC configuration (Table 1):
+/// let c = DoppelgangerConfig::paper_split();
+/// assert_eq!(c.tag_geometry().entries(), 16 * 1024);  // 1 MB tag-equivalent
+/// assert_eq!(c.data_geometry().entries(), 4 * 1024);  // 256 KB (1/4 capacity)
+/// assert_eq!(c.map_space.m_bits(), 14);
+/// assert!(!c.unified);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DoppelgangerConfig {
+    /// Total tag-array entries (e.g. 16 K for a 1 MB tag-equivalent).
+    pub tag_entries: usize,
+    /// Tag-array associativity.
+    pub tag_ways: usize,
+    /// Total approximate-data-array entries.
+    pub data_entries: usize,
+    /// Data/MTag-array associativity.
+    pub data_ways: usize,
+    /// The map space `M`.
+    pub map_space: MapSpace,
+    /// Whether precise blocks may reside in the same arrays
+    /// (uniDoppelgänger, paper §3.8).
+    pub unified: bool,
+}
+
+impl DoppelgangerConfig {
+    /// The paper's split-LLC Doppelgänger (Table 1): 16 K tags (1 MB
+    /// equivalent), 16-way; 4 K-entry (256 KB, 1/4 capacity) data array,
+    /// 16-way; 14-bit map space.
+    pub fn paper_split() -> Self {
+        DoppelgangerConfig {
+            tag_entries: 16 * 1024,
+            tag_ways: 16,
+            data_entries: 4 * 1024,
+            data_ways: 16,
+            map_space: MapSpace::paper_default(),
+            unified: false,
+        }
+    }
+
+    /// The paper's uniDoppelgänger (Table 1): 32 K tags (2 MB
+    /// equivalent), 16-way; 16 K-entry (1 MB, 1/2 capacity) data array,
+    /// 16-way; 14-bit map space; unified precise + approximate storage.
+    pub fn paper_unified() -> Self {
+        DoppelgangerConfig {
+            tag_entries: 32 * 1024,
+            tag_ways: 16,
+            data_entries: 16 * 1024,
+            data_ways: 16,
+            map_space: MapSpace::paper_default(),
+            unified: true,
+        }
+    }
+
+    /// Same configuration with the data array resized to
+    /// `numer/denom` of the tag-entry count (the x-axis of
+    /// Figs. 10–14: 1/2, 1/4, 1/8 and uniDoppelgänger's 3/4, 1/2, 1/4).
+    ///
+    /// If the requested size does not divide into a power-of-two number
+    /// of sets at the current associativity (e.g. the 3/4 data array),
+    /// the associativity is widened to the next ratio that does —
+    /// mirroring how hardware would realize such a capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting entry count is zero or cannot form a
+    /// power-of-two set count at any associativity.
+    pub fn with_data_fraction(mut self, numer: usize, denom: usize) -> Self {
+        let entries = self.tag_entries * numer / denom;
+        assert!(entries > 0, "data array must have entries");
+        self.data_entries = entries;
+        let sets = entries / self.data_ways;
+        if !entries.is_multiple_of(self.data_ways) || !sets.is_power_of_two() {
+            let sets = (entries / self.data_ways).next_power_of_two() / 2;
+            assert!(sets > 0 && entries.is_multiple_of(sets), "cannot shape {entries} entries");
+            self.data_ways = entries / sets;
+        }
+        self
+    }
+
+    /// Same configuration with a different map space.
+    pub fn with_map_space(mut self, m_bits: u32) -> Self {
+        self.map_space = MapSpace::new(m_bits);
+        self
+    }
+
+    /// Geometry of the tag array.
+    pub fn tag_geometry(&self) -> CacheGeometry {
+        CacheGeometry::from_entries(self.tag_entries, self.tag_ways)
+    }
+
+    /// Geometry of the MTag + data array.
+    pub fn data_geometry(&self) -> CacheGeometry {
+        CacheGeometry::from_entries(self.data_entries, self.data_ways)
+    }
+
+    /// Width of a tag pointer (log2 of tag entries), bits.
+    pub fn tag_pointer_bits(&self) -> u32 {
+        (self.tag_entries as u64).trailing_zeros()
+    }
+}
+
+impl Default for DoppelgangerConfig {
+    fn default() -> Self {
+        Self::paper_split()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_split_shape() {
+        let c = DoppelgangerConfig::paper_split();
+        assert_eq!(c.tag_geometry().sets(), 1024);
+        assert_eq!(c.data_geometry().sets(), 256);
+        assert_eq!(c.data_geometry().capacity_bytes(), 256 << 10);
+        assert_eq!(c.tag_pointer_bits(), 14); // Table 3: 14-bit pointers
+    }
+
+    #[test]
+    fn paper_unified_shape() {
+        let c = DoppelgangerConfig::paper_unified();
+        assert_eq!(c.tag_geometry().entries(), 32 * 1024);
+        assert_eq!(c.data_geometry().capacity_bytes(), 1 << 20);
+        assert_eq!(c.tag_pointer_bits(), 15); // Table 3: 15-bit pointers
+        assert!(c.unified);
+    }
+
+    #[test]
+    fn data_fraction_resizes() {
+        let c = DoppelgangerConfig::paper_split().with_data_fraction(1, 8);
+        assert_eq!(c.data_entries, 2 * 1024);
+        let c = DoppelgangerConfig::paper_unified().with_data_fraction(3, 4);
+        assert_eq!(c.data_entries, 24 * 1024);
+    }
+
+    #[test]
+    fn map_space_override() {
+        let c = DoppelgangerConfig::paper_split().with_map_space(12);
+        assert_eq!(c.map_space.m_bits(), 12);
+    }
+}

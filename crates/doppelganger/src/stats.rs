@@ -1,0 +1,143 @@
+//! Doppelgänger cache statistics.
+
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Counters accumulated by a [`crate::DoppelgangerCache`].
+///
+/// The array-access counters (`tag_array_accesses`, `mtag_accesses`,
+/// `data_accesses`) and `map_generations` feed the dynamic-energy model
+/// (`dg-energy`); each map generation costs 21 FP operations at
+/// 8 pJ/op (paper §5.6).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DoppStats {
+    /// Lookups that found a tag.
+    pub hits: u64,
+    /// Lookups that found no tag.
+    pub misses: u64,
+    /// Blocks inserted after a miss.
+    pub insertions: u64,
+    /// Insertions that joined an existing (similar) data entry.
+    pub shared_insertions: u64,
+    /// Precise insertions (uniDoppelgänger only).
+    pub precise_insertions: u64,
+    /// Map computations (insertions + approximate writebacks).
+    pub map_generations: u64,
+    /// Tags invalidated for any reason.
+    pub tag_evictions: u64,
+    /// Data entries freed for any reason.
+    pub data_evictions: u64,
+    /// Tags invalidated because their data entry was evicted
+    /// (each triggers a back-invalidation across private caches).
+    pub back_invalidations: u64,
+    /// Writes (L2 writebacks) to resident blocks.
+    pub writes: u64,
+    /// Writes whose recomputed map was unchanged (§3.4 "silent").
+    pub silent_writes: u64,
+    /// Writes that moved the tag to a different data entry.
+    pub moved_writes: u64,
+    /// Tag-array probes (reads of a tag set).
+    pub tag_array_accesses: u64,
+    /// MTag-array probes.
+    pub mtag_accesses: u64,
+    /// Data-array accesses (block reads/writes).
+    pub data_accesses: u64,
+}
+
+impl DoppStats {
+    /// Total lookups.
+    #[inline]
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups that hit (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+
+    /// Fraction of insertions that found a similar block already cached.
+    pub fn sharing_rate(&self) -> f64 {
+        if self.insertions == 0 {
+            0.0
+        } else {
+            self.shared_insertions as f64 / self.insertions as f64
+        }
+    }
+}
+
+impl AddAssign for DoppStats {
+    fn add_assign(&mut self, r: Self) {
+        self.hits += r.hits;
+        self.misses += r.misses;
+        self.insertions += r.insertions;
+        self.shared_insertions += r.shared_insertions;
+        self.precise_insertions += r.precise_insertions;
+        self.map_generations += r.map_generations;
+        self.tag_evictions += r.tag_evictions;
+        self.data_evictions += r.data_evictions;
+        self.back_invalidations += r.back_invalidations;
+        self.writes += r.writes;
+        self.silent_writes += r.silent_writes;
+        self.moved_writes += r.moved_writes;
+        self.tag_array_accesses += r.tag_array_accesses;
+        self.mtag_accesses += r.mtag_accesses;
+        self.data_accesses += r.data_accesses;
+    }
+}
+
+impl fmt::Display for DoppStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "lookups={} (hit rate {:.1}%), insertions={} ({:.1}% shared), maps={}, \
+             tag evictions={}, data evictions={}, back-inval={}",
+            self.lookups(),
+            self.hit_rate() * 100.0,
+            self.insertions,
+            self.sharing_rate() * 100.0,
+            self.map_generations,
+            self.tag_evictions,
+            self.data_evictions,
+            self.back_invalidations,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates() {
+        let s = DoppStats { hits: 3, misses: 1, insertions: 4, shared_insertions: 3, ..Default::default() };
+        assert_eq!(s.hit_rate(), 0.75);
+        assert_eq!(s.sharing_rate(), 0.75);
+        assert_eq!(s.lookups(), 4);
+    }
+
+    #[test]
+    fn idle_rates_are_zero() {
+        let s = DoppStats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.sharing_rate(), 0.0);
+    }
+
+    #[test]
+    fn add_assign_merges() {
+        let mut a = DoppStats { hits: 1, map_generations: 2, ..Default::default() };
+        a += DoppStats { hits: 4, data_accesses: 7, ..Default::default() };
+        assert_eq!(a.hits, 5);
+        assert_eq!(a.map_generations, 2);
+        assert_eq!(a.data_accesses, 7);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(DoppStats::default().to_string().contains("lookups=0"));
+    }
+}

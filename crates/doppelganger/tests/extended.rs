@@ -1,0 +1,199 @@
+//! Extended behavioural tests of the Doppelgänger cache: deep list
+//! manipulation, MTag set conflicts, unified-mode interactions, and
+//! statistics accounting.
+
+use dg_mem::{Addr, ApproxRegion, BlockAddr, BlockData, ElemType};
+use doppelganger::{
+    DataPolicy, DoppelgangerCache, DoppelgangerConfig, MapHash, MapSpace, WriteOutcome,
+};
+
+fn region() -> ApproxRegion {
+    ApproxRegion::new(Addr(0), 1 << 30, ElemType::F32, 0.0, 100.0)
+}
+
+fn blk(v: f64) -> BlockData {
+    BlockData::from_values(ElemType::F32, &[v; 16])
+}
+
+fn cfg(tag_entries: usize, data_entries: usize, m: u32) -> DoppelgangerConfig {
+    DoppelgangerConfig {
+        tag_entries,
+        tag_ways: 4,
+        data_entries,
+        data_ways: 4,
+        map_space: MapSpace::new(m),
+        unified: false,
+    }
+}
+
+#[test]
+fn long_sharing_lists_survive_arbitrary_removal_orders() {
+    // Build a 16-member list, then remove members in a scrambled order,
+    // checking invariants at every step.
+    let mut c = DoppelgangerCache::new(cfg(256, 64, 14));
+    let r = region();
+    for i in 0..16u64 {
+        c.insert_approx(BlockAddr(i * 16 + 1), blk(42.0), &r);
+    }
+    assert_eq!(c.resident_data(), 1);
+    assert_eq!(c.resident_tags(), 16);
+    assert!((c.avg_tags_per_data() - 16.0).abs() < 1e-9);
+
+    let order = [7u64, 0, 15, 8, 3, 12, 1, 14, 5, 10, 2, 13, 6, 9, 4, 11];
+    for (n, &i) in order.iter().enumerate() {
+        c.invalidate(BlockAddr(i * 16 + 1)).expect("member resident");
+        c.check_invariants();
+        assert_eq!(c.resident_tags(), 15 - n);
+    }
+    assert_eq!(c.resident_data(), 0);
+}
+
+#[test]
+fn head_removal_promotes_next_member() {
+    let mut c = DoppelgangerCache::new(cfg(64, 16, 14));
+    let r = region();
+    c.insert_approx(BlockAddr(1), blk(10.0), &r);
+    c.insert_approx(BlockAddr(2), blk(10.0), &r); // new head
+    c.insert_approx(BlockAddr(3), blk(10.0), &r); // newer head
+    // Remove heads in insertion-reverse order (each removal hits the
+    // current list head).
+    c.invalidate(BlockAddr(3)).unwrap();
+    c.check_invariants();
+    c.invalidate(BlockAddr(2)).unwrap();
+    c.check_invariants();
+    assert_eq!(c.read(BlockAddr(1)), Some(blk(10.0)));
+}
+
+#[test]
+fn mtag_set_conflicts_evict_whole_lists() {
+    // 4 data entries in 1 set (4 ways): the 5th distinct map in that
+    // set displaces an entire list.
+    let mut c = DoppelgangerCache::new(cfg(256, 4, 4));
+    let r = region();
+    // With M=4 over [0,100], bins are 6.25 wide. Values 3, 10, 20, 30,
+    // 40 hit distinct average bins (ranges all zero).
+    for (i, v) in [3.0, 10.0, 20.0, 30.0].iter().enumerate() {
+        c.insert_approx(BlockAddr(i as u64 * 64), blk(*v), &r);
+        c.insert_approx(BlockAddr(i as u64 * 64 + 1), blk(*v), &r);
+    }
+    assert_eq!(c.resident_data(), 4);
+    assert_eq!(c.resident_tags(), 8);
+    let out = c.insert_approx(BlockAddr(999), blk(40.0), &r);
+    assert!(!out.shared_existing);
+    assert_eq!(out.displaced.len(), 2, "the LRU list (2 tags) goes wholesale");
+    c.check_invariants();
+}
+
+#[test]
+fn write_storms_maintain_invariants() {
+    let mut c = DoppelgangerCache::new(cfg(64, 16, 8));
+    let r = region();
+    for i in 0..8u64 {
+        c.insert_approx(BlockAddr(i), blk(i as f64 * 10.0), &r);
+    }
+    // Rewrite every block through a rotating set of values, forcing
+    // constant list migrations.
+    for round in 0..20u64 {
+        for i in 0..8u64 {
+            let v = ((i + round) % 8) as f64 * 10.0;
+            if let WriteOutcome::NotResident = c.write(BlockAddr(i), blk(v), Some(&r)) { panic!("block {i} lost") }
+            c.check_invariants();
+        }
+    }
+    assert_eq!(c.resident_tags(), 8);
+}
+
+#[test]
+fn unified_precise_blocks_never_alias_approx_maps() {
+    let mut c = DoppelgangerCache::new(DoppelgangerConfig {
+        unified: true,
+        ..cfg(256, 64, 14)
+    });
+    let r = region();
+    // A precise block whose contents exactly equal an approx block's.
+    c.insert_approx(BlockAddr(1), blk(50.0), &r);
+    c.insert_precise(BlockAddr(2), blk(50.0));
+    c.insert_precise(BlockAddr(3), blk(50.0));
+    assert_eq!(c.resident_data(), 3, "precise blocks own private entries");
+    // Writes to the precise block must be bit-exact and not leak into
+    // the approximate entry.
+    c.write(BlockAddr(2), blk(51.0), None);
+    assert_eq!(c.read(BlockAddr(2)), Some(blk(51.0)));
+    assert_eq!(c.read(BlockAddr(1)), Some(blk(50.0)));
+    c.check_invariants();
+}
+
+#[test]
+fn unified_eviction_of_precise_entry_displaces_one_tag() {
+    // One data set x 4 ways, unified: the 5th precise block evicts an
+    // earlier one, displacing exactly one (dirty) tag.
+    let mut c = DoppelgangerCache::new(DoppelgangerConfig {
+        unified: true,
+        tag_entries: 64,
+        tag_ways: 4,
+        data_entries: 4,
+        data_ways: 4,
+        map_space: MapSpace::new(4),
+    });
+    for i in 0..4u64 {
+        // Spread across tag sets (stride 16) but one shared data set.
+        c.insert_precise(BlockAddr(i * 16), blk(i as f64));
+    }
+    c.write(BlockAddr(0), blk(99.0), None); // dirty the LRU-candidate
+    assert_eq!(c.resident_data(), 4);
+    // Touch blocks 1..3 so block 0 is the LRU data entry.
+    for i in 1..4u64 {
+        c.read(BlockAddr(i * 16));
+    }
+    let out = c.insert_precise(BlockAddr(999 * 16), blk(7.0));
+    assert_eq!(out.displaced.len(), 1);
+    assert_eq!(out.displaced[0].addr, BlockAddr(0));
+    assert!(out.displaced[0].dirty);
+    assert_eq!(out.displaced[0].data, blk(99.0), "precise writeback is exact");
+    c.check_invariants();
+}
+
+#[test]
+fn stats_account_every_event_kind() {
+    let mut c = DoppelgangerCache::new(cfg(64, 16, 8));
+    let r = region();
+    c.read(BlockAddr(1)); // miss
+    c.insert_approx(BlockAddr(1), blk(10.0), &r);
+    c.read(BlockAddr(1)); // hit
+    c.insert_approx(BlockAddr(2), blk(10.0), &r); // shared
+    c.write(BlockAddr(1), blk(10.0), Some(&r)); // silent
+    c.write(BlockAddr(1), blk(90.0), Some(&r)); // moved
+    let s = c.stats();
+    assert_eq!(s.misses, 1);
+    assert_eq!(s.hits, 1);
+    assert_eq!(s.insertions, 2);
+    assert_eq!(s.shared_insertions, 1);
+    assert_eq!(s.writes, 2);
+    assert_eq!(s.silent_writes, 1);
+    assert_eq!(s.moved_writes, 1);
+    assert_eq!(s.map_generations, 4, "2 inserts + 2 writes");
+    assert!(s.hit_rate() > 0.0 && s.sharing_rate() == 0.5);
+}
+
+#[test]
+fn alternative_hashes_flow_through_the_cache() {
+    for hash in MapHash::ALL {
+        let mut c = DoppelgangerCache::new(DoppelgangerConfig {
+            map_space: MapSpace::new(12).with_hash(hash),
+            ..cfg(64, 16, 12)
+        });
+        let r = region();
+        c.insert_approx(BlockAddr(1), blk(10.0), &r);
+        c.insert_approx(BlockAddr(2), blk(10.0), &r);
+        assert_eq!(c.resident_data(), 1, "identical blocks share under {hash}");
+        c.check_invariants();
+    }
+}
+
+#[test]
+fn policy_setter_roundtrip_and_effect_on_avg_sharing() {
+    let mut c = DoppelgangerCache::new(cfg(64, 16, 8));
+    assert_eq!(c.data_policy(), DataPolicy::Lru);
+    c.set_data_policy(DataPolicy::FewestSharers);
+    assert_eq!(c.data_policy(), DataPolicy::FewestSharers);
+}

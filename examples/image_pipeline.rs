@@ -1,0 +1,57 @@
+//! Image-pipeline scenario: the paper's motivating workload (Fig. 1).
+//!
+//! Runs the JPEG codec kernel through the full simulated system twice —
+//! once over a conventional 2 MB LLC, once over the split
+//! precise + Doppelgänger design — and reports what the approximation
+//! cost in image quality and what it bought in LLC energy.
+//!
+//! Run with: `cargo run --release --example image_pipeline`
+
+use dg_system::{evaluate, llc_energy, LlcKind, SystemConfig};
+use dg_workloads::kernels::Jpeg;
+
+fn main() {
+    let kernel = Jpeg::new(128, 128, 42);
+
+    println!("encoding + decoding a 128x128 image through the simulated CMP...\n");
+
+    let mut baseline = evaluate(&kernel, SystemConfig::tiny(LlcKind::Baseline), 4);
+    let mut split = evaluate(&kernel, SystemConfig::tiny_split(), 4);
+
+    // Behaviour is simulated on scaled-down caches; energy is priced at
+    // the paper-scale structures (Table 3) so per-access costs are
+    // realistic rather than toy-sized.
+    baseline.energy = llc_energy(&SystemConfig::paper_baseline(), &baseline.llc, baseline.runtime_cycles);
+    split.energy = llc_energy(&SystemConfig::paper_split(), &split.llc, split.runtime_cycles);
+
+    println!("{:<28} {:>14} {:>14}", "", "baseline LLC", "Doppelganger");
+    println!(
+        "{:<28} {:>14} {:>14}",
+        "output error (RMSE/255)",
+        format!("{:.2}%", baseline.output_error * 100.0),
+        format!("{:.2}%", split.output_error * 100.0)
+    );
+    println!(
+        "{:<28} {:>14} {:>14}",
+        "runtime (cycles)", baseline.runtime_cycles, split.runtime_cycles
+    );
+    println!(
+        "{:<28} {:>14} {:>14}",
+        "LLC dynamic energy (uJ)",
+        format!("{:.2}", baseline.energy.llc_dynamic_pj * 1e-6),
+        format!("{:.2}", split.energy.llc_dynamic_pj * 1e-6)
+    );
+    println!(
+        "{:<28} {:>14} {:>14}",
+        "off-chip blocks", baseline.off_chip_blocks, split.off_chip_blocks
+    );
+    println!(
+        "\nLLC dynamic energy reduction: {:.2}x at {:.2}% output error",
+        baseline.energy.llc_dynamic_pj / split.energy.llc_dynamic_pj,
+        split.output_error * 100.0
+    );
+    println!(
+        "approximate fraction of LLC blocks during the run: {:.0}%",
+        split.approx_fraction * 100.0
+    );
+}

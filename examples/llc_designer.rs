@@ -1,0 +1,68 @@
+//! Design-space exploration: sizing an approximate LLC.
+//!
+//! An architect picking a Doppelgänger configuration needs the trade-off
+//! surface across data-array sizes — area and leakage fall as the array
+//! shrinks, while misses (and thus runtime and traffic) creep up. This
+//! example sweeps the data-array fraction for one workload and prints
+//! the whole surface, the same exploration as the paper's Figs. 10-13.
+//!
+//! Run with: `cargo run --release --example llc_designer`
+
+use dg_system::{evaluate, llc_area_mm2, llc_energy, LlcKind, SystemConfig};
+use dg_workloads::kernels::Kmeans;
+use doppelganger::{DoppelgangerConfig, MapSpace};
+
+fn main() {
+    let kernel = Kmeans::new(2048, 16, 8, 3, 11);
+    let baseline_cfg = SystemConfig::tiny(LlcKind::Baseline);
+    let mut baseline = evaluate(&kernel, baseline_cfg, 4);
+    // Price activity at paper-scale structure costs (see image_pipeline).
+    baseline.energy =
+        llc_energy(&SystemConfig::paper_baseline(), &baseline.llc, baseline.runtime_cycles);
+
+    // Area ratios come from the paper-scale structures (CACTI-lite),
+    // behaviour from the simulation-scale system.
+    let paper_baseline_area = llc_area_mm2(&SystemConfig::paper_baseline());
+
+    println!("k-means on a Doppelganger LLC: the data-array sizing surface\n");
+    println!(
+        "{:<12} {:>9} {:>12} {:>12} {:>12} {:>10}",
+        "data array", "error", "runtime", "traffic", "LLC energy", "area"
+    );
+    println!("{}", "-".repeat(72));
+
+    for (label, numer, denom) in [("1/2", 1usize, 2usize), ("1/4", 1, 4), ("1/8", 1, 8)] {
+        let dopp = DoppelgangerConfig {
+            tag_entries: 512,
+            tag_ways: 16,
+            data_entries: 512 * numer / denom,
+            data_ways: 16,
+            map_space: MapSpace::paper_default(),
+            unified: false,
+        };
+        let mut r = evaluate(&kernel, SystemConfig::tiny(LlcKind::Split(dopp)), 4);
+
+        // Cost the corresponding paper-scale design point.
+        let paper_cfg = SystemConfig {
+            llc: LlcKind::Split(
+                DoppelgangerConfig::paper_split().with_data_fraction(numer, denom),
+            ),
+            ..SystemConfig::paper_baseline()
+        };
+        r.energy = llc_energy(&paper_cfg, &r.llc, r.runtime_cycles);
+        println!(
+            "{:<12} {:>8.2}% {:>11.2}x {:>11.2}x {:>11.2}x {:>9.2}x",
+            label,
+            r.output_error * 100.0,
+            r.runtime_cycles as f64 / baseline.runtime_cycles as f64,
+            r.off_chip_blocks as f64 / baseline.off_chip_blocks as f64,
+            baseline.energy.llc_dynamic_pj / r.energy.llc_dynamic_pj,
+            paper_baseline_area / llc_area_mm2(&paper_cfg),
+        );
+    }
+
+    println!(
+        "\n(runtime and traffic normalized to the conventional baseline;\n\
+         energy and area shown as reductions — higher is better)"
+    );
+}

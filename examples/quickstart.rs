@@ -1,0 +1,82 @@
+//! Quickstart: the Doppelgänger cache in five minutes.
+//!
+//! Builds the paper's LLC configuration, inserts approximately similar
+//! blocks, and shows the core phenomenon: multiple tags sharing one
+//! data entry, with reads returning *doppelgänger* values.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use dg_mem::{Addr, ApproxRegion, BlockAddr, BlockData, ElemType};
+use doppelganger::{DoppelgangerCache, DoppelgangerConfig, HardwareCost, MapSpace};
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. The programmer annotates approximate data: element type and
+    //    the expected value range (here: body-temperature readings,
+    //    the paper's own example from §3.7).
+    // ------------------------------------------------------------------
+    let temps = ApproxRegion::new(Addr(0), 1 << 20, ElemType::F32, 25.0, 45.0);
+
+    // ------------------------------------------------------------------
+    // 2. Build the paper's Doppelgänger cache: 16 K tags (a 1 MB
+    //    cache's worth), a 4 K-entry (256 KB) data array, 14-bit maps.
+    // ------------------------------------------------------------------
+    let mut llc = DoppelgangerCache::new(DoppelgangerConfig::paper_split());
+
+    // ------------------------------------------------------------------
+    // 3. Insert readings from four different patients. Three run a
+    //    mild fever around 38.1 °C; one is hypothermic.
+    // ------------------------------------------------------------------
+    let fever_a = BlockData::from_values(ElemType::F32, &[38.11; 16]);
+    let fever_b = BlockData::from_values(ElemType::F32, &[38.1103; 16]);
+    let fever_c = BlockData::from_values(ElemType::F32, &[38.1097; 16]);
+    let cold = BlockData::from_values(ElemType::F32, &[31.2; 16]);
+
+    llc.insert_approx(BlockAddr(0x100), fever_a, &temps);
+    llc.insert_approx(BlockAddr(0x200), fever_b, &temps);
+    llc.insert_approx(BlockAddr(0x300), fever_c, &temps);
+    llc.insert_approx(BlockAddr(0x400), cold, &temps);
+
+    println!("cached blocks (tags):      {}", llc.resident_tags());
+    println!("data entries actually used: {}", llc.resident_data());
+    println!("average tags per entry:     {:.1}", llc.avg_tags_per_data());
+
+    // ------------------------------------------------------------------
+    // 4. Reading patient B returns patient A's values — its
+    //    doppelgänger: not identical, but close enough to pass.
+    // ------------------------------------------------------------------
+    let read_b = llc.read(BlockAddr(0x200)).expect("resident");
+    println!(
+        "patient B reads back:       {:.4} degC (wrote {:.4})",
+        read_b.elem(ElemType::F32, 0),
+        38.1103
+    );
+    let read_cold = llc.read(BlockAddr(0x400)).expect("resident");
+    println!(
+        "hypothermic patient reads:  {:.4} degC (unaffected)",
+        read_cold.elem(ElemType::F32, 0)
+    );
+
+    // ------------------------------------------------------------------
+    // 5. Why this matters: the hardware budget (Table 3).
+    // ------------------------------------------------------------------
+    let hw = HardwareCost::paper_system();
+    let split = DoppelgangerConfig::paper_split();
+    let baseline = hw.conventional("baseline 2MB LLC", 2 << 20, 16);
+    let precise = hw.conventional("1MB precise cache", 1 << 20, 16);
+    let dtag = hw.doppel_tag_array(&split);
+    let ddata = hw.doppel_data_array(&split);
+    println!();
+    println!("baseline LLC storage:       {:.0} KB", baseline.total_kbytes());
+    println!(
+        "Doppelganger LLC storage:   {:.0} KB ({:.2}x reduction)",
+        precise.total_kbytes() + dtag.total_kbytes() + ddata.total_kbytes(),
+        baseline.total_kbytes()
+            / (precise.total_kbytes() + dtag.total_kbytes() + ddata.total_kbytes())
+    );
+    println!(
+        "map space: {} bits -> {}-bit map field per tag",
+        split.map_space.m_bits(),
+        MapSpace::paper_default().map_field_bits()
+    );
+}

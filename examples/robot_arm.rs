@@ -1,0 +1,57 @@
+//! Robotics scenario: inverse kinematics on an approximate LLC.
+//!
+//! `inversek2j` has the highest approximate footprint in the paper
+//! (99.7% of LLC blocks, Table 2) — nearly everything it touches can
+//! tolerate error. This example sweeps the Doppelgänger map space and
+//! shows the similarity-vs-accuracy knob of §3.7 end to end: coarser
+//! maps alias more blocks (more storage saved, fewer data entries) at
+//! the cost of angle error.
+//!
+//! Run with: `cargo run --release --example robot_arm`
+
+use dg_system::{evaluate, llc_energy, LlcKind, SystemConfig};
+use dg_workloads::kernels::Inversek2j;
+use doppelganger::{DoppelgangerConfig, MapSpace};
+
+fn main() {
+    let kernel = Inversek2j::new(8 * 1024, 7);
+    println!("solving 8192 inverse-kinematics targets per configuration...\n");
+
+    let mut baseline = evaluate(&kernel, SystemConfig::tiny(LlcKind::Baseline), 4);
+    // Price the measured activity at the paper-scale structures so the
+    // energy numbers reflect Table 3 costs, not toy-sized arrays.
+    baseline.energy =
+        llc_energy(&SystemConfig::paper_baseline(), &baseline.llc, baseline.runtime_cycles);
+    println!(
+        "baseline:      error {:>6.2}%   runtime {:>9} cycles   LLC dyn {:>7.1} uJ",
+        baseline.output_error * 100.0,
+        baseline.runtime_cycles,
+        baseline.energy.llc_dynamic_pj * 1e-6
+    );
+
+    for m_bits in [10, 12, 14, 16] {
+        let dopp = DoppelgangerConfig {
+            tag_entries: 512,
+            tag_ways: 16,
+            data_entries: 128,
+            data_ways: 16,
+            map_space: MapSpace::new(m_bits),
+            unified: false,
+        };
+        let cfg = SystemConfig::tiny(LlcKind::Split(dopp));
+        let mut r = evaluate(&kernel, cfg, 4);
+        r.energy = llc_energy(&SystemConfig::paper_split(), &r.llc, r.runtime_cycles);
+        println!(
+            "{m_bits:>2}-bit maps:   error {:>6.2}%   runtime {:>9} cycles   LLC dyn {:>7.1} uJ   sharing {:>4.1}%",
+            r.output_error * 100.0,
+            r.runtime_cycles,
+            r.energy.llc_dynamic_pj * 1e-6,
+            r.llc.dopp.sharing_rate() * 100.0,
+        );
+    }
+
+    println!(
+        "\nCoarser map spaces share more aggressively (higher sharing rate)\n\
+         and trade angle accuracy for energy — the design knob of paper §3.7."
+    );
+}

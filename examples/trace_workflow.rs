@@ -1,0 +1,70 @@
+//! The trace workflow: capture once, replay against many designs.
+//!
+//! Demonstrates the library side of `trace_tool`: capture a workload's
+//! access trace, serialize it to disk, load it back, and replay the
+//! identical reference stream against three LLC organizations — the
+//! methodology for architecture sweeps where workload execution is too
+//! expensive to repeat.
+//!
+//! Run with: `cargo run --release --example trace_workflow`
+
+use dg_mem::Trace;
+use dg_system::{capture_trace, replay, LlcKind, SystemConfig};
+use dg_workloads::kernels::Kmeans;
+use doppelganger::{DoppelgangerConfig, MapSpace};
+
+fn main() -> std::io::Result<()> {
+    // 1. Capture: run the kernel once against a precise memory,
+    //    recording every access (with store payloads).
+    let kernel = Kmeans::new(1024, 16, 8, 3, 21);
+    let trace = capture_trace(&kernel, 4, 4);
+    println!(
+        "captured {} accesses / {} instructions across {} cores",
+        trace.len(),
+        trace.instructions(),
+        trace.cores.len()
+    );
+
+    // 2. Serialize to disk and back (the DGTRACE1 binary format).
+    let path = std::env::temp_dir().join("kmeans.dgtrace");
+    {
+        let mut w = std::io::BufWriter::new(std::fs::File::create(&path)?);
+        trace.write_to(&mut w)?;
+    }
+    let loaded = {
+        let mut r = std::io::BufReader::new(std::fs::File::open(&path)?);
+        Trace::read_from(&mut r)?
+    };
+    println!(
+        "round-tripped through {} ({} bytes)",
+        path.display(),
+        std::fs::metadata(&path)?.len()
+    );
+
+    // 3. Replay the identical stream against three designs.
+    let unified = DoppelgangerConfig {
+        tag_entries: 1024,
+        tag_ways: 16,
+        data_entries: 512,
+        data_ways: 16,
+        map_space: MapSpace::paper_default(),
+        unified: true,
+    };
+    println!("\n{:<12} {:>12} {:>10} {:>12}", "LLC", "runtime", "MPKI", "off-chip");
+    for (name, cfg) in [
+        ("baseline", SystemConfig::tiny(LlcKind::Baseline)),
+        ("split", SystemConfig::tiny_split()),
+        ("unified", SystemConfig::tiny(LlcKind::Unified(unified))),
+    ] {
+        let sys = replay(&loaded, cfg);
+        println!(
+            "{:<12} {:>12} {:>10.2} {:>12}",
+            name,
+            sys.runtime_cycles(),
+            sys.llc_counters().mpki(sys.total_instructions()),
+            sys.off_chip_blocks()
+        );
+    }
+    println!("\n(one capture, three designs — no workload re-execution)");
+    Ok(())
+}

@@ -1,0 +1,14 @@
+//! Root crate of the Doppelganger cache reproduction workspace.
+//!
+//! Re-exports the member crates for convenient use from examples and
+//! integration tests. See the individual crates for documentation:
+//! [`dg_mem`], [`dg_cache`], [`doppelganger`], [`dg_compress`],
+//! [`dg_energy`], [`dg_workloads`], [`dg_system`].
+
+pub use dg_cache;
+pub use dg_compress;
+pub use dg_energy;
+pub use dg_mem;
+pub use dg_system;
+pub use dg_workloads;
+pub use doppelganger;

@@ -1,0 +1,136 @@
+//! Cross-crate integration tests: full workloads through the full
+//! simulated system, across all three LLC organizations.
+
+use dg_system::{evaluate, golden_output, run_on_system, LlcKind, SystemConfig};
+use dg_workloads::small_suite;
+use doppelganger::{DoppelgangerConfig, MapSpace};
+
+fn tiny_unified() -> SystemConfig {
+    let dopp = DoppelgangerConfig {
+        tag_entries: 1024,
+        tag_ways: 16,
+        data_entries: 512,
+        data_ways: 16,
+        map_space: MapSpace::paper_default(),
+        unified: true,
+    };
+    SystemConfig::tiny(LlcKind::Unified(dopp))
+}
+
+/// A conventional LLC never perturbs values: every kernel's output over
+/// the baseline system is bit-identical to its golden run.
+#[test]
+fn baseline_is_bit_exact_for_every_kernel() {
+    for kernel in small_suite(0xE2E) {
+        let golden = golden_output(kernel.as_ref(), 4);
+        let (_, out) = run_on_system(kernel.as_ref(), SystemConfig::tiny(LlcKind::Baseline), 4);
+        assert_eq!(golden, out, "{} diverged on the baseline", kernel.name());
+    }
+}
+
+/// The split Doppelgänger design keeps application error bounded for
+/// every kernel, and its LLC invariants hold after a full run.
+#[test]
+fn split_design_bounded_error_and_invariants() {
+    for kernel in small_suite(0xE2E) {
+        let golden = golden_output(kernel.as_ref(), 4);
+        let (sys, out) = run_on_system(kernel.as_ref(), SystemConfig::tiny_split(), 4);
+        sys.check_llc_invariants();
+        let err = kernel.error_metric(&golden, &out);
+        assert!(
+            err < 0.75,
+            "{}: error {err:.3} out of any reasonable band",
+            kernel.name()
+        );
+    }
+}
+
+/// Same for uniDoppelgänger, which additionally carries precise blocks
+/// in the shared arrays — precise data must stay bit-exact even there.
+#[test]
+fn unified_design_runs_every_kernel() {
+    for kernel in small_suite(0xE2E) {
+        let golden = golden_output(kernel.as_ref(), 4);
+        let (sys, out) = run_on_system(kernel.as_ref(), tiny_unified(), 4);
+        sys.check_llc_invariants();
+        let err = kernel.error_metric(&golden, &out);
+        assert!(err < 0.75, "{}: error {err:.3}", kernel.name());
+    }
+}
+
+/// Runs are deterministic: two evaluations of the same configuration
+/// agree on every reported number.
+#[test]
+fn evaluations_are_deterministic() {
+    let kernel = &dg_workloads::kernels::Jpeg::new(32, 32, 5);
+    let a = evaluate(kernel, SystemConfig::tiny_split(), 4);
+    let b = evaluate(kernel, SystemConfig::tiny_split(), 4);
+    assert_eq!(a.runtime_cycles, b.runtime_cycles);
+    assert_eq!(a.instructions, b.instructions);
+    assert_eq!(a.output_error, b.output_error);
+    assert_eq!(a.off_chip_blocks, b.off_chip_blocks);
+    assert_eq!(a.llc, b.llc);
+}
+
+/// The headline trade-off holds end to end on at least one
+/// similarity-rich kernel: the Doppelgänger design stores strictly
+/// fewer data blocks than tags while keeping error low.
+#[test]
+fn sharing_happens_and_error_stays_low() {
+    let kernel = dg_workloads::kernels::Inversek2j::new(4096, 3);
+    let r = evaluate(&kernel, SystemConfig::tiny_split(), 4);
+    assert!(
+        r.llc.dopp.shared_insertions > 0,
+        "no sharing at all is implausible for inversek2j"
+    );
+    assert!(r.output_error < 0.10, "error {:.3}", r.output_error);
+}
+
+/// Larger map spaces must not increase sharing (monotonicity of the
+/// similarity knob, Fig. 7/9 direction).
+#[test]
+fn map_space_monotone_sharing() {
+    let kernel = dg_workloads::kernels::Inversek2j::new(4096, 3);
+    let mut prev_sharing = f64::INFINITY;
+    for m in [10, 12, 14] {
+        let dopp = DoppelgangerConfig {
+            tag_entries: 512,
+            tag_ways: 16,
+            data_entries: 128,
+            data_ways: 16,
+            map_space: MapSpace::new(m),
+            unified: false,
+        };
+        let r = evaluate(&kernel, SystemConfig::tiny(LlcKind::Split(dopp)), 4);
+        let sharing = r.llc.dopp.sharing_rate();
+        assert!(
+            sharing <= prev_sharing + 0.02,
+            "sharing should not grow with map bits: {m}-bit -> {sharing:.3}"
+        );
+        prev_sharing = sharing;
+    }
+}
+
+/// Off-chip traffic and runtime respond to shrinking the data array in
+/// the expected direction (Fig. 10/12).
+#[test]
+fn smaller_data_arrays_do_not_reduce_misses() {
+    let kernel = dg_workloads::kernels::Ferret::new(512, 16, 8, 2);
+    let mut prev_traffic = 0u64;
+    for (numer, denom) in [(1usize, 2usize), (1, 4), (1, 8)] {
+        let dopp = DoppelgangerConfig {
+            tag_entries: 512,
+            tag_ways: 16,
+            data_entries: 512 * numer / denom,
+            data_ways: 16,
+            map_space: MapSpace::paper_default(),
+            unified: false,
+        };
+        let r = evaluate(&kernel, SystemConfig::tiny(LlcKind::Split(dopp)), 4);
+        assert!(
+            r.off_chip_blocks >= prev_traffic,
+            "traffic should not shrink with a smaller data array"
+        );
+        prev_traffic = r.off_chip_blocks;
+    }
+}
