@@ -1,8 +1,13 @@
-//! Criterion micro-benchmarks of the reproduction's core operations:
-//! map generation, Doppelgänger cache operations, BΔI compression,
+//! Micro-benchmarks of the reproduction's core operations: map
+//! generation, Doppelgänger cache operations, BΔI compression,
 //! conventional cache accesses, and full-system memory accesses.
+//!
+//! Runs under `cargo bench` with the in-repo harness
+//! (`dg_bench::timing`): median-of-N batches timed with
+//! `std::time::Instant`. Pass a substring to filter, e.g.
+//! `cargo bench --bench micro -- doppelganger`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dg_bench::timing::{black_box, Runner};
 use dg_cache::{CacheGeometry, ConventionalCache};
 use dg_mem::{Addr, AnnotationTable, ApproxRegion, BlockAddr, BlockData, ElemType, MemoryImage};
 use dg_system::{LlcKind, System, SystemConfig};
@@ -17,125 +22,107 @@ fn block(v: f64) -> BlockData {
     BlockData::from_values(ElemType::F32, &vals)
 }
 
-fn bench_map_generation(c: &mut Criterion) {
+fn bench_map_generation(r: &mut Runner) {
     let space = MapSpace::paper_default();
-    let r = region();
+    let reg = region();
     let b = block(42.0);
-    let mut g = c.benchmark_group("map");
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("generate_14bit", |bench| {
-        bench.iter(|| space.map_block(black_box(&b), black_box(&r)))
+    r.group("map").throughput_elements(1).bench_function("generate_14bit", || {
+        space.map_block(black_box(&b), black_box(&reg))
     });
-    g.finish();
 }
 
-fn bench_doppelganger_ops(c: &mut Criterion) {
-    let r = region();
-    let mut g = c.benchmark_group("doppelganger");
-    g.throughput(Throughput::Elements(1));
+fn bench_doppelganger_ops(r: &mut Runner) {
+    let reg = region();
+    let mut g = r.group("doppelganger");
+    g.throughput_elements(1);
 
-    g.bench_function("insert_read_cycle", |bench| {
-        let mut cache = DoppelgangerCache::new(DoppelgangerConfig::paper_split());
-        let mut i = 0u64;
-        bench.iter(|| {
-            let addr = BlockAddr(i % 100_000);
-            if cache.read(addr).is_none() {
-                cache.insert_approx(addr, block((i % 97) as f64), &r);
-            }
-            i += 1;
-        })
+    let mut cache = DoppelgangerCache::new(DoppelgangerConfig::paper_split());
+    let mut i = 0u64;
+    g.bench_function("insert_read_cycle", || {
+        let addr = BlockAddr(i % 100_000);
+        if cache.read(addr).is_none() {
+            cache.insert_approx(addr, block((i % 97) as f64), &reg);
+        }
+        i += 1;
     });
 
-    g.bench_function("write_recompute_map", |bench| {
-        let mut cache = DoppelgangerCache::new(DoppelgangerConfig::paper_split());
-        cache.insert_approx(BlockAddr(1), block(10.0), &r);
-        let mut i = 0u64;
-        bench.iter(|| {
-            cache.write(BlockAddr(1), block((i % 50) as f64), Some(&r));
-            i += 1;
-        })
+    let mut cache = DoppelgangerCache::new(DoppelgangerConfig::paper_split());
+    cache.insert_approx(BlockAddr(1), block(10.0), &reg);
+    let mut i = 0u64;
+    g.bench_function("write_recompute_map", || {
+        cache.write(BlockAddr(1), block((i % 50) as f64), Some(&reg));
+        i += 1;
     });
-    g.finish();
 }
 
-fn bench_bdi(c: &mut Criterion) {
+fn bench_bdi(r: &mut Runner) {
     let compressible = block(10.0);
     let vals: Vec<f64> = (0..16).map(|i| (i as f64 + 0.123).exp()).collect();
     let hard = BlockData::from_values(ElemType::F32, &vals);
-    let mut g = c.benchmark_group("bdi");
-    g.throughput(Throughput::Bytes(64));
-    g.bench_function("compress_similar", |bench| {
-        bench.iter(|| dg_compress::bdi::compressed_size(black_box(&compressible)))
+    let mut g = r.group("bdi");
+    g.throughput_elements(64);
+    g.bench_function("compress_similar", || {
+        dg_compress::bdi::compressed_size(black_box(&compressible))
     });
-    g.bench_function("compress_incompressible", |bench| {
-        bench.iter(|| dg_compress::bdi::compressed_size(black_box(&hard)))
+    g.bench_function("compress_incompressible", || {
+        dg_compress::bdi::compressed_size(black_box(&hard))
     });
-    g.finish();
 }
 
-fn bench_conventional_cache(c: &mut Criterion) {
-    let mut g = c.benchmark_group("conventional");
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("llc_read_hit", |bench| {
-        let mut cache = ConventionalCache::new(CacheGeometry::from_capacity(2 << 20, 16));
-        cache.fill(BlockAddr(1), BlockData::zeroed());
-        bench.iter(|| cache.read(black_box(BlockAddr(1))))
+fn bench_conventional_cache(r: &mut Runner) {
+    let mut g = r.group("conventional");
+    g.throughput_elements(1);
+
+    let mut cache = ConventionalCache::new(CacheGeometry::from_capacity(2 << 20, 16));
+    cache.fill(BlockAddr(1), BlockData::zeroed());
+    g.bench_function("llc_read_hit", || cache.read(black_box(BlockAddr(1))));
+
+    let mut cache = ConventionalCache::new(CacheGeometry::from_capacity(64 << 10, 16));
+    let mut i = 0u64;
+    g.bench_function("llc_fill_evict", || {
+        let addr = BlockAddr(i);
+        if !cache.contains(addr) {
+            cache.fill(addr, BlockData::zeroed());
+        }
+        i += 1;
     });
-    g.bench_function("llc_fill_evict", |bench| {
-        let mut cache = ConventionalCache::new(CacheGeometry::from_capacity(64 << 10, 16));
-        let mut i = 0u64;
-        bench.iter(|| {
-            let addr = BlockAddr(i);
-            if !cache.contains(addr) {
-                cache.fill(addr, BlockData::zeroed());
-            }
-            i += 1;
-        })
-    });
-    g.finish();
 }
 
-fn bench_system_access(c: &mut Criterion) {
-    let mut g = c.benchmark_group("system");
-    g.throughput(Throughput::Elements(1));
+fn bench_system_access(r: &mut Runner) {
     for (name, cfg) in [
         ("baseline_load", SystemConfig::tiny(LlcKind::Baseline)),
         ("split_load", SystemConfig::tiny_split()),
     ] {
-        g.bench_function(name, |bench| {
-            let mut annots = AnnotationTable::new();
-            annots.add(region());
-            let mut sys = System::new(cfg, MemoryImage::new(), annots);
-            let mut i = 0u64;
-            let mut buf = [0u8; 4];
-            bench.iter(|| {
-                sys.load(0, Addr((i * 4) % (1 << 22)), &mut buf);
-                i += 1;
-            })
+        let mut annots = AnnotationTable::new();
+        annots.add(region());
+        let mut sys = System::new(cfg, MemoryImage::new(), annots);
+        let mut i = 0u64;
+        let mut buf = [0u8; 4];
+        r.group("system").throughput_elements(1).bench_function(name, || {
+            sys.load(0, Addr((i * 4) % (1 << 22)), &mut buf);
+            i += 1;
         });
     }
-    g.finish();
 }
 
-fn bench_compression_schemes(c: &mut Criterion) {
+fn bench_compression_schemes(r: &mut Runner) {
     // Head-to-head per-block compression cost: BΔI vs FPC on the same
     // inputs.
     let ints = {
         let vals: Vec<f64> = (0..16).map(|i| 1000.0 + 3.0 * i as f64).collect();
         BlockData::from_values(ElemType::I32, &vals)
     };
-    let mut g = c.benchmark_group("compression");
-    g.throughput(Throughput::Bytes(64));
-    g.bench_function("bdi_integers", |bench| {
-        bench.iter(|| dg_compress::bdi::compressed_size(black_box(&ints)))
+    let mut g = r.group("compression");
+    g.throughput_elements(64);
+    g.bench_function("bdi_integers", || {
+        dg_compress::bdi::compressed_size(black_box(&ints))
     });
-    g.bench_function("fpc_integers", |bench| {
-        bench.iter(|| dg_compress::fpc::compressed_size(black_box(&ints)))
+    g.bench_function("fpc_integers", || {
+        dg_compress::fpc::compressed_size(black_box(&ints))
     });
-    g.finish();
 }
 
-fn bench_access_patterns(c: &mut Criterion) {
+fn bench_access_patterns(r: &mut Runner) {
     // Simulator throughput under classic patterns (cycles are simulated;
     // this measures host-side simulation speed).
     use dg_mem::synth;
@@ -144,35 +131,30 @@ fn bench_access_patterns(c: &mut Criterion) {
         ("zipfian", synth::zipfian(Addr(0), 4096, 4096, 1.0, 7)),
         ("pointer_chase", synth::pointer_chase(Addr(0), 2048, 4096, 7)),
     ];
-    let mut g = c.benchmark_group("patterns");
-    g.throughput(Throughput::Elements(4096));
     for (name, pattern) in &patterns {
-        g.bench_function(*name, |bench| {
-            bench.iter(|| {
-                let mut sys = System::new(
-                    SystemConfig::tiny(LlcKind::Baseline),
-                    MemoryImage::new(),
-                    AnnotationTable::new(),
-                );
-                let mut buf = [0u8; 4];
-                for a in pattern {
-                    sys.load(0, a.addr, &mut buf);
-                }
-                sys.runtime_cycles()
-            })
+        r.group("patterns").throughput_elements(4096).bench_function(name, || {
+            let mut sys = System::new(
+                SystemConfig::tiny(LlcKind::Baseline),
+                MemoryImage::new(),
+                AnnotationTable::new(),
+            );
+            let mut buf = [0u8; 4];
+            for a in pattern {
+                sys.load(0, a.addr, &mut buf);
+            }
+            sys.runtime_cycles()
         });
     }
-    g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(30)
-        .measurement_time(std::time::Duration::from_secs(3))
-        .warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_map_generation, bench_doppelganger_ops, bench_bdi,
-              bench_conventional_cache, bench_system_access,
-              bench_compression_schemes, bench_access_patterns
+fn main() {
+    let mut runner = Runner::from_args();
+    bench_map_generation(&mut runner);
+    bench_doppelganger_ops(&mut runner);
+    bench_bdi(&mut runner);
+    bench_conventional_cache(&mut runner);
+    bench_system_access(&mut runner);
+    bench_compression_schemes(&mut runner);
+    bench_access_patterns(&mut runner);
+    runner.finish();
 }
-criterion_main!(benches);

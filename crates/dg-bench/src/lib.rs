@@ -14,8 +14,10 @@
 pub mod chart;
 pub mod experiments;
 pub mod figures;
+pub mod json;
 pub mod results;
 pub mod table;
+pub mod timing;
 
 pub use chart::{BarChart, Unit};
 pub use experiments::{kernel_names, suite, Scale, Sweep};

@@ -1,12 +1,12 @@
 //! Machine-readable result export.
 
 use crate::experiments::Sweep;
+use crate::json::{array_document, ObjectWriter};
 use dg_system::EvalResult;
-use serde::Serialize;
 use std::path::Path;
 
 /// One evaluation flattened for export.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct ResultRow {
     /// Configuration label (e.g. `split-m14-d1/4`).
     pub config: String,
@@ -61,28 +61,50 @@ impl ResultRow {
             approx_fraction: r.approx_fraction,
         }
     }
+
+    /// Render as a pretty-printed JSON object at array-element depth.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut o = ObjectWriter::with_indent(1);
+        o.str_field("config", &self.config)
+            .str_field("kernel", &self.kernel)
+            .u64_field("runtime_cycles", self.runtime_cycles)
+            .u64_field("instructions", self.instructions)
+            .f64_field("output_error", self.output_error)
+            .u64_field("off_chip_blocks", self.off_chip_blocks)
+            .f64_field("mpki", self.mpki)
+            .u64_field("llc_lookups", self.llc_lookups)
+            .u64_field("llc_hits", self.llc_hits)
+            .u64_field("shared_insertions", self.shared_insertions)
+            .u64_field("map_generations", self.map_generations)
+            .f64_field("llc_dynamic_pj", self.llc_dynamic_pj)
+            .f64_field("llc_leakage_pj", self.llc_leakage_pj)
+            .f64_field("llc_area_mm2", self.llc_area_mm2)
+            .f64_field("approx_fraction", self.approx_fraction);
+        o.finish()
+    }
 }
 
 /// Export every cached run of a sweep as pretty-printed JSON.
 ///
 /// # Errors
 ///
-/// Returns any I/O or serialization error.
+/// Returns any I/O error from writing `path`.
 pub fn export_sweep(sweep: &Sweep, path: &Path) -> std::io::Result<()> {
-    let rows: Vec<ResultRow> = sweep
+    let rows: Vec<String> = sweep
         .cached_runs()
         .flat_map(|(label, results)| {
-            results.iter().map(move |r| ResultRow::from_eval(label, r))
+            results.iter().map(move |r| ResultRow::from_eval(label, r).to_json())
         })
         .collect();
-    let json = serde_json::to_string_pretty(&rows)?;
-    std::fs::write(path, json)
+    std::fs::write(path, array_document(&rows))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::experiments::Scale;
+    use crate::json::Json;
 
     #[test]
     fn export_produces_valid_json() {
@@ -93,10 +115,10 @@ mod tests {
         let path = dir.join("rows.json");
         export_sweep(&sweep, &path).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
-        let rows: serde_json::Value = serde_json::from_str(&text).unwrap();
+        let rows = Json::parse(&text).unwrap();
         let arr = rows.as_array().unwrap();
         assert_eq!(arr.len(), 9);
-        assert_eq!(arr[0]["config"], "baseline");
-        assert!(arr[0]["runtime_cycles"].as_u64().unwrap() > 0);
+        assert_eq!(arr[0].get("config").unwrap().as_str(), Some("baseline"));
+        assert!(arr[0].get("runtime_cycles").unwrap().as_u64().unwrap() > 0);
     }
 }

@@ -1,0 +1,213 @@
+//! A plain `std::time::Instant` micro-benchmark harness, replacing the
+//! external `criterion` crate (see `README.md`, "Hermetic build &
+//! determinism").
+//!
+//! Methodology: each benchmark closure is first calibrated so one batch
+//! takes roughly [`TARGET_BATCH`], then timed over [`SAMPLES`] batches.
+//! The reported figure is the **median** batch (robust to scheduler
+//! noise, unlike the mean), alongside the minimum (closest to the true
+//! cost on an unloaded machine) and the p90. Use with `cargo bench`;
+//! the bench targets set `harness = false` and call [`Runner`] from
+//! `main`.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the optimizer barrier benchmarks wrap inputs/outputs
+/// in (criterion's `black_box`).
+pub use std::hint::black_box;
+
+/// Target wall-clock time per measured batch.
+const TARGET_BATCH: Duration = Duration::from_millis(10);
+
+/// Measured batches per benchmark.
+const SAMPLES: usize = 21;
+
+/// Time spent growing the iteration count during calibration.
+const CALIBRATION_BUDGET: Duration = Duration::from_millis(250);
+
+/// One benchmark's aggregated timing, in nanoseconds per iteration.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Full benchmark id, `group/name`.
+    pub id: String,
+    /// Iterations per measured batch.
+    pub iters_per_batch: u64,
+    /// Median batch, ns per iteration.
+    pub median_ns: f64,
+    /// Fastest batch, ns per iteration.
+    pub min_ns: f64,
+    /// 90th-percentile batch, ns per iteration.
+    pub p90_ns: f64,
+    /// Work items per iteration (for throughput lines), if declared.
+    pub elements_per_iter: Option<f64>,
+}
+
+impl Measurement {
+    fn throughput_line(&self) -> String {
+        match self.elements_per_iter {
+            Some(n) if self.median_ns > 0.0 => {
+                let per_sec = n * 1.0e9 / self.median_ns;
+                format!("  {:>12.3e} elem/s", per_sec)
+            }
+            _ => String::new(),
+        }
+    }
+}
+
+/// Benchmark registry and runner: groups, an optional substring filter,
+/// and stdout reporting.
+#[derive(Debug)]
+pub struct Runner {
+    filter: Option<String>,
+    results: Vec<Measurement>,
+}
+
+impl Runner {
+    /// A runner configured from `cargo bench` CLI arguments: the first
+    /// non-flag argument (if any) is a substring filter on benchmark
+    /// ids. Harness flags cargo forwards (`--bench`, `--exact`, ...)
+    /// are ignored.
+    #[must_use]
+    pub fn from_args() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        Runner { filter, results: Vec::new() }
+    }
+
+    /// Start (or continue) a named group of benchmarks.
+    pub fn group(&mut self, name: &str) -> Group<'_> {
+        Group { runner: self, name: name.to_string(), elements_per_iter: None }
+    }
+
+    /// All measurements taken so far.
+    #[must_use]
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+
+    /// Print the closing summary line.
+    pub fn finish(&self) {
+        println!("\n{} benchmarks measured", self.results.len());
+    }
+
+    fn run_one<R>(
+        &mut self,
+        id: String,
+        elements_per_iter: Option<f64>,
+        mut f: impl FnMut() -> R,
+    ) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        // Calibrate: grow the batch geometrically until it takes at
+        // least TARGET_BATCH (or the calibration budget runs out, for
+        // very slow benchmarks).
+        let mut iters: u64 = 1;
+        let calibration_start = Instant::now();
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= TARGET_BATCH || calibration_start.elapsed() >= CALIBRATION_BUDGET {
+                break;
+            }
+            // Aim straight for the target, with a 2x floor so noise in
+            // tiny batches can't stall progress.
+            let scale = TARGET_BATCH.as_secs_f64() / elapsed.as_secs_f64().max(1e-9);
+            iters = (iters.saturating_mul(scale.ceil() as u64)).max(iters * 2);
+        }
+
+        let mut batch_ns: Vec<f64> = (0..SAMPLES)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                t.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        batch_ns.sort_by(f64::total_cmp);
+        let m = Measurement {
+            id,
+            iters_per_batch: iters,
+            median_ns: batch_ns[SAMPLES / 2],
+            min_ns: batch_ns[0],
+            p90_ns: batch_ns[(SAMPLES * 9) / 10],
+            elements_per_iter,
+        };
+        println!(
+            "{:<44} median {:>12.1} ns/iter   min {:>12.1}   p90 {:>12.1}{}",
+            m.id,
+            m.median_ns,
+            m.min_ns,
+            m.p90_ns,
+            m.throughput_line(),
+        );
+        self.results.push(m);
+    }
+}
+
+/// A named benchmark group (criterion's `benchmark_group`).
+#[derive(Debug)]
+pub struct Group<'a> {
+    runner: &'a mut Runner,
+    name: String,
+    elements_per_iter: Option<f64>,
+}
+
+impl Group<'_> {
+    /// Declare how many work items one iteration processes, enabling
+    /// the throughput column (criterion's `Throughput::Elements`).
+    pub fn throughput_elements(&mut self, n: u64) -> &mut Self {
+        self.elements_per_iter = Some(n as f64);
+        self
+    }
+
+    /// Measure one benchmark. The closure is the whole per-iteration
+    /// body (criterion's `bench.iter(..)` payload); per-benchmark setup
+    /// belongs in the enclosing scope, captured by the closure.
+    pub fn bench_function<R>(&mut self, name: &str, f: impl FnMut() -> R) -> &mut Self {
+        let id = format!("{}/{}", self.name, name);
+        self.runner.run_one(id, self.elements_per_iter, f);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports_by_group() {
+        let mut runner = Runner { filter: None, results: Vec::new() };
+        let mut x = 0u64;
+        runner
+            .group("smoke")
+            .throughput_elements(1)
+            .bench_function("add", || {
+                x = x.wrapping_add(1);
+                x
+            });
+        assert_eq!(runner.results().len(), 1);
+        let m = &runner.results()[0];
+        assert_eq!(m.id, "smoke/add");
+        assert!(m.median_ns >= 0.0);
+        assert!(m.min_ns <= m.median_ns && m.median_ns <= m.p90_ns);
+        assert!(m.iters_per_batch >= 1);
+    }
+
+    #[test]
+    fn filter_skips_non_matching_benchmarks() {
+        let mut runner =
+            Runner { filter: Some("alpha".to_string()), results: Vec::new() };
+        runner.group("g").bench_function("beta", || 1);
+        assert!(runner.results().is_empty());
+        runner.group("g").bench_function("alpha", || 1);
+        assert_eq!(runner.results().len(), 1);
+    }
+}

@@ -1,19 +1,18 @@
-//! Property tests for the cache substrate.
+//! Property tests for the cache substrate (dg-check harness).
 
 use dg_cache::{CacheGeometry, ConventionalCache, Lru, Replacer, TagArray};
+use dg_check::{any, props, vec};
 use dg_mem::{BlockAddr, BlockData, ElemType};
-use proptest::prelude::*;
 use std::collections::VecDeque;
 
 fn blk(v: u16) -> BlockData {
-    BlockData::from_values(ElemType::I32, &[v as f64; 16])
+    BlockData::from_values(ElemType::I32, &[f64::from(v); 16])
 }
 
-proptest! {
+props! {
     /// LRU matches a reference recency-queue model for any touch/victim
     /// interleaving on one set.
-    #[test]
-    fn lru_matches_reference_model(ops in prop::collection::vec((0usize..8, any::<bool>()), 1..200)) {
+    fn lru_matches_reference_model(ops in vec((0usize..8, any::<bool>()), 1..200)) {
         let ways = 8;
         let mut lru = Lru::new(1, ways);
         // Reference: most-recent at the back.
@@ -29,7 +28,7 @@ proptest! {
                 order.push_back(way);
             } else {
                 let victim = lru.victim(0);
-                prop_assert_eq!(victim, *order.front().unwrap());
+                assert_eq!(victim, *order.front().unwrap());
             }
         }
     }
@@ -37,8 +36,7 @@ proptest! {
     /// A TagArray never reports more occupancy than its associativity,
     /// and `find` only succeeds for entries that were inserted and not
     /// displaced or invalidated.
-    #[test]
-    fn tag_array_occupancy_bounds(ops in prop::collection::vec((0u64..64, any::<bool>()), 1..200)) {
+    fn tag_array_occupancy_bounds(ops in vec((0u64..64, any::<bool>()), 1..200)) {
         let geom = CacheGeometry::from_entries(16, 4);
         let mut arr: TagArray<u64> = TagArray::new(geom);
         for (tag, insert) in ops {
@@ -50,16 +48,15 @@ proptest! {
             } else if let Some(way) = arr.find(set, |&e| e == tag) {
                 arr.invalidate(set, way);
             }
-            prop_assert!(arr.occupancy(set) <= 4);
+            assert!(arr.occupancy(set) <= 4);
         }
-        prop_assert!(arr.len() <= 16);
+        assert!(arr.len() <= 16);
     }
 
     /// A conventional cache's resident set is always consistent with
     /// its own iterator, and every resident block round-trips its data.
-    #[test]
     fn conventional_cache_iterator_consistency(
-        ops in prop::collection::vec((0u64..96, any::<u16>()), 1..150)
+        ops in vec((0u64..96, any::<u16>()), 1..150),
     ) {
         let mut cache = ConventionalCache::new(CacheGeometry::from_entries(32, 4));
         let mut last_write = std::collections::HashMap::new();
@@ -73,21 +70,20 @@ proptest! {
             last_write.insert(a, v);
         }
         for (addr, dirty, data) in cache.iter_blocks() {
-            prop_assert!(dirty);
-            prop_assert!(cache.contains(addr));
+            assert!(dirty);
+            assert!(cache.contains(addr));
             let want = last_write[&addr.0];
-            prop_assert_eq!(*data, blk(want), "stale block at {}", addr.0);
+            assert_eq!(*data, blk(want), "stale block at {}", addr.0);
         }
     }
 
     /// Geometry round trip: any block address decomposes into
     /// (tag, set) and recomposes exactly, for any power-of-two shape.
-    #[test]
     fn geometry_round_trip(addr in any::<u32>(), sets_log in 0u32..12, ways in 1usize..9) {
         let sets = 1usize << sets_log;
         let geom = CacheGeometry::from_entries(sets * ways, ways);
-        let block = BlockAddr(addr as u64);
+        let block = BlockAddr(u64::from(addr));
         let recomposed = geom.block_addr(geom.tag_of(block), geom.set_of(block));
-        prop_assert_eq!(recomposed, block);
+        assert_eq!(recomposed, block);
     }
 }

@@ -1,0 +1,313 @@
+//! A miniature property-testing harness, replacing the external
+//! `proptest` crate so the workspace stays hermetic (see `README.md`,
+//! "Hermetic build & determinism").
+//!
+//! The model is deliberately small:
+//!
+//! - A [`Strategy`] both *generates* values from a seeded
+//!   [`SplitMix64`] stream and *shrinks* a failing value toward a
+//!   simpler one, staying inside the strategy's own domain (a value
+//!   drawn from `6u32..16` never shrinks below 6).
+//! - [`check`] runs a property over many generated cases. Case seeds
+//!   are derived from a fixed per-property seed, so failures reproduce
+//!   exactly; set `DG_CHECK_SEED` to explore a different stream and
+//!   `DG_CHECK_CASES` to change the case count.
+//! - The [`props!`] macro wraps each property into a `#[test]`,
+//!   mirroring proptest's `ident in strategy` binding syntax.
+//!
+//! Properties signal failure by panicking (plain `assert!` works) and
+//! discard impossible cases with [`assume!`]. On failure the harness
+//! shrinks the input and panics with the minimal counterexample, the
+//! property seed, and the original panic message.
+//!
+//! ```
+//! dg_check::props! {
+//!     #[cases(64)]
+//!     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+//!         assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! ```
+
+use std::fmt::Debug;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+pub use dg_rand::SplitMix64;
+
+mod strategy;
+pub use strategy::{any, vec, Any, Arbitrary, VecStrategy};
+
+/// How a strategy produces and simplifies test inputs.
+pub trait Strategy {
+    type Value: Clone + Debug;
+
+    /// Draw one value from the strategy's domain.
+    fn generate(&self, rng: &mut SplitMix64) -> Self::Value;
+
+    /// Candidate simplifications of `value`, all inside the domain.
+    /// An empty vector means the value is fully shrunk.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value>;
+}
+
+/// Harness configuration. [`Config::default`] honours the
+/// `DG_CHECK_CASES` and `DG_CHECK_SEED` environment variables.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Generated cases per property.
+    pub cases: u32,
+    /// Base seed; combined with the property name so each property
+    /// draws an independent stream.
+    pub seed: u64,
+    /// Cap on property executions spent shrinking a failure.
+    pub max_shrink_steps: u32,
+}
+
+/// Default base seed: arbitrary but fixed, so every checkout runs the
+/// exact same cases.
+pub const DEFAULT_SEED: u64 = 0xD66E_12CA_C4E5_0000;
+
+impl Default for Config {
+    fn default() -> Self {
+        let env_u64 = |key: &str| std::env::var(key).ok().and_then(|v| v.parse().ok());
+        Config {
+            cases: env_u64("DG_CHECK_CASES").map_or(96, |c| c as u32),
+            seed: env_u64("DG_CHECK_SEED").unwrap_or(DEFAULT_SEED),
+            max_shrink_steps: 1024,
+        }
+    }
+}
+
+/// Panic payload marking a discarded (assumed-away) case rather than a
+/// failure.
+pub struct Discard;
+
+/// Discard the current case when a precondition does not hold
+/// (proptest's `prop_assume!`).
+#[macro_export]
+macro_rules! assume {
+    ($cond:expr) => {
+        if !$cond {
+            ::std::panic::panic_any($crate::Discard);
+        }
+    };
+}
+
+enum CaseOutcome {
+    Pass,
+    Discarded,
+    Fail(String),
+}
+
+fn run_case<V>(prop: &dyn Fn(V), value: V) -> CaseOutcome {
+    match catch_unwind(AssertUnwindSafe(|| prop(value))) {
+        Ok(()) => CaseOutcome::Pass,
+        Err(payload) => {
+            if payload.is::<Discard>() {
+                CaseOutcome::Discarded
+            } else if let Some(s) = payload.downcast_ref::<&str>() {
+                CaseOutcome::Fail((*s).to_string())
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                CaseOutcome::Fail(s.clone())
+            } else {
+                CaseOutcome::Fail("<non-string panic payload>".to_string())
+            }
+        }
+    }
+}
+
+/// FNV-1a, to give each property its own seed stream.
+fn hash_name(name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Run `prop` over `cfg.cases` values drawn from `strategy`; on
+/// failure, shrink and panic with the minimal counterexample.
+///
+/// # Panics
+///
+/// Panics if the property fails for any generated value, or if more
+/// than 90% of cases are discarded by [`assume!`].
+pub fn check<S: Strategy>(name: &str, cfg: &Config, strategy: &S, prop: &dyn Fn(S::Value)) {
+    let mut seeder = SplitMix64::seed_from_u64(cfg.seed ^ hash_name(name));
+    let mut discarded = 0u64;
+    let mut executed = 0u64;
+    for case in 0..cfg.cases {
+        let case_seed = seeder.next_u64();
+        let value = strategy.generate(&mut SplitMix64::seed_from_u64(case_seed));
+        match run_case(prop, value.clone()) {
+            CaseOutcome::Pass => executed += 1,
+            CaseOutcome::Discarded => discarded += 1,
+            CaseOutcome::Fail(msg) => {
+                let (minimal, msg, steps) = shrink_failure(cfg, strategy, prop, value, msg);
+                panic!(
+                    "[dg-check] property `{name}` failed at case {case} \
+                     (seed {seed:#x}, shrunk {steps} steps)\n\
+                     minimal input: {minimal:?}\n\
+                     failure: {msg}\n\
+                     rerun with DG_CHECK_SEED={base} to reproduce the stream",
+                    seed = case_seed,
+                    base = cfg.seed,
+                );
+            }
+        }
+    }
+    assert!(
+        executed >= u64::from(cfg.cases) / 10,
+        "[dg-check] property `{name}` discarded {discarded} of {} cases; \
+         loosen its assume!() preconditions",
+        cfg.cases,
+    );
+}
+
+/// Greedy shrink: repeatedly replace the failing value with the first
+/// shrink candidate that still fails, until none do or the budget runs
+/// out. Discarded candidates count as passing.
+fn shrink_failure<S: Strategy>(
+    cfg: &Config,
+    strategy: &S,
+    prop: &dyn Fn(S::Value),
+    mut value: S::Value,
+    mut msg: String,
+) -> (S::Value, String, u32) {
+    let mut steps = 0u32;
+    'outer: while steps < cfg.max_shrink_steps {
+        for candidate in strategy.shrink(&value) {
+            steps += 1;
+            if steps >= cfg.max_shrink_steps {
+                break 'outer;
+            }
+            if let CaseOutcome::Fail(m) = run_case(prop, candidate.clone()) {
+                value = candidate;
+                msg = m;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (value, msg, steps)
+}
+
+/// Define `#[test]` property functions (proptest's `proptest!`).
+///
+/// Each property lists `name in strategy` bindings; the body runs once
+/// per generated case with the bindings in scope, owned. An optional
+/// leading `cases = N;` overrides the case count for the whole block
+/// (proptest's `ProptestConfig::with_cases`).
+#[macro_export]
+macro_rules! props {
+    (cases = $cases:expr; $($rest:tt)+) => {
+        $crate::__props_impl! { ($cases) $($rest)+ }
+    };
+    ($($rest:tt)+) => {
+        $crate::__props_impl! { ($crate::Config::default().cases) $($rest)+ }
+    };
+}
+
+/// Implementation detail of [`props!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __props_impl {
+    (($cases:expr) $($(#[$meta:meta])* fn $name:ident($($var:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            #[test]
+            $(#[$meta])*
+            fn $name() {
+                let mut cfg = $crate::Config::default();
+                cfg.cases = $cases;
+                let strategy = ($($strat,)+);
+                $crate::check(stringify!($name), &cfg, &strategy, &|($($var,)+)| $body);
+            }
+        )+
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let cfg = Config { cases: 50, ..Config::default() };
+        let counter = std::cell::Cell::new(0u32);
+        check("always_true", &cfg, &(0u32..100), &|_v| {
+            counter.set(counter.get() + 1);
+        });
+        assert_eq!(counter.get(), 50);
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_boundary() {
+        // Fails for v >= 50: the minimal counterexample is exactly 50.
+        let cfg = Config::default();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            check("fails_at_50", &cfg, &(0u32..1000), &|v| {
+                assert!(v < 50, "too big: {v}");
+            });
+        }));
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("minimal input: 50"), "unshrunk failure: {msg}");
+        assert!(msg.contains("too big: 50"), "wrong message: {msg}");
+    }
+
+    #[test]
+    fn vec_failures_shrink_small() {
+        // Fails whenever the vec contains an element >= 10; minimal
+        // counterexample is the single-element vec [10].
+        let cfg = Config::default();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            check("vec_shrinks", &cfg, &(vec(0u32..100, 1..20),), &|(v,)| {
+                assert!(v.iter().all(|&x| x < 10), "bad vec {v:?}");
+            });
+        }));
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("minimal input: ([10],)"), "unshrunk: {msg}");
+    }
+
+    #[test]
+    fn assume_discards_without_failing() {
+        let cfg = Config { cases: 40, ..Config::default() };
+        check("assume_even", &cfg, &(0u32..100,), &|(v,)| {
+            assume!(v % 2 == 0);
+            assert_eq!(v % 2, 0);
+        });
+    }
+
+    #[test]
+    fn over_discarding_is_an_error() {
+        let cfg = Config { cases: 40, ..Config::default() };
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            check("assume_everything_away", &cfg, &(0u32..100,), &|(_v,)| {
+                assume!(false);
+            });
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn cases_are_deterministic_across_runs() {
+        let cfg = Config { cases: 20, ..Config::default() };
+        let collect = || {
+            let got = std::cell::RefCell::new(Vec::new());
+            check("determinism", &cfg, &(0u64..1_000_000,), &|(v,)| {
+                got.borrow_mut().push(v);
+            });
+            got.into_inner()
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    props! {
+        cases = 32;
+        /// The macro front-end compiles with docs, multiple bindings,
+        /// and a cases override.
+        fn props_macro_compiles(a in 0u8..10, b in any::<bool>(), v in vec(0u16..99, 0..5)) {
+            assert!(a < 10);
+            let _ = b;
+            assert!(v.len() < 5);
+        }
+    }
+}

@@ -1,11 +1,31 @@
-//! Property tests for the memory substrate.
+//! Property tests for the memory substrate (dg-check harness).
 
+use dg_check::{any, props, vec};
 use dg_mem::{
     Access, AccessKind, Addr, AnnotationTable, BlockData, ElemType, Memory, MemoryImage, Trace,
 };
-use proptest::prelude::*;
 
-fn arb_access() -> impl Strategy<Value = Access> {
+/// Raw tuple a random access is built from; kept as plain data so the
+/// harness can shrink it component-wise.
+type RawAccess = (u32, bool, u8, bool, u32, [u8; 8]);
+
+fn build_access((addr, is_store, size, approx, think, data): RawAccess) -> Access {
+    // Keep the access inside one block.
+    let addr = Addr(u64::from(addr) & !7);
+    let mut a = Access::new(
+        addr,
+        if is_store { AccessKind::Store } else { AccessKind::Load },
+        size,
+    );
+    a.approx = approx;
+    a.think = think;
+    if is_store {
+        a = a.with_data(data);
+    }
+    a
+}
+
+fn raw_access_strategy() -> impl dg_check::Strategy<Value = RawAccess> {
     (
         any::<u32>(),
         any::<bool>(),
@@ -14,81 +34,60 @@ fn arb_access() -> impl Strategy<Value = Access> {
         any::<u32>(),
         any::<[u8; 8]>(),
     )
-        .prop_map(|(addr, is_store, size, approx, think, data)| {
-            // Keep the access inside one block.
-            let addr = Addr((addr as u64) & !7);
-            let mut a = Access::new(
-                addr,
-                if is_store { AccessKind::Store } else { AccessKind::Load },
-                size,
-            );
-            a.approx = approx;
-            a.think = think;
-            if is_store {
-                a = a.with_data(data);
-            }
-            a
-        })
 }
 
-proptest! {
+props! {
     /// Encoding then decoding any representable value is the identity
     /// for every element type (within the type's precision).
-    #[test]
     fn elem_round_trip_f32(v in any::<f32>()) {
-        prop_assume!(v.is_finite());
+        dg_check::assume!(v.is_finite());
         let mut b = [0u8; 4];
-        ElemType::F32.encode(v as f64, &mut b);
-        prop_assert_eq!(ElemType::F32.decode(&b) as f32, v);
+        ElemType::F32.encode(f64::from(v), &mut b);
+        assert_eq!(ElemType::F32.decode(&b) as f32, v);
     }
 
-    #[test]
     fn elem_round_trip_i32(v in any::<i32>()) {
         let mut b = [0u8; 4];
-        ElemType::I32.encode(v as f64, &mut b);
-        prop_assert_eq!(ElemType::I32.decode(&b) as i32, v);
+        ElemType::I32.encode(f64::from(v), &mut b);
+        assert_eq!(ElemType::I32.decode(&b) as i32, v);
     }
 
-    #[test]
     fn elem_round_trip_u8(v in any::<u8>()) {
         let mut b = [0u8; 1];
-        ElemType::U8.encode(v as f64, &mut b);
-        prop_assert_eq!(ElemType::U8.decode(&b) as u8, v);
+        ElemType::U8.encode(f64::from(v), &mut b);
+        assert_eq!(ElemType::U8.decode(&b) as u8, v);
     }
 
     /// Block statistics agree with a straightforward recomputation.
-    #[test]
-    fn block_stats_match_manual(vals in prop::collection::vec(-1.0e6f64..1.0e6, 16)) {
-        let vals: Vec<f64> = vals.into_iter().map(|v| (v as f32) as f64).collect();
+    fn block_stats_match_manual(vals in vec(-1.0e6f64..1.0e6, 16usize)) {
+        let vals: Vec<f64> = vals.into_iter().map(|v| f64::from(v as f32)).collect();
         let b = BlockData::from_values(ElemType::F32, &vals);
         let s = b.stats(ElemType::F32);
-        let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
-        let max = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert_eq!(s.min, min);
-        prop_assert_eq!(s.max, max);
-        prop_assert!((s.sum - vals.iter().sum::<f64>()).abs() < 1e-6 * (1.0 + s.sum.abs()));
-        prop_assert_eq!(s.count, 16);
+        let min = vals.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(s.min, min);
+        assert_eq!(s.max, max);
+        assert!((s.sum - vals.iter().sum::<f64>()).abs() < 1e-6 * (1.0 + s.sum.abs()));
+        assert_eq!(s.count, 16);
     }
 
     /// Approximate similarity at threshold t implies similarity at any
     /// larger threshold (monotonicity in T — the premise of Fig. 2).
-    #[test]
     fn approx_similarity_monotone_in_threshold(
-        a in prop::collection::vec(0.0f64..255.0, 16),
-        b in prop::collection::vec(0.0f64..255.0, 16),
-        t in 0.0f64..0.5
+        a in vec(0.0f64..255.0, 16usize),
+        b in vec(0.0f64..255.0, 16usize),
+        t in 0.0f64..0.5,
     ) {
         let ba = BlockData::from_values(ElemType::F32, &a);
         let bb = BlockData::from_values(ElemType::F32, &b);
         if ba.approx_similar(&bb, ElemType::F32, t, 255.0) {
-            prop_assert!(ba.approx_similar(&bb, ElemType::F32, t * 2.0, 255.0));
-            prop_assert!(ba.approx_similar(&bb, ElemType::F32, 1.0, 255.0));
+            assert!(ba.approx_similar(&bb, ElemType::F32, t * 2.0, 255.0));
+            assert!(ba.approx_similar(&bb, ElemType::F32, 1.0, 255.0));
         }
     }
 
     /// A memory image is a map: the last store to an address wins.
-    #[test]
-    fn image_last_store_wins(ops in prop::collection::vec((0u64..128, any::<u32>()), 1..100)) {
+    fn image_last_store_wins(ops in vec((0u64..128, any::<u32>()), 1..100)) {
         let mut image = MemoryImage::new();
         let mut model = std::collections::HashMap::new();
         for (slot, v) in ops {
@@ -96,15 +95,14 @@ proptest! {
             model.insert(slot, v as i32);
         }
         for (slot, v) in model {
-            prop_assert_eq!(image.load_i32(Addr(slot * 4)), v);
+            assert_eq!(image.load_i32(Addr(slot * 4)), v);
         }
     }
 
     /// Trace binary serialization round-trips arbitrary traces.
-    #[test]
     fn trace_serialization_round_trips(
-        streams in prop::collection::vec(prop::collection::vec(arb_access(), 0..30), 1..4),
-        blocks in prop::collection::vec((0u64..1000, any::<[u8; 8]>()), 0..10)
+        streams in vec(vec(raw_access_strategy(), 0..30), 1..4),
+        blocks in vec((0u64..1000, any::<[u8; 8]>()), 0..10),
     ) {
         let mut image = MemoryImage::new();
         for (b, bytes) in blocks {
@@ -113,19 +111,21 @@ proptest! {
         let t = Trace {
             initial: image,
             annotations: AnnotationTable::new(),
-            cores: streams,
+            cores: streams
+                .into_iter()
+                .map(|s| s.into_iter().map(build_access).collect())
+                .collect(),
         };
         let mut buf = Vec::new();
         t.write_to(&mut buf).unwrap();
         let back = Trace::read_from(&mut buf.as_slice()).unwrap();
-        prop_assert_eq!(back.cores, t.cores);
-        prop_assert_eq!(back.initial.populated_blocks(), t.initial.populated_blocks());
+        assert_eq!(back.cores, t.cores);
+        assert_eq!(back.initial.populated_blocks(), t.initial.populated_blocks());
     }
 
     /// The round-robin interleaver emits every access exactly once and
     /// preserves per-core order.
-    #[test]
-    fn interleaver_is_a_fair_permutation(lens in prop::collection::vec(0usize..20, 1..5)) {
+    fn interleaver_is_a_fair_permutation(lens in vec(0usize..20, 1..5)) {
         let cores: Vec<Vec<Access>> = lens
             .iter()
             .enumerate()
@@ -142,7 +142,7 @@ proptest! {
         };
         let emitted: Vec<(usize, u64)> =
             trace.interleaved().map(|(c, a)| (c, a.addr.0)).collect();
-        prop_assert_eq!(emitted.len(), lens.iter().sum::<usize>());
+        assert_eq!(emitted.len(), lens.iter().sum::<usize>());
         // Per-core subsequences appear in order.
         for (c, stream) in cores.iter().enumerate() {
             let seen: Vec<u64> = emitted
@@ -151,7 +151,7 @@ proptest! {
                 .map(|(_, a)| *a)
                 .collect();
             let want: Vec<u64> = stream.iter().map(|a| a.addr.0).collect();
-            prop_assert_eq!(seen, want);
+            assert_eq!(seen, want);
         }
     }
 }

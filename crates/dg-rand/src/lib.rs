@@ -1,0 +1,297 @@
+//! Deterministic pseudo-randomness for the reproduction, with no
+//! external dependencies.
+//!
+//! The whole workspace draws randomness from [`SplitMix64`] (Steele,
+//! Lea & Flood, OOPSLA 2014 — the same mixer `java.util.SplittableRandom`
+//! and xoshiro seeding use). The generator and every derived sampling
+//! method below are **part of the reproduction's pinned surface**: the
+//! workloads' synthetic inputs, and therefore every table and figure,
+//! are a pure function of the seeds fed to [`SplitMix64::seed_from_u64`].
+//! Any change to the stream (the mixer constants, the range-sampling
+//! strategy, the float conversion) shifts every downstream number, so
+//! the first outputs of each method are pinned by `tests/golden.rs` and
+//! a change here must be treated as a new major version of the
+//! experiment inputs (see `README.md`, "Hermetic build & determinism").
+//!
+//! The facade mirrors the small subset of the `rand` crate the
+//! workloads used — `seed_from_u64`, `gen_range` over integer and float
+//! ranges, `gen_bool`, `gen`, `shuffle` — so kernel code reads the
+//! same as it did against `rand::rngs::StdRng`.
+
+use std::ops::{Range, RangeInclusive};
+
+/// SplitMix64: 64 bits of state, one add + two xor-multiply mixes per
+/// output. Passes BigCrush when seeded arbitrarily; more than enough
+/// for synthetic-workload generation, and trivially reproducible.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+/// Golden-ratio increment (2^64 / φ, forced odd).
+const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl SplitMix64 {
+    /// Seed the generator. Identical seeds give identical streams on
+    /// every platform, forever.
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GAMMA);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next `f64` uniform in `[0, 1)`, using the top 53 bits.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Next `f32` uniform in `[0, 1)`, using the top 24 bits.
+    pub fn next_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+
+    /// A uniformly distributed value of a primitive type (`rand`'s
+    /// `gen`). Floats land in `[0, 1)`.
+    pub fn gen<T: Sample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of [0, 1]");
+        self.next_f64() < p
+    }
+
+    /// A value uniform over `range` (half-open or inclusive, integer or
+    /// float).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty, matching `rand`'s contract.
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_range(0..=i);
+            slice.swap(i, j);
+        }
+    }
+}
+
+/// Types [`SplitMix64::gen`] can produce.
+pub trait Sample {
+    fn sample(rng: &mut SplitMix64) -> Self;
+}
+
+macro_rules! sample_int {
+    ($($t:ty),+) => {$(
+        impl Sample for $t {
+            fn sample(rng: &mut SplitMix64) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )+};
+}
+sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Sample for bool {
+    fn sample(rng: &mut SplitMix64) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Sample for f32 {
+    fn sample(rng: &mut SplitMix64) -> Self {
+        rng.next_f32()
+    }
+}
+
+impl Sample for f64 {
+    fn sample(rng: &mut SplitMix64) -> Self {
+        rng.next_f64()
+    }
+}
+
+impl<const N: usize> Sample for [u8; N] {
+    fn sample(rng: &mut SplitMix64) -> Self {
+        let mut out = [0u8; N];
+        for chunk in out.chunks_mut(8) {
+            let bytes = rng.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        out
+    }
+}
+
+/// Ranges [`SplitMix64::gen_range`] can sample from. The trait is
+/// parameterized by the element type so the range literal's type can be
+/// inferred from the call site, as with `rand`'s `gen_range`.
+pub trait SampleRange<T> {
+    fn sample(self, rng: &mut SplitMix64) -> T;
+}
+
+/// Map a raw output onto `[0, span)` with a widening multiply
+/// (Lemire's multiply-shift; bias below 2^-64 for the spans used here,
+/// and — unlike rejection sampling — a fixed one-draw cost that keeps
+/// the stream position independent of the span).
+fn scale_to_span(raw: u64, span: u64) -> u64 {
+    ((u128::from(raw) * u128::from(span)) >> 64) as u64
+}
+
+macro_rules! range_int {
+    ($($t:ty),+) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut SplitMix64) -> $t {
+                assert!(
+                    self.start < self.end,
+                    "gen_range: empty range {}..{}", self.start, self.end
+                );
+                let span = self.end.wrapping_sub(self.start) as u64;
+                self.start.wrapping_add(scale_to_span(rng.next_u64(), span) as $t)
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut SplitMix64) -> $t {
+                let (start, end) = self.into_inner();
+                assert!(start <= end, "gen_range: empty range {start}..={end}");
+                let span = end.wrapping_sub(start) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add(scale_to_span(rng.next_u64(), span + 1) as $t)
+            }
+        }
+    )+};
+}
+range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! range_float {
+    ($($t:ty: $next:ident),+) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut SplitMix64) -> $t {
+                assert!(
+                    self.start < self.end,
+                    "gen_range: empty range {}..{}", self.start, self.end
+                );
+                self.start + rng.$next() * (self.end - self.start)
+            }
+        }
+    )+};
+}
+range_float!(f32: next_f32, f64: next_f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SplitMix64::seed_from_u64(7);
+        let mut b = SplitMix64::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::seed_from_u64(1);
+        let mut b = SplitMix64::seed_from_u64(2);
+        assert_ne!(
+            (a.next_u64(), a.next_u64()),
+            (b.next_u64(), b.next_u64())
+        );
+    }
+
+    #[test]
+    fn floats_land_in_unit_interval() {
+        let mut rng = SplitMix64::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            let y = rng.next_f32();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SplitMix64::seed_from_u64(4);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10..20u32);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(-5..=5i32);
+            assert!((-5..=5).contains(&w));
+            let f = rng.gen_range(0.25..4.0f32);
+            assert!((0.25..4.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_domains() {
+        let mut rng = SplitMix64::seed_from_u64(5);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.gen_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "gen_range misses values: {seen:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        SplitMix64::seed_from_u64(0).gen_range(3..3usize);
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SplitMix64::seed_from_u64(6);
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.45)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.45).abs() < 0.02, "gen_bool(0.45) rate {rate}");
+        let mut rng = SplitMix64::seed_from_u64(6);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        let mut rng = SplitMix64::seed_from_u64(6);
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SplitMix64::seed_from_u64(8);
+        let mut v: Vec<u32> = (0..64).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..64).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "64 elements should not shuffle to identity");
+    }
+
+    #[test]
+    fn gen_array_fills_every_byte_eventually() {
+        let mut rng = SplitMix64::seed_from_u64(9);
+        let mut acc = [0u8; 8];
+        for _ in 0..32 {
+            let a: [u8; 8] = rng.gen();
+            for (acc, b) in acc.iter_mut().zip(a) {
+                *acc |= b;
+            }
+        }
+        assert!(acc.iter().all(|&b| b != 0));
+    }
+}

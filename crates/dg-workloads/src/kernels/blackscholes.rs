@@ -13,8 +13,7 @@ use crate::kernel::partition;
 use crate::metrics::mean_relative_error;
 use crate::{ArrayF32, Kernel};
 use dg_mem::{AddressSpace, AnnotationTable, Memory, MemoryImage};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dg_rand::SplitMix64;
 
 /// Number of repricing passes (PARSEC reprices the portfolio many
 /// times; a few passes give the LLC time to reach steady state).
@@ -115,7 +114,7 @@ impl Kernel for Blackscholes {
     }
 
     fn setup(&self, mem: &mut MemoryImage) -> AnnotationTable {
-        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xb1ac);
+        let mut rng = SplitMix64::seed_from_u64(self.seed ^ 0xb1ac);
         let rates = [0.025f32, 0.0275, 0.03, 0.0325];
         let vols = [0.10f32, 0.15, 0.20, 0.25, 0.30, 0.35];
         // Two records per 64 B block; repeat earlier block-aligned runs
@@ -125,8 +124,13 @@ impl Kernel for Blackscholes {
         let mut i = 0;
         while i < self.n {
             let end = (i + CHUNK).min(self.n);
-            if i >= CHUNK && rng.gen_bool(0.45) {
-                let src = rng.gen_range(0..i / CHUNK) * CHUNK;
+            // `prior_chunks == 0` for the first chunk: there is nothing
+            // to repeat yet, and `gen_range(0..0)` would panic on an
+            // empty range. Make the guard explicit rather than relying
+            // on short-circuit order.
+            let prior_chunks = i / CHUNK;
+            if prior_chunks > 0 && rng.gen_bool(0.45) {
+                let src = rng.gen_range(0..prior_chunks) * CHUNK;
                 // Half the repeats are bit-exact; half are the same
                 // contract re-marked with noise far below the 14-bit
                 // map resolution (bin width 200/2^14 ≈ 0.012) — they
@@ -241,6 +245,20 @@ mod tests {
         for (i, v) in out.iter().enumerate() {
             assert!(*v >= -1e-3, "negative price at {i}: {v}");
             assert!(*v < 200.0, "implausible price at {i}: {v}");
+        }
+    }
+
+    #[test]
+    fn tiny_portfolios_set_up_without_panic() {
+        // Regression: setup's repeat-a-prior-chunk branch must not draw
+        // from an empty range when there is no prior chunk yet. Sweep
+        // small n across several seeds so both branches are exercised.
+        for n in 1..=5 {
+            for seed in 0..8 {
+                let k = Blackscholes::new(n, seed);
+                let p = prepare(&k);
+                drop(p);
+            }
         }
     }
 

@@ -17,8 +17,7 @@ use crate::kernel::partition;
 use crate::metrics::scalar_relative_error;
 use crate::{ArrayI32, Kernel};
 use dg_mem::{AddressSpace, AnnotationTable, Memory, MemoryImage};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dg_rand::SplitMix64;
 
 /// Annealing temperature steps.
 const STEPS: usize = 6;
@@ -117,7 +116,7 @@ impl Kernel for Canneal {
     }
 
     fn setup(&self, mem: &mut MemoryImage) -> AnnotationTable {
-        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xca11ea1);
+        let mut rng = SplitMix64::seed_from_u64(self.seed ^ 0xca11ea1);
         for i in 0..self.active {
             self.x.set(mem, i, rng.gen_range(0..self.grid));
             self.y.set(mem, i, rng.gen_range(0..self.grid));
@@ -202,7 +201,7 @@ impl Canneal {
     ) {
         let range = partition(self.active, worker, workers);
         let mut rng =
-            StdRng::seed_from_u64(self.seed ^ ((phase as u64) << 32) ^ ((worker as u64) << 16));
+            SplitMix64::seed_from_u64(self.seed ^ ((phase as u64) << 32) ^ ((worker as u64) << 16));
         let proposals = range.len() * PROPOSALS_PER_ELEM;
         for _ in 0..proposals {
             // Swap two elements from this worker's own partition (keeps

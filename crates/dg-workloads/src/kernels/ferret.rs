@@ -13,8 +13,7 @@ use crate::kernel::partition;
 use crate::metrics::mismatch_rate;
 use crate::{ArrayF32, ArrayI32, ArrayU8, Kernel};
 use dg_mem::{AddressSpace, AnnotationTable, Memory, MemoryImage};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dg_rand::SplitMix64;
 
 /// The ferret kernel.
 #[derive(Debug)]
@@ -73,7 +72,7 @@ impl Kernel for Ferret {
     }
 
     fn setup(&self, mem: &mut MemoryImage) -> AnnotationTable {
-        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xfe44e7);
+        let mut rng = SplitMix64::seed_from_u64(self.seed ^ 0xfe44e7);
         // Clustered database: features cluster around a handful of
         // archetypes, giving realistic inter-vector similarity.
         let archetypes = 12;
@@ -89,8 +88,12 @@ impl Kernel for Ferret {
         let mut i = 0;
         while i < self.db_size {
             let end = (i + run).min(self.db_size);
-            if i >= run.max(archetypes) && rng.gen_bool(0.45) {
-                let src = rng.gen_range(0..i / run) * run;
+            // `prior_runs > 0` keeps the source range nonempty (same
+            // draw sequence as the old `i >= run` half of the guard);
+            // `i >= archetypes` ensures a diverse prefix before copying.
+            let prior_runs = i / run;
+            if prior_runs > 0 && i >= archetypes && rng.gen_bool(0.45) {
+                let src = rng.gen_range(0..prior_runs) * run;
                 // Half the copies are bit-exact duplicates, half carry
                 // re-encoding noise far below the 14-bit map resolution
                 // (near-duplicate images): these defeat exact
@@ -106,7 +109,7 @@ impl Kernel for Ferret {
                 for idx in i..end {
                     let c = &centers[idx % archetypes];
                     for j in 0..self.dim {
-                        let v: f32 = (c[j] + rng.gen_range(-0.08..0.08)).clamp(0.0, 1.0);
+                        let v: f32 = (c[j] + rng.gen_range(-0.08f32..0.08)).clamp(0.0, 1.0);
                         self.db.set(mem, idx * self.dim + j, v);
                     }
                 }
@@ -116,7 +119,7 @@ impl Kernel for Ferret {
         for q in 0..self.queries {
             let c = &centers[q % archetypes];
             for j in 0..self.dim {
-                let v: f32 = (c[j] + rng.gen_range(-0.1..0.1)).clamp(0.0, 1.0);
+                let v: f32 = (c[j] + rng.gen_range(-0.1f32..0.1)).clamp(0.0, 1.0);
                 self.query.set(mem, q * self.dim + j, v);
             }
         }
@@ -141,7 +144,9 @@ impl Kernel for Ferret {
             for d in 0..self.db_size {
                 let dist = self.distance(mem, q, d);
                 best.push((dist, d));
-                best.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+                // total_cmp: approximate reads can hand back NaN
+                // distances; rank them last instead of panicking.
+                best.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
                 best.truncate(self.top_k);
             }
             // The ranking stage walks the winners' full metadata records

@@ -13,8 +13,7 @@ use crate::kernel::partition;
 use crate::metrics::mean_relative_error;
 use crate::{ArrayF32, ArrayI32, Kernel};
 use dg_mem::{AddressSpace, AnnotationTable, Memory, MemoryImage};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dg_rand::SplitMix64;
 
 /// Phases per timestep: rebuild cells, density, integrate.
 const PHASES_PER_STEP: usize = 3;
@@ -147,7 +146,7 @@ impl Kernel for Fluidanimate {
     }
 
     fn setup(&self, mem: &mut MemoryImage) -> AnnotationTable {
-        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xf1d);
+        let mut rng = SplitMix64::seed_from_u64(self.seed ^ 0xf1d);
         // A dam-break block of fluid in the lower-left quadrant.
         for i in 0..self.particles {
             self.px.set(mem, i, rng.gen_range(0.0..self.domain * 0.5));

@@ -10,8 +10,7 @@ use crate::kernel::partition;
 use crate::metrics::mean_relative_error;
 use crate::{ArrayF32, Kernel};
 use dg_mem::{AddressSpace, AnnotationTable, Memory, MemoryImage};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dg_rand::SplitMix64;
 use std::f32::consts::PI;
 
 /// Link lengths of the arm.
@@ -81,13 +80,13 @@ impl Kernel for Inversek2j {
     }
 
     fn setup(&self, mem: &mut MemoryImage) -> AnnotationTable {
-        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x1c2);
+        let mut rng = SplitMix64::seed_from_u64(self.seed ^ 0x1c2);
         for i in 0..self.n {
             // Reachable targets: radius within (0.2, 0.95), smooth path
             // so consecutive targets are similar (a robot sweep).
             let sweep = i as f32 / self.n as f32 * 2.0 * PI;
-            let r = 0.55 + 0.35 * (3.0 * sweep).sin() * rng.gen_range(0.9..1.0);
-            let phi = sweep + rng.gen_range(-0.02..0.02);
+            let r = 0.55 + 0.35 * (3.0 * sweep).sin() * rng.gen_range(0.9f32..1.0);
+            let phi = sweep + rng.gen_range(-0.02f32..0.02);
             self.tx.set(mem, i, r * phi.cos());
             self.ty.set(mem, i, r * phi.sin());
         }

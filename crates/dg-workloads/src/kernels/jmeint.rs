@@ -9,8 +9,7 @@ use crate::kernel::partition;
 use crate::metrics::mismatch_rate;
 use crate::{ArrayF32, ArrayI32, Kernel};
 use dg_mem::{AddressSpace, AnnotationTable, Memory, MemoryImage};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dg_rand::SplitMix64;
 
 /// Floats per pair: two triangles × three vertices × xyz.
 const FLOATS_PER_PAIR: usize = 18;
@@ -144,7 +143,7 @@ impl Kernel for Jmeint {
     }
 
     fn setup(&self, mem: &mut MemoryImage) -> AnnotationTable {
-        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x13e);
+        let mut rng = SplitMix64::seed_from_u64(self.seed ^ 0x13e);
         // Triangles come from meshes: vertices are drawn from a shared
         // pool and whole triangles recur across pairs (adjacent faces
         // of the same model are tested against many partners). This is
@@ -164,8 +163,8 @@ impl Kernel for Jmeint {
         let tri_lib: Vec<[usize; 3]> = (0..pool_size)
             .map(|i| {
                 let a = i;
-                let b = (i + 1 + rng.gen_range(0..4)) % pool_size;
-                let c = (i + 5 + rng.gen_range(0..7)) % pool_size;
+                let b = (i + 1 + rng.gen_range(0..4usize)) % pool_size;
+                let c = (i + 5 + rng.gen_range(0..7usize)) % pool_size;
                 [a, b, c]
             })
             .collect();

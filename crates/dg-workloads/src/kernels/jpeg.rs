@@ -11,8 +11,7 @@ use crate::kernel::partition;
 use crate::metrics::normalized_rmse;
 use crate::{ArrayF32, ArrayU8, Kernel};
 use dg_mem::{AddressSpace, AnnotationTable, Memory, MemoryImage};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dg_rand::SplitMix64;
 use std::f32::consts::PI;
 
 /// The standard JPEG luminance quantization table (quality ~50).
@@ -139,7 +138,7 @@ impl Kernel for Jpeg {
     }
 
     fn setup(&self, mem: &mut MemoryImage) -> AnnotationTable {
-        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x39e6);
+        let mut rng = SplitMix64::seed_from_u64(self.seed ^ 0x39e6);
         // A natural-looking test card: smooth gradients + soft blobs +
         // mild noise, so neighbouring blocks are approximately similar
         // (the paper's Fig. 1 scenario).
@@ -162,7 +161,7 @@ impl Kernel for Jpeg {
                     let d2 = (x as f32 - bx).powi(2) + (y as f32 - by).powi(2);
                     v += a * (-d2 / (2.0 * r * r)).exp();
                 }
-                v += rng.gen_range(-3.0..3.0);
+                v += rng.gen_range(-3.0f32..3.0);
                 self.input.set(mem, y * self.width + x, v.clamp(0.0, 255.0) as u8);
             }
         }

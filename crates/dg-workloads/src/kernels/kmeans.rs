@@ -11,8 +11,7 @@ use crate::kernel::partition;
 use crate::metrics::mean_relative_error;
 use crate::{ArrayF32, ArrayI32, Kernel};
 use dg_mem::{AddressSpace, AnnotationTable, Memory, MemoryImage};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dg_rand::SplitMix64;
 
 /// The kmeans kernel.
 #[derive(Debug)]
@@ -69,7 +68,7 @@ impl Kernel for Kmeans {
     }
 
     fn setup(&self, mem: &mut MemoryImage) -> AnnotationTable {
-        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x63a5);
+        let mut rng = SplitMix64::seed_from_u64(self.seed ^ 0x63a5);
         // AxBench's kmeans clusters image pixels: coordinates are
         // 8-bit-quantized color channels and flat image regions yield
         // many duplicate points.
@@ -83,8 +82,12 @@ impl Kernel for Kmeans {
         let mut i = 0;
         while i < self.points {
             let end = (i + run).min(self.points);
-            if i >= run.max(self.k) && rng.gen_bool(0.35) {
-                let src = rng.gen_range(0..i / run) * run;
+            // `prior_runs > 0` keeps the copy-source range nonempty
+            // (equivalent to the old `i >= run` half of the guard);
+            // `i >= self.k` leaves the centroid-seeding prefix fresh.
+            let prior_runs = i / run;
+            if prior_runs > 0 && i >= self.k && rng.gen_bool(0.35) {
+                let src = rng.gen_range(0..prior_runs) * run;
                 for k in 0..end - i {
                     for j in 0..self.dim {
                         let v = self.data.get(mem, (src + k) * self.dim + j);
@@ -95,7 +98,7 @@ impl Kernel for Kmeans {
                 for idx in i..end {
                     let c = &centers[idx % self.k];
                     for j in 0..self.dim {
-                        let v = quantize(c[j] + rng.gen_range(-0.06..0.06));
+                        let v = quantize(c[j] + rng.gen_range(-0.06f32..0.06));
                         self.data.set(mem, idx * self.dim + j, v);
                     }
                 }

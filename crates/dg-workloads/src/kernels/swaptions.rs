@@ -11,8 +11,7 @@ use crate::kernel::partition;
 use crate::metrics::mean_relative_error;
 use crate::{ArrayF32, ArrayF64, Kernel};
 use dg_mem::{AddressSpace, AnnotationTable, Memory, MemoryImage};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dg_rand::SplitMix64;
 
 /// Timesteps per simulated path.
 const STEPS: usize = 16;
@@ -93,7 +92,7 @@ impl Kernel for Swaptions {
     }
 
     fn setup(&self, mem: &mut MemoryImage) -> AnnotationTable {
-        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x54a9);
+        let mut rng = SplitMix64::seed_from_u64(self.seed ^ 0x54a9);
         // Interest-rate parameters share a handful of market-quoted
         // values (the exact redundancy noted in §2).
         let rates = [0.02f32, 0.025, 0.03];
@@ -103,8 +102,11 @@ impl Kernel for Swaptions {
         let mut s0 = 0;
         while s0 < self.swaptions {
             let end = (s0 + CHUNK).min(self.swaptions);
-            if s0 >= CHUNK && rng.gen_bool(0.5) {
-                let src = rng.gen_range(0..s0 / CHUNK) * CHUNK;
+            // Explicit nonempty-range guard: the first chunk has no
+            // predecessor to copy, and `gen_range(0..0)` panics.
+            let prior_chunks = s0 / CHUNK;
+            if prior_chunks > 0 && rng.gen_bool(0.5) {
+                let src = rng.gen_range(0..prior_chunks) * CHUNK;
                 // Half exact repeats, half re-marked records with noise
                 // below the 14-bit map bin (6/2^14 ≈ 3.7e-4).
                 let noise: f32 =

@@ -104,7 +104,9 @@ pub fn error_stats(precise: &[f64], approx: &[f64]) -> ErrorStats {
         .zip(approx)
         .map(|(&p, &a)| ((a - p).abs() / p.abs().max(eps)).min(1.0))
         .collect();
-    errs.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    // total_cmp, not partial_cmp().unwrap(): a NaN error (NaN kernel
+    // output) must rank, not panic the whole evaluation.
+    errs.sort_by(f64::total_cmp);
     let n = errs.len();
     let pick = |q: f64| errs[((n as f64 - 1.0) * q).round() as usize];
     ErrorStats {

@@ -496,7 +496,7 @@ mod tests {
         // the stride hash separates them.
         let ramp: Vec<f64> = (0..16).map(|i| 10.0 + 5.0 * i as f64).collect();
         let mut zigzag = ramp.clone();
-        zigzag.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        zigzag.sort_by(|a, b| a.total_cmp(b));
         // Interleave small and large.
         let reordered: Vec<f64> =
             (0..8).flat_map(|i| [zigzag[i], zigzag[15 - i]]).collect();
@@ -505,6 +505,26 @@ mod tests {
         assert_ne!(s.map_block(&b_ramp, &r), s.map_block(&b_zig, &r));
         let paper = MapSpace::new(12);
         assert_eq!(paper.map_block(&b_ramp, &r), paper.map_block(&b_zig, &r));
+    }
+
+    #[test]
+    fn nan_block_maps_without_panic() {
+        // Runtime data can carry NaN (uninitialized approximate reads,
+        // kernel overflow); mapping must stay total and deterministic
+        // rather than panicking inside a sort or comparison.
+        let r = region_f32(0.0, 100.0);
+        let mut vals = [50.0f64; 16];
+        vals[3] = f64::NAN;
+        vals[11] = f64::NAN;
+        let b = BlockData::from_values(ElemType::F32, &vals);
+        for hash in MapHash::ALL {
+            let s = MapSpace::new(14).with_hash(hash);
+            let first = s.map_block(&b, &r);
+            assert_eq!(first, s.map_block(&b, &r), "{hash:?} map not deterministic");
+        }
+        let all_nan = BlockData::from_values(ElemType::F32, &[f64::NAN; 16]);
+        let s = MapSpace::new(14);
+        assert_eq!(s.map_block(&all_nan, &r), s.map_block(&all_nan, &r));
     }
 
     #[test]

@@ -1,34 +1,33 @@
-//! Property tests of map generation and the hardware-cost model.
+//! Property tests of map generation and the hardware-cost model
+//! (dg-check harness).
 
+use dg_check::{props, vec};
 use dg_mem::{Addr, ApproxRegion, BlockData, ElemType};
 use doppelganger::{DoppelgangerConfig, HardwareCost, MapHash, MapSpace};
-use proptest::prelude::*;
 
 fn region(min: f64, max: f64) -> ApproxRegion {
     ApproxRegion::new(Addr(0), 1 << 24, ElemType::F32, min, max)
 }
 
-proptest! {
+props! {
     /// Map generation is a pure function of (block, region, space):
     /// identical inputs give identical maps under every hash pair.
-    #[test]
     fn maps_are_deterministic(
-        vals in prop::collection::vec(-100.0f64..100.0, 16),
-        m in 4u32..20
+        vals in vec(-100.0f64..100.0, 16usize),
+        m in 4u32..20,
     ) {
         let r = region(-100.0, 100.0);
         let b = BlockData::from_values(ElemType::F32, &vals);
         for hash in MapHash::ALL {
             let s = MapSpace::new(m).with_hash(hash);
-            prop_assert_eq!(s.map_block(&b, &r), s.map_block(&b, &r));
+            assert_eq!(s.map_block(&b, &r), s.map_block(&b, &r));
         }
     }
 
     /// The map identifier always fits its declared field width.
-    #[test]
     fn maps_fit_their_field_width(
-        vals in prop::collection::vec(-100.0f64..100.0, 16),
-        m in 4u32..20
+        vals in vec(-100.0f64..100.0, 16usize),
+        m in 4u32..20,
     ) {
         let r = region(-100.0, 100.0);
         let b = BlockData::from_values(ElemType::F32, &vals);
@@ -36,14 +35,13 @@ proptest! {
             let s = MapSpace::new(m).with_hash(hash);
             let map = s.map_block(&b, &r);
             // Conceptual identifier width is at most 2M bits.
-            prop_assert!(map.0 < (1u64 << s.ident_bits()), "{hash}: map overflows");
+            assert!(map.0 < (1u64 << s.ident_bits()), "{hash}: map overflows");
         }
     }
 
     /// Uniform constant blocks: the average map is monotone in the
     /// value — a larger constant never yields a smaller map (low bits
     /// hold the quantized average; range is 0 for all of them).
-    #[test]
     fn constant_blocks_map_monotonically(a in 0.0f64..100.0, b in 0.0f64..100.0, m in 4u32..16) {
         let r = region(0.0, 100.0);
         let s = MapSpace::new(m);
@@ -51,18 +49,17 @@ proptest! {
         let bb = BlockData::from_values(ElemType::F32, &[b; 16]);
         let (ma, mb) = (s.map_block(&ba, &r).0, s.map_block(&bb, &r).0);
         if a <= b {
-            prop_assert!(ma <= mb, "map not monotone: f({a})={ma} > f({b})={mb}");
+            assert!(ma <= mb, "map not monotone: f({a})={ma} > f({b})={mb}");
         } else {
-            prop_assert!(mb <= ma);
+            assert!(mb <= ma);
         }
     }
 
     /// Permuting a block's elements never changes the paper's map
     /// (average and range are order-invariant).
-    #[test]
     fn paper_map_is_order_invariant(
-        vals in prop::collection::vec(0.0f64..100.0, 16),
-        rot in 0usize..16
+        vals in vec(0.0f64..100.0, 16usize),
+        rot in 0usize..16,
     ) {
         let r = region(0.0, 100.0);
         let s = MapSpace::new(14);
@@ -70,23 +67,21 @@ proptest! {
         let mut rotated = vals.clone();
         rotated.rotate_left(rot);
         let b2 = BlockData::from_values(ElemType::F32, &rotated);
-        prop_assert_eq!(s.map_block(&b1, &r), s.map_block(&b2, &r));
+        assert_eq!(s.map_block(&b1, &r), s.map_block(&b2, &r));
     }
 
     /// Values clamp: scaling a block beyond the annotated range maps it
     /// like the range's endpoint.
-    #[test]
     fn out_of_range_values_clamp_to_endpoints(excess in 1.0f64..1000.0, m in 4u32..16) {
         let r = region(0.0, 100.0);
         let s = MapSpace::new(m);
         let top = BlockData::from_values(ElemType::F32, &[100.0; 16]);
         let over = BlockData::from_values(ElemType::F32, &[100.0 + excess; 16]);
-        prop_assert_eq!(s.map_block(&top, &r), s.map_block(&over, &r));
+        assert_eq!(s.map_block(&top, &r), s.map_block(&over, &r));
     }
 
     /// Hardware cost accounting is monotone: more tag entries or a
     /// bigger data array never shrink the structures.
-    #[test]
     fn hardware_cost_monotone(tag_pow in 8u32..15, data_div in 1usize..5) {
         let hw = HardwareCost::paper_system();
         let small = DoppelgangerConfig {
@@ -102,11 +97,11 @@ proptest! {
             data_entries: (1usize << (tag_pow + 1)) / (1 << data_div),
             ..small
         };
-        prop_assert!(
+        assert!(
             hw.doppel_tag_array(&big).total_kbytes()
                 > hw.doppel_tag_array(&small).total_kbytes()
         );
-        prop_assert!(
+        assert!(
             hw.doppel_data_array(&big).total_kbytes()
                 > hw.doppel_data_array(&small).total_kbytes()
         );

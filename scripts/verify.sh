@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 verification: offline build + tests, plus a hermeticity check
+# asserting the dependency graph contains only in-repo workspace crates
+# (see README.md, "Hermetic build & determinism").
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release, offline, locked) =="
+cargo build --release --offline --locked
+
+echo "== test (offline) =="
+cargo test -q --offline --workspace
+
+echo "== hermeticity: cargo tree must list only workspace crates =="
+# Every line of `cargo tree` names a crate with a version. Workspace
+# members resolve to a path (printed as "(/…)" with no registry hash);
+# anything from a registry or git source is a hermeticity violation.
+violations=$(cargo tree --offline --workspace --edges normal,dev,build --prefix none \
+  | sort -u \
+  | grep -v '^$' \
+  | grep -vE '\(/.*\)|\(\*\)' || true)
+if [ -n "$violations" ]; then
+  echo "non-workspace dependencies found:" >&2
+  echo "$violations" >&2
+  exit 1
+fi
+echo "ok: dependency graph is workspace-only"
