@@ -20,10 +20,10 @@ fn main() {
     let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
 
     // (a) Storage savings per hash on baseline snapshots.
-    let snaps = figures::baseline_snapshots(scale);
+    let base = figures::baseline_snapshots(scale);
     let mut savings = Table::new(&col_refs);
     let mut cols = vec![Vec::new(); MapHash::ALL.len()];
-    for (name, ksnaps) in kernel_names().iter().zip(&snaps) {
+    for (name, ksnaps) in kernel_names().iter().zip(&base.snapshots) {
         let vals: Vec<f64> = MapHash::ALL
             .iter()
             .map(|&h| avg_map_savings(ksnaps, MapSpace::new(14).with_hash(h)))
@@ -40,14 +40,21 @@ fn main() {
     let mut sweep = Sweep::new(scale);
     let mut error = Table::new(&col_refs);
     let mut er_cols = vec![Vec::new(); MapHash::ALL.len()];
-    let mut results = Vec::new();
-    for &h in MapHash::ALL.iter() {
-        let mut cfg = scale.split_default();
-        if let LlcKind::Split(ref mut d) = cfg.llc {
-            d.map_space = MapSpace::new(14).with_hash(h);
-        }
-        results.push(sweep.run(&format!("hash-{h}"), cfg).to_vec());
-    }
+    let labelled: Vec<(String, dg_system::SystemConfig)> = MapHash::ALL
+        .iter()
+        .map(|&h| {
+            let mut cfg = scale.split_default();
+            if let LlcKind::Split(ref mut d) = cfg.llc {
+                d.map_space = MapSpace::new(14).with_hash(h);
+            }
+            (format!("hash-{h}"), cfg)
+        })
+        .collect();
+    let jobs: Vec<(&str, dg_system::SystemConfig)> =
+        labelled.iter().map(|(l, c)| (l.as_str(), *c)).collect();
+    sweep.run_batch(&jobs);
+    let results: Vec<&[dg_system::EvalResult]> =
+        labelled.iter().map(|(l, _)| sweep.results(l)).collect();
     for (i, name) in kernel_names().iter().enumerate() {
         let vals: Vec<f64> = results.iter().map(|r| r[i].output_error).collect();
         for (c, v) in er_cols.iter_mut().zip(&vals) {

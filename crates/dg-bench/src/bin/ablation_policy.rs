@@ -14,15 +14,20 @@ use doppelganger::DataPolicy;
 fn main() {
     let scale = dg_bench::scale_from_args();
     let mut sweep = Sweep::new(scale);
-    let baseline = sweep.baseline();
 
     let mut lru_cfg = scale.split_default();
     lru_cfg.data_policy = DataPolicy::Lru;
     let mut fs_cfg = scale.split_default();
     fs_cfg.data_policy = DataPolicy::FewestSharers;
 
-    let lru = sweep.run("policy-lru", lru_cfg).to_vec();
-    let fs = sweep.run("policy-fewest-sharers", fs_cfg).to_vec();
+    sweep.run_batch(&[
+        ("baseline", scale.baseline()),
+        ("policy-lru", lru_cfg),
+        ("policy-fewest-sharers", fs_cfg),
+    ]);
+    let baseline = sweep.results("baseline");
+    let lru = sweep.results("policy-lru");
+    let fs = sweep.results("policy-fewest-sharers");
 
     let mut runtime = Table::new(&["LRU", "fewest-sharers"]);
     let mut error = Table::new(&["LRU", "fewest-sharers"]);

@@ -14,10 +14,10 @@ use dg_bench::Table;
 fn main() {
     let scale = dg_bench::scale_from_args();
     let mut sweep = Sweep::new(scale);
-    let results = sweep.run("split-m14-d1/4", scale.split_default()).to_vec();
+    let results = sweep.run("split-m14-d1/4", scale.split_default());
 
     let mut t = Table::new(&["precise", "dopp tag", "MTag", "dopp data", "map FPUs"]);
-    for (name, r) in kernel_names().iter().zip(&results) {
+    for (name, r) in kernel_names().iter().zip(results) {
         let b = r.energy.breakdown;
         let total = b.total_pj().max(1e-12);
         t.row_pct(

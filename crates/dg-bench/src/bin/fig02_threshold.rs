@@ -5,7 +5,7 @@
 
 fn main() {
     let scale = dg_bench::scale_from_args();
-    let snaps = dg_bench::figures::baseline_snapshots(scale);
-    dg_bench::figures::fig02(&snaps)
+    let base = dg_bench::figures::baseline_snapshots(scale);
+    dg_bench::figures::fig02(&base.snapshots)
         .print("Fig. 2: storage savings vs similarity threshold T");
 }

@@ -5,6 +5,6 @@
 
 fn main() {
     let scale = dg_bench::scale_from_args();
-    let snaps = dg_bench::figures::baseline_snapshots(scale);
-    dg_bench::figures::fig07(&snaps).print("Fig. 7: storage savings vs map space");
+    let base = dg_bench::figures::baseline_snapshots(scale);
+    dg_bench::figures::fig07(&base.snapshots).print("Fig. 7: storage savings vs map space");
 }

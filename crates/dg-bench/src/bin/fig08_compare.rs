@@ -5,7 +5,7 @@
 
 fn main() {
     let scale = dg_bench::scale_from_args();
-    let snaps = dg_bench::figures::baseline_snapshots(scale);
-    dg_bench::figures::fig08(&snaps)
+    let base = dg_bench::figures::baseline_snapshots(scale);
+    dg_bench::figures::fig08(&base.snapshots)
         .print("Fig. 8: storage savings vs BdI and exact deduplication");
 }

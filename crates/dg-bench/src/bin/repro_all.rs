@@ -3,15 +3,17 @@
 //! generates the data recorded in EXPERIMENTS.md.
 //!
 //! Usage:
-//! `cargo run --release -p dg-bench --bin repro_all [--small] [--json PATH]`
+//! `cargo run --release -p dg-bench --bin repro_all [--small] [--json PATH] [--timing]`
 //!
 //! `--json PATH` additionally exports every evaluation as a JSON array
-//! of result rows.
+//! of result rows. `--timing` records per-configuration and per-kernel
+//! wall-clock into `BENCH_repro.json`.
 
 use dg_bench::figures;
 use dg_bench::Sweep;
 
 fn main() {
+    let start = std::time::Instant::now();
     let scale = dg_bench::scale_from_args();
     eprintln!("[repro_all] running at {scale:?} scale");
 
@@ -19,10 +21,10 @@ fn main() {
     println!("{}", figures::table3());
     figures::fig13(scale).print("Fig. 13: LLC area reduction");
 
-    let snaps = figures::baseline_snapshots(scale);
-    figures::fig02(&snaps).print("Fig. 2: storage savings vs similarity threshold T");
-    figures::fig07(&snaps).print("Fig. 7: storage savings vs map space");
-    figures::fig08(&snaps).print("Fig. 8: storage savings vs BdI and exact deduplication");
+    let base = figures::baseline_snapshots(scale);
+    figures::fig02(&base.snapshots).print("Fig. 2: storage savings vs similarity threshold T");
+    figures::fig07(&base.snapshots).print("Fig. 7: storage savings vs map space");
+    figures::fig08(&base.snapshots).print("Fig. 8: storage savings vs BdI and exact deduplication");
 
     let mut sweep = Sweep::new(scale);
     figures::table2(&mut sweep).print("Table 2: approximate LLC footprint");
@@ -51,6 +53,14 @@ fn main() {
         let path = argv.get(i + 1).map(String::as_str).unwrap_or("repro_results.json");
         match dg_bench::results::export_sweep(&sweep, std::path::Path::new(path)) {
             Ok(()) => eprintln!("[repro_all] wrote {path}"),
+            Err(e) => eprintln!("[repro_all] failed to write {path}: {e}"),
+        }
+    }
+    if argv.iter().any(|a| a == "--timing") {
+        let path = "BENCH_repro.json";
+        let total = start.elapsed().as_secs_f64();
+        match dg_bench::results::export_timings(&sweep, total, std::path::Path::new(path)) {
+            Ok(()) => eprintln!("[repro_all] wrote {path} ({total:.3}s total)"),
             Err(e) => eprintln!("[repro_all] failed to write {path}: {e}"),
         }
     }

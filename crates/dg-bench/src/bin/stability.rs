@@ -8,10 +8,11 @@
 //!
 //! Usage: `cargo run --release -p dg-bench --bin stability [--small]`
 
-use dg_bench::experiments::{mean, suite_with_seed};
+use dg_bench::experiments::{mean, suite_goldens, suite_with_seed};
 use dg_bench::Table;
+use dg_par::Pool;
 use dg_system::similarity::avg_map_savings;
-use dg_system::{collect_snapshots, evaluate};
+use dg_system::{collect_snapshots, evaluate_with_golden};
 use doppelganger::MapSpace;
 
 const SEEDS: [u64; 3] = [0xd09, 42, 20151205]; // the paper's conference date
@@ -19,29 +20,27 @@ const SEEDS: [u64; 3] = [0xd09, 42, 20151205]; // the paper's conference date
 fn main() {
     let scale = dg_bench::scale_from_args();
     let threads = scale.threads();
+    let pool = Pool::new();
 
     let mut savings_means = Vec::new();
     let mut error_means = Vec::new();
     for &seed in &SEEDS {
         let kernels = suite_with_seed(scale, seed);
-        let mut savings = Vec::new();
-        let mut errors = Vec::new();
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for kernel in &kernels {
-                handles.push(scope.spawn(move || {
+        let goldens = suite_goldens(scale, seed, threads);
+        let jobs: Vec<_> = kernels
+            .iter()
+            .zip(&goldens)
+            .map(|(kernel, golden)| {
+                move || {
                     let snaps = collect_snapshots(kernel.as_ref(), scale.baseline(), threads);
                     let s = avg_map_savings(&snaps, MapSpace::new(14));
-                    let e = evaluate(kernel.as_ref(), scale.split_default(), threads).output_error;
+                    let e = evaluate_with_golden(kernel.as_ref(), scale.split_default(), threads, golden)
+                        .output_error;
                     (s, e)
-                }));
-            }
-            for h in handles {
-                let (s, e) = h.join().expect("worker");
-                savings.push(s);
-                errors.push(e);
-            }
-        });
+                }
+            })
+            .collect();
+        let (savings, errors): (Vec<f64>, Vec<f64>) = pool.run(jobs).into_iter().unzip();
         eprintln!("[stability] seed {seed:#x} done");
         savings_means.push(mean(&savings));
         error_means.push(mean(&errors));

@@ -8,7 +8,7 @@
 //! Usage:
 //! `cargo run --release -p dg-bench --bin sweep_mapspace [--small] [--kernel NAME]`
 
-use dg_system::{evaluate, LlcKind};
+use dg_system::{evaluate_with_golden, golden_output, LlcKind};
 
 fn main() {
     let scale = dg_bench::scale_from_args();
@@ -27,7 +27,10 @@ fn main() {
         std::process::exit(2);
     };
 
-    let baseline = evaluate(kernel.as_ref(), scale.baseline(), scale.threads());
+    // The golden run is configuration-independent: compute it once and
+    // share it across the baseline and all nine map-space points.
+    let golden = golden_output(kernel.as_ref(), scale.threads());
+    let baseline = evaluate_with_golden(kernel.as_ref(), scale.baseline(), scale.threads(), &golden);
     println!("\n== map-space sensitivity: {kernel_name} ==\n");
     println!(
         "{:>6} {:>10} {:>10} {:>10} {:>12} {:>12}",
@@ -36,7 +39,7 @@ fn main() {
     println!("{}", "-".repeat(66));
     for m in 8..=16u32 {
         let cfg = scale.split(m, 1, 4);
-        let r = evaluate(kernel.as_ref(), cfg, scale.threads());
+        let r = evaluate_with_golden(kernel.as_ref(), cfg, scale.threads(), &golden);
         let dopp = match cfg.llc {
             LlcKind::Split(_) => &r.llc.dopp,
             _ => unreachable!(),

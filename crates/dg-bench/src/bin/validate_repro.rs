@@ -53,8 +53,9 @@ fn main() {
     gate.check("Fig 13: LLC area reduction @1/4 (paper 1.55x)", area_red, 1.30, 1.75);
 
     // --- Behavioural claims ---
-    let snaps = figures::baseline_snapshots(scale);
-    let savings: Vec<f64> = snaps
+    let base = figures::baseline_snapshots(scale);
+    let savings: Vec<f64> = base
+        .snapshots
         .iter()
         .map(|ks| avg_map_savings(ks, MapSpace::new(14)))
         .collect();
@@ -65,21 +66,25 @@ fn main() {
     gate.check("Fig 7: mean 14-bit savings (paper 0.379)", mean(&savings), lo, hi);
 
     let mut sweep = Sweep::new(scale);
-    let baseline = sweep.baseline();
-    let split_run = sweep.run("split-m14-d1/4", scale.split_default()).to_vec();
+    sweep.run_batch(&[
+        ("baseline", scale.baseline()),
+        ("split-m14-d1/4", scale.split_default()),
+    ]);
+    let baseline = sweep.results("baseline");
+    let split_run = sweep.results("split-m14-d1/4");
     let err = mean(&split_run.iter().map(|r| r.output_error).collect::<Vec<_>>());
     gate.check("Fig 9a: mean error @14-bit (paper ~0.1 or lower)", err, 0.0, 0.12);
 
     let dyn_red: Vec<f64> = split_run
         .iter()
-        .zip(&baseline)
+        .zip(baseline)
         .map(|(r, b)| b.energy.llc_dynamic_pj / r.energy.llc_dynamic_pj.max(1e-12))
         .collect();
     if scale == Scale::Paper {
         gate.check("Fig 11a: mean dynamic reduction (paper 2.55x)", mean(&dyn_red), 2.0, 3.5);
         let run_norm: Vec<f64> = split_run
             .iter()
-            .zip(&baseline)
+            .zip(baseline)
             .map(|(r, b)| r.runtime_cycles as f64 / b.runtime_cycles.max(1) as f64)
             .collect();
         gate.check("Fig 10b: mean runtime overhead", mean(&run_norm), 0.99, 1.35);

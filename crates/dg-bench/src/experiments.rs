@@ -1,12 +1,29 @@
 //! Sweep machinery shared by the figure/table binaries.
+//!
+//! Evaluations are scheduled on the `dg-par` work-stealing pool:
+//! [`Sweep::run_batch`] turns every missing (configuration × kernel)
+//! pair into one job, so a figure that needs four configurations keeps
+//! all workers busy across the whole 4×9 job set instead of draining
+//! nine-wide waves. Golden (precise) outputs and the baseline run are
+//! memoized process-wide — every configuration, figure, and table in
+//! one process shares a single golden run per kernel and a single
+//! baseline simulation (which also yields the Fig. 2/7/8 snapshots).
+//! All jobs are pure functions of `(kernel, config, threads, seed)`,
+//! so results are bit-identical regardless of worker count.
 
-use dg_system::{evaluate, EvalResult, LlcKind, SystemConfig};
+use dg_par::Pool;
+use dg_system::{
+    evaluate_and_snapshots, evaluate_with_golden, golden_output, EvalResult, LlcKind,
+    PhaseSnapshot, SystemConfig,
+};
 use dg_workloads::Kernel;
 use doppelganger::{DoppelgangerConfig, MapSpace};
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
 
 /// Experiment scale.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Scale {
     /// Reduced problem sizes on proportionally scaled-down caches —
     /// fast enough for CI.
@@ -109,21 +126,151 @@ impl Scale {
     }
 }
 
+type GoldenKey = (Scale, u64, usize, &'static str);
+
+fn golden_memo() -> &'static Mutex<HashMap<GoldenKey, Arc<Vec<f64>>>> {
+    static MEMO: OnceLock<Mutex<HashMap<GoldenKey, Arc<Vec<f64>>>>> = OnceLock::new();
+    MEMO.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Golden (precise) outputs for the whole suite, in suite order.
+///
+/// Memoized process-wide per `(scale, seed, threads, kernel)`: the
+/// golden run is configuration-independent, so every sweep, figure,
+/// and stability pass in one process shares a single golden run per
+/// kernel. Missing entries are computed in parallel on a fresh pool.
+pub fn suite_goldens(scale: Scale, seed: u64, threads: usize) -> Vec<Arc<Vec<f64>>> {
+    let kernels = suite_with_seed(scale, seed);
+    suite_goldens_with(&kernels, scale, seed, threads, &Pool::new())
+}
+
+fn suite_goldens_with(
+    kernels: &[Box<dyn Kernel>],
+    scale: Scale,
+    seed: u64,
+    threads: usize,
+    pool: &Pool,
+) -> Vec<Arc<Vec<f64>>> {
+    let memo = golden_memo();
+    let mut out: Vec<Option<Arc<Vec<f64>>>> = {
+        let m = memo.lock().expect("golden memo poisoned");
+        kernels.iter().map(|k| m.get(&(scale, seed, threads, k.name())).cloned()).collect()
+    };
+    let missing: Vec<usize> =
+        out.iter().enumerate().filter(|(_, g)| g.is_none()).map(|(i, _)| i).collect();
+    if !missing.is_empty() {
+        let jobs: Vec<_> = missing
+            .iter()
+            .map(|&i| {
+                let kernel = &kernels[i];
+                move || golden_output(kernel.as_ref(), threads)
+            })
+            .collect();
+        let computed = pool.run(jobs);
+        let mut m = memo.lock().expect("golden memo poisoned");
+        for (&i, golden) in missing.iter().zip(computed) {
+            let golden = Arc::new(golden);
+            m.insert((scale, seed, threads, kernels[i].name()), Arc::clone(&golden));
+            out[i] = Some(golden);
+        }
+    }
+    out.into_iter().map(|g| g.expect("filled")).collect()
+}
+
+/// Everything one baseline (conventional LLC) suite run produces.
+///
+/// The baseline simulation is the single most reused computation in the
+/// repro — the sweep tables normalize against it and the Fig. 2/7/8
+/// similarity analyses read its snapshots — so one run yields both.
+#[derive(Debug)]
+pub struct BaselineArtifacts {
+    /// Per-kernel evaluation results, suite order.
+    pub results: Vec<EvalResult>,
+    /// Per-kernel, per-phase approximate-block snapshots (the inputs
+    /// to the Fig. 2/7/8 similarity analyses).
+    pub snapshots: Vec<Vec<PhaseSnapshot>>,
+    /// Per-kernel wall-clock, suite order.
+    pub kernel_times: Vec<Duration>,
+}
+
+fn baseline_memo() -> &'static Mutex<HashMap<(Scale, u64, usize), Arc<BaselineArtifacts>>> {
+    static MEMO: OnceLock<Mutex<HashMap<(Scale, u64, usize), Arc<BaselineArtifacts>>>> =
+        OnceLock::new();
+    MEMO.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// The baseline suite run, memoized process-wide per
+/// `(scale, seed, threads)`.
+///
+/// Snapshotting is a read-only observation, so the results are
+/// bit-identical to a plain evaluation (see
+/// [`dg_system::evaluate_and_snapshots`]).
+pub fn baseline_artifacts(scale: Scale, seed: u64, threads: usize) -> Arc<BaselineArtifacts> {
+    let key = (scale, seed, threads);
+    if let Some(hit) = baseline_memo().lock().expect("baseline memo poisoned").get(&key) {
+        return Arc::clone(hit);
+    }
+    let kernels = suite_with_seed(scale, seed);
+    let pool = Pool::new();
+    let goldens = suite_goldens_with(&kernels, scale, seed, threads, &pool);
+    let cfg = scale.baseline();
+    let jobs: Vec<_> = kernels
+        .iter()
+        .zip(&goldens)
+        .map(|(kernel, golden)| {
+            move || evaluate_and_snapshots(kernel.as_ref(), cfg, threads, golden)
+        })
+        .collect();
+    let (pairs, report) = pool.run_report(jobs);
+    let mut results = Vec::with_capacity(pairs.len());
+    let mut snapshots = Vec::with_capacity(pairs.len());
+    for (r, s) in pairs {
+        results.push(r);
+        snapshots.push(s);
+    }
+    let art = Arc::new(BaselineArtifacts { results, snapshots, kernel_times: report.job_times });
+    Arc::clone(
+        baseline_memo().lock().expect("baseline memo poisoned").entry(key).or_insert(art),
+    )
+}
+
+/// Wall-clock record for one evaluated configuration.
+#[derive(Clone, Debug)]
+pub struct ConfigTiming {
+    /// Configuration label.
+    pub label: String,
+    /// Summed per-kernel wall-clock for this configuration, seconds.
+    pub secs: f64,
+    /// Per-kernel wall-clock `(kernel, seconds)`, suite order.
+    pub per_kernel: Vec<(&'static str, f64)>,
+}
+
 /// Runs (kernel × configuration) evaluations, caching results so
 /// binaries can reference the same run from several tables.
 ///
-/// Independent kernel evaluations for one configuration run on separate
-/// OS threads.
+/// [`run_batch`](Sweep::run_batch) schedules every missing
+/// (configuration × kernel) pair as one job set on a work-stealing
+/// pool; the baseline configuration is routed through the process-wide
+/// [`baseline_artifacts`] memo so its simulation is shared with the
+/// snapshot-based figures.
 #[derive(Debug)]
 pub struct Sweep {
     scale: Scale,
+    pool: Pool,
     cache: HashMap<String, Vec<EvalResult>>,
+    timings: Vec<ConfigTiming>,
 }
 
 impl Sweep {
     /// A sweep at the given scale.
     pub fn new(scale: Scale) -> Self {
-        Sweep { scale, cache: HashMap::new() }
+        Sweep { scale, pool: Pool::new(), cache: HashMap::new(), timings: Vec::new() }
+    }
+
+    /// A sweep with an explicit worker count (determinism tests force
+    /// a single worker).
+    pub fn with_workers(scale: Scale, workers: usize) -> Self {
+        Sweep { scale, pool: Pool::with_workers(workers), cache: HashMap::new(), timings: Vec::new() }
     }
 
     /// The sweep's scale.
@@ -131,39 +278,109 @@ impl Sweep {
         self.scale
     }
 
+    /// Worker count of the underlying job pool.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// Evaluate several labelled configurations in one batch.
+    ///
+    /// Every missing (configuration × kernel) pair becomes one job on
+    /// the shared pool, so workers stay busy across configuration
+    /// boundaries instead of draining one nine-job wave at a time.
+    /// Results land in the cache in suite order per label; per-job
+    /// wall-clock is recorded for `--timing` reports. Labels already
+    /// cached are skipped.
+    pub fn run_batch(&mut self, configs: &[(&str, SystemConfig)]) {
+        let baseline_cfg = self.scale.baseline();
+        let mut pending: Vec<(String, SystemConfig)> = Vec::new();
+        for (label, cfg) in configs {
+            if self.cache.contains_key(*label) || pending.iter().any(|(l, _)| l == label) {
+                continue;
+            }
+            if *cfg == baseline_cfg {
+                // The baseline doubles as the snapshot source for the
+                // similarity figures; share one simulation process-wide.
+                let art = baseline_artifacts(self.scale, SEED, self.scale.threads());
+                self.record_timing(label, &art.kernel_times);
+                self.cache.insert(label.to_string(), art.results.clone());
+                eprintln!("[sweep] finished configuration '{label}'");
+                continue;
+            }
+            pending.push((label.to_string(), *cfg));
+        }
+        if pending.is_empty() {
+            return;
+        }
+        let threads = self.scale.threads();
+        let kernels = suite(self.scale);
+        let goldens = suite_goldens_with(&kernels, self.scale, SEED, threads, &self.pool);
+        let mut jobs = Vec::with_capacity(pending.len() * kernels.len());
+        for (_, cfg) in &pending {
+            let cfg = *cfg;
+            for (kernel, golden) in kernels.iter().zip(&goldens) {
+                jobs.push(move || evaluate_with_golden(kernel.as_ref(), cfg, threads, golden));
+            }
+        }
+        let (flat, report) = self.pool.run_report(jobs);
+        let mut flat = flat.into_iter();
+        let mut times = report.job_times.chunks_exact(kernels.len());
+        for (label, _) in &pending {
+            let results: Vec<EvalResult> = flat.by_ref().take(kernels.len()).collect();
+            self.record_timing(label, times.next().expect("one time chunk per config"));
+            self.cache.insert(label.clone(), results);
+            eprintln!("[sweep] finished configuration '{label}'");
+        }
+    }
+
     /// Evaluate the whole suite under `cfg`, caching under `label`.
     /// Returns results in suite order.
     pub fn run(&mut self, label: &str, cfg: SystemConfig) -> &[EvalResult] {
-        if !self.cache.contains_key(label) {
-            let threads = self.scale.threads();
-            let kernels = suite(self.scale);
-            let mut results: Vec<Option<EvalResult>> = Vec::new();
-            results.resize_with(kernels.len(), || None);
-            std::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for kernel in &kernels {
-                    handles.push(scope.spawn(move || evaluate(kernel.as_ref(), cfg, threads)));
-                }
-                for (slot, h) in results.iter_mut().zip(handles) {
-                    *slot = Some(h.join().expect("evaluation thread panicked"));
-                }
-            });
-            let results: Vec<EvalResult> =
-                results.into_iter().map(|r| r.expect("filled")).collect();
-            eprintln!("[sweep] finished configuration '{label}'");
-            self.cache.insert(label.to_string(), results);
-        }
-        &self.cache[label]
+        self.run_batch(&[(label, cfg)]);
+        self.results(label)
     }
 
-    /// Baseline results (cached).
-    pub fn baseline(&mut self) -> Vec<EvalResult> {
-        self.run("baseline", self.scale.baseline()).to_vec()
+    /// Cached results for `label`, in suite order.
+    ///
+    /// Panics if the label has not been evaluated — call
+    /// [`run_batch`](Sweep::run_batch) (or [`run`](Sweep::run)) first.
+    pub fn results(&self, label: &str) -> &[EvalResult] {
+        self.cache
+            .get(label)
+            .unwrap_or_else(|| panic!("configuration '{label}' has not been run"))
+    }
+
+    /// Baseline results (cached slice, shared with the snapshot run
+    /// through the process-wide baseline memo).
+    pub fn baseline(&mut self) -> &[EvalResult] {
+        self.run("baseline", self.scale.baseline())
+    }
+
+    /// Wall-clock records for every configuration evaluated so far, in
+    /// evaluation order.
+    pub fn timings(&self) -> &[ConfigTiming] {
+        &self.timings
     }
 
     /// Iterate over every cached `(label, results)` pair.
     pub fn cached_runs(&self) -> impl Iterator<Item = (&str, &[EvalResult])> {
         self.cache.iter().map(|(k, v)| (k.as_str(), v.as_slice()))
+    }
+
+    fn record_timing(&mut self, label: &str, times: &[Duration]) {
+        if self.timings.iter().any(|t| t.label == label) {
+            return;
+        }
+        let per_kernel: Vec<(&'static str, f64)> = kernel_names()
+            .iter()
+            .copied()
+            .zip(times.iter().map(Duration::as_secs_f64))
+            .collect();
+        self.timings.push(ConfigTiming {
+            label: label.to_string(),
+            secs: times.iter().map(Duration::as_secs_f64).sum(),
+            per_kernel,
+        });
     }
 }
 
@@ -239,6 +456,56 @@ mod tests {
         for (k, n) in kernels.iter().zip(names) {
             assert_eq!(k.name(), n);
         }
+    }
+
+    #[test]
+    fn goldens_are_memoized_and_shared() {
+        let a = suite_goldens(Scale::Small, SEED, Scale::Small.threads());
+        let b = suite_goldens(Scale::Small, SEED, Scale::Small.threads());
+        assert_eq!(a.len(), 9);
+        for (x, y) in a.iter().zip(&b) {
+            // Same Arc, not merely equal contents: the second call hit
+            // the memo instead of re-running the kernel.
+            assert!(Arc::ptr_eq(x, y));
+        }
+    }
+
+    #[test]
+    fn baseline_run_is_shared_process_wide() {
+        let threads = Scale::Small.threads();
+        let a = baseline_artifacts(Scale::Small, SEED, threads);
+        let b = baseline_artifacts(Scale::Small, SEED, threads);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.results.len(), 9);
+        assert_eq!(a.snapshots.len(), 9);
+        // A sweep's baseline comes from the same memoized run.
+        let mut sweep = Sweep::new(Scale::Small);
+        let base = sweep.baseline();
+        for (s, m) in base.iter().zip(&a.results) {
+            assert_eq!(s.runtime_cycles, m.runtime_cycles);
+            assert_eq!(s.output_error.to_bits(), m.output_error.to_bits());
+        }
+    }
+
+    #[test]
+    fn batch_results_match_single_runs() {
+        let mut batch = Sweep::new(Scale::Small);
+        batch.run_batch(&[
+            ("split-m12-d1/4", Scale::Small.split(12, 1, 4)),
+            ("uni-d1/2", Scale::Small.unified(1, 2)),
+        ]);
+        let mut single = Sweep::new(Scale::Small);
+        single.run("split-m12-d1/4", Scale::Small.split(12, 1, 4));
+        for (a, b) in
+            batch.results("split-m12-d1/4").iter().zip(single.results("split-m12-d1/4"))
+        {
+            assert_eq!(a.runtime_cycles, b.runtime_cycles);
+            assert_eq!(a.output_error.to_bits(), b.output_error.to_bits());
+            assert_eq!(a.llc, b.llc);
+        }
+        assert_eq!(batch.results("uni-d1/2").len(), 9);
+        assert_eq!(batch.timings().len(), 2);
+        assert!(batch.timings().iter().all(|t| t.per_kernel.len() == 9));
     }
 
     #[test]

@@ -4,33 +4,34 @@
 //! `repro_all` binary calls all of them, sharing one [`Sweep`] so
 //! configurations evaluated by several figures run once.
 
-use crate::experiments::{kernel_names, mean, reduction, suite, Scale, Sweep};
+use crate::experiments::{
+    baseline_artifacts, kernel_names, mean, reduction, BaselineArtifacts, Scale, Sweep, SEED,
+};
 use crate::Table;
+use dg_system::llc_area_mm2;
 use dg_system::similarity::{
     avg_bdi_savings, avg_dedup_savings, avg_dopp_bdi_savings, avg_map_savings,
     avg_threshold_savings, Snapshot,
 };
-use dg_system::{collect_snapshots, llc_area_mm2};
 use doppelganger::{DoppelgangerConfig, HardwareCost, MapSpace};
+use std::sync::Arc;
 
 /// Per-kernel LLC snapshots under the baseline configuration, in suite
-/// order (the input to Figs. 2, 7 and 8).
-pub fn baseline_snapshots(scale: Scale) -> Vec<Vec<Snapshot>> {
-    let kernels = suite(scale);
-    let cfg = scale.baseline();
-    let threads = scale.threads();
-    let mut out: Vec<Option<Vec<Snapshot>>> = Vec::new();
-    out.resize_with(kernels.len(), || None);
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for kernel in &kernels {
-            handles.push(scope.spawn(move || collect_snapshots(kernel.as_ref(), cfg, threads)));
-        }
-        for (slot, h) in out.iter_mut().zip(handles) {
-            *slot = Some(h.join().expect("snapshot thread panicked"));
-        }
-    });
-    out.into_iter().map(|s| s.expect("filled")).collect()
+/// order (the input to Figs. 2, 7 and 8), served from the process-wide
+/// memoized baseline run — the same simulation that produces the sweep
+/// baseline results, so the similarity figures cost no extra runs.
+pub fn baseline_snapshots(scale: Scale) -> Arc<BaselineArtifacts> {
+    baseline_artifacts(scale, SEED, scale.threads())
+}
+
+/// Schedule `labels × kernels` plus the baseline as one batch so the
+/// pool sees every job up front.
+fn batch_with_baseline(sweep: &mut Sweep, labels: &[&str], configs: &[dg_system::SystemConfig]) {
+    let mut jobs: Vec<(&str, dg_system::SystemConfig)> =
+        Vec::with_capacity(labels.len() + 1);
+    jobs.push(("baseline", sweep.scale().baseline()));
+    jobs.extend(labels.iter().copied().zip(configs.iter().copied()));
+    sweep.run_batch(&jobs);
 }
 
 
@@ -124,7 +125,8 @@ fn error_and_runtime(
     configs: &[dg_system::SystemConfig],
     columns: &[&str],
 ) -> (Table, Table) {
-    let baseline = sweep.baseline();
+    batch_with_baseline(sweep, labels, configs);
+    let baseline = sweep.results("baseline");
     let mut err = Table::new(columns);
     let mut run = Table::new(columns);
     let n = kernel_names().len();
@@ -132,13 +134,13 @@ fn error_and_runtime(
     let mut run_cols = vec![Vec::new(); configs.len()];
     let mut per_kernel_err = vec![Vec::new(); n];
     let mut per_kernel_run = vec![Vec::new(); n];
-    for ((label, cfg), (ec, rc)) in labels
+    for ((label, _cfg), (ec, rc)) in labels
         .iter()
         .zip(configs)
         .zip(err_cols.iter_mut().zip(run_cols.iter_mut()))
     {
-        let results = sweep.run(label, *cfg).to_vec();
-        for (i, (r, b)) in results.iter().zip(&baseline).enumerate() {
+        let results = sweep.results(label);
+        for (i, (r, b)) in results.iter().zip(baseline).enumerate() {
             let norm = r.runtime_cycles as f64 / b.runtime_cycles.max(1) as f64;
             per_kernel_err[i].push(r.output_error);
             per_kernel_run[i].push(norm);
@@ -185,7 +187,8 @@ fn energy_tables(
     configs: &[dg_system::SystemConfig],
     columns: &[&str],
 ) -> (Table, Table) {
-    let baseline = sweep.baseline();
+    batch_with_baseline(sweep, labels, configs);
+    let baseline = sweep.results("baseline");
     let mut dyn_t = Table::new(columns);
     let mut leak_t = Table::new(columns);
     let n = kernel_names().len();
@@ -193,13 +196,13 @@ fn energy_tables(
     let mut leak_cols = vec![Vec::new(); configs.len()];
     let mut per_kernel_dyn = vec![Vec::new(); n];
     let mut per_kernel_leak = vec![Vec::new(); n];
-    for ((label, cfg), (dc, lc)) in labels
+    for ((label, _cfg), (dc, lc)) in labels
         .iter()
         .zip(configs)
         .zip(dyn_cols.iter_mut().zip(leak_cols.iter_mut()))
     {
-        let results = sweep.run(label, *cfg).to_vec();
-        for (i, (r, b)) in results.iter().zip(&baseline).enumerate() {
+        let results = sweep.results(label);
+        for (i, (r, b)) in results.iter().zip(baseline).enumerate() {
             let d = reduction(b.energy.llc_dynamic_pj, r.energy.llc_dynamic_pj);
             let l = reduction(b.energy.llc_leakage_pj, r.energy.llc_leakage_pj);
             per_kernel_dyn[i].push(d);
@@ -232,16 +235,17 @@ pub fn fig11(sweep: &mut Sweep) -> (Table, Table) {
 /// Fig. 12: off-chip memory traffic normalized to the baseline.
 pub fn fig12(sweep: &mut Sweep) -> Table {
     let scale = sweep.scale();
-    let baseline = sweep.baseline();
     let labels = ["split-m14-d1/2", "split-m14-d1/4", "split-m14-d1/8"];
     let configs = [scale.split(14, 1, 2), scale.split(14, 1, 4), scale.split(14, 1, 8)];
+    batch_with_baseline(sweep, &labels, &configs);
+    let baseline = sweep.results("baseline");
     let mut t = Table::new(&["1/2 data", "1/4 data", "1/8 data"]);
     let n = kernel_names().len();
     let mut cols = vec![Vec::new(); 3];
     let mut per_kernel = vec![Vec::new(); n];
-    for ((label, cfg), col) in labels.iter().zip(configs).zip(cols.iter_mut()) {
-        let results = sweep.run(label, cfg).to_vec();
-        for (i, (r, b)) in results.iter().zip(&baseline).enumerate() {
+    for (label, col) in labels.iter().zip(cols.iter_mut()) {
+        let results = sweep.results(label);
+        for (i, (r, b)) in results.iter().zip(baseline).enumerate() {
             let norm = r.off_chip_blocks as f64 / b.off_chip_blocks.max(1) as f64;
             per_kernel[i].push(norm);
             col.push(norm);
@@ -365,11 +369,11 @@ mod tests {
     #[test]
     fn small_scale_end_to_end_smoke() {
         let mut sweep = Sweep::new(Scale::Small);
-        let snaps = baseline_snapshots(Scale::Small);
-        assert_eq!(snaps.len(), 9);
-        let _ = fig02(&snaps);
-        let _ = fig07(&snaps);
-        let _ = fig08(&snaps);
+        let art = baseline_snapshots(Scale::Small);
+        assert_eq!(art.snapshots.len(), 9);
+        let _ = fig02(&art.snapshots);
+        let _ = fig07(&art.snapshots);
+        let _ = fig08(&art.snapshots);
         let _ = table2(&mut sweep);
         let (e, r) = fig10(&mut sweep);
         assert!(e.render().contains("MEAN"));

@@ -85,6 +85,39 @@ impl ResultRow {
     }
 }
 
+/// Export wall-clock records (the `--timing` flag of `repro_all`) as
+/// pretty-printed JSON: one row per (configuration, kernel), a `TOTAL`
+/// row per configuration, and a closing `ALL`/`TOTAL` row with the
+/// process wall-clock and pool worker count.
+///
+/// # Errors
+///
+/// Returns any I/O error from writing `path`.
+pub fn export_timings(
+    sweep: &Sweep,
+    total_secs: f64,
+    path: &Path,
+) -> std::io::Result<()> {
+    let mut rows = Vec::new();
+    for t in sweep.timings() {
+        for (kernel, secs) in &t.per_kernel {
+            let mut o = ObjectWriter::with_indent(1);
+            o.str_field("config", &t.label).str_field("kernel", kernel).f64_field("secs", *secs);
+            rows.push(o.finish());
+        }
+        let mut o = ObjectWriter::with_indent(1);
+        o.str_field("config", &t.label).str_field("kernel", "TOTAL").f64_field("secs", t.secs);
+        rows.push(o.finish());
+    }
+    let mut o = ObjectWriter::with_indent(1);
+    o.str_field("config", "ALL")
+        .str_field("kernel", "TOTAL")
+        .f64_field("secs", total_secs)
+        .u64_field("workers", sweep.workers() as u64);
+    rows.push(o.finish());
+    std::fs::write(path, array_document(&rows))
+}
+
 /// Export every cached run of a sweep as pretty-printed JSON.
 ///
 /// # Errors

@@ -1,0 +1,57 @@
+//! Determinism guarantees of the parallel sweep engine.
+//!
+//! Every evaluation job is a pure function of `(kernel, config,
+//! threads, seed)`, so the work-stealing pool must produce results
+//! byte-identical to a forced single-worker run and to direct serial
+//! `evaluate` calls that bypass the pool and every memo.
+
+use dg_bench::experiments::{suite, Scale, Sweep};
+use dg_system::{evaluate, EvalResult};
+
+fn assert_bit_identical(a: &[EvalResult], b: &[EvalResult]) {
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.kernel, y.kernel);
+        assert_eq!(x.runtime_cycles, y.runtime_cycles, "{}", x.kernel);
+        assert_eq!(x.instructions, y.instructions, "{}", x.kernel);
+        assert_eq!(
+            x.output_error.to_bits(),
+            y.output_error.to_bits(),
+            "{}: {} vs {}",
+            x.kernel,
+            x.output_error,
+            y.output_error
+        );
+        assert_eq!(x.off_chip_blocks, y.off_chip_blocks, "{}", x.kernel);
+        assert_eq!(x.llc, y.llc, "{}", x.kernel);
+        assert_eq!(x.approx_fraction.to_bits(), y.approx_fraction.to_bits(), "{}", x.kernel);
+    }
+}
+
+#[test]
+fn parallel_sweep_matches_single_worker_and_serial_runs() {
+    let scale = Scale::Small;
+    let cfg = scale.split_default();
+    let batch = [("baseline", scale.baseline()), ("split-m14-d1/4", cfg)];
+
+    let mut parallel = Sweep::new(scale);
+    parallel.run_batch(&batch);
+
+    let mut single = Sweep::with_workers(scale, 1);
+    single.run_batch(&batch);
+    assert_bit_identical(parallel.results("split-m14-d1/4"), single.results("split-m14-d1/4"));
+    assert_bit_identical(parallel.results("baseline"), single.results("baseline"));
+
+    // Strongest check: direct serial evaluation, no pool, no golden or
+    // baseline memo involved at all.
+    let threads = scale.threads();
+    let direct: Vec<EvalResult> =
+        suite(scale).iter().map(|k| evaluate(k.as_ref(), cfg, threads)).collect();
+    assert_bit_identical(parallel.results("split-m14-d1/4"), &direct);
+
+    let direct_base: Vec<EvalResult> = suite(scale)
+        .iter()
+        .map(|k| evaluate(k.as_ref(), scale.baseline(), threads))
+        .collect();
+    assert_bit_identical(parallel.results("baseline"), &direct_base);
+}

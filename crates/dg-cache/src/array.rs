@@ -73,7 +73,13 @@ impl<E, R: Replacer> TagArray<E, R> {
     /// Does not touch replacement state (lookups that should count as
     /// uses must call [`TagArray::touch`]).
     pub fn find(&self, set: usize, pred: impl Fn(&E) -> bool) -> Option<usize> {
-        (0..self.geom.ways()).find(|&w| self.get(set, w).is_some_and(&pred))
+        // One bounds check for the whole set instead of one per way —
+        // this is the innermost loop of every simulated memory access.
+        let ways = self.geom.ways();
+        let base = set * ways;
+        self.entries[base..base + ways]
+            .iter()
+            .position(|e| e.as_ref().is_some_and(&pred))
     }
 
     /// Record a use of `(set, way)` for the replacement policy.

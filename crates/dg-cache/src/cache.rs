@@ -3,14 +3,18 @@
 use crate::{CacheGeometry, CacheStats, Lru, Replacer, TagArray};
 use dg_mem::{BlockAddr, BlockData};
 
-/// One valid line of a conventional cache.
+/// Tag-side state of one valid cache line.
+///
+/// The 64-byte block contents live in a parallel per-slot data array
+/// inside [`ConventionalCache`], mirroring the decoupled tag/data
+/// organisation of real caches. Keeping `Line` to 16 bytes means a
+/// tag-match scan walks a dense tag vector instead of striding over
+/// full 80-byte lines — the innermost loop of every simulated access.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Line {
     tag: u64,
     /// Whether the line has been written since it was filled.
     pub dirty: bool,
-    /// The cached 64-byte block contents.
-    pub data: BlockData,
 }
 
 /// A line displaced from a cache by an insertion.
@@ -49,13 +53,17 @@ pub struct Evicted {
 #[derive(Debug)]
 pub struct ConventionalCache<R: Replacer = Lru> {
     array: TagArray<Line, R>,
+    /// Block contents, one slot per `(set, way)` (`set * ways + way`);
+    /// a slot is meaningful only while the matching tag entry is valid.
+    data: Vec<BlockData>,
     stats: CacheStats,
 }
 
 impl ConventionalCache {
     /// An empty cache with the given geometry and LRU replacement.
     pub fn new(geom: CacheGeometry) -> Self {
-        ConventionalCache { array: TagArray::new(geom), stats: CacheStats::default() }
+        let data = vec![BlockData::zeroed(); geom.entries()];
+        ConventionalCache { array: TagArray::new(geom), data, stats: CacheStats::default() }
     }
 }
 
@@ -63,7 +71,13 @@ impl<R: Replacer> ConventionalCache<R> {
     /// An empty cache with an explicit replacement policy (e.g.
     /// [`crate::Srrip`] or [`crate::Fifo`]).
     pub fn with_policy(geom: CacheGeometry, policy: R) -> Self {
-        ConventionalCache { array: TagArray::with_policy(geom, policy), stats: CacheStats::default() }
+        let data = vec![BlockData::zeroed(); geom.entries()];
+        ConventionalCache { array: TagArray::with_policy(geom, policy), data, stats: CacheStats::default() }
+    }
+
+    #[inline]
+    fn slot(&self, set: usize, way: usize) -> usize {
+        set * self.array.geometry().ways() + way
     }
 
     /// The cache's geometry.
@@ -96,15 +110,39 @@ impl<R: Replacer> ConventionalCache<R> {
     /// on a miss, records the miss and returns `None`.
     pub fn read(&mut self, addr: BlockAddr) -> Option<BlockData> {
         let set = self.array.geometry().set_of(addr);
-        match self.locate(addr) {
+        let tag = self.array.geometry().tag_of(addr);
+        match self.array.find(set, |l| l.tag == tag) {
             Some(way) => {
                 self.array.touch(set, way);
                 self.stats.record_hit();
-                Some(self.array.get(set, way).expect("located way is valid").data)
+                Some(self.data[self.slot(set, way)])
             }
             None => {
                 self.stats.record_miss();
                 None
+            }
+        }
+    }
+
+    /// Read bytes `[offset, offset+buf.len())` of a resident block into
+    /// `buf`: on a hit, copies the bytes and updates LRU/stats exactly
+    /// like [`Self::read`]; on a miss, records the miss and returns
+    /// `false`. The hot path of every simulated load — avoids copying
+    /// the full 64-byte block out of the array.
+    pub fn read_bytes(&mut self, addr: BlockAddr, offset: usize, buf: &mut [u8]) -> bool {
+        let set = self.array.geometry().set_of(addr);
+        let tag = self.array.geometry().tag_of(addr);
+        match self.array.find(set, |l| l.tag == tag) {
+            Some(way) => {
+                self.array.touch(set, way);
+                self.stats.record_hit();
+                let data = &self.data[self.slot(set, way)];
+                buf.copy_from_slice(&data.as_bytes()[offset..offset + buf.len()]);
+                true
+            }
+            None => {
+                self.stats.record_miss();
+                false
             }
         }
     }
@@ -114,13 +152,14 @@ impl<R: Replacer> ConventionalCache<R> {
     /// (write-allocate is composed by the caller via [`Self::fill`]).
     pub fn write(&mut self, addr: BlockAddr, data: BlockData) -> bool {
         let set = self.array.geometry().set_of(addr);
-        match self.locate(addr) {
+        let tag = self.array.geometry().tag_of(addr);
+        match self.array.find(set, |l| l.tag == tag) {
             Some(way) => {
                 self.array.touch(set, way);
                 self.stats.record_hit();
-                let line = self.array.get_mut(set, way).expect("located way is valid");
-                line.data = data;
-                line.dirty = true;
+                self.array.get_mut(set, way).expect("located way is valid").dirty = true;
+                let slot = self.slot(set, way);
+                self.data[slot] = data;
                 true
             }
             None => {
@@ -134,16 +173,53 @@ impl<R: Replacer> ConventionalCache<R> {
     /// setting its dirty bit. Returns `false` on a miss (no stats).
     pub fn write_bytes(&mut self, addr: BlockAddr, offset: usize, bytes: &[u8]) -> bool {
         let set = self.array.geometry().set_of(addr);
-        match self.locate(addr) {
+        let tag = self.array.geometry().tag_of(addr);
+        match self.array.find(set, |l| l.tag == tag) {
             Some(way) => {
                 self.array.touch(set, way);
-                let line = self.array.get_mut(set, way).expect("located way is valid");
-                line.data.as_bytes_mut()[offset..offset + bytes.len()].copy_from_slice(bytes);
-                line.dirty = true;
+                self.array.get_mut(set, way).expect("located way is valid").dirty = true;
+                let slot = self.slot(set, way);
+                self.data[slot].as_bytes_mut()[offset..offset + bytes.len()].copy_from_slice(bytes);
                 true
             }
             None => false,
         }
+    }
+
+    /// Probe for a store: on a hit, updates LRU/stats exactly like
+    /// [`Self::read`] and returns the line's `(set, way)` and current
+    /// dirty bit for a follow-up [`Self::write_at`]; on a miss, records
+    /// the miss and returns `None`. Splitting probe from write lets the
+    /// caller run coherence actions in between without re-scanning the
+    /// set (and skip them entirely when the dirty bit proves ownership).
+    pub fn write_probe(&mut self, addr: BlockAddr) -> Option<(usize, usize, bool)> {
+        let set = self.array.geometry().set_of(addr);
+        let tag = self.array.geometry().tag_of(addr);
+        match self.array.find(set, |l| l.tag == tag) {
+            Some(way) => {
+                self.array.touch(set, way);
+                self.stats.record_hit();
+                let dirty = self.array.get(set, way).expect("located way is valid").dirty;
+                Some((set, way, dirty))
+            }
+            None => {
+                self.stats.record_miss();
+                None
+            }
+        }
+    }
+
+    /// Update bytes of the line at `(set, way)` — previously located by
+    /// [`Self::write_probe`] for `addr` — setting its dirty bit. Same
+    /// LRU/data effects as [`Self::write_bytes`] minus the set scan.
+    pub fn write_at(&mut self, set: usize, way: usize, addr: BlockAddr, offset: usize, bytes: &[u8]) {
+        let tag = self.array.geometry().tag_of(addr);
+        self.array.touch(set, way);
+        let line = self.array.get_mut(set, way).expect("probed way is valid");
+        debug_assert_eq!(line.tag, tag, "line moved since probe");
+        line.dirty = true;
+        let slot = self.slot(set, way);
+        self.data[slot].as_bytes_mut()[offset..offset + bytes.len()].copy_from_slice(bytes);
     }
 
     /// Insert a clean copy of `addr` (a fill from the next level),
@@ -161,12 +237,14 @@ impl<R: Replacer> ConventionalCache<R> {
         assert!(self.locate(addr).is_none(), "fill of a resident block");
         let geom = *self.array.geometry();
         let set = geom.set_of(addr);
-        let line = Line { tag: geom.tag_of(addr), dirty, data };
+        let line = Line { tag: geom.tag_of(addr), dirty };
         self.stats.record_insertion();
-        let (_, old) = self.array.insert(set, line);
+        let (way, old) = self.array.insert(set, line);
+        let slot = self.slot(set, way);
+        let old_data = std::mem::replace(&mut self.data[slot], data);
         old.map(|l| {
             self.stats.record_eviction(l.dirty);
-            Evicted { addr: geom.block_addr(l.tag, set), dirty: l.dirty, data: l.data }
+            Evicted { addr: geom.block_addr(l.tag, set), dirty: l.dirty, data: old_data }
         })
     }
 
@@ -177,13 +255,13 @@ impl<R: Replacer> ConventionalCache<R> {
         let way = self.locate(addr)?;
         let line = self.array.invalidate(set, way).expect("located way is valid");
         self.stats.record_invalidation();
-        Some(Evicted { addr, dirty: line.dirty, data: line.data })
+        Some(Evicted { addr, dirty: line.dirty, data: self.data[self.slot(set, way)] })
     }
 
     /// The resident block's data, if present (no stats or LRU update).
     pub fn peek(&self, addr: BlockAddr) -> Option<&BlockData> {
         let set = self.array.geometry().set_of(addr);
-        self.locate(addr).map(|way| &self.array.get(set, way).expect("valid").data)
+        self.locate(addr).map(|way| &self.data[self.slot(set, way)])
     }
 
     /// The resident block's data and dirty bit, if present (no stats or
@@ -191,8 +269,8 @@ impl<R: Replacer> ConventionalCache<R> {
     pub fn peek_line(&self, addr: BlockAddr) -> Option<(&BlockData, bool)> {
         let set = self.array.geometry().set_of(addr);
         self.locate(addr).map(|way| {
-            let line = self.array.get(set, way).expect("valid");
-            (&line.data, line.dirty)
+            let dirty = self.array.get(set, way).expect("valid").dirty;
+            (&self.data[self.slot(set, way)], dirty)
         })
     }
 
@@ -234,9 +312,10 @@ impl<R: Replacer> ConventionalCache<R> {
     /// Iterate over resident blocks as `(addr, dirty, &data)`.
     pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockAddr, bool, &BlockData)> {
         let geom = *self.array.geometry();
-        self.array
-            .iter()
-            .map(move |(set, _, line)| (geom.block_addr(line.tag, set), line.dirty, &line.data))
+        self.array.iter().map(move |(set, way, line)| {
+            let slot = set * geom.ways() + way;
+            (geom.block_addr(line.tag, set), line.dirty, &self.data[slot])
+        })
     }
 }
 

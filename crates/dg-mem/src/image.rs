@@ -1,7 +1,7 @@
 //! Sparse functional main-memory image.
 
 use crate::{Addr, BlockAddr, BlockData, Memory, BLOCK_BYTES};
-use std::collections::HashMap;
+use dg_par::FxHashMap;
 
 /// A sparse, functional image of main memory at block granularity.
 ///
@@ -22,7 +22,10 @@ use std::collections::HashMap;
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct MemoryImage {
-    blocks: HashMap<u64, BlockData>,
+    // FxHash rather than SipHash: every simulated load/store below the
+    // cache hierarchy hashes a block address here, and the keys are
+    // trusted (see dg_par::fxmap).
+    blocks: FxHashMap<u64, BlockData>,
 }
 
 impl MemoryImage {

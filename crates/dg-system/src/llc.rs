@@ -4,7 +4,7 @@
 use crate::{LlcKind, SystemConfig};
 use dg_cache::{CacheGeometry, CacheStats, ConventionalCache};
 use dg_mem::{ApproxRegion, BlockAddr, BlockData, MemoryImage};
-use doppelganger::{DoppStats, DoppelgangerCache, WriteOutcome};
+use doppelganger::{Displaced, DoppStats, DoppelgangerCache, WriteStatus};
 
 /// A block pushed out of the LLC (eviction or Doppelgänger data-entry
 /// displacement). The hierarchy must back-invalidate private copies
@@ -32,6 +32,20 @@ pub struct LlcOutcome {
     pub data: BlockData,
     /// Blocks displaced by this access.
     pub displaced: Vec<DisplacedBlock>,
+    /// Whether main memory was read (off-chip traffic).
+    pub fetched_from_memory: bool,
+}
+
+/// Result of an LLC access through the allocation-free
+/// [`Llc::read_into`] / [`Llc::writeback_into`] paths: like
+/// [`LlcOutcome`] but displacements are appended to a caller-owned
+/// scratch buffer instead of a fresh `Vec` per access.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LlcAccess {
+    /// Whether the access hit in the LLC.
+    pub hit: bool,
+    /// Data returned to the upper level (see [`LlcOutcome::data`]).
+    pub data: BlockData,
     /// Whether main memory was read (off-chip traffic).
     pub fetched_from_memory: bool,
 }
@@ -121,13 +135,27 @@ impl Llc {
         region: Option<&ApproxRegion>,
         dram: &mut MemoryImage,
     ) -> LlcOutcome {
+        let mut displaced = Vec::new();
+        let a = self.read_into(addr, region, dram, &mut displaced);
+        LlcOutcome { hit: a.hit, data: a.data, displaced, fetched_from_memory: a.fetched_from_memory }
+    }
+
+    /// [`Self::read`] without the per-access allocation: displaced
+    /// blocks are appended to `displaced` (a reusable scratch buffer).
+    pub fn read_into(
+        &mut self,
+        addr: BlockAddr,
+        region: Option<&ApproxRegion>,
+        dram: &mut MemoryImage,
+        displaced: &mut Vec<DisplacedBlock>,
+    ) -> LlcAccess {
         match self {
-            Llc::Baseline(cache) => Self::conventional_read(cache, addr, dram),
+            Llc::Baseline(cache) => Self::conventional_read(cache, addr, dram, displaced),
             Llc::Split { precise, doppel } => match region {
-                None => Self::conventional_read(precise, addr, dram),
-                Some(r) => Self::doppel_read(doppel, addr, Some(r), dram),
+                None => Self::conventional_read(precise, addr, dram, displaced),
+                Some(r) => Self::doppel_read(doppel, addr, Some(r), dram, displaced),
             },
-            Llc::Unified(doppel) => Self::doppel_read(doppel, addr, region, dram),
+            Llc::Unified(doppel) => Self::doppel_read(doppel, addr, region, dram, displaced),
         }
     }
 
@@ -138,13 +166,26 @@ impl Llc {
         data: BlockData,
         region: Option<&ApproxRegion>,
     ) -> LlcOutcome {
+        let mut displaced = Vec::new();
+        let a = self.writeback_into(addr, data, region, &mut displaced);
+        LlcOutcome { hit: a.hit, data: a.data, displaced, fetched_from_memory: a.fetched_from_memory }
+    }
+
+    /// [`Self::writeback`] without the per-access allocation.
+    pub fn writeback_into(
+        &mut self,
+        addr: BlockAddr,
+        data: BlockData,
+        region: Option<&ApproxRegion>,
+        displaced: &mut Vec<DisplacedBlock>,
+    ) -> LlcAccess {
         match self {
-            Llc::Baseline(cache) => Self::conventional_writeback(cache, addr, data),
+            Llc::Baseline(cache) => Self::conventional_writeback(cache, addr, data, displaced),
             Llc::Split { precise, doppel } => match region {
-                None => Self::conventional_writeback(precise, addr, data),
-                Some(r) => Self::doppel_writeback(doppel, addr, data, Some(r)),
+                None => Self::conventional_writeback(precise, addr, data, displaced),
+                Some(r) => Self::doppel_writeback(doppel, addr, data, Some(r), displaced),
             },
-            Llc::Unified(doppel) => Self::doppel_writeback(doppel, addr, data, region),
+            Llc::Unified(doppel) => Self::doppel_writeback(doppel, addr, data, region, displaced),
         }
     }
 
@@ -275,33 +316,33 @@ impl Llc {
         cache: &mut ConventionalCache,
         addr: BlockAddr,
         dram: &mut MemoryImage,
-    ) -> LlcOutcome {
+        displaced: &mut Vec<DisplacedBlock>,
+    ) -> LlcAccess {
         if let Some(data) = cache.read(addr) {
-            return LlcOutcome { hit: true, data, ..Default::default() };
+            return LlcAccess { hit: true, data, fetched_from_memory: false };
         }
         let data = dram.block(addr);
-        let mut displaced = Vec::new();
         if let Some(ev) = cache.fill(addr, data) {
             displaced.push(DisplacedBlock { addr: ev.addr, dirty: ev.dirty, data: ev.data });
         }
-        LlcOutcome { hit: false, data, displaced, fetched_from_memory: true }
+        LlcAccess { hit: false, data, fetched_from_memory: true }
     }
 
     fn conventional_writeback(
         cache: &mut ConventionalCache,
         addr: BlockAddr,
         data: BlockData,
-    ) -> LlcOutcome {
+        displaced: &mut Vec<DisplacedBlock>,
+    ) -> LlcAccess {
         if cache.write(addr, data) {
-            return LlcOutcome { hit: true, data, ..Default::default() };
+            return LlcAccess { hit: true, data, fetched_from_memory: false };
         }
         // Non-inclusive corner (the block was displaced concurrently):
         // allocate it dirty.
-        let mut displaced = Vec::new();
         if let Some(ev) = cache.fill_with(addr, data, true) {
             displaced.push(DisplacedBlock { addr: ev.addr, dirty: ev.dirty, data: ev.data });
         }
-        LlcOutcome { hit: false, data, displaced, fetched_from_memory: false }
+        LlcAccess { hit: false, data, fetched_from_memory: false }
     }
 
     fn doppel_read(
@@ -309,21 +350,20 @@ impl Llc {
         addr: BlockAddr,
         region: Option<&ApproxRegion>,
         dram: &mut MemoryImage,
-    ) -> LlcOutcome {
+        displaced: &mut Vec<DisplacedBlock>,
+    ) -> LlcAccess {
         if let Some(data) = doppel.read(addr) {
-            return LlcOutcome { hit: true, data, ..Default::default() };
+            return LlcAccess { hit: true, data, fetched_from_memory: false };
         }
         let data = dram.block(addr);
-        let outcome = match region {
-            Some(r) => doppel.insert_approx(addr, data, r),
-            None => doppel.insert_precise(addr, data),
-        };
-        LlcOutcome {
-            hit: false,
-            data,
-            displaced: convert_displaced(outcome.displaced),
-            fetched_from_memory: true,
+        let mut emit = emit_into(displaced);
+        match region {
+            Some(r) => {
+                doppel.insert_approx_with(addr, data, r, &mut emit);
+            }
+            None => doppel.insert_precise_with(addr, data, &mut emit),
         }
+        LlcAccess { hit: false, data, fetched_from_memory: true }
     }
 
     fn doppel_writeback(
@@ -331,39 +371,33 @@ impl Llc {
         addr: BlockAddr,
         data: BlockData,
         region: Option<&ApproxRegion>,
-    ) -> LlcOutcome {
-        match doppel.write(addr, data, region) {
-            WriteOutcome::NotResident => {
+        displaced: &mut Vec<DisplacedBlock>,
+    ) -> LlcAccess {
+        let mut emit = emit_into(displaced);
+        match doppel.write_with(addr, data, region, &mut emit) {
+            WriteStatus::NotResident => {
                 // Allocate (non-inclusive corner), then mark dirty.
-                let outcome = match region {
-                    Some(r) => doppel.insert_approx(addr, data, r),
-                    None => doppel.insert_precise(addr, data),
-                };
-                doppel.mark_dirty(addr);
-                LlcOutcome {
-                    hit: false,
-                    data,
-                    displaced: convert_displaced(outcome.displaced),
-                    fetched_from_memory: false,
+                match region {
+                    Some(r) => {
+                        doppel.insert_approx_with(addr, data, r, &mut emit);
+                    }
+                    None => doppel.insert_precise_with(addr, data, &mut emit),
                 }
+                doppel.mark_dirty(addr);
+                LlcAccess { hit: false, data, fetched_from_memory: false }
             }
-            WriteOutcome::SameMap | WriteOutcome::PreciseUpdated => {
-                LlcOutcome { hit: true, data, ..Default::default() }
+            WriteStatus::SameMap | WriteStatus::PreciseUpdated => {
+                LlcAccess { hit: true, data, fetched_from_memory: false }
             }
-            WriteOutcome::Moved { displaced, .. } => LlcOutcome {
-                hit: true,
-                data,
-                displaced: convert_displaced(displaced),
-                fetched_from_memory: false,
-            },
+            WriteStatus::Moved { .. } => LlcAccess { hit: true, data, fetched_from_memory: false },
         }
     }
 }
 
-fn convert_displaced(d: Vec<doppelganger::Displaced>) -> Vec<DisplacedBlock> {
-    d.into_iter()
-        .map(|d| DisplacedBlock { addr: d.addr, dirty: d.dirty, data: d.data })
-        .collect()
+/// Adapt a `DisplacedBlock` scratch buffer into a `Displaced` sink for
+/// the Doppelgänger cache's `*_with` entry points.
+fn emit_into(out: &mut Vec<DisplacedBlock>) -> impl FnMut(Displaced) + '_ {
+    |d: Displaced| out.push(DisplacedBlock { addr: d.addr, dirty: d.dirty, data: d.data })
 }
 
 #[cfg(test)]

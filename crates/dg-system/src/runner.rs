@@ -43,12 +43,30 @@ pub fn run_on_system(kernel: &dyn Kernel, cfg: SystemConfig, threads: usize) -> 
     (sys, out)
 }
 
+/// One per-phase snapshot of LLC-resident approximate blocks with their
+/// annotations — the input record of the Fig. 2/7/8 similarity analyses.
+pub type PhaseSnapshot = Vec<(dg_mem::BlockData, dg_mem::ApproxRegion)>;
+
 /// Like [`run_on_system`], additionally sampling the approximate LLC
 /// fraction after every phase.
 pub fn run_on_system_sampled(
     kernel: &dyn Kernel,
     cfg: SystemConfig,
     threads: usize,
+) -> (System, Vec<f64>, Vec<f64>) {
+    run_phases(kernel, cfg, threads, None)
+}
+
+/// The shared phase loop behind every system run: worker `tid` executes
+/// on core `tid % cores`, phases are barrier-ordered, and after each
+/// phase the approximate LLC fraction is sampled (plus, when requested,
+/// a full approximate-block snapshot — both observations are read-only,
+/// so a run with snapshots is bit-identical to one without).
+fn run_phases(
+    kernel: &dyn Kernel,
+    cfg: SystemConfig,
+    threads: usize,
+    mut snapshots: Option<&mut Vec<PhaseSnapshot>>,
 ) -> (System, Vec<f64>, Vec<f64>) {
     assert!(threads > 0);
     let p = prepare(kernel);
@@ -61,6 +79,9 @@ pub fn run_on_system_sampled(
             kernel.run_phase(&mut mem, phase, tid, threads);
         }
         fractions.push(sys.approx_llc_fraction());
+        if let Some(snaps) = snapshots.as_deref_mut() {
+            snaps.push(sys.approx_llc_snapshot());
+        }
     }
     let mut mem = sys.core_memory(0);
     let output = kernel.output(&mut mem);
@@ -79,14 +100,54 @@ pub fn golden_output(kernel: &dyn Kernel, threads: usize) -> Vec<f64> {
 /// energy. This is the workhorse behind Figs. 9–12 and 14.
 pub fn evaluate(kernel: &dyn Kernel, cfg: SystemConfig, threads: usize) -> EvalResult {
     let golden = golden_output(kernel, threads);
+    evaluate_with_golden(kernel, cfg, threads, &golden)
+}
+
+/// [`evaluate`] with a precomputed golden output. The golden run is
+/// configuration-independent, so sweeps compute each kernel's golden
+/// once and share it across every configuration (see
+/// `dg-bench::experiments`) instead of re-simulating it per config.
+pub fn evaluate_with_golden(
+    kernel: &dyn Kernel,
+    cfg: SystemConfig,
+    threads: usize,
+    golden: &[f64],
+) -> EvalResult {
     let (sys, output, fractions) = run_on_system_sampled(kernel, cfg, threads);
+    build_result(kernel, cfg, &sys, &output, &fractions, golden)
+}
+
+/// One combined run producing both the [`EvalResult`] and the per-phase
+/// approximate-block snapshots. Lets a baseline run be shared between
+/// the sweep tables and the Fig. 2/7/8 similarity analyses instead of
+/// simulating twice; snapshotting is a read-only observation, so the
+/// result is bit-identical to [`evaluate_with_golden`].
+pub fn evaluate_and_snapshots(
+    kernel: &dyn Kernel,
+    cfg: SystemConfig,
+    threads: usize,
+    golden: &[f64],
+) -> (EvalResult, Vec<PhaseSnapshot>) {
+    let mut snaps = Vec::with_capacity(kernel.phases());
+    let (sys, output, fractions) = run_phases(kernel, cfg, threads, Some(&mut snaps));
+    (build_result(kernel, cfg, &sys, &output, &fractions, golden), snaps)
+}
+
+fn build_result(
+    kernel: &dyn Kernel,
+    cfg: SystemConfig,
+    sys: &System,
+    output: &[f64],
+    fractions: &[f64],
+    golden: &[f64],
+) -> EvalResult {
     let counters = sys.llc_counters();
     let cycles = sys.runtime_cycles();
     EvalResult {
         kernel: kernel.name(),
         runtime_cycles: cycles,
         instructions: sys.total_instructions(),
-        output_error: kernel.error_metric(&golden, &output),
+        output_error: kernel.error_metric(golden, output),
         off_chip_blocks: sys.off_chip_blocks(),
         llc: counters,
         energy: llc_energy(&cfg, &counters, cycles),
@@ -105,20 +166,10 @@ pub fn collect_snapshots(
     kernel: &dyn Kernel,
     cfg: SystemConfig,
     threads: usize,
-) -> Vec<Vec<(dg_mem::BlockData, dg_mem::ApproxRegion)>> {
-    assert!(threads > 0);
-    let p = prepare(kernel);
-    let mut sys = System::new(cfg, p.image, p.annotations);
-    let cores = cfg.cores;
-    let mut snapshots = Vec::with_capacity(kernel.phases());
-    for phase in 0..kernel.phases() {
-        for tid in 0..threads {
-            let mut mem = sys.core_memory(tid % cores);
-            kernel.run_phase(&mut mem, phase, tid, threads);
-        }
-        snapshots.push(sys.approx_llc_snapshot());
-    }
-    snapshots
+) -> Vec<PhaseSnapshot> {
+    let mut snaps = Vec::with_capacity(kernel.phases());
+    run_phases(kernel, cfg, threads, Some(&mut snaps));
+    snaps
 }
 
 /// Sanity helper for tests: run the kernel both precisely and on a

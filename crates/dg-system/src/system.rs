@@ -12,7 +12,7 @@
 use crate::{DisplacedBlock, Llc, LlcCounters, SystemConfig};
 use dg_cache::{CacheGeometry, CacheStats, ConventionalCache, Sharers, WritebackBuffer};
 use dg_mem::{Addr, AnnotationTable, ApproxRegion, BlockAddr, BlockData, Memory, MemoryImage};
-use std::collections::HashMap;
+use dg_par::FxHashMap;
 
 /// The simulated system.
 #[derive(Debug)]
@@ -23,8 +23,13 @@ pub struct System {
     llc: Llc,
     dram: MemoryImage,
     annots: AnnotationTable,
-    directory: HashMap<BlockAddr, Sharers>,
+    // FxHash, not SipHash: probed on every LLC access and every store's
+    // ownership upgrade, with trusted block-address keys.
+    directory: FxHashMap<BlockAddr, Sharers>,
     wb: WritebackBuffer,
+    // Reusable scratch for LLC displacement reporting — avoids a Vec
+    // allocation per LLC access (always drained empty between uses).
+    displaced_buf: Vec<DisplacedBlock>,
     cycles: Vec<u64>,
     insts: Vec<u64>,
     off_chip_reads: u64,
@@ -44,8 +49,9 @@ impl System {
             l2: (0..cfg.cores).map(|_| ConventionalCache::new(l2_geom)).collect(),
             dram: initial,
             annots,
-            directory: HashMap::new(),
+            directory: FxHashMap::default(),
             wb: WritebackBuffer::new(),
+            displaced_buf: Vec::new(),
             cycles: vec![0; cfg.cores],
             insts: vec![0; cfg.cores],
             off_chip_reads: 0,
@@ -79,9 +85,14 @@ impl System {
     pub fn load(&mut self, core: usize, addr: Addr, buf: &mut [u8]) {
         self.insts[core] += 1;
         let block = addr.block();
-        self.ensure_present(core, block, false);
-        let data = self.l1[core].peek(block).expect("ensure_present fills L1");
         let off = addr.block_offset();
+        // L1 hit fast path: one set scan, bytes copied straight out of
+        // the line (same LRU/stats effects as the general path).
+        self.cycles[core] += self.cfg.l1_latency;
+        if self.l1[core].read_bytes(block, off, buf) {
+            return;
+        }
+        let data = self.l1_miss(core, block, false);
         buf.copy_from_slice(&data.as_bytes()[off..off + buf.len()]);
     }
 
@@ -89,33 +100,44 @@ impl System {
     pub fn store(&mut self, core: usize, addr: Addr, bytes: &[u8]) {
         self.insts[core] += 1;
         let block = addr.block();
-        self.ensure_present(core, block, true);
+        self.cycles[core] += self.cfg.l1_latency;
+        // L1 store-hit fast path: one scan locates the line, then the
+        // ownership upgrade runs before the bytes land. The directory
+        // round-trip can back-invalidate displaced *victim* blocks but
+        // never evicts or moves the requester's own line, so the probed
+        // (set, way) stays valid across it. A dirty L1 line proves this
+        // core already holds the block in M state (stores set the bit
+        // only after acquiring ownership; downgrades and invalidations
+        // clear it), and acquire_ownership on the established owner is
+        // a cycle-free no-op — skip the directory probe entirely.
+        if let Some((set, way, dirty)) = self.l1[core].write_probe(block) {
+            if !dirty {
+                self.acquire_ownership(core, block);
+            }
+            self.l1[core].write_at(set, way, block, addr.block_offset(), bytes);
+            return;
+        }
+        self.l1_miss(core, block, true);
         let wrote = self.l1[core].write_bytes(block, addr.block_offset(), bytes);
-        debug_assert!(wrote, "ensure_present fills L1");
+        debug_assert!(wrote, "l1_miss fills L1");
     }
 
     // ------------------------------------------------------------------
     // Hierarchy mechanics.
     // ------------------------------------------------------------------
 
-    /// Make `block` present in `core`'s L1, with write permission if
-    /// `for_write`, charging cycles along the way.
-    fn ensure_present(&mut self, core: usize, block: BlockAddr, for_write: bool) {
-        self.cycles[core] += self.cfg.l1_latency;
-        if self.l1[core].read(block).is_some() {
-            if for_write {
-                self.acquire_ownership(core, block);
-            }
-            return;
-        }
-
+    /// The L1-miss continuation of [`Self::load`] / [`Self::store`]:
+    /// L2, then LLC with coherence actions. The L1 latency is already
+    /// charged; the block is filled into L2 and L1 (with ownership if
+    /// `for_write`) and its contents returned.
+    fn l1_miss(&mut self, core: usize, block: BlockAddr, for_write: bool) -> BlockData {
         self.cycles[core] += self.cfg.l2_latency;
         if let Some(data) = self.l2[core].read(block) {
             self.fill_l1(core, block, data);
             if for_write {
                 self.acquire_ownership(core, block);
             }
-            return;
+            return data;
         }
 
         // LLC access.
@@ -134,13 +156,14 @@ impl System {
             self.cycles[core] += self.cfg.llc_latency;
         }
 
-        let out = self.llc.read(block, region.as_ref(), &mut self.dram);
+        let out =
+            self.llc.read_into(block, region.as_ref(), &mut self.dram, &mut self.displaced_buf);
         if out.fetched_from_memory {
             self.cycles[core] += self.cfg.mem_latency;
             self.off_chip_reads += 1;
         }
         let data = out.data;
-        self.handle_displaced(out.displaced);
+        self.drain_displacements();
         self.directory.entry(block).or_default().add(core);
 
         self.fill_l2(core, block, data);
@@ -148,6 +171,7 @@ impl System {
         if for_write {
             self.acquire_ownership(core, block);
         }
+        data
     }
 
     /// Gain exclusive ownership of `block` for `core`, invalidating
@@ -158,13 +182,15 @@ impl System {
         if sharers.owner() == Some(core) {
             return;
         }
-        let others: Vec<usize> = sharers.iter().filter(|&c| c != core).collect();
-        if !others.is_empty() {
+        // Sharers is a Copy bitmask: snapshot it and iterate without
+        // collecting the other cores into a temporary Vec.
+        let snapshot = *sharers;
+        if snapshot.iter().any(|c| c != core) {
             // Invalidation round-trip through the directory.
             self.cycles[core] += self.cfg.llc_latency;
         }
         let region = self.region_of(block);
-        for c in others {
+        for c in snapshot.iter().filter(|&c| c != core) {
             // A remote modified copy is written back before invalidation.
             let mut payload: Option<BlockData> = None;
             if let Some(ev) = self.l1[c].invalidate(block) {
@@ -178,8 +204,8 @@ impl System {
                 }
             }
             if let Some(data) = payload {
-                let out = self.llc.writeback(block, data, region.as_ref());
-                self.handle_displaced(out.displaced);
+                self.llc.writeback_into(block, data, region.as_ref(), &mut self.displaced_buf);
+                self.drain_displacements();
             }
             self.directory.get_mut(&block).expect("present").remove(c);
         }
@@ -212,8 +238,8 @@ impl System {
             if self.l2[owner].contains(block) {
                 self.l2[owner].write(block, data);
             }
-            let out = self.llc.writeback(block, data, region);
-            self.handle_displaced(out.displaced);
+            self.llc.writeback_into(block, data, region, &mut self.displaced_buf);
+            self.drain_displacements();
         }
         self.l2[owner].clear_dirty(block);
         if let Some(s) = self.directory.get_mut(&block) {
@@ -241,8 +267,8 @@ impl System {
         }
         if dirty {
             let region = self.region_of(ev.addr);
-            let out = self.llc.writeback(ev.addr, payload, region.as_ref());
-            self.handle_displaced(out.displaced);
+            self.llc.writeback_into(ev.addr, payload, region.as_ref(), &mut self.displaced_buf);
+            self.drain_displacements();
         }
     }
 
@@ -257,10 +283,18 @@ impl System {
         }
     }
 
-    /// Process LLC displacements: back-invalidate every private copy
-    /// (inclusive LLC) and queue writebacks for dirty blocks.
-    fn handle_displaced(&mut self, displaced: Vec<DisplacedBlock>) {
-        for d in displaced {
+    /// Process the LLC displacements accumulated in `displaced_buf`:
+    /// back-invalidate every private copy (inclusive LLC) and queue
+    /// writebacks for dirty blocks. Leaves the scratch buffer empty
+    /// (capacity retained) for the next access.
+    fn drain_displacements(&mut self) {
+        if self.displaced_buf.is_empty() {
+            return;
+        }
+        // Take the buffer out so `self` stays free to borrow inside the
+        // loop; its capacity is restored afterwards.
+        let mut displaced = std::mem::take(&mut self.displaced_buf);
+        for d in displaced.drain(..) {
             let mut dirty = d.dirty;
             let mut payload = d.data;
             for c in 0..self.cfg.cores {
@@ -284,6 +318,7 @@ impl System {
                 self.wb.push(d.addr, payload);
             }
         }
+        self.displaced_buf = displaced;
         // Drain queued writebacks to DRAM (traffic stays counted).
         let dram = &mut self.dram;
         self.wb.drain_to(|addr, data| dram.set_block(addr, data));
@@ -448,8 +483,8 @@ impl System {
                 .collect();
             for (a, data) in dirty_l2 {
                 let region = self.region_of(a);
-                let out = self.llc.writeback(a, data, region.as_ref());
-                self.handle_displaced(out.displaced);
+                self.llc.writeback_into(a, data, region.as_ref(), &mut self.displaced_buf);
+                self.drain_displacements();
                 self.l2[core].clear_dirty(a);
             }
         }

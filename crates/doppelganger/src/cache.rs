@@ -41,6 +41,24 @@ pub enum WriteOutcome {
     PreciseUpdated,
 }
 
+/// Allocation-free variant of [`WriteOutcome`], returned by
+/// [`DoppelgangerCache::write_with`]: displaced blocks go to the sink
+/// closure instead of an owned `Vec`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WriteStatus {
+    /// See [`WriteOutcome::NotResident`].
+    NotResident,
+    /// See [`WriteOutcome::SameMap`].
+    SameMap,
+    /// See [`WriteOutcome::Moved`]; displacements went to the sink.
+    Moved {
+        /// Whether the tag joined an existing entry (vs. allocating).
+        joined_existing: bool,
+    },
+    /// See [`WriteOutcome::PreciseUpdated`].
+    PreciseUpdated,
+}
+
 /// The Doppelgänger cache: a decoupled tag array and (much smaller)
 /// approximate data array, where the tags of approximately similar
 /// blocks share a single data entry (paper §3).
@@ -242,28 +260,45 @@ impl DoppelgangerCache {
         out
     }
 
+    /// Length of `did`'s sharing list without materialising it.
+    fn list_len(&self, did: DataId) -> usize {
+        let mut n = 0usize;
+        let mut cur = Some(self.data_at(did).head);
+        while let Some(id) = cur {
+            n += 1;
+            cur = self.tag_at(id).next;
+            debug_assert!(n <= self.cfg.tag_entries, "cycle in tag list");
+        }
+        n
+    }
+
     // ------------------------------------------------------------------
     // Evictions (§3.5).
     // ------------------------------------------------------------------
 
-    /// Evict data entry `did` and its entire tag list.
-    fn evict_data_entry(&mut self, did: DataId) -> Vec<Displaced> {
-        let members = self.list_members(did);
+    /// Evict data entry `did` and its entire tag list, emitting each
+    /// displaced block to `emit`. The list is walked inline — `next` is
+    /// read off each tag entry as it is invalidated — so no member
+    /// vector is materialised on this per-access path.
+    fn evict_data_entry(&mut self, did: DataId, emit: &mut dyn FnMut(Displaced)) {
         let rep = self.data_at(did).data;
-        let mut displaced = Vec::with_capacity(members.len());
-        for id in members {
+        let mut cur = Some(self.data_at(did).head);
+        let mut walked = 0usize;
+        while let Some(id) = cur {
             let addr = self.block_addr_of_tag(id);
             let t = self
                 .tags
                 .invalidate(id.set as usize, id.way as usize)
                 .expect("list member is valid");
-            displaced.push(Displaced { addr, dirty: t.dirty, sharers: t.sharers, data: rep });
+            cur = t.next;
+            emit(Displaced { addr, dirty: t.dirty, sharers: t.sharers, data: rep });
             self.stats.tag_evictions += 1;
             self.stats.back_invalidations += 1;
+            walked += 1;
+            debug_assert!(walked <= self.cfg.tag_entries, "cycle in tag list");
         }
         self.data.invalidate(did.set as usize, did.way as usize);
         self.stats.data_evictions += 1;
-        displaced
     }
 
     /// Evict a single tag entry (tag-set replacement). The data entry is
@@ -297,7 +332,7 @@ impl DoppelgangerCache {
                 (0..ways)
                     .min_by_key(|&w| {
                         let did = DataId { set: set as u32, way: w as u32 };
-                        self.list_members(did).len()
+                        self.list_len(did)
                     })
                     .expect("non-zero associativity")
             }
@@ -313,16 +348,14 @@ impl DoppelgangerCache {
         (id, displaced)
     }
 
-    /// Free a way in data set `set`, reporting all displaced blocks.
-    fn make_data_room(&mut self, set: usize) -> (DataId, Vec<Displaced>) {
+    /// Free a way in data set `set`, emitting all displaced blocks.
+    fn make_data_room(&mut self, set: usize, emit: &mut dyn FnMut(Displaced)) -> DataId {
         let way = self.pick_data_victim(set);
         let id = DataId { set: set as u32, way: way as u32 };
-        let displaced = if self.data.get(set, way).is_some() {
-            self.evict_data_entry(id)
-        } else {
-            Vec::new()
-        };
-        (id, displaced)
+        if self.data.get(set, way).is_some() {
+            self.evict_data_entry(id, emit);
+        }
+        id
     }
 
     // ------------------------------------------------------------------
@@ -370,32 +403,49 @@ impl DoppelgangerCache {
         block: BlockData,
         region: &ApproxRegion,
     ) -> InsertOutcome {
+        let mut outcome = InsertOutcome::default();
+        outcome.shared_existing =
+            self.insert_approx_with(addr, block, region, &mut |d| outcome.displaced.push(d));
+        outcome
+    }
+
+    /// Allocation-free form of [`Self::insert_approx`]: displaced blocks
+    /// go to `emit`, the return value is `shared_existing`. This is the
+    /// per-access path used by the hierarchy (`dg-system`), which reuses
+    /// one scratch buffer across accesses.
+    pub fn insert_approx_with(
+        &mut self,
+        addr: BlockAddr,
+        block: BlockData,
+        region: &ApproxRegion,
+        emit: &mut dyn FnMut(Displaced),
+    ) -> bool {
         assert!(!self.contains(addr), "insert of a resident block");
         let map = self.cfg.map_space.map_block(&block, region);
         self.stats.map_generations += 1;
         self.stats.insertions += 1;
 
-        let mut outcome = InsertOutcome::default();
         // Step 1: free a tag way (may displace an unrelated block).
         let (tid, displaced_tag) = self.make_tag_room(addr);
-        outcome.displaced.extend(displaced_tag);
+        if let Some(d) = displaced_tag {
+            emit(d);
+        }
 
         // Step 2: similar block exists? (MTag lookup with the new map.)
         self.stats.mtag_accesses += 1;
         let entry_tag = self.tag_geom.tag_of(addr);
         if let Some(did) = self.locate_data(map) {
             // Similar data block exists: link the new tag at the head.
-            outcome.shared_existing = true;
             self.stats.shared_insertions += 1;
             self.tags.insert_at(tid.set as usize, tid.way as usize, TagEntry::approx(entry_tag, map));
             self.push_head(tid, did);
             self.data.touch(did.set as usize, did.way as usize);
+            true
         } else {
             // No similar block: allocate a data entry (may displace a
             // whole sharing list).
             let bits = self.mtag_index_bits();
-            let (did, displaced) = self.make_data_room(map.index(bits));
-            outcome.displaced.extend(displaced);
+            let did = self.make_data_room(map.index(bits), emit);
             self.stats.data_accesses += 1;
             self.data.insert_at(
                 did.set as usize,
@@ -403,8 +453,8 @@ impl DoppelgangerCache {
                 DataEntry { kind: DataKind::Approx { map_tag: map.tag(bits) }, head: tid, data: block },
             );
             self.tags.insert_at(tid.set as usize, tid.way as usize, TagEntry::approx(entry_tag, map));
+            false
         }
-        outcome
     }
 
     /// Insert a precise block (uniDoppelgänger §3.8): the block owns a
@@ -416,17 +466,34 @@ impl DoppelgangerCache {
     /// Panics if the cache is not configured `unified`, or if `addr` is
     /// already resident.
     pub fn insert_precise(&mut self, addr: BlockAddr, block: BlockData) -> InsertOutcome {
+        let mut outcome = InsertOutcome::default();
+        self.insert_precise_with(addr, block, &mut |d| outcome.displaced.push(d));
+        outcome
+    }
+
+    /// Allocation-free form of [`Self::insert_precise`]; displaced
+    /// blocks go to `emit`.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Self::insert_precise`].
+    pub fn insert_precise_with(
+        &mut self,
+        addr: BlockAddr,
+        block: BlockData,
+        emit: &mut dyn FnMut(Displaced),
+    ) {
         assert!(self.cfg.unified, "precise blocks require a uniDoppelganger configuration");
         assert!(!self.contains(addr), "insert of a resident block");
         self.stats.insertions += 1;
         self.stats.precise_insertions += 1;
 
-        let mut outcome = InsertOutcome::default();
         let (tid, displaced_tag) = self.make_tag_room(addr);
-        outcome.displaced.extend(displaced_tag);
+        if let Some(d) = displaced_tag {
+            emit(d);
+        }
 
-        let (did, displaced) = self.make_data_room(self.data_geom.set_of(addr));
-        outcome.displaced.extend(displaced);
+        let did = self.make_data_room(self.data_geom.set_of(addr), emit);
         self.stats.data_accesses += 1;
         self.data.insert_at(
             did.set as usize,
@@ -435,7 +502,6 @@ impl DoppelgangerCache {
         );
         let entry_tag = self.tag_geom.tag_of(addr);
         self.tags.insert_at(tid.set as usize, tid.way as usize, TagEntry::precise(entry_tag, did));
-        outcome
     }
 
     /// Handle a write / L2 writeback of a full block (§3.4).
@@ -445,9 +511,29 @@ impl DoppelgangerCache {
         block: BlockData,
         region: Option<&ApproxRegion>,
     ) -> WriteOutcome {
+        let mut displaced = Vec::new();
+        match self.write_with(addr, block, region, &mut |d| displaced.push(d)) {
+            WriteStatus::NotResident => WriteOutcome::NotResident,
+            WriteStatus::SameMap => WriteOutcome::SameMap,
+            WriteStatus::Moved { joined_existing } => {
+                WriteOutcome::Moved { joined_existing, displaced }
+            }
+            WriteStatus::PreciseUpdated => WriteOutcome::PreciseUpdated,
+        }
+    }
+
+    /// Allocation-free form of [`Self::write`]; displaced blocks go to
+    /// `emit` and the outcome is the `Vec`-less [`WriteStatus`].
+    pub fn write_with(
+        &mut self,
+        addr: BlockAddr,
+        block: BlockData,
+        region: Option<&ApproxRegion>,
+        emit: &mut dyn FnMut(Displaced),
+    ) -> WriteStatus {
         self.stats.tag_array_accesses += 1;
         let Some(tid) = self.locate_tag(addr) else {
-            return WriteOutcome::NotResident;
+            return WriteStatus::NotResident;
         };
         self.stats.writes += 1;
         self.tags.touch(tid.set as usize, tid.way as usize);
@@ -458,7 +544,7 @@ impl DoppelgangerCache {
             self.data.touch(did.set as usize, did.way as usize);
             self.data_at_mut(did).data = block;
             self.tag_at_mut(tid).dirty = true;
-            return WriteOutcome::PreciseUpdated;
+            return WriteStatus::PreciseUpdated;
         }
 
         let region = region.expect("approximate writes require the annotation");
@@ -471,7 +557,7 @@ impl DoppelgangerCache {
             // stored representative already approximates the new values.
             self.stats.silent_writes += 1;
             self.tag_at_mut(tid).dirty = true;
-            return WriteOutcome::SameMap;
+            return WriteStatus::SameMap;
         }
 
         // The map changed: move the tag to the list for `new_map`.
@@ -496,10 +582,10 @@ impl DoppelgangerCache {
             self.tag_at_mut(tid).dirty = true;
             self.push_head(tid, did);
             self.data.touch(did.set as usize, did.way as usize);
-            WriteOutcome::Moved { joined_existing: true, displaced: Vec::new() }
+            WriteStatus::Moved { joined_existing: true }
         } else {
             // Allocate a fresh entry holding the newly written values.
-            let (did, displaced) = self.make_data_room(new_map.index(bits));
+            let did = self.make_data_room(new_map.index(bits), emit);
             self.stats.data_accesses += 1;
             self.data.insert_at(
                 did.set as usize,
@@ -515,7 +601,7 @@ impl DoppelgangerCache {
             t.dirty = true;
             t.prev = None;
             t.next = None;
-            WriteOutcome::Moved { joined_existing: false, displaced }
+            WriteStatus::Moved { joined_existing: false }
         }
     }
 
@@ -580,7 +666,7 @@ impl DoppelgangerCache {
         let mut hist = vec![0usize; 2];
         for (set, way, _) in self.data.iter() {
             let did = DataId { set: set as u32, way: way as u32 };
-            let len = self.list_members(did).len();
+            let len = self.list_len(did);
             if hist.len() <= len {
                 hist.resize(len + 1, 0);
             }

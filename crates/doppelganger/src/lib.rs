@@ -51,7 +51,7 @@ mod map;
 mod policy;
 mod stats;
 
-pub use cache::{DoppelgangerCache, InsertOutcome, WriteOutcome};
+pub use cache::{DoppelgangerCache, InsertOutcome, WriteOutcome, WriteStatus};
 pub use config::DoppelgangerConfig;
 pub use entry::{DataEntry, DataId, DataKind, Displaced, TagEntry, TagId, TagKind};
 pub use geometry::{HardwareCost, StructureCost};

@@ -247,21 +247,44 @@ impl MapSpace {
     /// Values are clamped into the annotated range before hashing, as
     /// the paper requires for out-of-range runtime values (§4.1).
     pub fn map_block(self, block: &BlockData, region: &ApproxRegion) -> MapValue {
+        let n = region.ty.elems_per_block();
         let mut min = f64::INFINITY;
         let mut max = f64::NEG_INFINITY;
         let mut sum = 0.0;
-        let mut stride_sum = 0.0;
-        let mut prev: Option<f64> = None;
-        let n = region.ty.elems_per_block();
+
+        // The stride hash is the only one needing consecutive-delta
+        // state; the order-invariant hashes (including the paper's
+        // avg+range) get a tighter single pass without it — map
+        // generation runs on every LLC insert and write.
+        if self.hash == MapHash::AvgStride {
+            let mut stride_sum = 0.0;
+            let mut prev: Option<f64> = None;
+            for v in block.elems(region.ty) {
+                let v = region.clamp(v);
+                min = min.min(v);
+                max = max.max(v);
+                sum += v;
+                if let Some(p) = prev {
+                    stride_sum += (v - p).abs();
+                }
+                prev = Some(v);
+            }
+            let stats = BlockStats { min, max, sum, count: n };
+            let stride = stride_sum / (n - 1).max(1) as f64;
+            return self.combine(
+                stats.average(),
+                region.min,
+                region.max,
+                Some((stride, 0.0, region.range())),
+                region.ty,
+            );
+        }
+
         for v in block.elems(region.ty) {
             let v = region.clamp(v);
             min = min.min(v);
             max = max.max(v);
             sum += v;
-            if let Some(p) = prev {
-                stride_sum += (v - p).abs();
-            }
-            prev = Some(v);
         }
         let stats = BlockStats { min, max, sum, count: n };
         match self.hash {
@@ -276,16 +299,7 @@ impl MapSpace {
                 Some((stats.max, region.min, region.max)),
                 region.ty,
             ),
-            MapHash::AvgStride => {
-                let stride = stride_sum / (n - 1).max(1) as f64;
-                self.combine(
-                    stats.average(),
-                    region.min,
-                    region.max,
-                    Some((stride, 0.0, region.range())),
-                    region.ty,
-                )
-            }
+            MapHash::AvgStride => unreachable!("handled above"),
         }
     }
 

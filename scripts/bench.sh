@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Wall-clock benchmark of the full small-scale reproduction: builds the
+# release binaries and runs `repro_all --small --timing`, which records
+# per-configuration and per-kernel wall-clock into BENCH_repro.json
+# (see EXPERIMENTS.md). Extra arguments are passed through to the
+# binary (e.g. `scripts/bench.sh --json rows.json`).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline --locked -p dg-bench
+
+echo "== repro_all --small --timing =="
+start=$(date +%s.%N)
+cargo run --release --offline -q -p dg-bench --bin repro_all -- --small --timing "$@" \
+  > /dev/null
+end=$(date +%s.%N)
+echo "wall-clock: $(echo "$end $start" | awk '{printf "%.3f", $1 - $2}')s"
+echo "per-config and per-kernel timings written to BENCH_repro.json"

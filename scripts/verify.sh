@@ -25,3 +25,20 @@ if [ -n "$violations" ]; then
   exit 1
 fi
 echo "ok: dependency graph is workspace-only"
+
+echo "== repro smoke: repro_all --small, twice, must be deterministic =="
+# Runs the whole small-scale reproduction as an offline smoke test. Any
+# panic fails via set -e; differing stdout across two consecutive runs
+# (table values come straight from EvalResults) fails the determinism
+# guarantee of the parallel sweep engine.
+run1=$(mktemp)
+run2=$(mktemp)
+trap 'rm -f "$run1" "$run2"' EXIT
+cargo run --release --offline -q -p dg-bench --bin repro_all -- --small > "$run1" 2>/dev/null
+cargo run --release --offline -q -p dg-bench --bin repro_all -- --small > "$run2" 2>/dev/null
+if ! diff -u "$run1" "$run2" > /dev/null; then
+  echo "repro_all --small output differs across two runs:" >&2
+  diff -u "$run1" "$run2" >&2 || true
+  exit 1
+fi
+echo "ok: repro_all --small is deterministic across two runs"
