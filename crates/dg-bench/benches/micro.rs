@@ -147,6 +147,26 @@ fn bench_access_patterns(r: &mut Runner) {
     }
 }
 
+fn bench_peraccess(r: &mut Runner) {
+    // The shared per-access scenarios (dg_bench::peraccess): one
+    // iteration sweeps the scenario's working set once, so the
+    // throughput line reads in simulated accesses per second. The same
+    // scenarios are exported to BENCH_repro.json by `repro_all
+    // --timing`.
+    use dg_bench::peraccess;
+    for config in peraccess::CONFIGS {
+        for (scenario, blocks) in peraccess::scenarios() {
+            let mut sys = peraccess::build(config);
+            peraccess::sweep_once(&mut sys, blocks); // populate
+            peraccess::sweep_once(&mut sys, blocks); // settle LRU
+            let name = format!("{config}/{scenario}");
+            r.group("peraccess").throughput_elements(blocks).bench_function(&name, || {
+                peraccess::sweep_once(&mut sys, blocks)
+            });
+        }
+    }
+}
+
 fn main() {
     let mut runner = Runner::from_args();
     bench_map_generation(&mut runner);
@@ -156,5 +176,6 @@ fn main() {
     bench_system_access(&mut runner);
     bench_compression_schemes(&mut runner);
     bench_access_patterns(&mut runner);
+    bench_peraccess(&mut runner);
     runner.finish();
 }

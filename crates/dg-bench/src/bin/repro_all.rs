@@ -58,8 +58,12 @@ fn main() {
     }
     if argv.iter().any(|a| a == "--timing") {
         let path = "BENCH_repro.json";
+        // Capture the figure-generation wall-clock before the per-access
+        // microbenchmarks so the ALL/TOTAL row stays comparable across
+        // revisions.
         let total = start.elapsed().as_secs_f64();
-        match dg_bench::results::export_timings(&sweep, total, std::path::Path::new(path)) {
+        let peraccess = dg_bench::peraccess::measure_all();
+        match dg_bench::results::export_timings(&sweep, &peraccess, total, std::path::Path::new(path)) {
             Ok(()) => eprintln!("[repro_all] wrote {path} ({total:.3}s total)"),
             Err(e) => eprintln!("[repro_all] failed to write {path}: {e}"),
         }

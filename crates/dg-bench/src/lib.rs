@@ -15,6 +15,7 @@ pub mod chart;
 pub mod experiments;
 pub mod figures;
 pub mod json;
+pub mod peraccess;
 pub mod results;
 pub mod table;
 pub mod timing;

@@ -1,0 +1,143 @@
+//! Per-access fast-path microbenchmarks: the host-side cost of one
+//! simulated memory access, pinned to one level of the hierarchy.
+//!
+//! Three scenarios drive a [`System`] with an access stream whose
+//! locality fixes where every access is served:
+//!
+//! - `l1_hit`: one hot block, loaded repeatedly — the L1 probe and MRU
+//!   way-prediction fast path.
+//! - `llc_hit`: a working set larger than the private levels but
+//!   smaller than the LLC, visited round-robin — every access walks
+//!   L1-miss → L2-miss → LLC hit.
+//! - `miss`: a working set larger than the LLC, visited round-robin —
+//!   every access reaches simulated DRAM and exercises fill, eviction
+//!   and back-invalidation.
+//!
+//! Each scenario runs on the tiny baseline LLC, the tiny split
+//! Doppelgänger carrying precise traffic, and the same split with the
+//! stream annotated approximate (Doppelgänger tag/data-array traffic;
+//! the blocks are identical, so resident tags share one data entry).
+//!
+//! Shared by `benches/micro.rs` (the `peraccess` group) and by
+//! `repro_all --timing`, which records the rows in `BENCH_repro.json`
+//! via [`crate::results::export_timings`].
+
+use dg_mem::{Addr, AnnotationTable, ApproxRegion, ElemType, MemoryImage};
+use dg_system::{LlcKind, System, SystemConfig};
+use std::time::Instant;
+
+/// One (configuration, scenario) measurement.
+#[derive(Clone, Debug)]
+pub struct PerAccessRow {
+    /// Configuration label (`baseline`, `split-precise`, `split-approx`).
+    pub config: &'static str,
+    /// Scenario label (`l1_hit`, `llc_hit`, `miss`).
+    pub scenario: &'static str,
+    /// Median host nanoseconds per simulated access.
+    pub ns_per_access: f64,
+    /// Simulated accesses per host second (1e9 / `ns_per_access`).
+    pub accesses_per_sec: f64,
+}
+
+/// Timed batches per scenario (median reported).
+const BATCHES: usize = 5;
+/// Simulated accesses per timed batch.
+const BATCH_ACCESSES: usize = 16 * 1024;
+
+/// Working-set sizes in blocks, chosen against the tiny geometry
+/// (L1 = 32 blocks, L2 = 128, baseline LLC = 1024, split precise = 512,
+/// split tags = 512): `LLC_HIT_BLOCKS` overflows the private levels but
+/// fits every LLC organization; `MISS_BLOCKS` overflows them all.
+const LLC_HIT_BLOCKS: u64 = 256;
+const MISS_BLOCKS: u64 = 4096;
+
+/// Configuration labels, in reporting order.
+pub const CONFIGS: [&str; 3] = ["baseline", "split-precise", "split-approx"];
+
+/// `(label, working-set blocks)` for each scenario.
+pub fn scenarios() -> [(&'static str, u64); 3] {
+    [("l1_hit", 1), ("llc_hit", LLC_HIT_BLOCKS), ("miss", MISS_BLOCKS)]
+}
+
+/// A tiny system for `config` (one of [`CONFIGS`]).
+pub fn build(config: &'static str) -> System {
+    let cfg = match config {
+        "baseline" => SystemConfig::tiny(LlcKind::Baseline),
+        _ => SystemConfig::tiny_split(),
+    };
+    let mut annots = AnnotationTable::new();
+    if config == "split-approx" {
+        // Cover the whole stream: every access takes the Doppelgänger
+        // path. All blocks read as zero, so they map identically and
+        // the resident tags share a single data entry.
+        annots.add(ApproxRegion::new(Addr(0), MISS_BLOCKS * 64, ElemType::F32, 0.0, 100.0));
+    }
+    System::new(cfg, MemoryImage::new(), annots)
+}
+
+/// Round-robin one pass over `blocks` 64-byte-spaced addresses.
+pub fn sweep_once(sys: &mut System, blocks: u64) {
+    let mut buf = [0u8; 4];
+    for b in 0..blocks {
+        sys.load(0, Addr(b * 64), &mut buf);
+    }
+}
+
+fn measure(config: &'static str, scenario: &'static str, blocks: u64) -> PerAccessRow {
+    let mut sys = build(config);
+    // Two warm passes: the first populates, the second settles LRU and
+    // steady-state occupancy so timed batches see the steady hierarchy.
+    sweep_once(&mut sys, blocks);
+    sweep_once(&mut sys, blocks);
+    let passes = (BATCH_ACCESSES as u64 / blocks).max(1);
+    let mut ns: Vec<f64> = (0..BATCHES)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..passes {
+                sweep_once(&mut sys, blocks);
+            }
+            start.elapsed().as_nanos() as f64 / (passes * blocks) as f64
+        })
+        .collect();
+    ns.sort_by(f64::total_cmp);
+    let median = ns[ns.len() / 2];
+    PerAccessRow {
+        config,
+        scenario,
+        ns_per_access: median,
+        accesses_per_sec: if median > 0.0 { 1.0e9 / median } else { 0.0 },
+    }
+}
+
+/// Measure every (configuration, scenario) pair. Costs well under a
+/// second of host time; called by `repro_all --timing`.
+pub fn measure_all() -> Vec<PerAccessRow> {
+    let mut rows = Vec::new();
+    for config in CONFIGS {
+        for (scenario, blocks) in scenarios() {
+            rows.push(measure(config, scenario, blocks));
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_cover_every_config_and_scenario() {
+        let rows = measure_all();
+        assert_eq!(rows.len(), 9);
+        for r in &rows {
+            assert!(r.ns_per_access > 0.0, "{}/{} measured nothing", r.config, r.scenario);
+            assert!(r.accesses_per_sec > 0.0);
+        }
+    }
+
+    #[test]
+    fn scenario_working_sets_are_ordered() {
+        let s = scenarios();
+        assert!(s[0].1 < s[1].1 && s[1].1 < s[2].1);
+    }
+}

@@ -2,6 +2,7 @@
 
 use crate::experiments::Sweep;
 use crate::json::{array_document, ObjectWriter};
+use crate::peraccess::PerAccessRow;
 use dg_system::EvalResult;
 use std::path::Path;
 
@@ -87,7 +88,8 @@ impl ResultRow {
 
 /// Export wall-clock records (the `--timing` flag of `repro_all`) as
 /// pretty-printed JSON: one row per (configuration, kernel), a `TOTAL`
-/// row per configuration, and a closing `ALL`/`TOTAL` row with the
+/// row per configuration, per-access microbenchmark rows (see
+/// [`crate::peraccess`]), and a closing `ALL`/`TOTAL` row with the
 /// process wall-clock and pool worker count.
 ///
 /// # Errors
@@ -95,6 +97,7 @@ impl ResultRow {
 /// Returns any I/O error from writing `path`.
 pub fn export_timings(
     sweep: &Sweep,
+    peraccess: &[PerAccessRow],
     total_secs: f64,
     path: &Path,
 ) -> std::io::Result<()> {
@@ -107,6 +110,14 @@ pub fn export_timings(
         }
         let mut o = ObjectWriter::with_indent(1);
         o.str_field("config", &t.label).str_field("kernel", "TOTAL").f64_field("secs", t.secs);
+        rows.push(o.finish());
+    }
+    for p in peraccess {
+        let mut o = ObjectWriter::with_indent(1);
+        o.str_field("config", p.config)
+            .str_field("kernel", &format!("peraccess:{}", p.scenario))
+            .f64_field("ns_per_access", p.ns_per_access)
+            .f64_field("accesses_per_sec", p.accesses_per_sec);
         rows.push(o.finish());
     }
     let mut o = ObjectWriter::with_indent(1);

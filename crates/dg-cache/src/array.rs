@@ -25,6 +25,19 @@ pub struct TagArray<E, R: Replacer = Lru> {
     geom: CacheGeometry,
     entries: Vec<Option<E>>,
     policy: R,
+    /// Valid entries per set, maintained on insert/invalidate so that
+    /// victim selection in a full set (the steady state of every hot
+    /// cache) skips the scan for an invalid way.
+    occ: Vec<u16>,
+    /// Valid entries in the whole array (O(1) `len`).
+    valid: usize,
+    /// Decoupled key lane: one `u64` match key per slot, written by
+    /// [`TagArray::insert_at_keyed`]. [`TagArray::find_keyed`] scans
+    /// this dense lane (8 bytes per way) instead of striding over the
+    /// full entries, and re-verifies every candidate against the
+    /// caller's predicate — so stale keys left behind by `invalidate`
+    /// or key collisions can never change the result.
+    keys: Vec<u64>,
 }
 
 impl<E> TagArray<E, Lru> {
@@ -40,7 +53,7 @@ impl<E, R: Replacer> TagArray<E, R> {
     pub fn with_policy(geom: CacheGeometry, policy: R) -> Self {
         let mut entries = Vec::new();
         entries.resize_with(geom.entries(), || None);
-        TagArray { geom, entries, policy }
+        TagArray { occ: vec![0; geom.sets()], valid: 0, keys: vec![0; geom.entries()], geom, entries, policy }
     }
 
     /// The array's geometry.
@@ -82,6 +95,47 @@ impl<E, R: Replacer> TagArray<E, R> {
             .position(|e| e.as_ref().is_some_and(&pred))
     }
 
+    /// Find the way in `set` whose entry was inserted with `key` and
+    /// satisfies `pred`.
+    ///
+    /// Fast-path variant of [`TagArray::find`] for arrays whose entries
+    /// are inserted via [`TagArray::insert_at_keyed`]: the scan strides
+    /// over the dense 8-byte key lane instead of the full entries, and
+    /// only candidate ways (key match) load the entry to run `pred`.
+    /// `pred` remains the source of truth, so the result is identical
+    /// to `find` as long as every entry `pred` would accept carries
+    /// `key` in the key lane (the keyed-insert invariant).
+    pub fn find_keyed(&self, set: usize, key: u64, pred: impl Fn(&E) -> bool) -> Option<usize> {
+        let ways = self.geom.ways();
+        let base = set * ways;
+        let keys = &self.keys[base..base + ways];
+        for (w, &k) in keys.iter().enumerate() {
+            if k == key {
+                if let Some(e) = self.entries[base + w].as_ref() {
+                    if pred(e) {
+                        return Some(w);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Insert `entry` at an explicit `(set, way)` and record `key` in
+    /// the key lane for [`TagArray::find_keyed`], returning the
+    /// displaced entry (if any).
+    pub fn insert_at_keyed(&mut self, set: usize, way: usize, key: u64, entry: E) -> Option<E> {
+        let slot = self.slot(set, way);
+        self.keys[slot] = key;
+        let old = self.entries[slot].replace(entry);
+        if old.is_none() {
+            self.occ[set] += 1;
+            self.valid += 1;
+        }
+        self.policy.fill(set, way);
+        old
+    }
+
     /// Record a use of `(set, way)` for the replacement policy.
     pub fn touch(&mut self, set: usize, way: usize) {
         self.policy.touch(set, way);
@@ -90,10 +144,12 @@ impl<E, R: Replacer> TagArray<E, R> {
     /// The way that would be victimized by the next insertion into a
     /// full `set` (an invalid way if one exists).
     pub fn victim_way(&mut self, set: usize) -> usize {
-        if let Some(w) = (0..self.geom.ways()).find(|&w| self.get(set, w).is_none()) {
-            return w;
+        if usize::from(self.occ[set]) == self.geom.ways() {
+            return self.policy.victim(set);
         }
-        self.policy.victim(set)
+        (0..self.geom.ways())
+            .find(|&w| self.get(set, w).is_none())
+            .expect("occupancy below associativity implies an invalid way")
     }
 
     /// Insert `entry` into `set`, evicting if the set is full.
@@ -102,10 +158,7 @@ impl<E, R: Replacer> TagArray<E, R> {
     /// entry becomes the most recently used.
     pub fn insert(&mut self, set: usize, entry: E) -> (usize, Option<E>) {
         let way = self.victim_way(set);
-        let slot = self.slot(set, way);
-        let old = self.entries[slot].replace(entry);
-        self.policy.fill(set, way);
-        (way, old)
+        (way, self.insert_at(set, way, entry))
     }
 
     /// Insert `entry` at an explicit `(set, way)`, returning the
@@ -113,6 +166,10 @@ impl<E, R: Replacer> TagArray<E, R> {
     pub fn insert_at(&mut self, set: usize, way: usize, entry: E) -> Option<E> {
         let slot = self.slot(set, way);
         let old = self.entries[slot].replace(entry);
+        if old.is_none() {
+            self.occ[set] += 1;
+            self.valid += 1;
+        }
         self.policy.fill(set, way);
         old
     }
@@ -120,22 +177,27 @@ impl<E, R: Replacer> TagArray<E, R> {
     /// Invalidate `(set, way)`, returning the removed entry.
     pub fn invalidate(&mut self, set: usize, way: usize) -> Option<E> {
         let slot = self.slot(set, way);
-        self.entries[slot].take()
+        let old = self.entries[slot].take();
+        if old.is_some() {
+            self.occ[set] -= 1;
+            self.valid -= 1;
+        }
+        old
     }
 
     /// Number of valid entries in `set`.
     pub fn occupancy(&self, set: usize) -> usize {
-        (0..self.geom.ways()).filter(|&w| self.get(set, w).is_some()).count()
+        usize::from(self.occ[set])
     }
 
     /// Number of valid entries in the whole array.
     pub fn len(&self) -> usize {
-        self.entries.iter().filter(|e| e.is_some()).count()
+        self.valid
     }
 
     /// Whether the array holds no valid entries.
     pub fn is_empty(&self) -> bool {
-        self.entries.iter().all(Option::is_none)
+        self.valid == 0
     }
 
     /// Iterate over all valid entries as `(set, way, &entry)`.
@@ -161,6 +223,8 @@ impl<E, R: Replacer> TagArray<E, R> {
         for e in &mut self.entries {
             *e = None;
         }
+        self.occ.iter_mut().for_each(|o| *o = 0);
+        self.valid = 0;
     }
 }
 

@@ -56,14 +56,19 @@ pub struct ConventionalCache<R: Replacer = Lru> {
     /// Block contents, one slot per `(set, way)` (`set * ways + way`);
     /// a slot is meaningful only while the matching tag entry is valid.
     data: Vec<BlockData>,
+    /// Per-set MRU way hint checked before the full set scan. Purely an
+    /// accelerator: a stale hint fails the tag compare and falls back,
+    /// and because tags are unique within a set the predicted way is
+    /// always the way the scan would find — observable behaviour is
+    /// identical with or without the hint.
+    mru: Vec<u32>,
     stats: CacheStats,
 }
 
 impl ConventionalCache {
     /// An empty cache with the given geometry and LRU replacement.
     pub fn new(geom: CacheGeometry) -> Self {
-        let data = vec![BlockData::zeroed(); geom.entries()];
-        ConventionalCache { array: TagArray::new(geom), data, stats: CacheStats::default() }
+        ConventionalCache::with_policy(geom, Lru::new(geom.sets(), geom.ways()))
     }
 }
 
@@ -72,7 +77,12 @@ impl<R: Replacer> ConventionalCache<R> {
     /// [`crate::Srrip`] or [`crate::Fifo`]).
     pub fn with_policy(geom: CacheGeometry, policy: R) -> Self {
         let data = vec![BlockData::zeroed(); geom.entries()];
-        ConventionalCache { array: TagArray::with_policy(geom, policy), data, stats: CacheStats::default() }
+        ConventionalCache {
+            array: TagArray::with_policy(geom, policy),
+            data,
+            mru: vec![0; geom.sets()],
+            stats: CacheStats::default(),
+        }
     }
 
     #[inline]
@@ -95,10 +105,38 @@ impl<R: Replacer> ConventionalCache<R> {
         self.stats = CacheStats::default();
     }
 
+    /// Check the set's MRU way hint before committing to a full scan.
+    #[inline]
+    fn predict(&self, set: usize, tag: u64) -> Option<usize> {
+        let way = self.mru[set] as usize;
+        match self.array.get(set, way) {
+            Some(l) if l.tag == tag => Some(way),
+            _ => None,
+        }
+    }
+
+    /// Locate `addr` without touching stats or LRU (shared access; the
+    /// MRU hint is probed read-only).
     fn locate(&self, addr: BlockAddr) -> Option<usize> {
         let set = self.array.geometry().set_of(addr);
         let tag = self.array.geometry().tag_of(addr);
-        self.array.find(set, |l| l.tag == tag)
+        self.predict(set, tag)
+            .or_else(|| self.array.find_keyed(set, tag, |l| l.tag == tag))
+    }
+
+    /// Locate `addr`, refreshing the MRU way hint on a hit. No stats or
+    /// LRU update. Returns `(set, way)` hits so callers skip recomputing
+    /// the set index.
+    #[inline]
+    fn locate_mut(&mut self, addr: BlockAddr) -> Option<(usize, usize)> {
+        let set = self.array.geometry().set_of(addr);
+        let tag = self.array.geometry().tag_of(addr);
+        if let Some(way) = self.predict(set, tag) {
+            return Some((set, way));
+        }
+        let way = self.array.find_keyed(set, tag, |l| l.tag == tag)?;
+        self.mru[set] = way as u32;
+        Some((set, way))
     }
 
     /// Whether `addr` is present (no stats or LRU update).
@@ -109,10 +147,8 @@ impl<R: Replacer> ConventionalCache<R> {
     /// Read `addr`: on a hit, returns the block and updates LRU/stats;
     /// on a miss, records the miss and returns `None`.
     pub fn read(&mut self, addr: BlockAddr) -> Option<BlockData> {
-        let set = self.array.geometry().set_of(addr);
-        let tag = self.array.geometry().tag_of(addr);
-        match self.array.find(set, |l| l.tag == tag) {
-            Some(way) => {
+        match self.locate_mut(addr) {
+            Some((set, way)) => {
                 self.array.touch(set, way);
                 self.stats.record_hit();
                 Some(self.data[self.slot(set, way)])
@@ -130,10 +166,8 @@ impl<R: Replacer> ConventionalCache<R> {
     /// `false`. The hot path of every simulated load — avoids copying
     /// the full 64-byte block out of the array.
     pub fn read_bytes(&mut self, addr: BlockAddr, offset: usize, buf: &mut [u8]) -> bool {
-        let set = self.array.geometry().set_of(addr);
-        let tag = self.array.geometry().tag_of(addr);
-        match self.array.find(set, |l| l.tag == tag) {
-            Some(way) => {
+        match self.locate_mut(addr) {
+            Some((set, way)) => {
                 self.array.touch(set, way);
                 self.stats.record_hit();
                 let data = &self.data[self.slot(set, way)];
@@ -151,10 +185,8 @@ impl<R: Replacer> ConventionalCache<R> {
     /// the dirty bit and returns `true`; on a miss returns `false`
     /// (write-allocate is composed by the caller via [`Self::fill`]).
     pub fn write(&mut self, addr: BlockAddr, data: BlockData) -> bool {
-        let set = self.array.geometry().set_of(addr);
-        let tag = self.array.geometry().tag_of(addr);
-        match self.array.find(set, |l| l.tag == tag) {
-            Some(way) => {
+        match self.locate_mut(addr) {
+            Some((set, way)) => {
                 self.array.touch(set, way);
                 self.stats.record_hit();
                 self.array.get_mut(set, way).expect("located way is valid").dirty = true;
@@ -172,10 +204,8 @@ impl<R: Replacer> ConventionalCache<R> {
     /// Update bytes `[offset, offset+bytes.len())` of a resident block,
     /// setting its dirty bit. Returns `false` on a miss (no stats).
     pub fn write_bytes(&mut self, addr: BlockAddr, offset: usize, bytes: &[u8]) -> bool {
-        let set = self.array.geometry().set_of(addr);
-        let tag = self.array.geometry().tag_of(addr);
-        match self.array.find(set, |l| l.tag == tag) {
-            Some(way) => {
+        match self.locate_mut(addr) {
+            Some((set, way)) => {
                 self.array.touch(set, way);
                 self.array.get_mut(set, way).expect("located way is valid").dirty = true;
                 let slot = self.slot(set, way);
@@ -193,10 +223,8 @@ impl<R: Replacer> ConventionalCache<R> {
     /// caller run coherence actions in between without re-scanning the
     /// set (and skip them entirely when the dirty bit proves ownership).
     pub fn write_probe(&mut self, addr: BlockAddr) -> Option<(usize, usize, bool)> {
-        let set = self.array.geometry().set_of(addr);
-        let tag = self.array.geometry().tag_of(addr);
-        match self.array.find(set, |l| l.tag == tag) {
-            Some(way) => {
+        match self.locate_mut(addr) {
+            Some((set, way)) => {
                 self.array.touch(set, way);
                 self.stats.record_hit();
                 let dirty = self.array.get(set, way).expect("located way is valid").dirty;
@@ -230,29 +258,70 @@ impl<R: Replacer> ConventionalCache<R> {
 
     /// Insert `addr` with an explicit dirty bit, evicting if needed.
     ///
-    /// # Panics
-    ///
-    /// Panics if `addr` is already resident (fills must be misses).
+    /// Fills must be misses: filling a resident block panics in debug
+    /// builds (release builds skip the check — it would re-scan the set
+    /// on every fill, and all hierarchy callers fill only after a miss).
     pub fn fill_with(&mut self, addr: BlockAddr, data: BlockData, dirty: bool) -> Option<Evicted> {
-        assert!(self.locate(addr).is_none(), "fill of a resident block");
+        self.fill_ref(addr, &data, dirty)
+    }
+
+    /// [`Self::fill_with`] taking the block by reference — the hierarchy
+    /// fills the same data into several levels per miss, and this form
+    /// copies the 64 bytes once into the chosen slot (and reads the old
+    /// slot only when a victim is actually displaced).
+    pub fn fill_ref(&mut self, addr: BlockAddr, data: &BlockData, dirty: bool) -> Option<Evicted> {
+        debug_assert!(self.locate(addr).is_none(), "fill of a resident block");
         let geom = *self.array.geometry();
         let set = geom.set_of(addr);
         let line = Line { tag: geom.tag_of(addr), dirty };
         self.stats.record_insertion();
-        let (way, old) = self.array.insert(set, line);
+        let way = self.array.victim_way(set);
+        let old = self.array.insert_at_keyed(set, way, line.tag, line);
+        self.mru[set] = way as u32;
         let slot = self.slot(set, way);
-        let old_data = std::mem::replace(&mut self.data[slot], data);
-        old.map(|l| {
+        let out = old.map(|l| {
             self.stats.record_eviction(l.dirty);
-            Evicted { addr: geom.block_addr(l.tag, set), dirty: l.dirty, data: old_data }
-        })
+            Evicted { addr: geom.block_addr(l.tag, set), dirty: l.dirty, data: self.data[slot] }
+        });
+        self.data[slot] = *data;
+        out
+    }
+
+    /// Clean fill for the private-level hot path: reports the victim's
+    /// address and dirty bit, copying its 64 bytes into `victim_buf`
+    /// only when dirty — clean victims need no writeback, so their data
+    /// is never read. Same insertion/eviction stats and LRU effects as
+    /// [`Self::fill`].
+    pub fn fill_ref_lazy(
+        &mut self,
+        addr: BlockAddr,
+        data: &BlockData,
+        victim_buf: &mut BlockData,
+    ) -> Option<(BlockAddr, bool)> {
+        debug_assert!(self.locate(addr).is_none(), "fill of a resident block");
+        let geom = *self.array.geometry();
+        let set = geom.set_of(addr);
+        let line = Line { tag: geom.tag_of(addr), dirty: false };
+        self.stats.record_insertion();
+        let way = self.array.victim_way(set);
+        let old = self.array.insert_at_keyed(set, way, line.tag, line);
+        self.mru[set] = way as u32;
+        let slot = self.slot(set, way);
+        let out = old.map(|l| {
+            self.stats.record_eviction(l.dirty);
+            if l.dirty {
+                *victim_buf = self.data[slot];
+            }
+            (geom.block_addr(l.tag, set), l.dirty)
+        });
+        self.data[slot] = *data;
+        out
     }
 
     /// Remove `addr` if present, returning its final state (used for
     /// back-invalidations and inclusion enforcement).
     pub fn invalidate(&mut self, addr: BlockAddr) -> Option<Evicted> {
-        let set = self.array.geometry().set_of(addr);
-        let way = self.locate(addr)?;
+        let (set, way) = self.locate_mut(addr)?;
         let line = self.array.invalidate(set, way).expect("located way is valid");
         self.stats.record_invalidation();
         Some(Evicted { addr, dirty: line.dirty, data: self.data[self.slot(set, way)] })
@@ -277,9 +346,8 @@ impl<R: Replacer> ConventionalCache<R> {
     /// Clear a resident block's dirty bit (an M → S downgrade after the
     /// modified copy was written back). Returns `false` on a miss.
     pub fn clear_dirty(&mut self, addr: BlockAddr) -> bool {
-        let set = self.array.geometry().set_of(addr);
-        match self.locate(addr) {
-            Some(way) => {
+        match self.locate_mut(addr) {
+            Some((set, way)) => {
                 self.array.get_mut(set, way).expect("valid").dirty = false;
                 true
             }
@@ -289,9 +357,8 @@ impl<R: Replacer> ConventionalCache<R> {
 
     /// Mark a resident block dirty (e.g. on an upper-level writeback hit).
     pub fn mark_dirty(&mut self, addr: BlockAddr) -> bool {
-        let set = self.array.geometry().set_of(addr);
-        match self.locate(addr) {
-            Some(way) => {
+        match self.locate_mut(addr) {
+            Some((set, way)) => {
                 self.array.get_mut(set, way).expect("valid").dirty = true;
                 true
             }
@@ -397,6 +464,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)] // the double-fill guard is debug-only
     #[should_panic(expected = "fill of a resident block")]
     fn double_fill_rejected() {
         let mut c = tiny();

@@ -9,6 +9,92 @@ fn blk(v: u16) -> BlockData {
     BlockData::from_values(ElemType::I32, &[f64::from(v); 16])
 }
 
+/// Reference LRU set-associative cache that always scans the full set —
+/// the observable semantics of `ConventionalCache` before MRU way
+/// prediction was added. Lines sit in per-set recency order (most
+/// recent last), so hits, fills, and LRU evictions are explicit.
+struct ScanModel {
+    geom: CacheGeometry,
+    sets: Vec<Vec<(u64, bool, BlockData)>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ScanModel {
+    fn new(geom: CacheGeometry) -> Self {
+        ScanModel { sets: vec![Vec::new(); geom.sets()], geom, hits: 0, misses: 0 }
+    }
+
+    fn find(&mut self, addr: BlockAddr) -> Option<(usize, usize)> {
+        let set = self.geom.set_of(addr);
+        let tag = self.geom.tag_of(addr);
+        self.sets[set].iter().position(|&(t, _, _)| t == tag).map(|i| (set, i))
+    }
+
+    fn read(&mut self, addr: BlockAddr) -> Option<BlockData> {
+        match self.find(addr) {
+            Some((set, i)) => {
+                self.hits += 1;
+                let line = self.sets[set].remove(i);
+                self.sets[set].push(line);
+                Some(line.2)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn write(&mut self, addr: BlockAddr, data: BlockData) -> bool {
+        match self.find(addr) {
+            Some((set, i)) => {
+                self.hits += 1;
+                let (tag, _, _) = self.sets[set].remove(i);
+                self.sets[set].push((tag, true, data));
+                true
+            }
+            None => {
+                self.misses += 1;
+                false
+            }
+        }
+    }
+
+    fn fill(&mut self, addr: BlockAddr, data: BlockData) -> Option<(BlockAddr, bool, BlockData)> {
+        let set = self.geom.set_of(addr);
+        let tag = self.geom.tag_of(addr);
+        let evicted = if self.sets[set].len() == self.geom.ways() {
+            let (t, d, b) = self.sets[set].remove(0);
+            Some((self.geom.block_addr(t, set), d, b))
+        } else {
+            None
+        };
+        self.sets[set].push((tag, false, data));
+        evicted
+    }
+
+    fn invalidate(&mut self, addr: BlockAddr) -> Option<(BlockAddr, bool, BlockData)> {
+        let (set, i) = self.find(addr)?;
+        let (_, d, b) = self.sets[set].remove(i);
+        Some((addr, d, b))
+    }
+
+    fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    fn resident(&self) -> Vec<(u64, bool, BlockData)> {
+        self.sets
+            .iter()
+            .enumerate()
+            .flat_map(|(set, lines)| {
+                lines.iter().map(move |&(t, d, b)| (self.geom.block_addr(t, set).0, d, b))
+            })
+            .collect()
+    }
+}
+
 props! {
     /// LRU matches a reference recency-queue model for any touch/victim
     /// interleaving on one set.
@@ -75,6 +161,62 @@ props! {
             let want = last_write[&addr.0];
             assert_eq!(*data, blk(want), "stale block at {}", addr.0);
         }
+    }
+
+    /// Differential check for the MRU-way-prediction fast path: the
+    /// cache behaves identically to a reference model that always does
+    /// the full set scan (the pre-prediction implementation) — same
+    /// hits, same data, same evictions, same stats — under random
+    /// interleavings of reads, partial reads/writes, fills and
+    /// invalidates that repeatedly alternate between same-line streaks
+    /// (prediction hits) and conflicting lines (stale hints).
+    fn mru_prediction_matches_full_scan_model(
+        ops in vec((0u8..5, 0u64..24, any::<u16>()), 1..250),
+    ) {
+        // 4 sets x 2 ways: block addresses 0..24 give 3-way conflicts.
+        let geom = CacheGeometry::from_entries(8, 2);
+        let mut cache = ConventionalCache::new(geom);
+        let mut model = ScanModel::new(geom);
+        for (op, a, v) in ops {
+            let addr = BlockAddr(a);
+            match op {
+                0 => assert_eq!(cache.read(addr), model.read(addr)),
+                1 => {
+                    let mut got = [0u8; 8];
+                    let hit = cache.read_bytes(addr, 16, &mut got);
+                    match model.read(addr) {
+                        Some(b) => {
+                            assert!(hit);
+                            assert_eq!(got, b.as_bytes()[16..24]);
+                        }
+                        None => assert!(!hit),
+                    }
+                }
+                2 => assert_eq!(cache.write(addr, blk(v)), model.write(addr, blk(v))),
+                3 => {
+                    if !cache.contains(addr) {
+                        let ev = cache.fill(addr, blk(v));
+                        let want = model.fill(addr, blk(v));
+                        assert_eq!(ev.map(|e| (e.addr, e.dirty, e.data)), want);
+                    }
+                }
+                _ => {
+                    let got = cache.invalidate(addr);
+                    let want = model.invalidate(addr);
+                    assert_eq!(got.map(|e| (e.addr, e.dirty, e.data)), want);
+                }
+            }
+        }
+        assert_eq!(cache.stats().hits, model.hits);
+        assert_eq!(cache.stats().misses, model.misses);
+        assert_eq!(cache.len(), model.len());
+        // Identical resident contents.
+        let mut got: Vec<(u64, bool, BlockData)> =
+            cache.iter_blocks().map(|(a, d, b)| (a.0, d, *b)).collect();
+        got.sort_unstable_by_key(|&(a, _, _)| a);
+        let mut want = model.resident();
+        want.sort_unstable_by_key(|&(a, _, _)| a);
+        assert_eq!(got, want);
     }
 
     /// Geometry round trip: any block address decomposes into

@@ -110,6 +110,49 @@ impl BlockData {
         BlockStats { min, max, sum, count: n }
     }
 
+    /// Value statistics over the block's elements clamped into
+    /// `[lo, hi]` — the map-generation pass (runs on every LLC insert
+    /// and write of an approximate block; paper §3.7 with the §4.1
+    /// clamping rule).
+    ///
+    /// Equivalent to clamping each element of [`Self::elems`] and
+    /// folding min/max/sum in element order; this form dispatches on
+    /// the element type once and decodes fixed-width chunks, so the
+    /// inner loop carries no per-element width arithmetic or slice
+    /// bounds checks. The per-element operation order (clamp, then
+    /// min, max, sum) is identical, so the results are bit-identical.
+    pub fn clamped_stats(&self, ty: ElemType, lo: f64, hi: f64) -> BlockStats {
+        #[inline(always)]
+        fn fold(vals: impl Iterator<Item = f64>, lo: f64, hi: f64) -> (f64, f64, f64) {
+            let (mut min, mut max, mut sum) = (f64::INFINITY, f64::NEG_INFINITY, 0.0);
+            for v in vals {
+                let v = v.clamp(lo, hi);
+                min = min.min(v);
+                max = max.max(v);
+                sum += v;
+            }
+            (min, max, sum)
+        }
+        let b = &self.bytes[..];
+        let (min, max, sum) = match ty {
+            ElemType::U8 => fold(b.iter().map(|&x| x as f64), lo, hi),
+            ElemType::I32 => fold(
+                b.chunks_exact(4).map(|c| i32::from_le_bytes(c.try_into().unwrap()) as f64),
+                lo,
+                hi,
+            ),
+            ElemType::F32 => fold(
+                b.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap()) as f64),
+                lo,
+                hi,
+            ),
+            ElemType::F64 => {
+                fold(b.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())), lo, hi)
+            }
+        };
+        BlockStats { min, max, sum, count: ty.elems_per_block() }
+    }
+
     /// Element-wise approximate similarity test of §2.
     ///
     /// Two blocks are approximately similar under threshold `t` if every

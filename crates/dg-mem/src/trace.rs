@@ -1,6 +1,11 @@
 //! Multi-core memory-access traces.
 
 use crate::{Access, AnnotationTable, MemoryImage};
+use std::sync::OnceLock;
+
+/// Cursor storage for [`InterleavedIter`]: stack-allocated up to this
+/// many cores, heap-allocated beyond.
+const INLINE_CORES: usize = 8;
 
 /// A complete multi-core trace: an initial memory image, the
 /// per-application annotation table, and one access stream per core.
@@ -8,6 +13,10 @@ use crate::{Access, AnnotationTable, MemoryImage};
 /// The timing simulator (`dg-system`) replays the per-core streams
 /// round-robin at access granularity against a simulated hierarchy,
 /// applying store payloads to its memory image as it goes.
+///
+/// Construct with [`Trace::new`] or [`TraceBuilder`]; the streams stay
+/// readable through the public `cores` field but are immutable once
+/// built (the instruction count is cached on first query).
 #[derive(Clone, Debug)]
 pub struct Trace {
     /// Memory contents at the start of the trace.
@@ -16,9 +25,17 @@ pub struct Trace {
     pub annotations: AnnotationTable,
     /// Per-core access streams.
     pub cores: Vec<Vec<Access>>,
+    /// Lazily computed instruction total. Sound because `cores` cannot
+    /// be mutated outside this module once the trace is built.
+    insts: OnceLock<u64>,
 }
 
 impl Trace {
+    /// Assemble a trace from its parts.
+    pub fn new(initial: MemoryImage, annotations: AnnotationTable, cores: Vec<Vec<Access>>) -> Self {
+        Trace { initial, annotations, cores, insts: OnceLock::new() }
+    }
+
     /// Total number of accesses across all cores.
     pub fn len(&self) -> usize {
         self.cores.iter().map(Vec::len).sum()
@@ -31,18 +48,57 @@ impl Trace {
 
     /// Total simulated instructions (memory accesses + think ops),
     /// used for MPKI and runtime-per-instruction normalization.
+    ///
+    /// Computed once and cached; repeat calls are O(1).
     pub fn instructions(&self) -> u64 {
-        self.cores
-            .iter()
-            .flatten()
-            .map(|a| 1 + a.think as u64)
-            .sum()
+        *self.insts.get_or_init(|| {
+            self.cores
+                .iter()
+                .flatten()
+                .map(|a| 1 + a.think as u64)
+                .sum()
+        })
     }
 
     /// Iterate over `(core, access)` pairs, interleaving cores
     /// round-robin one access at a time.
     pub fn interleaved(&self) -> InterleavedIter<'_> {
-        InterleavedIter { trace: self, cursors: vec![0; self.cores.len()], next_core: 0 }
+        InterleavedIter { trace: self, cursors: Cursors::new(self.cores.len()), next_core: 0 }
+    }
+}
+
+/// Per-core cursors, inline for the common small-core-count case so
+/// [`Trace::interleaved`] allocates nothing for up to [`INLINE_CORES`]
+/// cores.
+#[derive(Debug)]
+enum Cursors {
+    Inline([usize; INLINE_CORES]),
+    Spill(Vec<usize>),
+}
+
+impl Cursors {
+    fn new(cores: usize) -> Self {
+        if cores <= INLINE_CORES {
+            Cursors::Inline([0; INLINE_CORES])
+        } else {
+            Cursors::Spill(vec![0; cores])
+        }
+    }
+
+    #[inline]
+    fn get(&self, core: usize) -> usize {
+        match self {
+            Cursors::Inline(a) => a[core],
+            Cursors::Spill(v) => v[core],
+        }
+    }
+
+    #[inline]
+    fn bump(&mut self, core: usize) {
+        match self {
+            Cursors::Inline(a) => a[core] += 1,
+            Cursors::Spill(v) => v[core] += 1,
+        }
     }
 }
 
@@ -53,7 +109,7 @@ impl Trace {
 #[derive(Debug)]
 pub struct InterleavedIter<'a> {
     trace: &'a Trace,
-    cursors: Vec<usize>,
+    cursors: Cursors,
     next_core: usize,
 }
 
@@ -64,9 +120,9 @@ impl<'a> Iterator for InterleavedIter<'a> {
         let n = self.trace.cores.len();
         for probe in 0..n {
             let core = (self.next_core + probe) % n;
-            let cur = self.cursors[core];
+            let cur = self.cursors.get(core);
             if cur < self.trace.cores[core].len() {
-                self.cursors[core] += 1;
+                self.cursors.bump(core);
                 self.next_core = (core + 1) % n;
                 return Some((core, &self.trace.cores[core][cur]));
             }
@@ -97,7 +153,7 @@ impl TraceBuilder {
     /// `cores` cores.
     pub fn new(initial: MemoryImage, annotations: AnnotationTable, cores: usize) -> Self {
         TraceBuilder {
-            trace: Trace { initial, annotations, cores: vec![Vec::new(); cores] },
+            trace: Trace::new(initial, annotations, vec![Vec::new(); cores]),
         }
     }
 
@@ -131,7 +187,7 @@ mod tests {
     }
 
     fn trace_with(cores: Vec<Vec<Access>>) -> Trace {
-        Trace { initial: MemoryImage::new(), annotations: AnnotationTable::new(), cores }
+        Trace::new(MemoryImage::new(), AnnotationTable::new(), cores)
     }
 
     #[test]
@@ -164,6 +220,26 @@ mod tests {
         let t = trace_with(vec![vec![], vec![]]);
         assert!(t.is_empty());
         assert_eq!(t.interleaved().count(), 0);
+    }
+
+    #[test]
+    fn instructions_cached_and_stable() {
+        let t = trace_with(vec![vec![acc(0), acc(64)], vec![acc(128)]]);
+        let first = t.instructions();
+        assert_eq!(first, 3);
+        assert_eq!(t.instructions(), first);
+        // The cache travels with clones.
+        assert_eq!(t.clone().instructions(), first);
+    }
+
+    #[test]
+    fn interleaves_beyond_inline_core_count() {
+        // More cores than the inline cursor capacity exercises Spill.
+        let n = INLINE_CORES + 3;
+        let cores: Vec<Vec<Access>> = (0..n).map(|c| vec![acc(c as u64 * 64)]).collect();
+        let t = trace_with(cores);
+        let order: Vec<usize> = t.interleaved().map(|(c, _)| c).collect();
+        assert_eq!(order, (0..n).collect::<Vec<_>>());
     }
 
     #[test]

@@ -143,7 +143,7 @@ impl Trace {
             }
             cores.push(stream);
         }
-        Ok(Trace { initial, annotations, cores })
+        Ok(Trace::new(initial, annotations, cores))
     }
 }
 
@@ -161,7 +161,7 @@ mod tests {
         let mut a0 = Access::new(Addr(64), AccessKind::Load, 4).approximate();
         a0.think = 17;
         let a1 = Access::new(Addr(4096), AccessKind::Store, 4).with_data([9, 8, 7, 6, 0, 0, 0, 0]);
-        Trace { initial: image, annotations, cores: vec![vec![a0, a1], vec![]] }
+        Trace::new(image, annotations, vec![vec![a0, a1], vec![]])
     }
 
     #[test]
@@ -195,11 +195,7 @@ mod tests {
 
     #[test]
     fn empty_trace_round_trips() {
-        let t = Trace {
-            initial: MemoryImage::new(),
-            annotations: AnnotationTable::new(),
-            cores: vec![],
-        };
+        let t = Trace::new(MemoryImage::new(), AnnotationTable::new(), vec![]);
         let mut buf = Vec::new();
         t.write_to(&mut buf).unwrap();
         let back = Trace::read_from(&mut buf.as_slice()).unwrap();

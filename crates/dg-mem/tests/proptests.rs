@@ -99,6 +99,61 @@ props! {
         }
     }
 
+    /// The paged-arena image is observationally identical to a plain
+    /// hashmap model under random streams of block stores, partial
+    /// writes, full-block reads, and byte loads. Addresses are drawn so
+    /// streams hit within pages, across pages, and far apart (sparse).
+    fn image_matches_hashmap_model(
+        ops in vec((0u8..4, 0u64..0x300, 0u8..56, any::<[u8; 8]>()), 1..200),
+    ) {
+        let mut image = MemoryImage::new();
+        // Reference model: block address -> 64-byte contents.
+        let mut model: std::collections::HashMap<u64, [u8; 64]> =
+            std::collections::HashMap::new();
+        for (op, raw_block, off, bytes) in ops {
+            // Spread some blocks far apart so many pages exist.
+            let block = if raw_block >= 0x200 { raw_block * 977 } else { raw_block };
+            let addr = Addr(block * 64);
+            match op {
+                0 => {
+                    // Full-block overwrite.
+                    let mut full = [0u8; 64];
+                    for (i, chunk) in full.chunks_mut(8).enumerate() {
+                        chunk.copy_from_slice(&bytes.map(|b| b.wrapping_add(i as u8)));
+                    }
+                    image.set_block(addr.block(), BlockData::from_bytes(full));
+                    model.insert(block, full);
+                }
+                1 => {
+                    // Partial-block store at a random offset.
+                    image.store_bytes(Addr(addr.0 + u64::from(off)), &bytes);
+                    let entry = model.entry(block).or_insert([0u8; 64]);
+                    entry[off as usize..off as usize + 8].copy_from_slice(&bytes);
+                }
+                2 => {
+                    // Byte load (possibly from a never-written block).
+                    let mut got = [0u8; 8];
+                    image.load_bytes(Addr(addr.0 + u64::from(off)), &mut got);
+                    let want = model.get(&block).copied().unwrap_or([0u8; 64]);
+                    assert_eq!(got, want[off as usize..off as usize + 8]);
+                }
+                _ => {
+                    // Full-block read through the shared accessor.
+                    let want = model.get(&block).copied().unwrap_or([0u8; 64]);
+                    assert_eq!(image.block(addr.block()).as_bytes(), &want);
+                }
+            }
+        }
+        // Aggregate views agree: population count and iter_blocks
+        // contents (the arena yields ascending address order).
+        assert_eq!(image.populated_blocks(), model.len());
+        let mut want: Vec<(u64, [u8; 64])> = model.into_iter().collect();
+        want.sort_unstable_by_key(|&(b, _)| b);
+        let got: Vec<(u64, [u8; 64])> =
+            image.iter_blocks().map(|(a, d)| (a.0, *d.as_bytes())).collect();
+        assert_eq!(got, want);
+    }
+
     /// Trace binary serialization round-trips arbitrary traces.
     fn trace_serialization_round_trips(
         streams in vec(vec(raw_access_strategy(), 0..30), 1..4),
@@ -108,14 +163,14 @@ props! {
         for (b, bytes) in blocks {
             image.store_bytes(Addr(b * 64), &bytes);
         }
-        let t = Trace {
-            initial: image,
-            annotations: AnnotationTable::new(),
-            cores: streams
+        let t = Trace::new(
+            image,
+            AnnotationTable::new(),
+            streams
                 .into_iter()
                 .map(|s| s.into_iter().map(build_access).collect())
                 .collect(),
-        };
+        );
         let mut buf = Vec::new();
         t.write_to(&mut buf).unwrap();
         let back = Trace::read_from(&mut buf.as_slice()).unwrap();
@@ -135,11 +190,7 @@ props! {
                     .collect()
             })
             .collect();
-        let trace = Trace {
-            initial: MemoryImage::new(),
-            annotations: AnnotationTable::new(),
-            cores: cores.clone(),
-        };
+        let trace = Trace::new(MemoryImage::new(), AnnotationTable::new(), cores.clone());
         let emitted: Vec<(usize, u64)> =
             trace.interleaved().map(|(c, a)| (c, a.addr.0)).collect();
         assert_eq!(emitted.len(), lens.iter().sum::<usize>());

@@ -321,8 +321,8 @@ impl Llc {
         if let Some(data) = cache.read(addr) {
             return LlcAccess { hit: true, data, fetched_from_memory: false };
         }
-        let data = dram.block(addr);
-        if let Some(ev) = cache.fill(addr, data) {
+        let data = dram.fetch_block(addr);
+        if let Some(ev) = cache.fill_ref(addr, &data, false) {
             displaced.push(DisplacedBlock { addr: ev.addr, dirty: ev.dirty, data: ev.data });
         }
         LlcAccess { hit: false, data, fetched_from_memory: true }
@@ -339,7 +339,7 @@ impl Llc {
         }
         // Non-inclusive corner (the block was displaced concurrently):
         // allocate it dirty.
-        if let Some(ev) = cache.fill_with(addr, data, true) {
+        if let Some(ev) = cache.fill_ref(addr, &data, true) {
             displaced.push(DisplacedBlock { addr: ev.addr, dirty: ev.dirty, data: ev.data });
         }
         LlcAccess { hit: false, data, fetched_from_memory: false }
@@ -355,7 +355,7 @@ impl Llc {
         if let Some(data) = doppel.read(addr) {
             return LlcAccess { hit: true, data, fetched_from_memory: false };
         }
-        let data = dram.block(addr);
+        let data = dram.fetch_block(addr);
         let mut emit = emit_into(displaced);
         match region {
             Some(r) => {

@@ -30,6 +30,10 @@ pub struct System {
     // Reusable scratch for LLC displacement reporting — avoids a Vec
     // allocation per LLC access (always drained empty between uses).
     displaced_buf: Vec<DisplacedBlock>,
+    // Scratch block for lazy-victim fills: holds a dirty victim's data
+    // between the fill and its writeback, so clean victims (the common
+    // case) never have their 64 bytes copied out of the array.
+    fill_scratch: BlockData,
     cycles: Vec<u64>,
     insts: Vec<u64>,
     off_chip_reads: u64,
@@ -52,6 +56,7 @@ impl System {
             directory: FxHashMap::default(),
             wb: WritebackBuffer::new(),
             displaced_buf: Vec::new(),
+            fill_scratch: BlockData::zeroed(),
             cycles: vec![0; cfg.cores],
             insts: vec![0; cfg.cores],
             off_chip_reads: 0,
@@ -133,7 +138,7 @@ impl System {
     fn l1_miss(&mut self, core: usize, block: BlockAddr, for_write: bool) -> BlockData {
         self.cycles[core] += self.cfg.l2_latency;
         if let Some(data) = self.l2[core].read(block) {
-            self.fill_l1(core, block, data);
+            self.fill_l1(core, block, &data);
             if for_write {
                 self.acquire_ownership(core, block);
             }
@@ -144,13 +149,19 @@ impl System {
         self.cycles[core] += self.cfg.llc_latency;
         let region = self.region_of(block);
 
+        // One directory probe covers both the remote-owner check and
+        // registering this core as a sharer. Registering before the
+        // writeback/fill is equivalent to after: the missing block is
+        // never in its own displacement set (it is not resident, and
+        // its new tag joins no victim list), so drain_displacements
+        // cannot remove this entry, and remote_writeback never reads
+        // the requester's sharer bit.
+        let sharers = self.directory.entry(block).or_default();
+        let remote_owner = sharers.owner().filter(|&o| o != core);
+        sharers.add(core);
+
         // If a remote core holds the block modified, it writes back
         // first (one extra LLC transaction).
-        let remote_owner = self
-            .directory
-            .get(&block)
-            .and_then(|s| s.owner())
-            .filter(|&o| o != core);
         if let Some(owner) = remote_owner {
             self.remote_writeback(owner, block, region.as_ref());
             self.cycles[core] += self.cfg.llc_latency;
@@ -164,10 +175,9 @@ impl System {
         }
         let data = out.data;
         self.drain_displacements();
-        self.directory.entry(block).or_default().add(core);
 
-        self.fill_l2(core, block, data);
-        self.fill_l1(core, block, data);
+        self.fill_l2(core, block, &data);
+        self.fill_l1(core, block, &data);
         if for_write {
             self.acquire_ownership(core, block);
         }
@@ -248,37 +258,46 @@ impl System {
     }
 
     /// Fill `core`'s L2, handling the inclusion eviction chain.
-    fn fill_l2(&mut self, core: usize, block: BlockAddr, data: BlockData) {
-        let Some(ev) = self.l2[core].fill(block, data) else {
+    fn fill_l2(&mut self, core: usize, block: BlockAddr, data: &BlockData) {
+        let Some((vaddr, vdirty)) =
+            self.l2[core].fill_ref_lazy(block, data, &mut self.fill_scratch)
+        else {
             return;
         };
         // L1 ⊆ L2: the evicted block's L1 copy must go too; its data is
-        // the freshest if dirty.
-        let mut dirty = ev.dirty;
-        let mut payload = ev.data;
-        if let Some(l1ev) = self.l1[core].invalidate(ev.addr) {
+        // the freshest if dirty. `fill_scratch` holds the L2 victim's
+        // data iff `vdirty`.
+        let mut dirty = vdirty;
+        if let Some(l1ev) = self.l1[core].invalidate(vaddr) {
             if l1ev.dirty {
                 dirty = true;
-                payload = l1ev.data;
+                self.fill_scratch = l1ev.data;
             }
         }
-        if let Some(s) = self.directory.get_mut(&ev.addr) {
+        if let Some(s) = self.directory.get_mut(&vaddr) {
             s.remove(core);
         }
         if dirty {
-            let region = self.region_of(ev.addr);
-            self.llc.writeback_into(ev.addr, payload, region.as_ref(), &mut self.displaced_buf);
+            let region = self.region_of(vaddr);
+            self.llc.writeback_into(
+                vaddr,
+                self.fill_scratch,
+                region.as_ref(),
+                &mut self.displaced_buf,
+            );
             self.drain_displacements();
         }
     }
 
     /// Fill `core`'s L1; a dirty victim falls back into the L2.
-    fn fill_l1(&mut self, core: usize, block: BlockAddr, data: BlockData) {
-        let Some(ev) = self.l1[core].fill(block, data) else {
+    fn fill_l1(&mut self, core: usize, block: BlockAddr, data: &BlockData) {
+        let Some((vaddr, vdirty)) =
+            self.l1[core].fill_ref_lazy(block, data, &mut self.fill_scratch)
+        else {
             return;
         };
-        if ev.dirty {
-            let wrote = self.l2[core].write(ev.addr, ev.data);
+        if vdirty {
+            let wrote = self.l2[core].write(vaddr, self.fill_scratch);
             debug_assert!(wrote, "L1 victims are L2-resident (inclusion)");
         }
     }
@@ -297,7 +316,14 @@ impl System {
         for d in displaced.drain(..) {
             let mut dirty = d.dirty;
             let mut payload = d.data;
-            for c in 0..self.cfg.cores {
+            // Only directory sharers can hold a private copy: every fill
+            // registers the core before the data lands, and every
+            // invalidation path removes it only after the copies are
+            // gone. Walking the sharer bitmask (ascending, like the old
+            // all-cores loop) skips the other cores' set scans.
+            let sharers = self.directory.remove(&d.addr).unwrap_or_default();
+            for c in sharers.iter() {
+                debug_assert!(c < self.cfg.cores, "sharer beyond core count");
                 // L2 first, then L1 — the L1 copy is the freshest.
                 if let Some(ev) = self.l2[c].invalidate(d.addr) {
                     if ev.dirty {
@@ -313,7 +339,6 @@ impl System {
                     }
                 }
             }
-            self.directory.remove(&d.addr);
             if dirty {
                 self.wb.push(d.addr, payload);
             }

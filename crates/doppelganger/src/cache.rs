@@ -99,6 +99,21 @@ pub struct DoppelgangerCache {
     data_geom: CacheGeometry,
     tags: TagArray<TagEntry>,
     data: TagArray<DataEntry>,
+    /// Per-set MRU way hints for the tag and MTag/data arrays, checked
+    /// before the full set scan. Stale hints fail the tag compare and
+    /// fall back; tags (and map tags) are unique per set, so a hint hit
+    /// is always the way the scan would have found — behaviour and
+    /// statistics are identical with or without the hints.
+    tag_mru: Vec<u32>,
+    data_mru: Vec<u32>,
+    /// Per-tag-slot memo of the last `(addr, contents, map)` for which
+    /// `map_block` ran, so rewrites of unchanged bytes reuse the map
+    /// instead of recomputing it. Purely a simulator shortcut: a memo
+    /// hit yields the exact value `map_block` would return (mapping is
+    /// deterministic and a block's region is fixed by its address), and
+    /// `map_generations` still counts the hardware's map computation.
+    map_memo: Vec<Option<(BlockAddr, BlockData, MapValue)>>,
+    memo_enabled: bool,
     stats: DoppStats,
     data_policy: DataPolicy,
 }
@@ -114,8 +129,22 @@ impl DoppelgangerCache {
             data_geom,
             tags: TagArray::new(tag_geom),
             data: TagArray::new(data_geom),
+            tag_mru: vec![0; tag_geom.sets()],
+            data_mru: vec![0; data_geom.sets()],
+            map_memo: vec![None; tag_geom.entries()],
+            memo_enabled: true,
             stats: DoppStats::default(),
             data_policy: DataPolicy::default(),
+        }
+    }
+
+    /// Enable or disable the map-value memo (enabled by default). The
+    /// toggle exists for differential testing: a memo-off cache is the
+    /// pre-memo implementation, and both must behave identically.
+    pub fn set_map_memo(&mut self, enabled: bool) {
+        self.memo_enabled = enabled;
+        if !enabled {
+            self.map_memo.iter_mut().for_each(|m| *m = None);
         }
     }
 
@@ -175,23 +204,81 @@ impl DoppelgangerCache {
         self.tag_geom.block_addr(t.tag, id.set as usize)
     }
 
-    /// Locate the tag entry for `addr`, if resident.
+    /// Check the tag set's MRU way hint before a full scan.
+    #[inline]
+    fn predict_tag(&self, set: usize, tag: u64) -> Option<usize> {
+        let way = self.tag_mru[set] as usize;
+        match self.tags.get(set, way) {
+            Some(e) if e.tag == tag => Some(way),
+            _ => None,
+        }
+    }
+
+    /// Locate the tag entry for `addr`, if resident (shared access; the
+    /// MRU hint is probed read-only).
     fn locate_tag(&self, addr: BlockAddr) -> Option<TagId> {
         let set = self.tag_geom.set_of(addr);
         let tag = self.tag_geom.tag_of(addr);
-        self.tags
-            .find(set, |e| e.tag == tag)
+        self.predict_tag(set, tag)
+            .or_else(|| self.tags.find_keyed(set, tag, |e| e.tag == tag))
             .map(|way| TagId { set: set as u32, way: way as u32 })
     }
 
-    /// Locate the data entry an approximate `map` refers to, if present.
+    /// Locate the tag entry for `addr`, refreshing the MRU way hint on
+    /// a hit — the per-access variant of [`Self::locate_tag`].
+    #[inline]
+    fn locate_tag_mut(&mut self, addr: BlockAddr) -> Option<TagId> {
+        let set = self.tag_geom.set_of(addr);
+        let tag = self.tag_geom.tag_of(addr);
+        if let Some(way) = self.predict_tag(set, tag) {
+            return Some(TagId { set: set as u32, way: way as u32 });
+        }
+        let way = self.tags.find_keyed(set, tag, |e| e.tag == tag)?;
+        self.tag_mru[set] = way as u32;
+        Some(TagId { set: set as u32, way: way as u32 })
+    }
+
+    /// Check the MTag/data set's MRU way hint before a full scan.
+    #[inline]
+    fn predict_data(&self, set: usize, mtag: u64) -> Option<usize> {
+        let way = self.data_mru[set] as usize;
+        match self.data.get(set, way) {
+            Some(e) if matches!(e.kind, DataKind::Approx { map_tag } if map_tag == mtag) => {
+                Some(way)
+            }
+            _ => None,
+        }
+    }
+
+    /// Locate the data entry an approximate `map` refers to, if present
+    /// (shared access; the MRU hint is probed read-only).
     fn locate_data(&self, map: MapValue) -> Option<DataId> {
         let bits = self.mtag_index_bits();
         let set = map.index(bits);
         let mtag = map.tag(bits);
-        self.data
-            .find(set, |e| matches!(e.kind, DataKind::Approx { map_tag } if map_tag == mtag))
+        self.predict_data(set, mtag)
+            .or_else(|| {
+                self.data
+                    .find_keyed(set, mtag, |e| matches!(e.kind, DataKind::Approx { map_tag } if map_tag == mtag))
+            })
             .map(|way| DataId { set: set as u32, way: way as u32 })
+    }
+
+    /// Locate the data entry for `map`, refreshing the MRU way hint on
+    /// a hit — the per-access variant of [`Self::locate_data`].
+    #[inline]
+    fn locate_data_mut(&mut self, map: MapValue) -> Option<DataId> {
+        let bits = self.mtag_index_bits();
+        let set = map.index(bits);
+        let mtag = map.tag(bits);
+        if let Some(way) = self.predict_data(set, mtag) {
+            return Some(DataId { set: set as u32, way: way as u32 });
+        }
+        let way = self
+            .data
+            .find_keyed(set, mtag, |e| matches!(e.kind, DataKind::Approx { map_tag } if map_tag == mtag))?;
+        self.data_mru[set] = way as u32;
+        Some(DataId { set: set as u32, way: way as u32 })
     }
 
     /// The data entry a resident tag refers to.
@@ -202,6 +289,45 @@ impl DoppelgangerCache {
                 .expect("invariant: a valid tag's map always locates a data entry"),
             TagKind::Precise(did) => did,
         }
+    }
+
+    /// [`Self::data_of_tag`] with MRU-hint refresh (per-access paths).
+    #[inline]
+    fn data_of_tag_mut(&mut self, id: TagId) -> DataId {
+        match self.tag_at(id).kind {
+            TagKind::Approx(map) => self
+                .locate_data_mut(map)
+                .expect("invariant: a valid tag's map always locates a data entry"),
+            TagKind::Precise(did) => did,
+        }
+    }
+
+    /// The flat `map_memo` slot for a tag position.
+    #[inline]
+    fn memo_slot(&self, id: TagId) -> usize {
+        id.set as usize * self.tag_geom.ways() + id.way as usize
+    }
+
+    /// `map_block` with the per-tag-slot memo in front: reuses the
+    /// cached map when the slot last mapped exactly these bytes for
+    /// exactly this address. Always counts one `map_generation` — the
+    /// modelled hardware computes the map either way.
+    #[inline]
+    fn map_block_memo(&mut self, id: TagId, addr: BlockAddr, block: &BlockData, region: &ApproxRegion) -> MapValue {
+        self.stats.map_generations += 1;
+        let slot = self.memo_slot(id);
+        if self.memo_enabled {
+            if let Some((a, b, m)) = &self.map_memo[slot] {
+                if *a == addr && b == block {
+                    return *m;
+                }
+            }
+        }
+        let map = self.cfg.map_space.map_block(block, region);
+        if self.memo_enabled {
+            self.map_memo[slot] = Some((addr, *block, map));
+        }
+        map
     }
 
     // ------------------------------------------------------------------
@@ -377,13 +503,13 @@ impl DoppelgangerCache {
     /// [`Self::insert_precise`].
     pub fn read(&mut self, addr: BlockAddr) -> Option<BlockData> {
         self.stats.tag_array_accesses += 1;
-        let Some(tid) = self.locate_tag(addr) else {
+        let Some(tid) = self.locate_tag_mut(addr) else {
             self.stats.misses += 1;
             return None;
         };
         self.stats.hits += 1;
         self.tags.touch(tid.set as usize, tid.way as usize);
-        let did = self.data_of_tag(tid);
+        let did = self.data_of_tag_mut(tid);
         if !self.tag_at(tid).is_precise() {
             self.stats.mtag_accesses += 1;
         }
@@ -420,7 +546,9 @@ impl DoppelgangerCache {
         region: &ApproxRegion,
         emit: &mut dyn FnMut(Displaced),
     ) -> bool {
-        assert!(!self.contains(addr), "insert of a resident block");
+        // Debug-only: the resident check would re-scan the tag set on
+        // every insert, and the hierarchy inserts only after a miss.
+        debug_assert!(!self.contains(addr), "insert of a resident block");
         let map = self.cfg.map_space.map_block(&block, region);
         self.stats.map_generations += 1;
         self.stats.insertions += 1;
@@ -430,14 +558,19 @@ impl DoppelgangerCache {
         if let Some(d) = displaced_tag {
             emit(d);
         }
+        if self.memo_enabled {
+            let slot = self.memo_slot(tid);
+            self.map_memo[slot] = Some((addr, block, map));
+        }
+        self.tag_mru[tid.set as usize] = tid.way;
 
         // Step 2: similar block exists? (MTag lookup with the new map.)
         self.stats.mtag_accesses += 1;
         let entry_tag = self.tag_geom.tag_of(addr);
-        if let Some(did) = self.locate_data(map) {
+        if let Some(did) = self.locate_data_mut(map) {
             // Similar data block exists: link the new tag at the head.
             self.stats.shared_insertions += 1;
-            self.tags.insert_at(tid.set as usize, tid.way as usize, TagEntry::approx(entry_tag, map));
+            self.tags.insert_at_keyed(tid.set as usize, tid.way as usize, entry_tag, TagEntry::approx(entry_tag, map));
             self.push_head(tid, did);
             self.data.touch(did.set as usize, did.way as usize);
             true
@@ -447,12 +580,14 @@ impl DoppelgangerCache {
             let bits = self.mtag_index_bits();
             let did = self.make_data_room(map.index(bits), emit);
             self.stats.data_accesses += 1;
-            self.data.insert_at(
+            self.data.insert_at_keyed(
                 did.set as usize,
                 did.way as usize,
+                map.tag(bits),
                 DataEntry { kind: DataKind::Approx { map_tag: map.tag(bits) }, head: tid, data: block },
             );
-            self.tags.insert_at(tid.set as usize, tid.way as usize, TagEntry::approx(entry_tag, map));
+            self.data_mru[did.set as usize] = did.way;
+            self.tags.insert_at_keyed(tid.set as usize, tid.way as usize, entry_tag, TagEntry::approx(entry_tag, map));
             false
         }
     }
@@ -463,8 +598,8 @@ impl DoppelgangerCache {
     ///
     /// # Panics
     ///
-    /// Panics if the cache is not configured `unified`, or if `addr` is
-    /// already resident.
+    /// Panics if the cache is not configured `unified`; inserting an
+    /// already-resident block panics in debug builds only.
     pub fn insert_precise(&mut self, addr: BlockAddr, block: BlockData) -> InsertOutcome {
         let mut outcome = InsertOutcome::default();
         self.insert_precise_with(addr, block, &mut |d| outcome.displaced.push(d));
@@ -484,7 +619,7 @@ impl DoppelgangerCache {
         emit: &mut dyn FnMut(Displaced),
     ) {
         assert!(self.cfg.unified, "precise blocks require a uniDoppelganger configuration");
-        assert!(!self.contains(addr), "insert of a resident block");
+        debug_assert!(!self.contains(addr), "insert of a resident block");
         self.stats.insertions += 1;
         self.stats.precise_insertions += 1;
 
@@ -492,16 +627,23 @@ impl DoppelgangerCache {
         if let Some(d) = displaced_tag {
             emit(d);
         }
+        let slot = self.memo_slot(tid);
+        self.map_memo[slot] = None;
+        self.tag_mru[tid.set as usize] = tid.way;
 
         let did = self.make_data_room(self.data_geom.set_of(addr), emit);
         self.stats.data_accesses += 1;
-        self.data.insert_at(
+        // Precise entries are never located through the MTag scan, so
+        // their key is a sentinel outside the map-tag value space (the
+        // keyed find re-verifies with the kind predicate regardless).
+        self.data.insert_at_keyed(
             did.set as usize,
             did.way as usize,
+            u64::MAX,
             DataEntry { kind: DataKind::Precise { addr }, head: tid, data: block },
         );
         let entry_tag = self.tag_geom.tag_of(addr);
-        self.tags.insert_at(tid.set as usize, tid.way as usize, TagEntry::precise(entry_tag, did));
+        self.tags.insert_at_keyed(tid.set as usize, tid.way as usize, entry_tag, TagEntry::precise(entry_tag, did));
     }
 
     /// Handle a write / L2 writeback of a full block (§3.4).
@@ -532,14 +674,14 @@ impl DoppelgangerCache {
         emit: &mut dyn FnMut(Displaced),
     ) -> WriteStatus {
         self.stats.tag_array_accesses += 1;
-        let Some(tid) = self.locate_tag(addr) else {
+        let Some(tid) = self.locate_tag_mut(addr) else {
             return WriteStatus::NotResident;
         };
         self.stats.writes += 1;
         self.tags.touch(tid.set as usize, tid.way as usize);
 
         if self.tag_at(tid).is_precise() {
-            let did = self.data_of_tag(tid);
+            let did = self.data_of_tag_mut(tid);
             self.stats.data_accesses += 1;
             self.data.touch(did.set as usize, did.way as usize);
             self.data_at_mut(did).data = block;
@@ -549,8 +691,7 @@ impl DoppelgangerCache {
 
         let region = region.expect("approximate writes require the annotation");
         let old_map = self.tag_at(tid).map().expect("approx tag has a map");
-        let new_map = self.cfg.map_space.map_block(&block, region);
-        self.stats.map_generations += 1;
+        let new_map = self.map_block_memo(tid, addr, &block, region);
 
         if new_map == old_map {
             // Silent store or a change small enough to stay similar: the
@@ -572,7 +713,7 @@ impl DoppelgangerCache {
 
         self.stats.mtag_accesses += 1;
         let bits = self.mtag_index_bits();
-        if let Some(did) = self.locate_data(new_map) {
+        if let Some(did) = self.locate_data_mut(new_map) {
             // Join the existing list; the write's modifications are
             // effectively ignored (the representative stands in).
             match &mut self.tag_at_mut(tid).kind {
@@ -587,9 +728,11 @@ impl DoppelgangerCache {
             // Allocate a fresh entry holding the newly written values.
             let did = self.make_data_room(new_map.index(bits), emit);
             self.stats.data_accesses += 1;
-            self.data.insert_at(
+            self.data_mru[did.set as usize] = did.way;
+            self.data.insert_at_keyed(
                 did.set as usize,
                 did.way as usize,
+                new_map.tag(bits),
                 DataEntry {
                     kind: DataKind::Approx { map_tag: new_map.tag(bits) },
                     head: tid,
@@ -608,7 +751,7 @@ impl DoppelgangerCache {
     /// Invalidate `addr` (coherence or inclusion), returning its final
     /// state. The data entry is freed iff this was its last tag.
     pub fn invalidate(&mut self, addr: BlockAddr) -> Option<Displaced> {
-        let tid = self.locate_tag(addr)?;
+        let tid = self.locate_tag_mut(addr)?;
         Some(self.evict_tag(tid))
     }
 
@@ -619,13 +762,13 @@ impl DoppelgangerCache {
 
     /// Mutable directory sharers of a resident block.
     pub fn sharers_mut(&mut self, addr: BlockAddr) -> Option<&mut Sharers> {
-        self.locate_tag(addr).map(|tid| &mut self.tag_at_mut(tid).sharers)
+        self.locate_tag_mut(addr).map(|tid| &mut self.tag_at_mut(tid).sharers)
     }
 
     /// Mark a resident block dirty without changing its data (used for
     /// ownership transfers where no data flows).
     pub fn mark_dirty(&mut self, addr: BlockAddr) -> bool {
-        match self.locate_tag(addr) {
+        match self.locate_tag_mut(addr) {
             Some(tid) => {
                 self.tag_at_mut(tid).dirty = true;
                 true

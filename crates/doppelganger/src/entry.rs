@@ -134,7 +134,7 @@ impl fmt::Debug for DataEntry {
 /// tag. The caller (the hierarchy model) issues back-invalidations to
 /// private caches and, for dirty tags, queues a writeback of `data` —
 /// the representative block — to `addr` (§3.5).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Displaced {
     /// Address of the invalidated tag.
     pub addr: BlockAddr,

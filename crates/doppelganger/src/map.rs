@@ -247,16 +247,15 @@ impl MapSpace {
     /// Values are clamped into the annotated range before hashing, as
     /// the paper requires for out-of-range runtime values (§4.1).
     pub fn map_block(self, block: &BlockData, region: &ApproxRegion) -> MapValue {
-        let n = region.ty.elems_per_block();
-        let mut min = f64::INFINITY;
-        let mut max = f64::NEG_INFINITY;
-        let mut sum = 0.0;
-
         // The stride hash is the only one needing consecutive-delta
         // state; the order-invariant hashes (including the paper's
         // avg+range) get a tighter single pass without it — map
         // generation runs on every LLC insert and write.
         if self.hash == MapHash::AvgStride {
+            let n = region.ty.elems_per_block();
+            let mut min = f64::INFINITY;
+            let mut max = f64::NEG_INFINITY;
+            let mut sum = 0.0;
             let mut stride_sum = 0.0;
             let mut prev: Option<f64> = None;
             for v in block.elems(region.ty) {
@@ -280,13 +279,9 @@ impl MapSpace {
             );
         }
 
-        for v in block.elems(region.ty) {
-            let v = region.clamp(v);
-            min = min.min(v);
-            max = max.max(v);
-            sum += v;
-        }
-        let stats = BlockStats { min, max, sum, count: n };
+        // Order-invariant hashes: the type-specialized clamped fold
+        // (same per-element operation order, so identical results).
+        let stats = block.clamped_stats(region.ty, region.min, region.max);
         match self.hash {
             MapHash::AvgRange => self.map_stats(&stats, region),
             MapHash::AvgOnly => {

@@ -2,8 +2,10 @@
 //! (dg-check harness).
 
 use dg_check::{props, vec};
-use dg_mem::{Addr, ApproxRegion, BlockData, ElemType};
-use doppelganger::{DoppelgangerConfig, HardwareCost, MapHash, MapSpace};
+use dg_mem::{Addr, ApproxRegion, BlockAddr, BlockData, ElemType};
+use doppelganger::{
+    DoppelgangerCache, DoppelgangerConfig, HardwareCost, MapHash, MapSpace, WriteStatus,
+};
 
 fn region(min: f64, max: f64) -> ApproxRegion {
     ApproxRegion::new(Addr(0), 1 << 24, ElemType::F32, min, max)
@@ -78,6 +80,72 @@ props! {
         let top = BlockData::from_values(ElemType::F32, &[100.0; 16]);
         let over = BlockData::from_values(ElemType::F32, &[100.0 + excess; 16]);
         assert_eq!(s.map_block(&top, &r), s.map_block(&over, &r));
+    }
+
+    /// Differential check for the content-versioned map memo: a cache
+    /// with the memo enabled (default) behaves identically to one with
+    /// it disabled (the pre-memo implementation) under random streams
+    /// of inserts, rewrites (including byte-identical rewrites — the
+    /// memo's hit case), reads, and invalidates. Reads, write statuses,
+    /// displacements, statistics, and structural invariants must all
+    /// agree.
+    fn map_memo_matches_recompute(
+        ops in vec((0u8..4, 0u64..48, 0u16..40), 1..200),
+    ) {
+        let cfg = DoppelgangerConfig {
+            tag_entries: 32,
+            tag_ways: 4,
+            data_entries: 8,
+            data_ways: 2,
+            map_space: MapSpace::new(6),
+            unified: false,
+        };
+        let r = region(0.0, 100.0);
+        let mut memo = DoppelgangerCache::new(cfg);
+        let mut plain = DoppelgangerCache::new(cfg);
+        plain.set_map_memo(false);
+        for (op, a, v) in ops {
+            let addr = BlockAddr(a);
+            // Quantize values so byte-identical rewrites are common.
+            let b = BlockData::from_values(ElemType::F32, &[f64::from(v / 4) * 2.5; 16]);
+            match op {
+                0 => {
+                    if !memo.contains(addr) {
+                        let om = memo.insert_approx(addr, b, &r);
+                        let op_ = plain.insert_approx(addr, b, &r);
+                        assert_eq!(om.shared_existing, op_.shared_existing);
+                        assert_eq!(om.displaced, op_.displaced);
+                    }
+                }
+                1 => {
+                    let mut dm = Vec::new();
+                    let mut dp = Vec::new();
+                    let sm = memo.write_with(addr, b, Some(&r), &mut |d| dm.push(d));
+                    let sp = plain.write_with(addr, b, Some(&r), &mut |d| dp.push(d));
+                    assert_eq!(sm, sp);
+                    assert_eq!(dm, dp);
+                    // Rewrite the same bytes immediately: the memo hit
+                    // must still report SameMap and count a generation.
+                    if sm != WriteStatus::NotResident {
+                        let s2 = memo.write_with(addr, b, Some(&r), &mut |_| {});
+                        assert_eq!(s2, WriteStatus::SameMap);
+                        plain.write_with(addr, b, Some(&r), &mut |_| {});
+                    }
+                }
+                2 => assert_eq!(memo.read(addr), plain.read(addr)),
+                _ => assert_eq!(memo.invalidate(addr), plain.invalidate(addr)),
+            }
+        }
+        assert_eq!(memo.stats(), plain.stats());
+        assert_eq!(memo.resident_tags(), plain.resident_tags());
+        assert_eq!(memo.resident_data(), plain.resident_data());
+        memo.check_invariants();
+        plain.check_invariants();
+        let mut bm: Vec<_> = memo.iter_blocks().map(|(a, d, p, b)| (a.0, d, p, *b)).collect();
+        let mut bp: Vec<_> = plain.iter_blocks().map(|(a, d, p, b)| (a.0, d, p, *b)).collect();
+        bm.sort_unstable_by_key(|&(a, ..)| a);
+        bp.sort_unstable_by_key(|&(a, ..)| a);
+        assert_eq!(bm, bp);
     }
 
     /// Hardware cost accounting is monotone: more tag entries or a

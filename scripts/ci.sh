@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# CI entry point: one command that gates every merge.
+#
+# Thin wrapper over scripts/verify.sh (tier-1 build + tests +
+# hermeticity + determinism double-run) so that CI, pre-commit hooks,
+# and humans all run the *same* check — there is no CI-only logic to
+# drift out of sync with local verification.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# CI machines start with a cold cargo cache; the build is offline by
+# design (hermetic, workspace-only dependency graph), so no network
+# setup or vendoring step is needed before verifying.
+exec scripts/verify.sh
