@@ -3,11 +3,15 @@
 //! generates the data recorded in EXPERIMENTS.md.
 //!
 //! Usage:
-//! `cargo run --release -p dg-bench --bin repro_all [--small] [--json PATH] [--timing]`
+//! `cargo run --release -p dg-bench --bin repro_all [--small] [--check] [--json PATH] [--timing]`
 //!
-//! `--json PATH` additionally exports every evaluation as a JSON array
-//! of result rows. `--timing` records per-configuration and per-kernel
-//! wall-clock into `BENCH_repro.json`.
+//! `--check` runs the differential-oracle gate instead of the figures:
+//! every kernel trace is replayed in lockstep through the optimized
+//! engine and the `dg-oracle` reference across every table/figure
+//! configuration, and the process exits non-zero on the first
+//! divergence. `--json PATH` additionally exports every evaluation as
+//! a JSON array of result rows. `--timing` records per-configuration
+//! and per-kernel wall-clock into `BENCH_repro.json`.
 
 use dg_bench::figures;
 use dg_bench::Sweep;
@@ -16,6 +20,11 @@ fn main() {
     let start = std::time::Instant::now();
     let scale = dg_bench::scale_from_args();
     eprintln!("[repro_all] running at {scale:?} scale");
+
+    if std::env::args().any(|a| a == "--check") {
+        let ok = dg_bench::check::print_check(scale);
+        std::process::exit(if ok { 0 } else { 1 });
+    }
 
     println!("\n== Table 3: hardware cost (CACTI-lite vs paper) ==\n");
     println!("{}", figures::table3());

@@ -12,6 +12,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod chart;
+pub mod check;
 pub mod experiments;
 pub mod figures;
 pub mod json;

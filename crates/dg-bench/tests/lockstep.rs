@@ -1,0 +1,56 @@
+//! Tier-1 differential-oracle gate: lockstep-verify the optimized
+//! engine against `dg-oracle` on real kernel traces across **every**
+//! table/figure configuration.
+//!
+//! Debug-mode test binaries are slow, so this test truncates each
+//! captured per-core stream; the full-length version of the same sweep
+//! runs in release mode as `repro_all --small --check` (scripts/
+//! verify.sh). The truncation keeps store payloads intact, so replay
+//! stays value-accurate.
+
+use dg_bench::check::check_configs;
+use dg_bench::{experiments, Scale};
+use dg_mem::Trace;
+use dg_oracle::lockstep;
+use dg_system::capture_trace;
+
+/// Per-core access budget for debug-mode runtime.
+const ACCESSES_PER_CORE: usize = 2000;
+
+fn truncated(trace: &Trace) -> Trace {
+    let cores = trace
+        .cores
+        .iter()
+        .map(|c| c.iter().take(ACCESSES_PER_CORE).cloned().collect())
+        .collect();
+    Trace::new(trace.initial.clone(), trace.annotations.clone(), cores)
+}
+
+#[test]
+fn oracle_agrees_on_kernel_traces_across_all_configurations() {
+    let scale = Scale::Small;
+    let threads = scale.threads();
+    let suite = experiments::suite(scale);
+    let names = experiments::kernel_names();
+
+    // Two kernels with complementary access patterns: inversek2j
+    // (approximate f32 streaming) and kmeans (approximate reuse with
+    // precise index traffic).
+    let picks = ["inversek2j", "kmeans"];
+    let traces: Vec<(&str, Trace)> = names
+        .iter()
+        .zip(&suite)
+        .filter(|(n, _)| picks.contains(*n))
+        .map(|(n, k)| (*n, truncated(&capture_trace(k.as_ref(), threads, threads))))
+        .collect();
+    assert_eq!(traces.len(), picks.len(), "suite must contain the picked kernels");
+
+    for (label, cfg) in check_configs(scale) {
+        for (kernel, trace) in &traces {
+            let summary = lockstep(trace, cfg)
+                .unwrap_or_else(|d| panic!("config `{label}`, kernel `{kernel}`: {d}"));
+            assert_eq!(summary.accesses, trace.len());
+            assert!(summary.runtime_cycles > 0);
+        }
+    }
+}

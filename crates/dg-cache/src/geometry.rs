@@ -20,18 +20,69 @@ pub struct CacheGeometry {
     ways: usize,
 }
 
+/// Why a requested cache shape is invalid.
+///
+/// Degenerate geometry used to surface only as deep
+/// `expect("non-zero associativity")` panics inside the replacement
+/// policy once the first victim was needed; shapes are now rejected at
+/// construction time with a description of what is wrong.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GeometryError {
+    /// `ways == 0`: no structure can hold a block.
+    ZeroWays,
+    /// A byte capacity that does not divide into whole sets.
+    PartialCapacity {
+        /// Block entries the capacity works out to.
+        entries: usize,
+        /// Requested associativity.
+        ways: usize,
+    },
+    /// `entries` is zero, smaller than `ways`, or not a multiple of it.
+    BadEntries {
+        /// Requested block entries.
+        entries: usize,
+        /// Requested associativity.
+        ways: usize,
+    },
+    /// The derived set count is zero or not a power of two (set
+    /// indexing is a bit mask).
+    BadSets {
+        /// The offending derived set count.
+        sets: usize,
+    },
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Keep the long-standing assertion phrases as substrings: call
+        // sites (and tests) match on them.
+        match *self {
+            GeometryError::ZeroWays => write!(f, "associativity must be positive"),
+            GeometryError::PartialCapacity { entries, ways } => {
+                write!(f, "capacity must be a whole number of sets ({entries} blocks, {ways} ways)")
+            }
+            GeometryError::BadEntries { entries, ways } => {
+                write!(f, "entries must be a multiple of ways ({entries} entries, {ways} ways)")
+            }
+            GeometryError::BadSets { sets } => {
+                write!(f, "set count must be a power of two (got {sets})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GeometryError {}
+
 impl CacheGeometry {
     /// Geometry from a data capacity in bytes and associativity.
     ///
     /// # Panics
     ///
     /// Panics if the resulting set count is zero or not a power of two,
-    /// or if `ways` is zero.
+    /// or if `ways` is zero. Use [`CacheGeometry::try_from_capacity`]
+    /// for a fallible version.
     pub fn from_capacity(capacity_bytes: usize, ways: usize) -> Self {
-        assert!(ways > 0, "associativity must be positive");
-        let entries = capacity_bytes / BLOCK_BYTES;
-        assert!(entries.is_multiple_of(ways), "capacity must be a whole number of sets");
-        Self::from_entries(entries, ways)
+        Self::try_from_capacity(capacity_bytes, ways).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Geometry from a total entry count and associativity.
@@ -39,13 +90,47 @@ impl CacheGeometry {
     /// # Panics
     ///
     /// Panics if `entries` is not a positive power-of-two multiple of
-    /// `ways`.
+    /// `ways`. Use [`CacheGeometry::try_from_entries`] for a fallible
+    /// version.
     pub fn from_entries(entries: usize, ways: usize) -> Self {
-        assert!(ways > 0, "associativity must be positive");
-        assert!(entries >= ways && entries.is_multiple_of(ways), "entries must be a multiple of ways");
+        Self::try_from_entries(entries, ways).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`CacheGeometry::from_capacity`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GeometryError`] describing the first violated shape
+    /// constraint.
+    pub fn try_from_capacity(capacity_bytes: usize, ways: usize) -> Result<Self, GeometryError> {
+        if ways == 0 {
+            return Err(GeometryError::ZeroWays);
+        }
+        let entries = capacity_bytes / BLOCK_BYTES;
+        if !entries.is_multiple_of(ways) {
+            return Err(GeometryError::PartialCapacity { entries, ways });
+        }
+        Self::try_from_entries(entries, ways)
+    }
+
+    /// Fallible [`CacheGeometry::from_entries`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GeometryError`] describing the first violated shape
+    /// constraint.
+    pub fn try_from_entries(entries: usize, ways: usize) -> Result<Self, GeometryError> {
+        if ways == 0 {
+            return Err(GeometryError::ZeroWays);
+        }
+        if entries < ways || !entries.is_multiple_of(ways) {
+            return Err(GeometryError::BadEntries { entries, ways });
+        }
         let sets = entries / ways;
-        assert!(sets.is_power_of_two(), "set count must be a power of two");
-        CacheGeometry { sets, ways }
+        if !sets.is_power_of_two() {
+            return Err(GeometryError::BadSets { sets });
+        }
+        Ok(CacheGeometry { sets, ways })
     }
 
     /// Number of sets.
@@ -174,6 +259,61 @@ mod tests {
     #[should_panic(expected = "multiple of ways")]
     fn rejects_partial_sets() {
         CacheGeometry::from_entries(17, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "associativity must be positive")]
+    fn rejects_zero_ways() {
+        CacheGeometry::from_entries(64, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "entries must be a multiple of ways")]
+    fn rejects_zero_entries() {
+        CacheGeometry::from_entries(0, 16);
+    }
+
+    #[test]
+    fn try_constructors_reject_degenerate_shapes() {
+        use GeometryError::*;
+        assert_eq!(CacheGeometry::try_from_entries(64, 0), Err(ZeroWays));
+        assert_eq!(CacheGeometry::try_from_capacity(1 << 20, 0), Err(ZeroWays));
+        assert_eq!(
+            CacheGeometry::try_from_entries(0, 16),
+            Err(BadEntries { entries: 0, ways: 16 })
+        );
+        assert_eq!(
+            CacheGeometry::try_from_entries(8, 16),
+            Err(BadEntries { entries: 8, ways: 16 })
+        );
+        assert_eq!(
+            CacheGeometry::try_from_entries(48, 16),
+            Err(BadSets { sets: 3 })
+        );
+        assert_eq!(
+            CacheGeometry::try_from_capacity(65, 1),
+            Ok(CacheGeometry { sets: 1, ways: 1 })
+        );
+        // 100 blocks, 4 ways -> 25 sets: divides evenly but indexing
+        // needs a power of two.
+        assert_eq!(
+            CacheGeometry::try_from_capacity(100 * 64, 4),
+            Err(BadSets { sets: 25 })
+        );
+        // 3 blocks, 2 ways: not a whole number of sets.
+        assert_eq!(
+            CacheGeometry::try_from_capacity(3 * 64, 2),
+            Err(PartialCapacity { entries: 3, ways: 2 })
+        );
+        // Zero capacity has zero entries: rejected, not a zero-set cache.
+        assert!(CacheGeometry::try_from_capacity(0, 4).is_err());
+    }
+
+    #[test]
+    fn geometry_error_messages_are_descriptive() {
+        let e = CacheGeometry::try_from_entries(48, 16).unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("power of two") && msg.contains('3'), "{msg}");
     }
 
     #[test]

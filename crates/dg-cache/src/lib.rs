@@ -34,7 +34,7 @@ mod writeback;
 
 pub use array::TagArray;
 pub use cache::{ConventionalCache, Evicted, Line};
-pub use geometry::CacheGeometry;
+pub use geometry::{CacheGeometry, GeometryError};
 pub use replacement::{Fifo, Lru, RandomRepl, Replacer, Srrip};
 pub use reuse::ReuseProfile;
 pub use sharers::Sharers;

@@ -12,6 +12,16 @@ use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 8] = b"DGTRACE1";
 
+/// Cap on speculative `Vec` pre-allocation during deserialization.
+///
+/// Length fields come verbatim from the (untrusted) file, so a corrupt
+/// header must not be able to request a multi-GiB allocation — or a
+/// capacity-overflow abort — before the per-element reads hit EOF and
+/// surface a clean `InvalidData`/`UnexpectedEof` error. Legitimate
+/// streams longer than the cap still load fine; the vector just grows
+/// incrementally past it.
+const MAX_PREALLOC: usize = 4096;
+
 fn bad(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
 }
@@ -109,6 +119,21 @@ impl Trace {
             let ty = ElemType::from_code(code).ok_or_else(|| bad("bad element type"))?;
             let min = read_f64(r)?;
             let max = read_f64(r)?;
+            // `ApproxRegion::new` and `AnnotationTable::add` assert
+            // their invariants; a corrupt file must fail with an
+            // `io::Error`, not a panic, so validate here first.
+            if len == 0 {
+                return Err(bad("empty annotation region"));
+            }
+            if !(min <= max) {
+                return Err(bad("annotation range must satisfy min <= max"));
+            }
+            let end = start
+                .checked_add(len)
+                .ok_or_else(|| bad("annotation region wraps the address space"))?;
+            if annotations.iter().any(|r| start < r.start.0 + r.len && r.start.0 < end) {
+                return Err(bad("overlapping annotation regions"));
+            }
             annotations.add(ApproxRegion::new(Addr(start), len, ty, min, max));
         }
         let mut initial = MemoryImage::new();
@@ -119,10 +144,10 @@ impl Trace {
             initial.set_block(crate::BlockAddr(addr), BlockData::from_bytes(bytes));
         }
         let n_cores = read_u32(r)? as usize;
-        let mut cores = Vec::with_capacity(n_cores);
+        let mut cores = Vec::with_capacity(n_cores.min(MAX_PREALLOC));
         for _ in 0..n_cores {
             let n = read_u64(r)? as usize;
-            let mut stream = Vec::with_capacity(n);
+            let mut stream = Vec::with_capacity(n.min(MAX_PREALLOC));
             for _ in 0..n {
                 let addr = read_u64(r)?;
                 let [flags, size] = read_exact(r)?;
@@ -191,6 +216,88 @@ mod tests {
         t.write_to(&mut buf).unwrap();
         buf.truncate(buf.len() - 3);
         assert!(Trace::read_from(&mut buf.as_slice()).is_err());
+    }
+
+    /// Header for a trace with no annotations and no initial image,
+    /// ready for an adversarial core-stream section.
+    fn empty_header() -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&0u32.to_le_bytes()); // n_regions
+        buf.extend_from_slice(&0u64.to_le_bytes()); // n_blocks
+        buf
+    }
+
+    #[test]
+    fn rejects_absurd_core_count() {
+        // A file that claims u32::MAX cores and then ends. Pre-fix this
+        // tried `Vec::with_capacity(u32::MAX)` of `Vec<Access>` (~100 GiB)
+        // and aborted before any EOF error could surface.
+        let mut buf = empty_header();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Trace::read_from(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_absurd_access_count() {
+        // One core claiming u64::MAX accesses: pre-fix this panicked in
+        // `Vec::with_capacity` with a capacity overflow.
+        let mut buf = empty_header();
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert!(Trace::read_from(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_prefix() {
+        // No prefix of a valid file may parse, panic, or abort.
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).unwrap();
+        for cut in 0..buf.len() {
+            assert!(Trace::read_from(&mut &buf[..cut]).is_err(), "prefix of {cut} bytes parsed");
+        }
+    }
+
+    fn region_bytes(start: u64, len: u64, min: f64, max: f64) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&start.to_le_bytes());
+        buf.extend_from_slice(&len.to_le_bytes());
+        buf.push(ElemType::F32.code());
+        buf.extend_from_slice(&min.to_le_bytes());
+        buf.extend_from_slice(&max.to_le_bytes());
+        buf
+    }
+
+    #[test]
+    fn rejects_invalid_regions_without_panicking() {
+        // Each corrupt region header must come back as a clean Err; the
+        // pre-fix code forwarded them into asserting constructors.
+        let cases: Vec<(Vec<u8>, &str)> = vec![
+            (region_bytes(0, 0, -1.0, 1.0), "empty region"),
+            (region_bytes(0, 1024, 1.0, -1.0), "inverted range"),
+            (region_bytes(0, 1024, f64::NAN, 1.0), "NaN bound"),
+            (region_bytes(u64::MAX - 4, 1024, -1.0, 1.0), "wrapping region"),
+        ];
+        for (region, what) in cases {
+            let mut buf = Vec::new();
+            buf.extend_from_slice(MAGIC);
+            buf.extend_from_slice(&1u32.to_le_bytes());
+            buf.extend_from_slice(&region);
+            let err = Trace::read_from(&mut buf.as_slice()).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{what}");
+        }
+    }
+
+    #[test]
+    fn rejects_overlapping_regions() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        buf.extend_from_slice(&region_bytes(0, 1024, -1.0, 1.0));
+        buf.extend_from_slice(&region_bytes(512, 1024, -1.0, 1.0));
+        let err = Trace::read_from(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 
     #[test]

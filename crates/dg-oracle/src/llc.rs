@@ -1,0 +1,325 @@
+//! Reference LLC: routes accesses between the precise cache and the
+//! Doppelgänger cache exactly like `dg_system::Llc`.
+
+use crate::{OracleCache, OracleDoppelganger, OracleMemory};
+use dg_cache::{CacheGeometry, CacheStats};
+use dg_mem::{ApproxRegion, BlockAddr, BlockData};
+use dg_system::{DisplacedBlock, LlcAccess, LlcCounters, LlcKind, SystemConfig};
+use doppelganger::{Displaced, WriteStatus};
+
+/// Reference implementation of `dg_system::Llc`.
+#[derive(Debug)]
+pub enum OracleLlc {
+    /// One conventional LLC.
+    Baseline(OracleCache),
+    /// Precise half + Doppelgänger cache, routed by annotation.
+    Split {
+        /// The conventional precise partition.
+        precise: OracleCache,
+        /// The Doppelgänger cache for annotated blocks.
+        doppel: OracleDoppelganger,
+    },
+    /// uniDoppelgänger: everything in one Doppelgänger-organized cache.
+    Unified(OracleDoppelganger),
+}
+
+/// Adapt `doppelganger::Displaced` to the system's `DisplacedBlock`
+/// (sharers are tracked by the directory, not the LLC, so they drop).
+fn emit_into(out: &mut Vec<DisplacedBlock>) -> impl FnMut(Displaced) + '_ {
+    |d| out.push(DisplacedBlock { addr: d.addr, dirty: d.dirty, data: d.data })
+}
+
+impl OracleLlc {
+    /// Build the LLC the configuration asks for.
+    pub fn new(cfg: &SystemConfig) -> Self {
+        match cfg.llc {
+            LlcKind::Baseline => OracleLlc::Baseline(OracleCache::new(
+                CacheGeometry::from_capacity(cfg.llc_bytes, cfg.llc_ways),
+            )),
+            LlcKind::Split(dopp) => {
+                let mut doppel = OracleDoppelganger::new(dopp);
+                doppel.set_data_policy(cfg.data_policy);
+                OracleLlc::Split {
+                    precise: OracleCache::new(CacheGeometry::from_capacity(
+                        cfg.llc_bytes / 2,
+                        cfg.llc_ways,
+                    )),
+                    doppel,
+                }
+            }
+            LlcKind::Unified(dopp) => {
+                assert!(dopp.unified);
+                let mut doppel = OracleDoppelganger::new(dopp);
+                doppel.set_data_policy(cfg.data_policy);
+                OracleLlc::Unified(doppel)
+            }
+        }
+    }
+
+    /// Serve a read, filling from `dram` on a miss.
+    pub fn read_into(
+        &mut self,
+        addr: BlockAddr,
+        region: Option<&ApproxRegion>,
+        dram: &mut OracleMemory,
+        displaced: &mut Vec<DisplacedBlock>,
+    ) -> LlcAccess {
+        match self {
+            OracleLlc::Baseline(c) => conventional_read(c, addr, dram, displaced),
+            OracleLlc::Split { precise, doppel } => match region {
+                None => conventional_read(precise, addr, dram, displaced),
+                Some(r) => doppel_read(doppel, addr, Some(r), dram, displaced),
+            },
+            OracleLlc::Unified(d) => doppel_read(d, addr, region, dram, displaced),
+        }
+    }
+
+    /// Accept a writeback from a private cache, allocating on a miss.
+    pub fn writeback_into(
+        &mut self,
+        addr: BlockAddr,
+        data: BlockData,
+        region: Option<&ApproxRegion>,
+        displaced: &mut Vec<DisplacedBlock>,
+    ) -> LlcAccess {
+        match self {
+            OracleLlc::Baseline(c) => conventional_writeback(c, addr, data, displaced),
+            OracleLlc::Split { precise, doppel } => match region {
+                None => conventional_writeback(precise, addr, data, displaced),
+                Some(r) => doppel_writeback(doppel, addr, data, Some(r), displaced),
+            },
+            OracleLlc::Unified(d) => doppel_writeback(d, addr, data, region, displaced),
+        }
+    }
+
+    /// Activity counters, shaped exactly like the optimized LLC's.
+    pub fn counters(&self) -> LlcCounters {
+        fn conv(stats: &CacheStats) -> (u64, u64) {
+            (stats.accesses(), stats.hits + stats.insertions)
+        }
+        match self {
+            OracleLlc::Baseline(c) => {
+                let (t, d) = conv(c.stats());
+                LlcCounters {
+                    precise_tag_accesses: t,
+                    precise_data_accesses: d,
+                    dopp: Default::default(),
+                    lookups: c.stats().accesses(),
+                    hits: c.stats().hits,
+                }
+            }
+            OracleLlc::Split { precise, doppel } => {
+                let (t, d) = conv(precise.stats());
+                let dopp = *doppel.stats();
+                LlcCounters {
+                    precise_tag_accesses: t,
+                    precise_data_accesses: d,
+                    dopp,
+                    lookups: precise.stats().accesses() + dopp.lookups(),
+                    hits: precise.stats().hits + dopp.hits,
+                }
+            }
+            OracleLlc::Unified(d) => {
+                let dopp = *d.stats();
+                LlcCounters {
+                    precise_tag_accesses: 0,
+                    precise_data_accesses: 0,
+                    dopp,
+                    lookups: dopp.lookups(),
+                    hits: dopp.hits,
+                }
+            }
+        }
+    }
+
+    /// Resident blocks, precise partition first for the split design.
+    pub fn resident_blocks(&self) -> Vec<(BlockAddr, BlockData)> {
+        match self {
+            OracleLlc::Baseline(c) => c.iter_blocks().map(|(a, _, d)| (a, *d)).collect(),
+            OracleLlc::Split { precise, doppel } => precise
+                .iter_blocks()
+                .map(|(a, _, d)| (a, *d))
+                .chain(doppel.iter_blocks().map(|(a, _, _, d)| (a, *d)))
+                .collect(),
+            OracleLlc::Unified(d) => d.iter_blocks().map(|(a, _, _, d)| (a, *d)).collect(),
+        }
+    }
+
+    /// Tag-sharing factor (0 for the baseline).
+    pub fn sharing_factor(&self) -> f64 {
+        match self {
+            OracleLlc::Baseline(_) => 0.0,
+            OracleLlc::Split { doppel, .. } => doppel.avg_tags_per_data(),
+            OracleLlc::Unified(d) => d.avg_tags_per_data(),
+        }
+    }
+
+    /// Write every dirty block to `dram`, leaving the LLC clean.
+    pub fn flush_dirty(&mut self, dram: &mut OracleMemory) {
+        fn flush_conventional(cache: &mut OracleCache, dram: &mut OracleMemory) {
+            let dirty: Vec<(BlockAddr, BlockData)> =
+                cache.iter_blocks().filter(|(_, d, _)| *d).map(|(a, _, data)| (a, *data)).collect();
+            for (a, data) in dirty {
+                dram.set_block(a, data);
+                cache.clear_dirty(a);
+            }
+        }
+        match self {
+            OracleLlc::Baseline(c) => flush_conventional(c, dram),
+            OracleLlc::Split { precise, doppel } => {
+                flush_conventional(precise, dram);
+                doppel.flush_dirty(|a, data| dram.set_block(a, data));
+            }
+            OracleLlc::Unified(d) => d.flush_dirty(|a, data| dram.set_block(a, data)),
+        }
+    }
+
+    /// Whether `addr` is resident (no stats).
+    pub fn contains(&self, addr: BlockAddr) -> bool {
+        match self {
+            OracleLlc::Baseline(c) => c.contains(addr),
+            OracleLlc::Split { precise, doppel } => {
+                precise.contains(addr) || doppel.contains(addr)
+            }
+            OracleLlc::Unified(d) => d.contains(addr),
+        }
+    }
+
+    /// Verify Doppelgänger structural invariants (no-op for baseline).
+    pub fn check_invariants(&self) {
+        match self {
+            OracleLlc::Baseline(_) => {}
+            OracleLlc::Split { doppel, .. } => doppel.check_invariants(),
+            OracleLlc::Unified(d) => d.check_invariants(),
+        }
+    }
+
+    /// Reset statistics.
+    pub fn reset_stats(&mut self) {
+        match self {
+            OracleLlc::Baseline(c) => c.reset_stats(),
+            OracleLlc::Split { precise, doppel } => {
+                precise.reset_stats();
+                doppel.reset_stats();
+            }
+            OracleLlc::Unified(d) => d.reset_stats(),
+        }
+    }
+
+    /// Conservation laws tying the counters to the resident state;
+    /// panics with a description on violation. Run by the lockstep
+    /// harness at every structural checkpoint.
+    pub fn check_conservation(&self) {
+        fn conv(label: &str, c: &OracleCache) {
+            let s = c.stats();
+            assert_eq!(
+                s.insertions,
+                c.len() as u64 + s.evictions + s.invalidations,
+                "{label}: insertions != resident + evictions + invalidations ({s:?})"
+            );
+            assert!(s.dirty_evictions <= s.evictions, "{label}: dirty evictions exceed evictions");
+        }
+        fn dopp(d: &OracleDoppelganger) {
+            let s = d.stats();
+            assert_eq!(
+                s.insertions,
+                d.resident_tags() as u64 + s.tag_evictions,
+                "doppel: insertions != resident tags + tag evictions ({s:?})"
+            );
+            assert!(
+                d.resident_data() <= d.resident_tags(),
+                "doppel: more data entries than tags"
+            );
+            assert!(
+                s.back_invalidations <= s.tag_evictions,
+                "doppel: back-invalidations exceed tag evictions"
+            );
+            assert!(s.silent_writes + s.moved_writes <= s.writes, "doppel: write kinds exceed writes");
+        }
+        match self {
+            OracleLlc::Baseline(c) => conv("baseline LLC", c),
+            OracleLlc::Split { precise, doppel: d } => {
+                conv("precise LLC partition", precise);
+                dopp(d);
+            }
+            OracleLlc::Unified(d) => dopp(d),
+        }
+    }
+}
+
+fn conventional_read(
+    cache: &mut OracleCache,
+    addr: BlockAddr,
+    dram: &mut OracleMemory,
+    displaced: &mut Vec<DisplacedBlock>,
+) -> LlcAccess {
+    if let Some(data) = cache.read(addr) {
+        return LlcAccess { hit: true, data, fetched_from_memory: false };
+    }
+    let data = dram.fetch_block(addr);
+    if let Some(ev) = cache.fill(addr, &data, false) {
+        displaced.push(DisplacedBlock { addr: ev.addr, dirty: ev.dirty, data: ev.data });
+    }
+    LlcAccess { hit: false, data, fetched_from_memory: true }
+}
+
+fn conventional_writeback(
+    cache: &mut OracleCache,
+    addr: BlockAddr,
+    data: BlockData,
+    displaced: &mut Vec<DisplacedBlock>,
+) -> LlcAccess {
+    if cache.write(addr, data) {
+        return LlcAccess { hit: true, data, fetched_from_memory: false };
+    }
+    if let Some(ev) = cache.fill(addr, &data, true) {
+        displaced.push(DisplacedBlock { addr: ev.addr, dirty: ev.dirty, data: ev.data });
+    }
+    LlcAccess { hit: false, data, fetched_from_memory: false }
+}
+
+fn doppel_read(
+    doppel: &mut OracleDoppelganger,
+    addr: BlockAddr,
+    region: Option<&ApproxRegion>,
+    dram: &mut OracleMemory,
+    displaced: &mut Vec<DisplacedBlock>,
+) -> LlcAccess {
+    if let Some(data) = doppel.read(addr) {
+        return LlcAccess { hit: true, data, fetched_from_memory: false };
+    }
+    let data = dram.fetch_block(addr);
+    match region {
+        Some(r) => {
+            doppel.insert_approx_with(addr, data, r, &mut emit_into(displaced));
+        }
+        None => doppel.insert_precise_with(addr, data, &mut emit_into(displaced)),
+    }
+    LlcAccess { hit: false, data, fetched_from_memory: true }
+}
+
+fn doppel_writeback(
+    doppel: &mut OracleDoppelganger,
+    addr: BlockAddr,
+    data: BlockData,
+    region: Option<&ApproxRegion>,
+    displaced: &mut Vec<DisplacedBlock>,
+) -> LlcAccess {
+    let status = doppel.write_with(addr, data, region, &mut emit_into(displaced));
+    match status {
+        WriteStatus::NotResident => {
+            match region {
+                Some(r) => {
+                    doppel.insert_approx_with(addr, data, r, &mut emit_into(displaced));
+                }
+                None => doppel.insert_precise_with(addr, data, &mut emit_into(displaced)),
+            }
+            doppel.mark_dirty(addr);
+            LlcAccess { hit: false, data, fetched_from_memory: false }
+        }
+        WriteStatus::SameMap | WriteStatus::PreciseUpdated => {
+            LlcAccess { hit: true, data, fetched_from_memory: false }
+        }
+        WriteStatus::Moved { .. } => LlcAccess { hit: true, data, fetched_from_memory: false },
+    }
+}

@@ -1,0 +1,268 @@
+//! The lockstep harness: replay one trace through the optimized engine
+//! and the oracle, cross-checking every observable after every access.
+
+use crate::OracleSystem;
+use dg_mem::Trace;
+use dg_system::{System, SystemConfig};
+use std::fmt;
+
+/// How often (in accesses) the harness runs the expensive structural
+/// checks — LLC content comparison, invariants, conservation laws. The
+/// cheap counter comparisons run after *every* access.
+const STRUCTURAL_CHECK_PERIOD: usize = 1024;
+
+/// The first observable difference between the two engines.
+///
+/// `index` is the 0-based position in the trace's round-robin
+/// interleaving — feed it back to a shrinker or a debugger to find the
+/// exact access that exposed the bug.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Divergence {
+    /// Interleaved access index at which the engines first disagreed.
+    pub index: usize,
+    /// The core that issued the diverging access.
+    pub core: usize,
+    /// Which observable diverged (e.g. `"l1_stats"`, `"loaded bytes"`).
+    pub field: String,
+    /// The optimized engine's value, rendered with `Debug`.
+    pub optimized: String,
+    /// The oracle's value, rendered with `Debug`.
+    pub oracle: String,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "divergence at access #{} (core {}), field `{}`:\n  optimized: {}\n  oracle:    {}",
+            self.index, self.core, self.field, self.optimized, self.oracle
+        )
+    }
+}
+
+impl std::error::Error for Divergence {}
+
+/// Agreement report from a clean lockstep run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LockstepSummary {
+    /// Accesses replayed (and cross-checked) through both engines.
+    pub accesses: usize,
+    /// Agreed simulated runtime.
+    pub runtime_cycles: u64,
+    /// Agreed off-chip traffic in blocks.
+    pub off_chip_blocks: u64,
+    /// Agreed LLC lookups.
+    pub llc_lookups: u64,
+    /// Agreed LLC hits.
+    pub llc_hits: u64,
+    /// Populated DRAM blocks after the final flush (agreed).
+    pub final_dram_blocks: usize,
+}
+
+/// One comparison site: returns a [`Divergence`] unless the two
+/// `Debug`-rendered values match. Rendering only happens on mismatch.
+macro_rules! check {
+    ($idx:expr, $core:expr, $field:expr, $fast:expr, $slow:expr) => {{
+        let fast = $fast;
+        let slow = $slow;
+        if fast != slow {
+            return Err(Box::new(Divergence {
+                index: $idx,
+                core: $core,
+                field: $field.to_string(),
+                optimized: format!("{fast:?}"),
+                oracle: format!("{slow:?}"),
+            }));
+        }
+    }};
+}
+
+/// Replay `trace` through both engines in lockstep.
+///
+/// After **every** access the cheap observables are compared: loaded
+/// bytes, per-core cycles, instruction counts, off-chip reads/writes,
+/// back-invalidations, L1/L2 statistics and the full LLC counter block.
+/// Every [`STRUCTURAL_CHECK_PERIOD`] accesses (and at the end) the
+/// harness additionally compares LLC-resident contents, sharing factor
+/// and approximate fraction, runs both engines' structural invariants,
+/// and verifies the oracle's counter conservation laws. Finally both
+/// hierarchies are flushed and the complete DRAM images are compared
+/// block-for-block.
+///
+/// Returns the first [`Divergence`], or a summary of the agreed run.
+pub fn lockstep(trace: &Trace, cfg: SystemConfig) -> Result<LockstepSummary, Box<Divergence>> {
+    lockstep_verbose(trace, cfg, None)
+}
+
+/// [`lockstep`] with optional progress reporting: `progress_every =
+/// Some(n)` prints one status line to stderr every `n` accesses.
+pub fn lockstep_verbose(
+    trace: &Trace,
+    cfg: SystemConfig,
+    progress_every: Option<usize>,
+) -> Result<LockstepSummary, Box<Divergence>> {
+    assert!(
+        trace.cores.len() <= cfg.cores,
+        "trace has more core streams than the system has cores"
+    );
+    let mut fast = System::new(cfg, trace.initial.clone(), trace.annotations.clone());
+    let mut slow = OracleSystem::new(cfg, &trace.initial, trace.annotations.clone());
+
+    let mut fast_buf = [0u8; 8];
+    let mut slow_buf = [0u8; 8];
+    let mut index = 0usize;
+    let mut last_core = 0usize;
+
+    for (core, access) in trace.interleaved() {
+        last_core = core;
+        if access.think > 0 {
+            fast.think(core, access.think);
+            slow.think(core, access.think);
+        }
+        match access.payload() {
+            Some(bytes) => {
+                fast.store(core, access.addr, bytes);
+                slow.store(core, access.addr, bytes);
+            }
+            None => {
+                let n = access.size as usize;
+                fast.load(core, access.addr, &mut fast_buf[..n]);
+                slow.load(core, access.addr, &mut slow_buf[..n]);
+                check!(index, core, "loaded bytes", &fast_buf[..n], &slow_buf[..n]);
+            }
+        }
+
+        compare_counters(index, core, &fast, &slow)?;
+
+        if (index + 1) % STRUCTURAL_CHECK_PERIOD == 0 {
+            compare_structure(index, core, &fast, &slow)?;
+        }
+        if let Some(every) = progress_every {
+            if (index + 1) % every == 0 {
+                eprintln!(
+                    "lockstep: {}/{} accesses agree ({} cycles)",
+                    index + 1,
+                    trace.len(),
+                    fast.runtime_cycles()
+                );
+            }
+        }
+        index += 1;
+    }
+
+    let end = index.saturating_sub(1);
+    compare_structure(end, last_core, &fast, &slow)?;
+
+    // Drain every dirty line and compare the final memory images.
+    fast.flush();
+    slow.flush();
+    compare_counters(end, last_core, &fast, &slow)?;
+    let fast_dram: Vec<_> = fast.dram().iter_blocks().map(|(a, d)| (a, *d)).collect();
+    let slow_dram: Vec<_> = slow.dram().iter_blocks().map(|(a, d)| (a, *d)).collect();
+    check!(end, last_core, "final DRAM population", fast_dram.len(), slow_dram.len());
+    for (f, s) in fast_dram.iter().zip(&slow_dram) {
+        check!(end, last_core, "final DRAM block address", f.0, s.0);
+        check!(end, last_core, "final DRAM block contents", f.1, s.1);
+    }
+
+    let counters = fast.llc_counters();
+    Ok(LockstepSummary {
+        accesses: index,
+        runtime_cycles: fast.runtime_cycles(),
+        off_chip_blocks: fast.off_chip_blocks(),
+        llc_lookups: counters.lookups,
+        llc_hits: counters.hits,
+        final_dram_blocks: fast_dram.len(),
+    })
+}
+
+/// The cheap per-access comparison: every counter both engines expose.
+fn compare_counters(
+    index: usize,
+    core: usize,
+    fast: &System,
+    slow: &OracleSystem,
+) -> Result<(), Box<Divergence>> {
+    check!(index, core, "core_cycles", fast.core_cycles(), slow.core_cycles());
+    check!(index, core, "total_instructions", fast.total_instructions(), slow.total_instructions());
+    check!(index, core, "off_chip_reads", fast.off_chip_reads(), slow.off_chip_reads());
+    check!(index, core, "off_chip_writes", fast.off_chip_writes(), slow.off_chip_writes());
+    check!(index, core, "back_invalidations", fast.back_invalidations(), slow.back_invalidations());
+    check!(index, core, "l1_stats", fast.l1_stats(), slow.l1_stats());
+    check!(index, core, "l2_stats", fast.l2_stats(), slow.l2_stats());
+    check!(index, core, "llc_counters", fast.llc_counters(), slow.llc_counters());
+    Ok(())
+}
+
+/// The expensive periodic comparison: contents, invariants, laws.
+fn compare_structure(
+    index: usize,
+    core: usize,
+    fast: &System,
+    slow: &OracleSystem,
+) -> Result<(), Box<Divergence>> {
+    check!(
+        index,
+        core,
+        "llc_resident_blocks",
+        fast.llc_resident_blocks(),
+        slow.llc_resident_blocks()
+    );
+    check!(
+        index,
+        core,
+        "llc_sharing_factor",
+        fast.llc_sharing_factor().to_bits(),
+        slow.llc_sharing_factor().to_bits()
+    );
+    check!(
+        index,
+        core,
+        "approx_llc_fraction",
+        fast.approx_llc_fraction().to_bits(),
+        slow.approx_llc_fraction().to_bits()
+    );
+    check!(
+        index,
+        core,
+        "off_chip_blocks",
+        fast.off_chip_blocks(),
+        fast.off_chip_reads() + fast.off_chip_writes()
+    );
+    fast.check_llc_invariants();
+    slow.check_llc_invariants();
+    slow.check_conservation();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_system::{capture_trace, LlcKind};
+    use dg_workloads::kernels::Inversek2j;
+
+    #[test]
+    fn small_kernel_agrees_on_tiny_baseline_and_split() {
+        let kernel = Inversek2j::new(256, 2);
+        let trace = capture_trace(&kernel, 2, 2);
+        for cfg in [SystemConfig::tiny(LlcKind::Baseline), SystemConfig::tiny_split()] {
+            let summary = lockstep(&trace, cfg).unwrap_or_else(|d| panic!("{d}"));
+            assert_eq!(summary.accesses, trace.len());
+            assert!(summary.runtime_cycles > 0);
+        }
+    }
+
+    #[test]
+    fn divergence_report_is_readable() {
+        let d = Divergence {
+            index: 42,
+            core: 1,
+            field: "l1_stats".into(),
+            optimized: "a".into(),
+            oracle: "b".into(),
+        };
+        let s = d.to_string();
+        assert!(s.contains("access #42"));
+        assert!(s.contains("l1_stats"));
+    }
+}

@@ -1,0 +1,82 @@
+//! Reference memory: a `BTreeMap` in place of the paged arena.
+
+use dg_mem::{BlockAddr, BlockData, MemoryImage};
+use std::collections::BTreeMap;
+
+/// The oracle's DRAM: one map entry per populated block.
+///
+/// Mirrors [`MemoryImage`]'s observable semantics exactly: reads of
+/// never-written blocks return zeroes without populating them, and only
+/// [`OracleMemory::set_block`] marks a block populated. The final-state
+/// comparison in the lockstep harness walks both populated sets.
+#[derive(Clone, Debug, Default)]
+pub struct OracleMemory {
+    blocks: BTreeMap<BlockAddr, BlockData>,
+}
+
+impl OracleMemory {
+    /// An empty memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Seed from an existing image's populated blocks.
+    pub fn from_image(img: &MemoryImage) -> Self {
+        OracleMemory { blocks: img.iter_blocks().map(|(a, d)| (a, *d)).collect() }
+    }
+
+    /// Read a block, zero-filled if never written. Does *not* populate.
+    pub fn fetch_block(&self, addr: BlockAddr) -> BlockData {
+        self.blocks.get(&addr).copied().unwrap_or_else(BlockData::zeroed)
+    }
+
+    /// Write a block, marking it populated.
+    pub fn set_block(&mut self, addr: BlockAddr, data: BlockData) {
+        self.blocks.insert(addr, data);
+    }
+
+    /// Number of populated blocks.
+    pub fn populated_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Iterate populated blocks in ascending address order.
+    pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockAddr, &BlockData)> {
+        self.blocks.iter().map(|(a, d)| (*a, d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fetch_does_not_populate() {
+        let m = OracleMemory::new();
+        assert_eq!(m.fetch_block(BlockAddr(3)), BlockData::zeroed());
+        assert_eq!(m.populated_blocks(), 0);
+    }
+
+    #[test]
+    fn set_then_fetch_round_trips() {
+        let mut m = OracleMemory::new();
+        let mut d = BlockData::zeroed();
+        d.as_bytes_mut()[0] = 7;
+        m.set_block(BlockAddr(5), d);
+        assert_eq!(m.fetch_block(BlockAddr(5)), d);
+        assert_eq!(m.populated_blocks(), 1);
+    }
+
+    #[test]
+    fn matches_memory_image_population() {
+        let mut img = MemoryImage::new();
+        let mut d = BlockData::zeroed();
+        d.as_bytes_mut()[1] = 9;
+        img.set_block(BlockAddr(2), d);
+        img.set_block(BlockAddr(9), BlockData::zeroed());
+        let m = OracleMemory::from_image(&img);
+        let a: Vec<_> = img.iter_blocks().map(|(a, d)| (a, *d)).collect();
+        let b: Vec<_> = m.iter_blocks().map(|(a, d)| (a, *d)).collect();
+        assert_eq!(a, b);
+    }
+}

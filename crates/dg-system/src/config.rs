@@ -1,5 +1,6 @@
 //! System configuration (paper Table 1).
 
+use dg_cache::{CacheGeometry, Sharers};
 use doppelganger::{DataPolicy, DoppelgangerConfig};
 
 /// Which LLC organization the system simulates.
@@ -130,6 +131,51 @@ impl SystemConfig {
         };
         SystemConfig::tiny(LlcKind::Split(dopp))
     }
+
+    /// Check every cache shape and the core count without building a
+    /// system.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid parameter (degenerate
+    /// geometry used to surface only as deep replacement-policy panics
+    /// once the first victim was needed).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.cores == 0 || self.cores > Sharers::MAX_CORES {
+            return Err(format!(
+                "core count must be 1..={} (got {})",
+                Sharers::MAX_CORES,
+                self.cores
+            ));
+        }
+        CacheGeometry::try_from_capacity(self.l1_bytes, self.l1_ways)
+            .map_err(|e| format!("L1: {e}"))?;
+        CacheGeometry::try_from_capacity(self.l2_bytes, self.l2_ways)
+            .map_err(|e| format!("L2: {e}"))?;
+        match self.llc {
+            LlcKind::Baseline => {
+                CacheGeometry::try_from_capacity(self.llc_bytes, self.llc_ways)
+                    .map_err(|e| format!("LLC: {e}"))?;
+            }
+            LlcKind::Split(d) => {
+                CacheGeometry::try_from_capacity(self.llc_bytes / 2, self.llc_ways)
+                    .map_err(|e| format!("precise LLC partition: {e}"))?;
+                d.validate().map_err(|e| format!("Doppelganger {e}"))?;
+                if d.unified {
+                    return Err("split LLC requires a non-unified Doppelganger config".into());
+                }
+            }
+            LlcKind::Unified(d) => {
+                d.validate().map_err(|e| format!("Doppelganger {e}"))?;
+                if !d.unified {
+                    return Err(
+                        "unified LLC requires a uniDoppelganger config (unified: true)".into()
+                    );
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -163,5 +209,61 @@ mod tests {
     fn tiny_is_small() {
         let c = SystemConfig::tiny_split();
         assert!(c.llc_bytes <= 64 * 1024);
+    }
+
+    #[test]
+    fn validate_accepts_all_shipped_configs() {
+        for c in [
+            SystemConfig::paper_baseline(),
+            SystemConfig::paper_split(),
+            SystemConfig::paper_unified(),
+            SystemConfig::tiny(LlcKind::Baseline),
+            SystemConfig::tiny_split(),
+        ] {
+            assert_eq!(c.validate(), Ok(()), "{:?}", c.llc);
+        }
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_configs() {
+        let mut c = SystemConfig::paper_baseline();
+        c.cores = 0;
+        assert!(c.validate().unwrap_err().contains("core count"));
+        c.cores = 9;
+        assert!(c.validate().unwrap_err().contains("core count"));
+
+        let mut c = SystemConfig::paper_baseline();
+        c.l1_ways = 0;
+        let msg = c.validate().unwrap_err();
+        assert!(msg.contains("L1") && msg.contains("associativity"), "{msg}");
+
+        let mut c = SystemConfig::paper_baseline();
+        c.l2_bytes = 0;
+        assert!(c.validate().unwrap_err().contains("L2"));
+
+        let mut c = SystemConfig::paper_baseline();
+        c.llc_bytes = 100 * 64; // 25 sets at 4 ways: not a power of two
+        c.llc_ways = 4;
+        let msg = c.validate().unwrap_err();
+        assert!(msg.contains("LLC") && msg.contains("power of two"), "{msg}");
+
+        let mut c = SystemConfig::paper_split();
+        if let LlcKind::Split(ref mut d) = c.llc {
+            d.data_ways = 0;
+        }
+        let msg = c.validate().unwrap_err();
+        assert!(msg.contains("Doppelganger") && msg.contains("data array"), "{msg}");
+
+        // Kind / unified-flag mismatches.
+        let c = SystemConfig {
+            llc: LlcKind::Unified(DoppelgangerConfig::paper_split()),
+            ..SystemConfig::paper_baseline()
+        };
+        assert!(c.validate().unwrap_err().contains("uniDoppelganger"));
+        let c = SystemConfig {
+            llc: LlcKind::Split(DoppelgangerConfig::paper_unified()),
+            ..SystemConfig::paper_baseline()
+        };
+        assert!(c.validate().unwrap_err().contains("non-unified"));
     }
 }

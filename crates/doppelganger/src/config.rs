@@ -108,6 +108,20 @@ impl DoppelgangerConfig {
     pub fn tag_pointer_bits(&self) -> u32 {
         (self.tag_entries as u64).trailing_zeros()
     }
+
+    /// Check both array shapes without constructing anything.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first degenerate shape (zero ways,
+    /// zero entries, non-power-of-two sets), naming the array at fault.
+    pub fn validate(&self) -> Result<(), String> {
+        CacheGeometry::try_from_entries(self.tag_entries, self.tag_ways)
+            .map_err(|e| format!("tag array: {e}"))?;
+        CacheGeometry::try_from_entries(self.data_entries, self.data_ways)
+            .map_err(|e| format!("data array: {e}"))?;
+        Ok(())
+    }
 }
 
 impl Default for DoppelgangerConfig {
@@ -150,5 +164,27 @@ mod tests {
     fn map_space_override() {
         let c = DoppelgangerConfig::paper_split().with_map_space(12);
         assert_eq!(c.map_space.m_bits(), 12);
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_shapes() {
+        assert!(DoppelgangerConfig::paper_split().validate().is_ok());
+        assert!(DoppelgangerConfig::paper_unified().validate().is_ok());
+
+        let mut c = DoppelgangerConfig::paper_split();
+        c.tag_ways = 0;
+        let msg = c.validate().unwrap_err();
+        assert!(msg.contains("tag array") && msg.contains("associativity"), "{msg}");
+
+        let mut c = DoppelgangerConfig::paper_split();
+        c.data_entries = 0;
+        let msg = c.validate().unwrap_err();
+        assert!(msg.contains("data array"), "{msg}");
+
+        let mut c = DoppelgangerConfig::paper_split();
+        c.data_entries = 48;
+        c.data_ways = 16;
+        let msg = c.validate().unwrap_err();
+        assert!(msg.contains("power of two"), "{msg}");
     }
 }

@@ -188,12 +188,20 @@ impl MapSpace {
     /// Linearly quantize `hash ∈ [min, max]` into a `bits`-bit bin.
     ///
     /// `min` maps to bin 0, `max` to bin `2^bits − 1`; values outside
-    /// the range are clamped first (§4.1). A degenerate range
-    /// (`min == max`) maps everything to bin 0.
+    /// the range are clamped first (§4.1), so ±∞ land in the endpoint
+    /// bins. A NaN hash reads as `min` and lands in bin 0, and a
+    /// degenerate range (`min == max`) maps everything to bin 0 — see
+    /// docs/MAP_SCHEME.md, "NaN and infinity".
     fn quantize(hash: f64, min: f64, max: f64, bits: u32) -> u64 {
         debug_assert!(min <= max);
         let bins = 1u64 << bits;
         if max <= min {
+            return 0;
+        }
+        // NaN survives `clamp` and would only reach bin 0 through the
+        // saturating `as u64` cast; make that semantics explicit so a
+        // future rewrite of the arithmetic cannot silently change it.
+        if hash.is_nan() {
             return 0;
         }
         let x = (hash.clamp(min, max) - min) / (max - min);
@@ -347,6 +355,59 @@ mod tests {
     #[test]
     fn quantize_degenerate_range() {
         assert_eq!(MapSpace::quantize(3.0, 3.0, 3.0, 8), 0);
+    }
+
+    #[test]
+    fn quantize_nan_reads_as_min() {
+        // Pinned semantics: a NaN hash is treated as `min` (bin 0) for
+        // every width, not left to the accident of a saturating cast.
+        for bits in [1, 4, 14, 28] {
+            assert_eq!(MapSpace::quantize(f64::NAN, 0.0, 10.0, bits), 0);
+        }
+        assert_eq!(MapSpace::quantize(f64::NAN, -1.0, 1.0, 8), 0);
+    }
+
+    #[test]
+    fn quantize_infinities_clamp_to_endpoints() {
+        assert_eq!(MapSpace::quantize(f64::NEG_INFINITY, 0.0, 10.0, 4), 0);
+        assert_eq!(MapSpace::quantize(f64::INFINITY, 0.0, 10.0, 4), 15);
+    }
+
+    #[test]
+    fn nan_block_shares_bin_with_min_block() {
+        // End-to-end consequence of NaN ≡ min: an all-NaN block hashes
+        // into the same map value as an all-`min` block, so the two
+        // share a Doppelganger data entry instead of landing in an
+        // arbitrary bin.
+        let r = region_f32(-4.0, 100.0);
+        let all_nan = BlockData::from_values(ElemType::F32, &[f64::NAN; 16]);
+        let all_min = BlockData::from_values(ElemType::F32, &[-4.0; 16]);
+        // Holds for every hash whose primary is the block average (the
+        // NaN average reads as min). MinMax folds *skip* NaN operands,
+        // so an all-NaN block degenerates to the (+∞, −∞) fold
+        // sentinels there — still deterministic, just a different bin.
+        for hash in [MapHash::AvgRange, MapHash::AvgOnly, MapHash::AvgStride] {
+            let s = MapSpace::new(14).with_hash(hash);
+            assert_eq!(
+                s.map_block(&all_nan, &r),
+                s.map_block(&all_min, &r),
+                "{hash:?} does not treat NaN as min"
+            );
+        }
+        let mm = MapSpace::new(14).with_hash(MapHash::MinMax);
+        assert_eq!(mm.map_block(&all_nan, &r), mm.map_block(&all_nan, &r));
+    }
+
+    #[test]
+    fn infinite_blocks_map_as_clamped_endpoints() {
+        let r = region_f32(-4.0, 100.0);
+        let all_pos = BlockData::from_values(ElemType::F32, &[f64::INFINITY; 16]);
+        let all_max = BlockData::from_values(ElemType::F32, &[100.0; 16]);
+        let all_neg = BlockData::from_values(ElemType::F32, &[f64::NEG_INFINITY; 16]);
+        let all_min = BlockData::from_values(ElemType::F32, &[-4.0; 16]);
+        let s = MapSpace::new(14);
+        assert_eq!(s.map_block(&all_pos, &r), s.map_block(&all_max, &r));
+        assert_eq!(s.map_block(&all_neg, &r), s.map_block(&all_min, &r));
     }
 
     #[test]
