@@ -3,15 +3,18 @@
 //! generates the data recorded in EXPERIMENTS.md.
 //!
 //! Usage:
-//! `cargo run --release -p dg-bench --bin repro_all [--small] [--check] [--json PATH] [--timing]`
+//! `cargo run --release -p dg-bench --bin repro_all [--small] [--check] [--profile[=PATH]] [--json PATH] [--timing]`
 //!
 //! `--check` runs the differential-oracle gate instead of the figures:
 //! every kernel trace is replayed in lockstep through the optimized
 //! engine and the `dg-oracle` reference across every table/figure
 //! configuration, and the process exits non-zero on the first
-//! divergence. `--json PATH` additionally exports every evaluation as
-//! a JSON array of result rows. `--timing` records per-configuration
-//! and per-kernel wall-clock into `BENCH_repro.json`.
+//! divergence. `--profile` runs the same configuration grid at full
+//! observability instead of the figures, writing `PROFILE_repro.json`
+//! (or `PATH`) plus a Chrome-trace timeline and a JSONL event log next
+//! to it (see `dg_bench::profile`). `--json PATH` additionally exports
+//! every evaluation as a JSON array of result rows. `--timing` records
+//! per-configuration and per-kernel wall-clock into `BENCH_repro.json`.
 
 use dg_bench::figures;
 use dg_bench::Sweep;
@@ -24,6 +27,24 @@ fn main() {
     if std::env::args().any(|a| a == "--check") {
         let ok = dg_bench::check::print_check(scale);
         std::process::exit(if ok { 0 } else { 1 });
+    }
+
+    if let Some(arg) =
+        std::env::args().find(|a| a == "--profile" || a.starts_with("--profile="))
+    {
+        let path = arg.strip_prefix("--profile=").unwrap_or("PROFILE_repro.json").to_string();
+        match dg_bench::profile::write_profile(scale, std::path::Path::new(&path)) {
+            Ok(paths) => {
+                for p in &paths {
+                    eprintln!("[repro_all] wrote {}", p.display());
+                }
+                std::process::exit(0);
+            }
+            Err(e) => {
+                eprintln!("[repro_all] failed to write profile {path}: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 
     println!("\n== Table 3: hardware cost (CACTI-lite vs paper) ==\n");

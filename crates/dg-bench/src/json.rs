@@ -320,6 +320,15 @@ impl ObjectWriter {
         self
     }
 
+    /// Add a pre-rendered field — a nested object or array already
+    /// serialized as JSON text. The caller is responsible for `raw`
+    /// being valid JSON (typically another [`ObjectWriter::finish`] or
+    /// [`array_document`] output).
+    pub fn raw_field(&mut self, key: &str, raw: &str) -> &mut Self {
+        self.fields.push((key.to_string(), raw.to_string()));
+        self
+    }
+
     /// Render the object.
     #[must_use]
     pub fn finish(&self) -> String {
@@ -372,6 +381,18 @@ mod tests {
         assert_eq!(row.get("cycles").unwrap().as_u64().unwrap(), 123_456_789_012);
         assert_eq!(row.get("error").unwrap().as_f64().unwrap(), 0.015625);
         assert_eq!(*row.get("nan").unwrap(), Json::Null);
+    }
+
+    #[test]
+    fn raw_field_nests_documents() {
+        let mut inner = ObjectWriter::with_indent(1);
+        inner.u64_field("count", 3);
+        let mut outer = ObjectWriter::with_indent(0);
+        outer.raw_field("hist", &inner.finish()).raw_field("pairs", "[[0, 1], [5, 2]]");
+        let parsed = Json::parse(&outer.finish()).unwrap();
+        assert_eq!(parsed.get("hist").unwrap().get("count").unwrap().as_u64(), Some(3));
+        let pairs = parsed.get("pairs").unwrap().as_array().unwrap();
+        assert_eq!(pairs[1].as_array().unwrap()[0].as_u64(), Some(5));
     }
 
     #[test]

@@ -16,7 +16,10 @@ pub mod check;
 pub mod experiments;
 pub mod figures;
 pub mod json;
+pub mod meta;
+pub mod obs_export;
 pub mod peraccess;
+pub mod profile;
 pub mod results;
 pub mod table;
 pub mod timing;

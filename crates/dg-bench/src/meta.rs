@@ -1,0 +1,145 @@
+//! Run metadata stamped into every exported artifact.
+//!
+//! `BENCH_repro.json` and `PROFILE_repro.json` are trajectory points:
+//! numbers measured on one revision, one machine, one thread count.
+//! Without provenance they are uncomparable across runs, so every
+//! export leads with a `meta` object capturing the git revision, the
+//! effective worker count (the `DG_PAR_THREADS` override or the
+//! detected parallelism), the experiment scale, and the host
+//! architecture/OS pair. Everything is gathered without spawning a
+//! subprocess — the git SHA is read straight out of `.git/`.
+
+use crate::experiments::Scale;
+use crate::json::ObjectWriter;
+use std::path::Path;
+
+/// Provenance for one exported artifact.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunMeta {
+    /// Commit SHA of the working tree, or `"unknown"` outside a git
+    /// checkout.
+    pub git_sha: String,
+    /// Effective `dg-par` worker count ([`dg_par::default_workers`],
+    /// which honours `DG_PAR_THREADS`).
+    pub threads: usize,
+    /// Experiment scale flag (`"small"` or `"paper"`).
+    pub scale: &'static str,
+    /// Host `<arch>-<os>` pair, e.g. `x86_64-linux`.
+    pub host: String,
+}
+
+impl RunMeta {
+    /// Capture the current process's provenance.
+    #[must_use]
+    pub fn capture(scale: Scale) -> Self {
+        RunMeta {
+            git_sha: git_head_sha(Path::new(".git")),
+            threads: dg_par::default_workers(),
+            scale: match scale {
+                Scale::Small => "small",
+                Scale::Paper => "paper",
+            },
+            host: format!("{}-{}", std::env::consts::ARCH, std::env::consts::OS),
+        }
+    }
+
+    /// Render as a JSON object whose braces sit at `indent` two-space
+    /// levels.
+    #[must_use]
+    pub fn to_json(&self, indent: usize) -> String {
+        let mut o = ObjectWriter::with_indent(indent);
+        o.str_field("git_sha", &self.git_sha)
+            .u64_field("threads", self.threads as u64)
+            .str_field("scale", self.scale)
+            .str_field("host", &self.host);
+        o.finish()
+    }
+}
+
+/// Resolve HEAD to a commit SHA by reading the repository files
+/// directly: a detached HEAD holds the SHA inline, a symbolic HEAD
+/// (`ref: refs/heads/x`) points at a loose ref file, and refs that have
+/// been packed live in `.git/packed-refs`. Returns `"unknown"` when any
+/// step fails — provenance must never abort an export.
+fn git_head_sha(git_dir: &Path) -> String {
+    let head = match std::fs::read_to_string(git_dir.join("HEAD")) {
+        Ok(h) => h,
+        Err(_) => return "unknown".to_string(),
+    };
+    let head = head.trim();
+    let Some(refname) = head.strip_prefix("ref: ") else {
+        // Detached HEAD: the file holds the SHA itself.
+        return if head.is_empty() { "unknown".to_string() } else { head.to_string() };
+    };
+    let refname = refname.trim();
+    if let Ok(sha) = std::fs::read_to_string(git_dir.join(refname)) {
+        let sha = sha.trim();
+        if !sha.is_empty() {
+            return sha.to_string();
+        }
+    }
+    if let Ok(packed) = std::fs::read_to_string(git_dir.join("packed-refs")) {
+        for line in packed.lines() {
+            if let Some((sha, name)) = line.split_once(' ') {
+                if name.trim() == refname && !sha.starts_with('#') {
+                    return sha.trim().to_string();
+                }
+            }
+        }
+    }
+    "unknown".to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    #[test]
+    fn capture_renders_valid_json() {
+        let meta = RunMeta::capture(Scale::Small);
+        assert_eq!(meta.scale, "small");
+        assert!(meta.threads > 0);
+        assert!(meta.host.contains('-'));
+        let parsed = Json::parse(&meta.to_json(0)).unwrap();
+        assert_eq!(parsed.get("scale").unwrap().as_str(), Some("small"));
+        assert!(parsed.get("threads").unwrap().as_u64().unwrap() > 0);
+        assert!(parsed.get("git_sha").unwrap().as_str().is_some());
+    }
+
+    #[test]
+    fn head_sha_resolves_symbolic_loose_packed_and_detached() {
+        let dir = std::env::temp_dir().join("dg_bench_meta_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("refs/heads")).unwrap();
+
+        // Missing HEAD.
+        assert_eq!(git_head_sha(&dir), "unknown");
+
+        // Symbolic HEAD -> loose ref file.
+        std::fs::write(dir.join("HEAD"), "ref: refs/heads/main\n").unwrap();
+        std::fs::write(dir.join("refs/heads/main"), "aabbcc\n").unwrap();
+        assert_eq!(git_head_sha(&dir), "aabbcc");
+
+        // Symbolic HEAD -> packed ref.
+        std::fs::remove_file(dir.join("refs/heads/main")).unwrap();
+        std::fs::write(
+            dir.join("packed-refs"),
+            "# pack-refs with: peeled fully-peeled sorted\nddeeff refs/heads/main\n",
+        )
+        .unwrap();
+        assert_eq!(git_head_sha(&dir), "ddeeff");
+
+        // Detached HEAD.
+        std::fs::write(dir.join("HEAD"), "112233\n").unwrap();
+        assert_eq!(git_head_sha(&dir), "112233");
+    }
+
+    #[test]
+    fn real_checkout_yields_a_sha() {
+        // The workspace itself is a git checkout; whatever state it is
+        // in, resolution must not panic, and in CI it finds a real SHA.
+        let sha = RunMeta::capture(Scale::Paper).git_sha;
+        assert!(!sha.is_empty());
+    }
+}

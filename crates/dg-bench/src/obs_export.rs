@@ -1,0 +1,173 @@
+//! Exporters for the `dg-obs` observability layer.
+//!
+//! Three renderings, all hand-rolled on top of [`crate::json`]:
+//!
+//! * [`registry_json`] — a metric registry as one JSON object, with
+//!   histograms rendered by [`hist_json`] as `{count, sum, min, max,
+//!   buckets}` where `buckets` lists `[bucket_exponent, count]` pairs
+//!   for non-empty buckets only (65 mostly-zero buckets would drown the
+//!   file).
+//! * [`chrome_trace`] — span records in the Chrome `trace_event`
+//!   JSON-array format (complete events, `ph: "X"`, microsecond
+//!   timestamps), loadable in `chrome://tracing` or Perfetto.
+//! * [`events_jsonl`] — the structured event ring as JSON Lines, one
+//!   event per line, cheap to grep and stream.
+
+use crate::json::{array_document, escape, ObjectWriter};
+use dg_obs::{Event, Hist64, Metric, Registry, SpanRecord};
+use std::fmt::Write as _;
+
+/// Render a histogram as a JSON object at `indent` two-space levels:
+/// summary statistics plus `[bucket_exponent, count]` pairs for every
+/// non-empty bucket (bucket 0 holds zeros, bucket `i ≥ 1` holds values
+/// in `[2^(i-1), 2^i)` — see [`Hist64::bucket_bounds`]).
+#[must_use]
+pub fn hist_json(h: &Hist64, indent: usize) -> String {
+    let mut o = ObjectWriter::with_indent(indent);
+    o.u64_field("count", h.count()).u64_field("sum", h.sum());
+    if let Some(min) = h.min() {
+        o.u64_field("min", min);
+    }
+    if let Some(max) = h.max() {
+        o.u64_field("max", max);
+    }
+    let pairs: Vec<String> = h.nonzero_buckets().map(|(i, c)| format!("[{i}, {c}]")).collect();
+    o.raw_field("buckets", &format!("[{}]", pairs.join(", ")));
+    o.finish()
+}
+
+/// Render a whole registry as one JSON object at `indent` two-space
+/// levels, metrics in registration order: counters as integers, gauges
+/// as floats, histograms via [`hist_json`].
+#[must_use]
+pub fn registry_json(reg: &Registry, indent: usize) -> String {
+    let mut o = ObjectWriter::with_indent(indent);
+    for (name, metric) in reg.entries() {
+        match metric {
+            Metric::Counter(v) => o.u64_field(name, *v),
+            Metric::Gauge(v) => o.f64_field(name, *v),
+            Metric::Hist(h) => o.raw_field(name, &hist_json(h, indent + 1)),
+        };
+    }
+    o.finish()
+}
+
+/// Render span records as a Chrome `trace_event` JSON array: one
+/// complete (`ph: "X"`) event per span, timestamps and durations in
+/// microseconds since the process observability epoch, `pid` fixed at 1
+/// and `tid` carrying the recording worker. Load the file directly in
+/// `chrome://tracing` or <https://ui.perfetto.dev>.
+#[must_use]
+pub fn chrome_trace(spans: &[SpanRecord]) -> String {
+    let rows: Vec<String> = spans
+        .iter()
+        .map(|s| {
+            let mut o = ObjectWriter::with_indent(1);
+            o.str_field("name", s.name)
+                .str_field("ph", "X")
+                .u64_field("ts", s.start_us)
+                .u64_field("dur", s.dur_us)
+                .u64_field("pid", 1)
+                .u64_field("tid", s.tid);
+            o.finish()
+        })
+        .collect();
+    array_document(&rows)
+}
+
+/// Render events as JSON Lines: one compact object per line, in ring
+/// order (oldest surviving event first).
+#[must_use]
+pub fn events_jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for e in events {
+        let _ = writeln!(
+            out,
+            "{{\"seq\": {}, \"ts_us\": {}, \"kind\": \"{}\", \"a\": {}, \"b\": {}}}",
+            e.seq,
+            e.ts_us,
+            escape(e.kind),
+            e.a,
+            e.b
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    #[test]
+    fn hist_json_reports_nonzero_buckets_only() {
+        let mut h = Hist64::new();
+        for v in [0u64, 3, 3, 170] {
+            h.record(v);
+        }
+        let parsed = Json::parse(&hist_json(&h, 0)).unwrap();
+        assert_eq!(parsed.get("count").unwrap().as_u64(), Some(4));
+        assert_eq!(parsed.get("sum").unwrap().as_u64(), Some(176));
+        assert_eq!(parsed.get("min").unwrap().as_u64(), Some(0));
+        assert_eq!(parsed.get("max").unwrap().as_u64(), Some(170));
+        let buckets = parsed.get("buckets").unwrap().as_array().unwrap();
+        assert_eq!(buckets.len(), 3); // buckets 0, 2, 8
+        assert_eq!(buckets[1].as_array().unwrap()[0].as_u64(), Some(2));
+        assert_eq!(buckets[1].as_array().unwrap()[1].as_u64(), Some(2));
+    }
+
+    #[test]
+    fn empty_hist_omits_min_max() {
+        let parsed = Json::parse(&hist_json(&Hist64::new(), 0)).unwrap();
+        assert_eq!(parsed.get("count").unwrap().as_u64(), Some(0));
+        assert!(parsed.get("min").is_none());
+        assert!(parsed.get("max").is_none());
+        assert_eq!(parsed.get("buckets").unwrap().as_array().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn registry_json_renders_all_metric_kinds() {
+        let mut h = Hist64::new();
+        h.record(7);
+        let mut reg = Registry::new();
+        reg.counter("llc.hits", 42);
+        reg.gauge("system.amat", 3.5);
+        reg.hist("system.lat", &h);
+        let parsed = Json::parse(&registry_json(&reg, 0)).unwrap();
+        assert_eq!(parsed.get("llc.hits").unwrap().as_u64(), Some(42));
+        assert_eq!(parsed.get("system.amat").unwrap().as_f64(), Some(3.5));
+        assert_eq!(parsed.get("system.lat").unwrap().get("count").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn chrome_trace_is_a_valid_event_array() {
+        let spans = vec![
+            SpanRecord { name: "sweep", tid: 0, start_us: 10, dur_us: 500 },
+            SpanRecord { name: "par.job", tid: 3, start_us: 20, dur_us: 80 },
+        ];
+        let parsed = Json::parse(&chrome_trace(&spans)).unwrap();
+        let arr = parsed.as_array().unwrap();
+        assert_eq!(arr.len(), 2);
+        assert_eq!(arr[0].get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(arr[1].get("name").unwrap().as_str(), Some("par.job"));
+        assert_eq!(arr[1].get("tid").unwrap().as_u64(), Some(3));
+        assert_eq!(arr[1].get("dur").unwrap().as_u64(), Some(80));
+    }
+
+    #[test]
+    fn events_jsonl_is_one_valid_object_per_line() {
+        let events = vec![
+            Event { seq: 0, ts_us: 5, kind: "llc.miss_fill", a: 0x40, b: 1 },
+            Event { seq: 1, ts_us: 9, kind: "dir.back_inval", a: 0x80, b: 0 },
+        ];
+        let text = events_jsonl(&events);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for (line, e) in lines.iter().zip(&events) {
+            let parsed = Json::parse(line).unwrap();
+            assert_eq!(parsed.get("seq").unwrap().as_u64(), Some(e.seq));
+            assert_eq!(parsed.get("kind").unwrap().as_str(), Some(e.kind));
+            assert_eq!(parsed.get("a").unwrap().as_u64(), Some(e.a));
+        }
+    }
+}

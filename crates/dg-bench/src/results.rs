@@ -2,8 +2,10 @@
 
 use crate::experiments::Sweep;
 use crate::json::{array_document, ObjectWriter};
+use crate::meta::RunMeta;
 use crate::peraccess::PerAccessRow;
-use dg_system::EvalResult;
+use dg_obs::Snapshot;
+use dg_system::{EvalResult, LlcCounters};
 use std::path::Path;
 
 /// One evaluation flattened for export.
@@ -23,14 +25,10 @@ pub struct ResultRow {
     pub off_chip_blocks: u64,
     /// LLC misses per thousand instructions.
     pub mpki: f64,
-    /// LLC lookups / hits.
-    pub llc_lookups: u64,
-    /// LLC hits.
-    pub llc_hits: u64,
-    /// Doppelgänger insertions that joined an existing entry.
-    pub shared_insertions: u64,
-    /// Doppelgänger map generations.
-    pub map_generations: u64,
+    /// The full LLC counter block; exported field-by-field through
+    /// [`Snapshot::metrics`] so the JSON schema tracks the struct
+    /// instead of a hand-maintained subset.
+    pub llc: LlcCounters,
     /// LLC dynamic energy, pJ.
     pub llc_dynamic_pj: f64,
     /// LLC leakage energy, pJ.
@@ -52,10 +50,7 @@ impl ResultRow {
             output_error: r.output_error,
             off_chip_blocks: r.off_chip_blocks,
             mpki: r.mpki(),
-            llc_lookups: r.llc.lookups,
-            llc_hits: r.llc.hits,
-            shared_insertions: r.llc.dopp.shared_insertions,
-            map_generations: r.llc.dopp.map_generations,
+            llc: r.llc,
             llc_dynamic_pj: r.energy.llc_dynamic_pj,
             llc_leakage_pj: r.energy.llc_leakage_pj,
             llc_area_mm2: r.energy.llc_area_mm2,
@@ -73,12 +68,11 @@ impl ResultRow {
             .u64_field("instructions", self.instructions)
             .f64_field("output_error", self.output_error)
             .u64_field("off_chip_blocks", self.off_chip_blocks)
-            .f64_field("mpki", self.mpki)
-            .u64_field("llc_lookups", self.llc_lookups)
-            .u64_field("llc_hits", self.llc_hits)
-            .u64_field("shared_insertions", self.shared_insertions)
-            .u64_field("map_generations", self.map_generations)
-            .f64_field("llc_dynamic_pj", self.llc_dynamic_pj)
+            .f64_field("mpki", self.mpki);
+        for (name, value) in self.llc.metrics() {
+            o.u64_field(&format!("llc.{name}"), value);
+        }
+        o.f64_field("llc_dynamic_pj", self.llc_dynamic_pj)
             .f64_field("llc_leakage_pj", self.llc_leakage_pj)
             .f64_field("llc_area_mm2", self.llc_area_mm2)
             .f64_field("approx_fraction", self.approx_fraction);
@@ -86,11 +80,14 @@ impl ResultRow {
     }
 }
 
-/// Export wall-clock records (the `--timing` flag of `repro_all`) as
-/// pretty-printed JSON: one row per (configuration, kernel), a `TOTAL`
-/// row per configuration, per-access microbenchmark rows (see
+/// Export wall-clock records (the `--timing` flag of `repro_all`) as a
+/// pretty-printed `{meta, rows}` JSON object: run provenance (see
+/// [`RunMeta`]) followed by one row per (configuration, kernel), a
+/// `TOTAL` row per configuration, per-access microbenchmark rows (see
 /// [`crate::peraccess`]), and a closing `ALL`/`TOTAL` row with the
-/// process wall-clock and pool worker count.
+/// process wall-clock and pool worker count. The stamp makes trajectory
+/// points attributable — wall-clock numbers are meaningless without the
+/// revision, thread count and host they were measured on.
 ///
 /// # Errors
 ///
@@ -126,7 +123,10 @@ pub fn export_timings(
         .f64_field("secs", total_secs)
         .u64_field("workers", sweep.workers() as u64);
     rows.push(o.finish());
-    std::fs::write(path, array_document(&rows))
+    let mut doc = ObjectWriter::with_indent(0);
+    doc.raw_field("meta", &RunMeta::capture(sweep.scale()).to_json(1))
+        .raw_field("rows", &array_document(&rows));
+    std::fs::write(path, doc.finish())
 }
 
 /// Export every cached run of a sweep as pretty-printed JSON.
@@ -164,5 +164,32 @@ mod tests {
         assert_eq!(arr.len(), 9);
         assert_eq!(arr[0].get("config").unwrap().as_str(), Some("baseline"));
         assert!(arr[0].get("runtime_cycles").unwrap().as_u64().unwrap() > 0);
+        // The LLC counter block is flattened through Snapshot::metrics,
+        // so every field of the struct appears, Doppelgänger ones under
+        // the `llc.dopp.` prefix.
+        assert!(arr[0].get("llc.lookups").unwrap().as_u64().unwrap() > 0);
+        assert!(arr[0].get("llc.dopp.shared_insertions").is_some());
+    }
+
+    #[test]
+    fn timing_export_is_meta_stamped() {
+        let mut sweep = Sweep::new(Scale::Small);
+        sweep.baseline();
+        let dir = std::env::temp_dir().join("dg_bench_results_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("timings.json");
+        export_timings(&sweep, &[], 1.25, &path).unwrap();
+        let doc = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let meta = doc.get("meta").unwrap();
+        assert_eq!(meta.get("scale").unwrap().as_str(), Some("small"));
+        assert!(meta.get("git_sha").unwrap().as_str().is_some());
+        assert!(meta.get("threads").unwrap().as_u64().unwrap() > 0);
+        assert!(meta.get("host").unwrap().as_str().unwrap().contains('-'));
+        let rows = doc.get("rows").unwrap().as_array().unwrap();
+        // 9 kernel rows + the per-config TOTAL + the ALL/TOTAL row.
+        assert_eq!(rows.len(), 11);
+        let last = rows.last().unwrap();
+        assert_eq!(last.get("config").unwrap().as_str(), Some("ALL"));
+        assert_eq!(last.get("secs").unwrap().as_f64(), Some(1.25));
     }
 }

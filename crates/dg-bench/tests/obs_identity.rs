@@ -1,0 +1,82 @@
+//! The observability layer's core contract: instrumentation is
+//! observation-only. Running the evaluation with every gate open
+//! (`Level::Trace` — spans, metrics histograms, structured events all
+//! live) must produce `EvalResult`s byte-identical to a run with
+//! observability fully off.
+//!
+//! This test owns the process-global observability level, which is why
+//! it lives in its own integration-test binary (its own process) —
+//! flipping the level here cannot race with the library's unit tests.
+
+use dg_bench::experiments::{suite, suite_goldens, Scale, SEED};
+use dg_obs::Level;
+use dg_system::{evaluate_with_golden, EvalResult, SystemConfig};
+
+fn run_suite(cfg: SystemConfig) -> Vec<EvalResult> {
+    let scale = Scale::Small;
+    let threads = scale.threads();
+    let goldens = suite_goldens(scale, SEED, threads);
+    suite(scale)
+        .iter()
+        .zip(&goldens)
+        .map(|(k, golden)| evaluate_with_golden(k.as_ref(), cfg, threads, golden))
+        .collect()
+}
+
+fn assert_bit_identical(off: &[EvalResult], traced: &[EvalResult]) {
+    assert_eq!(off.len(), traced.len());
+    for (x, y) in off.iter().zip(traced) {
+        assert_eq!(x.kernel, y.kernel);
+        assert_eq!(x.runtime_cycles, y.runtime_cycles, "{}", x.kernel);
+        assert_eq!(x.instructions, y.instructions, "{}", x.kernel);
+        assert_eq!(x.output_error.to_bits(), y.output_error.to_bits(), "{}", x.kernel);
+        assert_eq!(x.off_chip_blocks, y.off_chip_blocks, "{}", x.kernel);
+        assert_eq!(x.llc, y.llc, "{}", x.kernel);
+        assert_eq!(
+            x.energy.llc_dynamic_pj.to_bits(),
+            y.energy.llc_dynamic_pj.to_bits(),
+            "{}",
+            x.kernel
+        );
+        assert_eq!(
+            x.energy.llc_leakage_pj.to_bits(),
+            y.energy.llc_leakage_pj.to_bits(),
+            "{}",
+            x.kernel
+        );
+        assert_eq!(x.approx_fraction.to_bits(), y.approx_fraction.to_bits(), "{}", x.kernel);
+    }
+}
+
+#[test]
+fn full_trace_level_is_bit_identical_to_off() {
+    let scale = Scale::Small;
+    // Every LLC organization: conventional, split Doppelgänger (the
+    // instrumented occupancy path), unified (the chain-depth path).
+    let configs =
+        [scale.baseline(), scale.split_default(), scale.unified(1, 2)];
+
+    dg_obs::set_level(Level::Off);
+    let off: Vec<Vec<EvalResult>> = configs.iter().map(|&c| run_suite(c)).collect();
+
+    dg_obs::set_level(Level::Trace);
+    dg_obs::configure_events(dg_obs::DEFAULT_EVENT_CAPACITY);
+    let pass_span = dg_obs::span("obs_identity.pass", 0);
+    let traced: Vec<Vec<EvalResult>> = configs.iter().map(|&c| run_suite(c)).collect();
+    drop(pass_span);
+    let spans = dg_obs::take_spans();
+    let events = dg_obs::take_events();
+    dg_obs::set_level(Level::Off);
+
+    for (a, b) in off.iter().zip(&traced) {
+        assert_bit_identical(a, b);
+    }
+
+    // The traced pass must actually have observed something — otherwise
+    // this test silently degrades into off-vs-off.
+    assert!(!spans.is_empty(), "no spans recorded at Level::Trace");
+    assert!(
+        !events.is_empty() || dg_obs::events_dropped() > 0,
+        "no events recorded at Level::Trace"
+    );
+}

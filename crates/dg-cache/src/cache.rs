@@ -2,6 +2,7 @@
 
 use crate::{CacheGeometry, CacheStats, Lru, Replacer, TagArray};
 use dg_mem::{BlockAddr, BlockData};
+use dg_obs::{enabled, Hist64, Level};
 
 /// Tag-side state of one valid cache line.
 ///
@@ -63,6 +64,10 @@ pub struct ConventionalCache<R: Replacer = Lru> {
     /// identical with or without the hint.
     mru: Vec<u32>,
     stats: CacheStats,
+    /// Distribution of per-set occupancy sampled at each fill, recorded
+    /// only at `Level::Metrics` and above. Observation-only: never read
+    /// by the cache itself.
+    occupancy: Hist64,
 }
 
 impl ConventionalCache {
@@ -82,6 +87,7 @@ impl<R: Replacer> ConventionalCache<R> {
             data,
             mru: vec![0; geom.sets()],
             stats: CacheStats::default(),
+            occupancy: Hist64::new(),
         }
     }
 
@@ -103,6 +109,20 @@ impl<R: Replacer> ConventionalCache<R> {
     /// Reset statistics (e.g. after warm-up).
     pub fn reset_stats(&mut self) {
         self.stats = CacheStats::default();
+        self.occupancy = Hist64::new();
+    }
+
+    /// Distribution of per-set occupancy at fill time (empty unless the
+    /// run was profiled at `Level::Metrics` or above).
+    pub fn occupancy_hist(&self) -> &Hist64 {
+        &self.occupancy
+    }
+
+    /// Sample the occupancy of `set` after a fill. Out of line so the
+    /// fill paths only pay the level check when profiling is off.
+    #[cold]
+    fn record_occupancy(&mut self, set: usize) {
+        self.occupancy.record(self.array.occupancy(set) as u64);
     }
 
     /// Check the set's MRU way hint before committing to a full scan.
@@ -284,6 +304,9 @@ impl<R: Replacer> ConventionalCache<R> {
             Evicted { addr: geom.block_addr(l.tag, set), dirty: l.dirty, data: self.data[slot] }
         });
         self.data[slot] = *data;
+        if enabled(Level::Metrics) {
+            self.record_occupancy(set);
+        }
         out
     }
 
@@ -315,6 +338,9 @@ impl<R: Replacer> ConventionalCache<R> {
             (geom.block_addr(l.tag, set), l.dirty)
         });
         self.data[slot] = *data;
+        if enabled(Level::Metrics) {
+            self.record_occupancy(set);
+        }
         out
     }
 

@@ -1,5 +1,6 @@
 //! Cache statistics accounting.
 
+use dg_obs::Snapshot;
 use std::fmt;
 use std::ops::AddAssign;
 
@@ -89,6 +90,20 @@ impl CacheStats {
     #[inline]
     pub fn record_invalidation(&mut self) {
         self.invalidations += 1;
+    }
+}
+
+impl Snapshot for CacheStats {
+    fn metrics(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("hits", self.hits),
+            ("misses", self.misses),
+            ("insertions", self.insertions),
+            ("evictions", self.evictions),
+            ("dirty_evictions", self.dirty_evictions),
+            ("invalidations", self.invalidations),
+            ("accesses", self.accesses()),
+        ]
     }
 }
 

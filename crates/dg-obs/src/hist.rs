@@ -1,0 +1,185 @@
+//! A log2-bucketed histogram of `u64` samples.
+
+/// Number of buckets: one for zero plus one per possible bit length.
+const BUCKETS: usize = 65;
+
+/// A fixed-size, allocation-free histogram with logarithmic (power of
+/// two) buckets: bucket 0 counts zeros, bucket `i ≥ 1` counts values in
+/// `[2^(i-1), 2^i)`.
+///
+/// The shape is chosen for the distributions the simulator cares about
+/// — per-access latencies, sharing-list lengths, buffer residencies —
+/// which span several orders of magnitude but only need coarse
+/// resolution. Recording is two array index operations plus a handful
+/// of integer updates, cheap enough for per-access paths (behind an
+/// [`crate::enabled`] gate).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Hist64 {
+    counts: [u64; BUCKETS],
+    total: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Hist64 {
+    fn default() -> Self {
+        Hist64 { counts: [0; BUCKETS], total: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+}
+
+impl Hist64 {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bucket index `value` falls into: 0 for zero, otherwise the
+    /// value's bit length (so `[2^(i-1), 2^i)` maps to bucket `i`).
+    #[inline]
+    pub fn bucket_of(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// Half-open value range `[lo, hi)` covered by bucket `i`; the top
+    /// bucket's upper bound saturates at `u64::MAX`.
+    pub fn bucket_bounds(i: usize) -> (u64, u64) {
+        assert!(i < BUCKETS, "bucket index out of range");
+        if i == 0 {
+            (0, 1)
+        } else {
+            (1 << (i - 1), if i == 64 { u64::MAX } else { 1 << i })
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket_of(value)] += 1;
+        self.total += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, if any were recorded.
+    pub fn min(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.min)
+    }
+
+    /// Largest sample, if any were recorded.
+    pub fn max(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.max)
+    }
+
+    /// Arithmetic mean of the samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// The raw per-bucket counts.
+    pub fn buckets(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// `(bucket_index, count)` for every non-empty bucket, ascending.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.counts.iter().enumerate().filter(|(_, &c)| c > 0).map(|(i, &c)| (i, c))
+    }
+
+    /// Merge another histogram into this one. Merging is commutative
+    /// and associative, so per-worker histograms can be combined in any
+    /// order (min/max/sum/count all compose).
+    pub fn merge(&mut self, other: &Hist64) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_value_space() {
+        assert_eq!(Hist64::bucket_of(0), 0);
+        assert_eq!(Hist64::bucket_of(1), 1);
+        assert_eq!(Hist64::bucket_of(2), 2);
+        assert_eq!(Hist64::bucket_of(3), 2);
+        assert_eq!(Hist64::bucket_of(4), 3);
+        assert_eq!(Hist64::bucket_of(u64::MAX), 64);
+        for i in 0..BUCKETS {
+            let (lo, hi) = Hist64::bucket_bounds(i);
+            assert_eq!(Hist64::bucket_of(lo), i, "lower bound of bucket {i}");
+            assert_eq!(Hist64::bucket_of(hi - 1), i, "last value of bucket {i}");
+        }
+    }
+
+    #[test]
+    fn record_tracks_summary_stats() {
+        let mut h = Hist64::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.mean(), 0.0);
+        for v in [3u64, 0, 170, 3] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 176);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(170));
+        assert_eq!(h.mean(), 44.0);
+        let nz: Vec<_> = h.nonzero_buckets().collect();
+        assert_eq!(nz, vec![(0, 1), (2, 2), (8, 1)]);
+    }
+
+    #[test]
+    fn merge_matches_recording_everything_into_one() {
+        let values_a = [0u64, 1, 7, 1 << 40];
+        let values_b = [2u64, 2, 9000];
+        let mut a = Hist64::new();
+        let mut b = Hist64::new();
+        let mut all = Hist64::new();
+        for v in values_a {
+            a.record(v);
+            all.record(v);
+        }
+        for v in values_b {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn merging_an_empty_histogram_is_identity() {
+        let mut h = Hist64::new();
+        h.record(5);
+        let before = h.clone();
+        h.merge(&Hist64::new());
+        assert_eq!(h, before);
+        let mut empty = Hist64::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+}

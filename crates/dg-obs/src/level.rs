@@ -1,0 +1,77 @@
+//! The process-global observability level.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// How much the observability layer records, ordered from nothing to
+/// everything. Each level implies all cheaper ones.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Nothing is recorded; every instrumentation site costs one
+    /// predictable branch. The default.
+    Off = 0,
+    /// Span timers only (phase / worker-job wall-clock).
+    Spans = 1,
+    /// Spans plus metrics: counters, gauges, and histograms updated on
+    /// the simulation's per-access paths.
+    Metrics = 2,
+    /// Everything, including the structured event ring. The most
+    /// expensive mode — events take a global lock per emit.
+    Trace = 3,
+}
+
+/// The global level. `Relaxed` is sufficient: the level is a pure
+/// sampling knob — instrumentation reads it without ordering any other
+/// memory, and a racing `set_level` merely moves the boundary of which
+/// accesses get recorded, never simulation behaviour.
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Off as u8);
+
+/// Set the process-global observability level.
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current process-global observability level.
+pub fn level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Off,
+        1 => Level::Spans,
+        2 => Level::Metrics,
+        _ => Level::Trace,
+    }
+}
+
+/// Whether recording at `at` is currently enabled — the one-load,
+/// one-branch gate every instrumentation site goes through.
+#[inline(always)]
+pub fn enabled(at: Level) -> bool {
+    LEVEL.load(Ordering::Relaxed) >= at as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // All level manipulation lives in this single test: tests in one
+    // binary run concurrently and the level is process-global.
+    #[test]
+    fn levels_are_ordered_and_gate_correctly() {
+        assert_eq!(level(), Level::Off);
+        assert!(enabled(Level::Off), "Off-level checks are vacuously on");
+        assert!(!enabled(Level::Spans));
+
+        set_level(Level::Metrics);
+        assert_eq!(level(), Level::Metrics);
+        assert!(enabled(Level::Spans));
+        assert!(enabled(Level::Metrics));
+        assert!(!enabled(Level::Trace));
+
+        set_level(Level::Trace);
+        assert!(enabled(Level::Trace));
+
+        set_level(Level::Off);
+        assert_eq!(level(), Level::Off);
+        assert!(Level::Off < Level::Spans && Level::Spans < Level::Metrics);
+        assert!(Level::Metrics < Level::Trace);
+    }
+}

@@ -1,0 +1,76 @@
+//! Observability substrate for the simulated machine: structured event
+//! tracing, a metrics registry, and span-based profiling — with a
+//! disabled cost of one predictable branch per instrumentation point.
+//!
+//! The simulator's correctness story is built on bit-identity (every
+//! optimization PR proves its outputs byte-identical to the naive
+//! reference; see `dg-oracle`), so instrumentation must be *observation
+//! only*: nothing in this crate may feed back into simulation state.
+//! Three mechanisms enforce the contract:
+//!
+//! * **Runtime gating** ([`Level`], [`enabled`]): a process-global
+//!   atomic level, read with a single `Relaxed` load. At
+//!   [`Level::Off`] (the default) every instrumentation site is one
+//!   load + one never-taken branch — cheap enough for the per-access
+//!   hot paths of `dg-system`.
+//! * **Value-free recording**: histograms ([`Hist64`]) and counters
+//!   record into plain struct fields owned by the instrumented
+//!   structure; events and spans go to process-global sinks that the
+//!   simulation never reads back.
+//! * **No time, no randomness in metrics**: everything recorded about
+//!   the *simulated* machine is derived from deterministic simulation
+//!   state (cycle counts, set occupancies, list lengths). Host
+//!   wall-clock appears only in [`span`] records and event timestamps,
+//!   which exist purely for profiling exports.
+//!
+//! The crate is a leaf: no dependencies, so every layer of the
+//! workspace (`dg-cache`, `doppelganger`, `dg-system`, `dg-par`,
+//! `dg-bench`) can depend on it without cycles. JSON export of the
+//! collected data lives in `dg-bench` (`dg_bench::json`), keeping this
+//! crate free of any serialization policy.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod hist;
+mod level;
+mod metrics;
+mod ring;
+mod snapshot;
+mod span;
+
+pub use hist::Hist64;
+pub use level::{enabled, level, set_level, Level};
+pub use metrics::{Metric, Registry};
+pub use ring::{
+    configure_events, emit, events_dropped, take_events, Event, EventRing, DEFAULT_EVENT_CAPACITY,
+};
+pub use snapshot::Snapshot;
+pub use span::{now_us, span, take_spans, SpanGuard, SpanRecord};
+
+/// Record a structured trace event if observability is at `$level` or
+/// above. Expands to one [`enabled`] check guarding an [`emit`] call,
+/// so the disabled cost is a single predictable branch and the argument
+/// expressions are never evaluated.
+///
+/// ```
+/// dg_obs::event!(dg_obs::Level::Trace, "llc.miss", 0x40u64, 2u64);
+/// ```
+#[macro_export]
+macro_rules! event {
+    ($lvl:expr, $kind:expr) => {
+        if $crate::enabled($lvl) {
+            $crate::emit($kind, 0, 0);
+        }
+    };
+    ($lvl:expr, $kind:expr, $a:expr) => {
+        if $crate::enabled($lvl) {
+            $crate::emit($kind, $a as u64, 0);
+        }
+    };
+    ($lvl:expr, $kind:expr, $a:expr, $b:expr) => {
+        if $crate::enabled($lvl) {
+            $crate::emit($kind, $a as u64, $b as u64);
+        }
+    };
+}

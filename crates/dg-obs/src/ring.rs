@@ -1,0 +1,218 @@
+//! Fixed-capacity event ring buffer and the process-global event sink.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use crate::span::now_us;
+
+/// Default capacity of the global event sink: enough to hold the tail
+/// of a small profiled run without unbounded memory growth.
+pub const DEFAULT_EVENT_CAPACITY: usize = 1 << 16;
+
+/// A bounded FIFO that drops the *oldest* entry when full, counting
+/// what it dropped. Keeping the newest events is the right policy for
+/// post-mortem tracing: the interesting part of a trace is almost
+/// always its end.
+#[derive(Debug)]
+pub struct EventRing<T> {
+    buf: VecDeque<T>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl<T> EventRing<T> {
+    /// A ring holding at most `capacity` entries (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        EventRing { buf: VecDeque::with_capacity(capacity), capacity, dropped: 0 }
+    }
+
+    /// Append an entry, evicting the oldest one if the ring is full.
+    pub fn push(&mut self, item: T) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(item);
+    }
+
+    /// Entries currently held, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.buf.iter()
+    }
+
+    /// Number of entries currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Maximum number of entries the ring can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// How many entries have been evicted to make room since creation.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Drain all held entries, oldest first, leaving the ring empty
+    /// (the dropped count is preserved).
+    pub fn drain(&mut self) -> Vec<T> {
+        self.buf.drain(..).collect()
+    }
+}
+
+/// One structured trace event. `kind` is a static string naming the
+/// event ("llc.miss", "dir.back_inval", …); `a` and `b` are
+/// event-specific payloads (addresses, counts). The flat two-word
+/// payload keeps emission allocation-free.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Monotonic sequence number, global across the process.
+    pub seq: u64,
+    /// Microseconds since the profiling epoch (see [`now_us`]).
+    pub ts_us: u64,
+    /// Static name of the event kind.
+    pub kind: &'static str,
+    /// First payload word; meaning depends on `kind`.
+    pub a: u64,
+    /// Second payload word; meaning depends on `kind`.
+    pub b: u64,
+}
+
+struct Sink {
+    ring: EventRing<Event>,
+    next_seq: u64,
+}
+
+static SINK: Mutex<Option<Sink>> = Mutex::new(None);
+
+fn with_sink<R>(f: impl FnOnce(&mut Sink) -> R) -> R {
+    let mut guard = SINK.lock().unwrap_or_else(|e| e.into_inner());
+    let sink = guard
+        .get_or_insert_with(|| Sink { ring: EventRing::new(DEFAULT_EVENT_CAPACITY), next_seq: 0 });
+    f(sink)
+}
+
+/// Record an event into the global sink. Prefer the [`crate::event!`]
+/// macro, which gates on [`crate::enabled`] first; calling this
+/// directly records unconditionally.
+pub fn emit(kind: &'static str, a: u64, b: u64) {
+    let ts_us = now_us();
+    with_sink(|s| {
+        let seq = s.next_seq;
+        s.next_seq += 1;
+        s.ring.push(Event { seq, ts_us, kind, a, b });
+    });
+}
+
+/// Replace the global sink with an empty ring of the given capacity,
+/// discarding any held events and resetting the dropped count (the
+/// sequence counter keeps running).
+pub fn configure_events(capacity: usize) {
+    let mut guard = SINK.lock().unwrap_or_else(|e| e.into_inner());
+    let next_seq = guard.as_ref().map_or(0, |s| s.next_seq);
+    *guard = Some(Sink { ring: EventRing::new(capacity), next_seq });
+}
+
+/// Drain all buffered events, oldest first.
+pub fn take_events() -> Vec<Event> {
+    with_sink(|s| s.ring.drain())
+}
+
+/// How many events the global sink has evicted since it was last
+/// configured.
+pub fn events_dropped() -> u64 {
+    with_sink(|s| s.ring.dropped())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_fifo_under_capacity() {
+        let mut r = EventRing::new(4);
+        assert!(r.is_empty());
+        r.push(1);
+        r.push(2);
+        r.push(3);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 0);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ring_drops_oldest_when_full() {
+        let mut r = EventRing::new(3);
+        for v in 0..7 {
+            r.push(v);
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 4);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn capacity_one_keeps_only_newest() {
+        let mut r = EventRing::new(1);
+        r.push("a");
+        r.push("b");
+        r.push("c");
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.dropped(), 2);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec!["c"]);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut r = EventRing::new(0);
+        assert_eq!(r.capacity(), 1);
+        r.push(42);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn drain_empties_but_keeps_dropped_count() {
+        let mut r = EventRing::new(2);
+        for v in 0..5 {
+            r.push(v);
+        }
+        assert_eq!(r.drain(), vec![3, 4]);
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 3);
+    }
+
+    // The global sink is process-wide, so all of its assertions live in
+    // one test to avoid cross-test interference.
+    #[test]
+    fn global_sink_records_in_sequence() {
+        configure_events(8);
+        emit("test.alpha", 1, 2);
+        emit("test.beta", 3, 0);
+        let events = take_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, "test.alpha");
+        assert_eq!(events[0].a, 1);
+        assert_eq!(events[0].b, 2);
+        assert!(events[1].seq > events[0].seq);
+        assert!(events[1].ts_us >= events[0].ts_us);
+        assert!(take_events().is_empty());
+
+        configure_events(2);
+        for i in 0..5 {
+            emit("test.overflow", i, 0);
+        }
+        assert_eq!(events_dropped(), 3);
+        let tail = take_events();
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].a, 3);
+        assert_eq!(tail[1].a, 4);
+    }
+}

@@ -1,0 +1,48 @@
+//! The [`Snapshot`] trait: a uniform, enumerable view of counter
+//! structs.
+
+/// A structure whose state can be enumerated as named metrics.
+///
+/// The simulator accumulates counters in several terminal structs
+/// (`CacheStats`, `LlcCounters`, `DoppStats`, `ErrorStats`). Exporters
+/// and the lockstep oracle used to hand-list their fields, which made
+/// it easy for a newly added counter to be silently left out of the
+/// JSON export or the divergence cross-check. Implementations of this
+/// trait are the single authoritative field list: `metrics` must
+/// enumerate *every* integer field (derived values may be appended),
+/// so a `zip` over two snapshots of the same type compares the structs
+/// exhaustively.
+pub trait Snapshot {
+    /// Every integer metric as `(name, value)`, in a fixed order that
+    /// is identical across instances of the same type.
+    fn metrics(&self) -> Vec<(&'static str, u64)>;
+
+    /// Floating-point metrics, for structs (like error statistics)
+    /// whose natural domain is not integral. Empty by default.
+    fn float_metrics(&self) -> Vec<(&'static str, f64)> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Pair {
+        a: u64,
+        b: u64,
+    }
+
+    impl Snapshot for Pair {
+        fn metrics(&self) -> Vec<(&'static str, u64)> {
+            vec![("a", self.a), ("b", self.b)]
+        }
+    }
+
+    #[test]
+    fn default_float_metrics_is_empty() {
+        let p = Pair { a: 1, b: 2 };
+        assert_eq!(p.metrics(), vec![("a", 1), ("b", 2)]);
+        assert!(p.float_metrics().is_empty());
+    }
+}

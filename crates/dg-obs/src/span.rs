@@ -1,0 +1,124 @@
+//! Span-based wall-clock profiling.
+//!
+//! A span measures the host wall-clock duration of a region of code —
+//! a sweep phase, a worker job — and records it into a process-global
+//! list on drop. Spans never touch simulation state; they exist purely
+//! so `dg-bench` can export a Chrome `trace_event` timeline.
+
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::level::{enabled, Level};
+
+/// The profiling epoch: all timestamps are microseconds since the first
+/// call to [`now_us`] in the process. A relative epoch keeps timestamps
+/// small and Chrome-trace friendly.
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+static SPANS: Mutex<Vec<SpanRecord>> = Mutex::new(Vec::new());
+
+/// Microseconds elapsed since the process profiling epoch.
+pub fn now_us() -> u64 {
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    epoch.elapsed().as_micros() as u64
+}
+
+/// One completed span: a named region with its logical thread id and
+/// wall-clock extent in microseconds since the epoch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Static name of the region ("sweep.batch", "par.job", …).
+    pub name: &'static str,
+    /// Logical thread id — worker index for pool jobs, 0 for serial.
+    pub tid: u64,
+    /// Start time, microseconds since the epoch.
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+}
+
+/// RAII timer returned by [`span`]. Records a [`SpanRecord`] when
+/// dropped — if spans were enabled when it was created.
+#[derive(Debug)]
+pub struct SpanGuard {
+    name: &'static str,
+    tid: u64,
+    start_us: u64,
+    active: bool,
+}
+
+impl SpanGuard {
+    /// Whether this guard will record on drop.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        let end = now_us();
+        let record = SpanRecord {
+            name: self.name,
+            tid: self.tid,
+            start_us: self.start_us,
+            dur_us: end.saturating_sub(self.start_us),
+        };
+        SPANS.lock().unwrap_or_else(|e| e.into_inner()).push(record);
+    }
+}
+
+/// Start timing a region. The guard records on drop when the level is
+/// at least [`Level::Spans`]; otherwise it is inert and costs one
+/// branch to create and one to drop.
+pub fn span(name: &'static str, tid: u64) -> SpanGuard {
+    let active = enabled(Level::Spans);
+    SpanGuard { name, tid, start_us: if active { now_us() } else { 0 }, active }
+}
+
+/// Drain all recorded spans, in completion order.
+pub fn take_spans() -> Vec<SpanRecord> {
+    std::mem::take(&mut *SPANS.lock().unwrap_or_else(|e| e.into_inner()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::level::set_level;
+
+    #[test]
+    fn now_us_is_monotonic() {
+        let a = now_us();
+        let b = now_us();
+        assert!(b >= a);
+    }
+
+    // Global level + global span list: one test owns both.
+    #[test]
+    fn spans_record_only_when_enabled() {
+        let _ = take_spans();
+        {
+            let g = span("test.off", 0);
+            assert!(!g.is_active());
+        }
+        assert!(take_spans().is_empty(), "inactive guard must not record");
+
+        set_level(Level::Spans);
+        {
+            let _outer = span("test.outer", 0);
+            let _inner = span("test.inner", 7);
+        }
+        set_level(Level::Off);
+
+        let spans = take_spans();
+        assert_eq!(spans.len(), 2);
+        // Inner drops first.
+        assert_eq!(spans[0].name, "test.inner");
+        assert_eq!(spans[0].tid, 7);
+        assert_eq!(spans[1].name, "test.outer");
+        assert!(spans[1].start_us <= spans[0].start_us);
+        assert!(take_spans().is_empty());
+    }
+}

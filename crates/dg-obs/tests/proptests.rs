@@ -1,0 +1,100 @@
+//! Property tests for the observability primitives (dg-check harness).
+
+use dg_check::{any, props, vec};
+use dg_obs::{EventRing, Hist64};
+
+props! {
+    /// Bucket boundaries are monotone and partition the u64 space:
+    /// every value maps to exactly one bucket whose bounds contain it.
+    fn hist_bucket_monotone_and_containing(value in any::<u64>()) {
+        let i = Hist64::bucket_of(value);
+        let (lo, hi) = Hist64::bucket_bounds(i);
+        assert!(lo <= value, "value {value} below bucket {i} lower bound {lo}");
+        if i < 64 {
+            assert!(value < hi, "value {value} at/above bucket {i} upper bound {hi}");
+        }
+        if i > 0 {
+            let (prev_lo, prev_hi) = Hist64::bucket_bounds(i - 1);
+            assert!(prev_lo < lo && prev_hi == lo, "buckets must tile contiguously");
+        }
+    }
+
+    /// Count conservation: after recording N samples, the total and the
+    /// per-bucket counts both sum to N, and sum/min/max match a direct
+    /// fold over the samples.
+    fn hist_count_conservation(samples in vec(any::<u64>(), 0..300)) {
+        let mut h = Hist64::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let n = samples.len() as u64;
+        assert_eq!(h.count(), n);
+        assert_eq!(h.buckets().iter().sum::<u64>(), n);
+        let mut sum = 0u64;
+        for &s in &samples {
+            sum = sum.saturating_add(s);
+        }
+        assert_eq!(h.sum(), sum);
+        assert_eq!(h.min(), samples.iter().copied().min());
+        assert_eq!(h.max(), samples.iter().copied().max());
+    }
+
+    /// Merge is associative and order-independent: (a ∪ b) ∪ c equals
+    /// a ∪ (b ∪ c) equals recording every sample into one histogram.
+    fn hist_merge_associative(
+        xs in vec(any::<u64>(), 0..100),
+        ys in vec(any::<u64>(), 0..100),
+        zs in vec(any::<u64>(), 0..100),
+    ) {
+        let build = |samples: &[u64]| {
+            let mut h = Hist64::new();
+            for &s in samples {
+                h.record(s);
+            }
+            h
+        };
+        let (a, b, c) = (build(&xs), build(&ys), build(&zs));
+
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+
+        let mut flat = Hist64::new();
+        for &s in xs.iter().chain(&ys).chain(&zs) {
+            flat.record(s);
+        }
+
+        assert_eq!(left, right);
+        assert_eq!(left, flat);
+    }
+
+    /// Ring wraparound: after pushing any sequence into a ring of any
+    /// capacity, the ring holds exactly the newest min(len, cap) items
+    /// in push order and reports the rest as dropped.
+    fn ring_keeps_newest_in_order(items in vec(any::<u32>(), 0..200), cap in 1usize..16) {
+        let mut ring = EventRing::new(cap);
+        for &it in &items {
+            ring.push(it);
+        }
+        let kept = items.len().min(cap);
+        assert_eq!(ring.len(), kept);
+        assert_eq!(ring.dropped(), (items.len() - kept) as u64);
+        let got: Vec<u32> = ring.iter().copied().collect();
+        assert_eq!(got, items[items.len() - kept..]);
+    }
+
+    /// Capacity-1 ring degenerates to "last item wins".
+    fn ring_capacity_one_is_last_item(items in vec(any::<u32>(), 1..100)) {
+        let mut ring = EventRing::new(1);
+        for &it in &items {
+            ring.push(it);
+        }
+        assert_eq!(ring.iter().copied().collect::<Vec<_>>(), vec![*items.last().unwrap()]);
+        assert_eq!(ring.dropped(), items.len() as u64 - 1);
+    }
+}

@@ -3,6 +3,7 @@
 
 use crate::OracleSystem;
 use dg_mem::Trace;
+use dg_obs::Snapshot;
 use dg_system::{System, SystemConfig};
 use std::fmt;
 
@@ -176,6 +177,35 @@ pub fn lockstep_verbose(
     })
 }
 
+/// Compare two counter structs through their [`Snapshot`] metric lists,
+/// so a divergence names the exact counter (`"l1_stats.hits"`) instead
+/// of dumping both structs. The equality gate is the derived
+/// `PartialEq` (exhaustive by construction); the metric walk — and its
+/// allocations — only happens on the failing access.
+fn check_snapshot<S: Snapshot + PartialEq>(
+    index: usize,
+    core: usize,
+    prefix: &str,
+    fast: &S,
+    slow: &S,
+) -> Result<(), Box<Divergence>> {
+    if fast == slow {
+        return Ok(());
+    }
+    for ((name, f), (slow_name, s)) in fast.metrics().into_iter().zip(slow.metrics()) {
+        debug_assert_eq!(name, slow_name, "Snapshot metric order must be type-fixed");
+        check!(index, core, format!("{prefix}.{name}"), f, s);
+    }
+    for ((name, f), (_, s)) in fast.float_metrics().into_iter().zip(slow.float_metrics()) {
+        check!(index, core, format!("{prefix}.{name}"), f.to_bits(), s.to_bits());
+    }
+    // The structs differ but every enumerated metric agrees: the
+    // Snapshot impl is missing a field. Fail loudly rather than let the
+    // divergence slip through the cross-check.
+    check!(index, core, format!("{prefix} (field missing from Snapshot::metrics)"), 0u8, 1u8);
+    Ok(())
+}
+
 /// The cheap per-access comparison: every counter both engines expose.
 fn compare_counters(
     index: usize,
@@ -188,9 +218,9 @@ fn compare_counters(
     check!(index, core, "off_chip_reads", fast.off_chip_reads(), slow.off_chip_reads());
     check!(index, core, "off_chip_writes", fast.off_chip_writes(), slow.off_chip_writes());
     check!(index, core, "back_invalidations", fast.back_invalidations(), slow.back_invalidations());
-    check!(index, core, "l1_stats", fast.l1_stats(), slow.l1_stats());
-    check!(index, core, "l2_stats", fast.l2_stats(), slow.l2_stats());
-    check!(index, core, "llc_counters", fast.llc_counters(), slow.llc_counters());
+    check_snapshot(index, core, "l1_stats", &fast.l1_stats(), &slow.l1_stats())?;
+    check_snapshot(index, core, "l2_stats", &fast.l2_stats(), &slow.l2_stats())?;
+    check_snapshot(index, core, "llc_counters", &fast.llc_counters(), &slow.llc_counters())?;
     Ok(())
 }
 

@@ -125,7 +125,9 @@ impl Pool {
             let mut job_times = Vec::with_capacity(n_jobs);
             for job in jobs {
                 let t0 = Instant::now();
+                let _span = dg_obs::span("par.job", 0);
                 results.push(job());
+                drop(_span);
                 job_times.push(t0.elapsed());
             }
             let report = RunReport { job_times, elapsed: start.elapsed(), steals: 0, workers: 1 };
@@ -180,7 +182,9 @@ impl Pool {
                         steals.fetch_add(1, Ordering::Relaxed);
                     }
                     let t0 = Instant::now();
+                    let span = dg_obs::span("par.job", me as u64);
                     let outcome = catch_unwind(AssertUnwindSafe(job.run));
+                    drop(span);
                     let dt = t0.elapsed();
                     *slots[job.index].lock().unwrap() = match outcome {
                         Ok(value) => Slot::Done(value, dt),

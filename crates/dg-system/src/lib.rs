@@ -45,7 +45,7 @@ pub use llc::{DisplacedBlock, Llc, LlcAccess, LlcCounters, LlcOutcome};
 pub use replay::{capture_trace, replay};
 pub use runner::{
     assert_baseline_exact, collect_snapshots, evaluate, evaluate_and_snapshots,
-    evaluate_with_golden, golden_output, run_on_system, run_on_system_sampled, self_error,
-    EvalResult, PhaseSnapshot,
+    evaluate_profiled, evaluate_with_golden, golden_output, run_on_system,
+    run_on_system_sampled, self_error, EvalResult, PhaseSnapshot,
 };
 pub use system::{CoreMemory, System};

@@ -4,6 +4,7 @@
 use crate::{LlcKind, SystemConfig};
 use dg_cache::{CacheGeometry, CacheStats, ConventionalCache};
 use dg_mem::{ApproxRegion, BlockAddr, BlockData, MemoryImage};
+use dg_obs::{Hist64, Snapshot};
 use doppelganger::{Displaced, DoppStats, DoppelgangerCache, WriteStatus};
 
 /// A block pushed out of the LLC (eviction or Doppelgänger data-entry
@@ -78,6 +79,41 @@ impl LlcCounters {
         } else {
             self.misses() as f64 * 1000.0 / instructions as f64
         }
+    }
+}
+
+impl Snapshot for LlcCounters {
+    fn metrics(&self) -> Vec<(&'static str, u64)> {
+        // Flatten the embedded DoppStats under `dopp.` so one zip over
+        // two snapshots compares the whole struct field-for-field.
+        let out = vec![
+            ("precise_tag_accesses", self.precise_tag_accesses),
+            ("precise_data_accesses", self.precise_data_accesses),
+            ("lookups", self.lookups),
+            ("hits", self.hits),
+            ("misses", self.misses()),
+            ("dopp.hits", self.dopp.hits),
+            ("dopp.misses", self.dopp.misses),
+            ("dopp.insertions", self.dopp.insertions),
+            ("dopp.shared_insertions", self.dopp.shared_insertions),
+            ("dopp.precise_insertions", self.dopp.precise_insertions),
+            ("dopp.map_generations", self.dopp.map_generations),
+            ("dopp.tag_evictions", self.dopp.tag_evictions),
+            ("dopp.data_evictions", self.dopp.data_evictions),
+            ("dopp.back_invalidations", self.dopp.back_invalidations),
+            ("dopp.writes", self.dopp.writes),
+            ("dopp.silent_writes", self.dopp.silent_writes),
+            ("dopp.moved_writes", self.dopp.moved_writes),
+            ("dopp.tag_array_accesses", self.dopp.tag_array_accesses),
+            ("dopp.mtag_accesses", self.dopp.mtag_accesses),
+            ("dopp.data_accesses", self.dopp.data_accesses),
+        ];
+        debug_assert_eq!(
+            out.len() - 5,
+            self.dopp.metrics().len() - 1, // minus the derived "lookups"
+            "LlcCounters flattening fell out of sync with DoppStats"
+        );
+        out
     }
 }
 
@@ -261,6 +297,27 @@ impl Llc {
             Llc::Baseline(_) => 0.0,
             Llc::Split { doppel, .. } => doppel.avg_tags_per_data(),
             Llc::Unified(d) => d.avg_tags_per_data(),
+        }
+    }
+
+    /// Distribution of conventional-partition set occupancy at fill
+    /// time (the baseline cache, or the precise half of the split
+    /// design; empty for uniDoppelgänger and unprofiled runs).
+    pub fn occupancy_hist(&self) -> Hist64 {
+        match self {
+            Llc::Baseline(c) => c.occupancy_hist().clone(),
+            Llc::Split { precise, .. } => precise.occupancy_hist().clone(),
+            Llc::Unified(_) => Hist64::new(),
+        }
+    }
+
+    /// Distribution of Doppelgänger sharing-list length at shared-insert
+    /// time (empty for the baseline and unprofiled runs).
+    pub fn chain_depth_hist(&self) -> Hist64 {
+        match self {
+            Llc::Baseline(_) => Hist64::new(),
+            Llc::Split { doppel, .. } => doppel.chain_depth_hist().clone(),
+            Llc::Unified(d) => d.chain_depth_hist().clone(),
         }
     }
 

@@ -117,6 +117,22 @@ pub fn evaluate_with_golden(
     build_result(kernel, cfg, &sys, &output, &fractions, golden)
 }
 
+/// [`evaluate_with_golden`] plus a full metric snapshot of the final
+/// system state (see [`System::metrics_registry`]). The registry holds
+/// the hot-path histograms only when the process observability level is
+/// `Metrics` or above for the duration of the run; the simulation
+/// itself is bit-identical either way.
+pub fn evaluate_profiled(
+    kernel: &dyn Kernel,
+    cfg: SystemConfig,
+    threads: usize,
+    golden: &[f64],
+) -> (EvalResult, dg_obs::Registry) {
+    let (sys, output, fractions) = run_on_system_sampled(kernel, cfg, threads);
+    let registry = sys.metrics_registry();
+    (build_result(kernel, cfg, &sys, &output, &fractions, golden), registry)
+}
+
 /// One combined run producing both the [`EvalResult`] and the per-phase
 /// approximate-block snapshots. Lets a baseline run be shared between
 /// the sweep tables and the Fig. 2/7/8 similarity analyses instead of

@@ -12,6 +12,7 @@
 use crate::{DisplacedBlock, Llc, LlcCounters, SystemConfig};
 use dg_cache::{CacheGeometry, CacheStats, ConventionalCache, Sharers, WritebackBuffer};
 use dg_mem::{Addr, AnnotationTable, ApproxRegion, BlockAddr, BlockData, Memory, MemoryImage};
+use dg_obs::{enabled, event, Hist64, Level, Registry};
 use dg_par::FxHashMap;
 
 /// The simulated system.
@@ -38,6 +39,12 @@ pub struct System {
     insts: Vec<u64>,
     off_chip_reads: u64,
     back_invalidations: u64,
+    /// End-to-end latency (cycles) of each core load/store, recorded
+    /// only at `Level::Metrics` and above. Observation-only.
+    access_latency: Hist64,
+    /// Writeback-buffer depth sampled before each drain, recorded only
+    /// at `Level::Metrics` and above. Observation-only.
+    wb_residency: Hist64,
 }
 
 impl System {
@@ -67,6 +74,8 @@ impl System {
             insts: vec![0; cfg.cores],
             off_chip_reads: 0,
             back_invalidations: 0,
+            access_latency: Hist64::new(),
+            wb_residency: Hist64::new(),
             cfg,
         }
     }
@@ -92,25 +101,44 @@ impl System {
         self.insts[core] += ops as u64;
     }
 
+    /// Sample the latency of the access that started when `core` was at
+    /// `c0` cycles. Hist update out of line: the hot paths pay only the
+    /// level check while profiling is off.
+    #[inline(always)]
+    fn obs_record_latency(&mut self, core: usize, c0: u64) {
+        if enabled(Level::Metrics) {
+            self.obs_record_latency_slow(core, c0);
+        }
+    }
+
+    #[cold]
+    fn obs_record_latency_slow(&mut self, core: usize, c0: u64) {
+        self.access_latency.record(self.cycles[core] - c0);
+    }
+
     /// Perform a load of `buf.len()` bytes at `addr` on `core`.
     pub fn load(&mut self, core: usize, addr: Addr, buf: &mut [u8]) {
         self.insts[core] += 1;
         let block = addr.block();
         let off = addr.block_offset();
+        let c0 = self.cycles[core];
         // L1 hit fast path: one set scan, bytes copied straight out of
         // the line (same LRU/stats effects as the general path).
         self.cycles[core] += self.cfg.l1_latency;
         if self.l1[core].read_bytes(block, off, buf) {
+            self.obs_record_latency(core, c0);
             return;
         }
         let data = self.l1_miss(core, block, false);
         buf.copy_from_slice(&data.as_bytes()[off..off + buf.len()]);
+        self.obs_record_latency(core, c0);
     }
 
     /// Perform a store of `bytes` at `addr` on `core`.
     pub fn store(&mut self, core: usize, addr: Addr, bytes: &[u8]) {
         self.insts[core] += 1;
         let block = addr.block();
+        let c0 = self.cycles[core];
         self.cycles[core] += self.cfg.l1_latency;
         // L1 store-hit fast path: one scan locates the line, then the
         // ownership upgrade runs before the bytes land. The directory
@@ -126,11 +154,13 @@ impl System {
                 self.acquire_ownership(core, block);
             }
             self.l1[core].write_at(set, way, block, addr.block_offset(), bytes);
+            self.obs_record_latency(core, c0);
             return;
         }
         self.l1_miss(core, block, true);
         let wrote = self.l1[core].write_bytes(block, addr.block_offset(), bytes);
         debug_assert!(wrote, "l1_miss fills L1");
+        self.obs_record_latency(core, c0);
     }
 
     // ------------------------------------------------------------------
@@ -178,6 +208,7 @@ impl System {
         if out.fetched_from_memory {
             self.cycles[core] += self.cfg.mem_latency;
             self.off_chip_reads += 1;
+            event!(Level::Trace, "llc.miss_fill", block.0, core as u64);
         }
         let data = out.data;
         self.drain_displacements();
@@ -337,6 +368,7 @@ impl System {
                         payload = ev.data;
                     }
                     self.back_invalidations += 1;
+                    event!(Level::Trace, "dir.back_inval", d.addr.0, c as u64);
                 }
                 if let Some(ev) = self.l1[c].invalidate(d.addr) {
                     if ev.dirty {
@@ -350,6 +382,9 @@ impl System {
             }
         }
         self.displaced_buf = displaced;
+        if enabled(Level::Metrics) {
+            self.wb_residency.record(self.wb.pending() as u64);
+        }
         // Drain queued writebacks to DRAM (traffic stays counted).
         let dram = &mut self.dram;
         self.wb.drain_to(|addr, data| dram.set_block(addr, data));
@@ -441,6 +476,42 @@ impl System {
         s
     }
 
+    /// Distribution of per-access latency in cycles (empty unless the
+    /// run was profiled at `Level::Metrics` or above).
+    pub fn access_latency_hist(&self) -> &Hist64 {
+        &self.access_latency
+    }
+
+    /// Distribution of writeback-buffer depth at drain time (empty
+    /// unless the run was profiled at `Level::Metrics` or above).
+    pub fn wb_residency_hist(&self) -> &Hist64 {
+        &self.wb_residency
+    }
+
+    /// Snapshot every metric this system exposes into a [`Registry`]:
+    /// the scalar counters, the per-level [`Snapshot`] structs, and —
+    /// when the run was profiled — the four hot-path histograms
+    /// (per-access latency, writeback-buffer residency, LLC set
+    /// occupancy, map-collision chain depth).
+    pub fn metrics_registry(&self) -> Registry {
+        let mut reg = Registry::new();
+        reg.counter("system.runtime_cycles", self.runtime_cycles());
+        reg.counter("system.instructions", self.total_instructions());
+        reg.counter("system.off_chip_reads", self.off_chip_reads());
+        reg.counter("system.off_chip_writes", self.off_chip_writes());
+        reg.counter("system.back_invalidations", self.back_invalidations());
+        reg.gauge("system.amat", self.amat());
+        reg.gauge("llc.sharing_factor", self.llc_sharing_factor());
+        reg.add_snapshot("l1", &self.l1_stats());
+        reg.add_snapshot("l2", &self.l2_stats());
+        reg.add_snapshot("llc", &self.llc_counters());
+        reg.hist("system.access_latency_cycles", &self.access_latency);
+        reg.hist("system.wb_residency", &self.wb_residency);
+        reg.hist("llc.set_occupancy", &self.llc.occupancy_hist());
+        reg.hist("llc.chain_depth", &self.llc.chain_depth_hist());
+        reg
+    }
+
     /// The LLC-resident approximate blocks with their annotations —
     /// the snapshots consumed by the similarity analyses.
     pub fn approx_llc_snapshot(&self) -> Vec<(BlockData, ApproxRegion)> {
@@ -496,6 +567,8 @@ impl System {
         self.insts.iter_mut().for_each(|c| *c = 0);
         self.off_chip_reads = 0;
         self.back_invalidations = 0;
+        self.access_latency = Hist64::new();
+        self.wb_residency = Hist64::new();
         self.wb.reset_total();
     }
 

@@ -88,6 +88,22 @@ pub struct ErrorStats {
     pub affected: f64,
 }
 
+impl dg_obs::Snapshot for ErrorStats {
+    fn metrics(&self) -> Vec<(&'static str, u64)> {
+        Vec::new()
+    }
+
+    fn float_metrics(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("mean", self.mean),
+            ("median", self.median),
+            ("p95", self.p95),
+            ("max", self.max),
+            ("affected", self.affected),
+        ]
+    }
+}
+
 /// Compute the per-element relative-error distribution.
 ///
 /// # Panics

@@ -6,6 +6,7 @@ use crate::{
 };
 use dg_cache::{CacheGeometry, Sharers, TagArray};
 use dg_mem::{ApproxRegion, BlockAddr, BlockData};
+use dg_obs::{enabled, Hist64, Level};
 
 /// Outcome of inserting a block on an LLC miss (§3.3).
 #[derive(Debug, Default)]
@@ -116,6 +117,10 @@ pub struct DoppelgangerCache {
     memo_enabled: bool,
     stats: DoppStats,
     data_policy: DataPolicy,
+    /// Distribution of sharing-list length sampled each time a tag joins
+    /// an existing data entry — the map-collision chain depth. Recorded
+    /// only at `Level::Metrics` and above; never read by the cache.
+    chain_hist: Hist64,
 }
 
 impl DoppelgangerCache {
@@ -135,6 +140,7 @@ impl DoppelgangerCache {
             memo_enabled: true,
             stats: DoppStats::default(),
             data_policy: DataPolicy::default(),
+            chain_hist: Hist64::new(),
         }
     }
 
@@ -172,6 +178,21 @@ impl DoppelgangerCache {
     /// Reset statistics (e.g. after warm-up).
     pub fn reset_stats(&mut self) {
         self.stats = DoppStats::default();
+        self.chain_hist = Hist64::new();
+    }
+
+    /// Distribution of sharing-list lengths at shared-insert time (empty
+    /// unless the run was profiled at `Level::Metrics` or above).
+    pub fn chain_depth_hist(&self) -> &Hist64 {
+        &self.chain_hist
+    }
+
+    /// Sample the sharing-list length of `did` after a shared insert.
+    /// Out of line so the insert path only pays the level check when
+    /// profiling is off.
+    #[cold]
+    fn record_chain_depth(&mut self, did: DataId) {
+        self.chain_hist.record(self.list_len(did) as u64);
     }
 
     /// Number of MTag set-index bits.
@@ -572,6 +593,9 @@ impl DoppelgangerCache {
             self.stats.shared_insertions += 1;
             self.tags.insert_at_keyed(tid.set as usize, tid.way as usize, entry_tag, TagEntry::approx(entry_tag, map));
             self.push_head(tid, did);
+            if enabled(Level::Metrics) {
+                self.record_chain_depth(did);
+            }
             self.data.touch(did.set as usize, did.way as usize);
             true
         } else {

@@ -1,5 +1,6 @@
 //! Doppelgänger cache statistics.
 
+use dg_obs::Snapshot;
 use std::fmt;
 use std::ops::AddAssign;
 
@@ -67,6 +68,29 @@ impl DoppStats {
         } else {
             self.shared_insertions as f64 / self.insertions as f64
         }
+    }
+}
+
+impl Snapshot for DoppStats {
+    fn metrics(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("hits", self.hits),
+            ("misses", self.misses),
+            ("insertions", self.insertions),
+            ("shared_insertions", self.shared_insertions),
+            ("precise_insertions", self.precise_insertions),
+            ("map_generations", self.map_generations),
+            ("tag_evictions", self.tag_evictions),
+            ("data_evictions", self.data_evictions),
+            ("back_invalidations", self.back_invalidations),
+            ("writes", self.writes),
+            ("silent_writes", self.silent_writes),
+            ("moved_writes", self.moved_writes),
+            ("tag_array_accesses", self.tag_array_accesses),
+            ("mtag_accesses", self.mtag_accesses),
+            ("data_accesses", self.data_accesses),
+            ("lookups", self.lookups()),
+        ]
     }
 }
 

@@ -43,3 +43,19 @@ echo "== repro smoke: repro_all --small =="
 # regression fails via set -e.
 cargo run --release --offline -q -p dg-bench --bin repro_all -- --small > /dev/null 2>/dev/null
 echo "ok: repro_all --small completed"
+
+echo "== profile smoke: repro_all --small --profile =="
+# The observability pass: the full configuration grid at Level::Trace,
+# exporting metric snapshots, a Chrome-trace timeline and an event log.
+# validate_profile re-parses PROFILE_repro.json with the in-repo JSON
+# parser and asserts the expected shape (meta stamp, full grid,
+# populated histograms).
+profile_dir=$(mktemp -d)
+trap 'rm -rf "$profile_dir"' EXIT
+cargo run --release --offline -q -p dg-bench --bin repro_all -- \
+  --small "--profile=$profile_dir/PROFILE_repro.json" > /dev/null
+cargo run --release --offline -q -p dg-bench --bin validate_profile -- \
+  "$profile_dir/PROFILE_repro.json"
+test -s "$profile_dir/TRACE_repro.json"
+test -s "$profile_dir/EVENTS_repro.jsonl"
+echo "ok: profile artifacts written and validated"
