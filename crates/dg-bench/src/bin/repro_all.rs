@@ -15,24 +15,27 @@
 //! to it (see `dg_bench::profile`). `--json PATH` additionally exports
 //! every evaluation as a JSON array of result rows. `--timing` records
 //! per-configuration and per-kernel wall-clock into `BENCH_repro.json`.
+//!
+//! Arguments are parsed strictly (`dg_bench::cli`): anything outside
+//! this set — including near-miss typos like `--cehck` — aborts with a
+//! usage message and exit status 2 instead of being silently ignored.
 
+use dg_bench::cli::ReproArgs;
 use dg_bench::figures;
 use dg_bench::Sweep;
 
 fn main() {
     let start = std::time::Instant::now();
-    let scale = dg_bench::scale_from_args();
+    let args = ReproArgs::from_env();
+    let scale = args.scale();
     eprintln!("[repro_all] running at {scale:?} scale");
 
-    if std::env::args().any(|a| a == "--check") {
+    if args.check {
         let ok = dg_bench::check::print_check(scale);
         std::process::exit(if ok { 0 } else { 1 });
     }
 
-    if let Some(arg) =
-        std::env::args().find(|a| a == "--profile" || a.starts_with("--profile="))
-    {
-        let path = arg.strip_prefix("--profile=").unwrap_or("PROFILE_repro.json").to_string();
+    if let Some(path) = args.profile {
         match dg_bench::profile::write_profile(scale, std::path::Path::new(&path)) {
             Ok(paths) => {
                 for p in &paths {
@@ -78,15 +81,13 @@ fn main() {
     run.print("Fig. 14b: uniDoppelganger normalized runtime");
     dynamic.print("Fig. 14c: uniDoppelganger LLC dynamic energy reduction");
 
-    let argv: Vec<String> = std::env::args().collect();
-    if let Some(i) = argv.iter().position(|a| a == "--json") {
-        let path = argv.get(i + 1).map(String::as_str).unwrap_or("repro_results.json");
+    if let Some(path) = args.json.as_deref() {
         match dg_bench::results::export_sweep(&sweep, std::path::Path::new(path)) {
             Ok(()) => eprintln!("[repro_all] wrote {path}"),
             Err(e) => eprintln!("[repro_all] failed to write {path}: {e}"),
         }
     }
-    if argv.iter().any(|a| a == "--timing") {
+    if args.timing {
         let path = "BENCH_repro.json";
         // Capture the figure-generation wall-clock before the per-access
         // microbenchmarks so the ALL/TOTAL row stays comparable across

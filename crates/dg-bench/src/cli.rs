@@ -1,0 +1,182 @@
+//! Strict command-line parsing for the bench binaries.
+//!
+//! The binaries used to scan `std::env::args()` with `any`/`find`,
+//! which silently ignored anything unrecognised — a misspelled
+//! `--cehck` ran the full figure suite instead of the oracle gate, and
+//! a CI script would never notice. Every flag is now matched against a
+//! closed set and an unknown or malformed argument aborts with a usage
+//! message and a non-zero exit.
+
+use crate::experiments::Scale;
+
+/// Exit status used for command-line errors (the conventional
+/// `EX_USAGE`-adjacent value distinct from runtime failures' `1`).
+pub const USAGE_EXIT: i32 = 2;
+
+/// Parsed arguments of the `repro_all` binary.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ReproArgs {
+    /// Reduced-scale run (`--small`).
+    pub small: bool,
+    /// Run the differential-oracle gate instead of the figures
+    /// (`--check`).
+    pub check: bool,
+    /// Full-observability profile run instead of the figures
+    /// (`--profile[=PATH]`), with the output path.
+    pub profile: Option<String>,
+    /// Export evaluation rows as JSON (`--json PATH`).
+    pub json: Option<String>,
+    /// Record wall-clock timings into `BENCH_repro.json` (`--timing`).
+    pub timing: bool,
+}
+
+impl ReproArgs {
+    /// The usage message printed on a parse error.
+    pub const USAGE: &'static str = "usage: repro_all [--small] [--check] [--profile[=PATH]] \
+                                     [--json PATH] [--timing]\n\
+                                     \n\
+                                     --small          reduced-scale run (small kernels, scaled-down caches)\n\
+                                     --check          run the differential-oracle gate instead of the figures\n\
+                                     --profile[=PATH] profiled run; writes PROFILE_repro.json (or PATH)\n\
+                                     --json PATH      export every evaluation as JSON result rows\n\
+                                     --timing         record wall-clock into BENCH_repro.json";
+
+    /// Parse the arguments after the program name. Rejects unknown
+    /// flags, missing values and duplicates.
+    pub fn parse<I>(args: I) -> Result<Self, String>
+    where
+        I: IntoIterator,
+        I::Item: Into<String>,
+    {
+        let mut out = ReproArgs::default();
+        let mut it = args.into_iter().map(Into::into);
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--small" => set_flag(&mut out.small, "--small")?,
+                "--check" => set_flag(&mut out.check, "--check")?,
+                "--timing" => set_flag(&mut out.timing, "--timing")?,
+                "--profile" => {
+                    set_path(&mut out.profile, "--profile", "PROFILE_repro.json".into())?
+                }
+                "--json" => {
+                    let path = it
+                        .next()
+                        .filter(|p| !p.starts_with("--"))
+                        .ok_or("--json requires a PATH value")?;
+                    set_path(&mut out.json, "--json", path)?;
+                }
+                other => {
+                    if let Some(path) = other.strip_prefix("--profile=") {
+                        if path.is_empty() {
+                            return Err("--profile= requires a non-empty PATH".into());
+                        }
+                        set_path(&mut out.profile, "--profile", path.into())?;
+                    } else {
+                        return Err(format!("unknown argument '{other}'"));
+                    }
+                }
+            }
+        }
+        if out.check && (out.profile.is_some() || out.json.is_some() || out.timing) {
+            return Err("--check replaces the figure run; it cannot be combined with \
+                        --profile/--json/--timing"
+                .into());
+        }
+        Ok(out)
+    }
+
+    /// Parse the process arguments; on error print the problem plus
+    /// [`Self::USAGE`] to stderr and exit with [`USAGE_EXIT`].
+    pub fn from_env() -> Self {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(e) => {
+                eprintln!("repro_all: {e}\n{}", Self::USAGE);
+                std::process::exit(USAGE_EXIT);
+            }
+        }
+    }
+
+    /// The run scale these arguments select.
+    pub fn scale(&self) -> Scale {
+        if self.small {
+            Scale::Small
+        } else {
+            Scale::Paper
+        }
+    }
+}
+
+fn set_flag(slot: &mut bool, name: &str) -> Result<(), String> {
+    if std::mem::replace(slot, true) {
+        return Err(format!("duplicate flag '{name}'"));
+    }
+    Ok(())
+}
+
+fn set_path(slot: &mut Option<String>, name: &str, value: String) -> Result<(), String> {
+    if slot.replace(value).is_some() {
+        return Err(format!("duplicate flag '{name}'"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<ReproArgs, String> {
+        ReproArgs::parse(args.iter().copied())
+    }
+
+    #[test]
+    fn empty_is_paper_scale_defaults() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a, ReproArgs::default());
+        assert_eq!(a.scale(), Scale::Paper);
+    }
+
+    #[test]
+    fn every_flag_parses() {
+        let a = parse(&["--small", "--json", "out.json", "--timing"]).unwrap();
+        assert!(a.small && a.timing);
+        assert_eq!(a.json.as_deref(), Some("out.json"));
+        assert_eq!(a.scale(), Scale::Small);
+
+        let a = parse(&["--check", "--small"]).unwrap();
+        assert!(a.check);
+
+        assert_eq!(
+            parse(&["--profile"]).unwrap().profile.as_deref(),
+            Some("PROFILE_repro.json")
+        );
+        assert_eq!(parse(&["--profile=p.json"]).unwrap().profile.as_deref(), Some("p.json"));
+    }
+
+    #[test]
+    fn typos_are_rejected_not_ignored() {
+        // The motivating bug: '--cehck' used to fall through silently
+        // and run the figures, so CI believed the oracle gate passed.
+        let err = parse(&["--cehck"]).unwrap_err();
+        assert!(err.contains("--cehck"), "error must name the bad argument: {err}");
+        assert!(parse(&["--smal"]).is_err());
+        assert!(parse(&["extra"]).is_err());
+        assert!(parse(&["--json=out.json"]).is_err(), "--json takes a separate value");
+    }
+
+    #[test]
+    fn missing_and_duplicate_values_are_rejected() {
+        assert!(parse(&["--json"]).is_err());
+        assert!(parse(&["--json", "--timing"]).is_err(), "flag-shaped value must not be eaten");
+        assert!(parse(&["--profile="]).is_err());
+        assert!(parse(&["--small", "--small"]).is_err());
+        assert!(parse(&["--profile", "--profile=x"]).is_err());
+    }
+
+    #[test]
+    fn check_excludes_figure_outputs() {
+        assert!(parse(&["--check", "--timing"]).is_err());
+        assert!(parse(&["--check", "--json", "x"]).is_err());
+        assert!(parse(&["--check", "--profile"]).is_err());
+    }
+}

@@ -13,6 +13,7 @@
 
 pub mod chart;
 pub mod check;
+pub mod cli;
 pub mod experiments;
 pub mod figures;
 pub mod json;
@@ -21,6 +22,7 @@ pub mod obs_export;
 pub mod peraccess;
 pub mod profile;
 pub mod results;
+pub mod serve;
 pub mod table;
 pub mod timing;
 

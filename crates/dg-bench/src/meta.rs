@@ -59,9 +59,19 @@ impl RunMeta {
 /// Resolve HEAD to a commit SHA by reading the repository files
 /// directly: a detached HEAD holds the SHA inline, a symbolic HEAD
 /// (`ref: refs/heads/x`) points at a loose ref file, and refs that have
-/// been packed live in `.git/packed-refs`. Returns `"unknown"` when any
+/// been packed live in `packed-refs`. Returns `"unknown"` when any
 /// step fails — provenance must never abort an export.
+///
+/// Handles linked worktrees: there `.git` is not a directory but a
+/// one-line file `gitdir: <path>` pointing at the worktree's private
+/// git dir (which holds `HEAD`), and that dir's `commondir` file points
+/// back at the shared repository where `refs/` and `packed-refs` live.
+/// Before this indirection was followed, every export from a worktree
+/// was stamped `git_sha: "unknown"`.
 fn git_head_sha(git_dir: &Path) -> String {
+    let Some(git_dir) = resolve_git_dir(git_dir) else {
+        return "unknown".to_string();
+    };
     let head = match std::fs::read_to_string(git_dir.join("HEAD")) {
         Ok(h) => h,
         Err(_) => return "unknown".to_string(),
@@ -72,13 +82,25 @@ fn git_head_sha(git_dir: &Path) -> String {
         return if head.is_empty() { "unknown".to_string() } else { head.to_string() };
     };
     let refname = refname.trim();
-    if let Ok(sha) = std::fs::read_to_string(git_dir.join(refname)) {
-        let sha = sha.trim();
-        if !sha.is_empty() {
-            return sha.to_string();
+
+    // Per-worktree refs resolve against the worktree git dir first,
+    // then the common dir (for a plain checkout both are the same
+    // directory and the second probe is skipped).
+    let common = common_dir(&git_dir);
+    let mut ref_dirs: Vec<&Path> = vec![&git_dir];
+    if common != git_dir {
+        ref_dirs.push(&common);
+    }
+    for dir in &ref_dirs {
+        if let Ok(sha) = std::fs::read_to_string(dir.join(refname)) {
+            let sha = sha.trim();
+            if !sha.is_empty() {
+                return sha.to_string();
+            }
         }
     }
-    if let Ok(packed) = std::fs::read_to_string(git_dir.join("packed-refs")) {
+    // Packed refs always live in the common dir.
+    if let Ok(packed) = std::fs::read_to_string(common.join("packed-refs")) {
         for line in packed.lines() {
             if let Some((sha, name)) = line.split_once(' ') {
                 if name.trim() == refname && !sha.starts_with('#') {
@@ -88,6 +110,45 @@ fn git_head_sha(git_dir: &Path) -> String {
         }
     }
     "unknown".to_string()
+}
+
+/// Follow a `gitdir: <path>` redirection file. In a linked worktree
+/// `.git` is such a file; relative targets resolve against the file's
+/// own directory. A bounded number of hops guards against a cyclic
+/// redirection ever looping the exporter.
+fn resolve_git_dir(path: &Path) -> Option<std::path::PathBuf> {
+    let mut dir = path.to_path_buf();
+    for _ in 0..4 {
+        if dir.is_dir() {
+            return Some(dir);
+        }
+        let contents = std::fs::read_to_string(&dir).ok()?;
+        let target = contents.trim().strip_prefix("gitdir:")?.trim();
+        let target = Path::new(target);
+        dir = if target.is_absolute() {
+            target.to_path_buf()
+        } else {
+            dir.parent()?.join(target)
+        };
+    }
+    None
+}
+
+/// The directory holding the shared `refs/` and `packed-refs`: the
+/// worktree git dir's `commondir` file points at it (usually `../..`);
+/// a plain checkout has no such file and is its own common dir.
+fn common_dir(git_dir: &Path) -> std::path::PathBuf {
+    match std::fs::read_to_string(git_dir.join("commondir")) {
+        Ok(c) => {
+            let target = Path::new(c.trim());
+            if target.is_absolute() {
+                target.to_path_buf()
+            } else {
+                git_dir.join(target)
+            }
+        }
+        Err(_) => git_dir.to_path_buf(),
+    }
 }
 
 #[cfg(test)]
@@ -133,6 +194,52 @@ mod tests {
         // Detached HEAD.
         std::fs::write(dir.join("HEAD"), "112233\n").unwrap();
         assert_eq!(git_head_sha(&dir), "112233");
+    }
+
+    #[test]
+    fn head_sha_follows_worktree_gitdir_redirection() {
+        // Layout of `git worktree add`: the worktree's `.git` is a
+        // redirection *file*, its target holds HEAD, and `commondir`
+        // points back at the shared repository with the actual refs.
+        let root = std::env::temp_dir().join("dg_bench_meta_worktree_test");
+        let _ = std::fs::remove_dir_all(&root);
+        let main_git = root.join("repo/.git");
+        let wt_git = main_git.join("worktrees/wt1");
+        let wt = root.join("wt");
+        std::fs::create_dir_all(main_git.join("refs/heads")).unwrap();
+        std::fs::create_dir_all(&wt_git).unwrap();
+        std::fs::create_dir_all(&wt).unwrap();
+
+        std::fs::write(main_git.join("refs/heads/feature"), "c0ffee\n").unwrap();
+        std::fs::write(wt_git.join("HEAD"), "ref: refs/heads/feature\n").unwrap();
+        std::fs::write(wt_git.join("commondir"), "../..\n").unwrap();
+
+        // Relative redirection, resolved against the `.git` file's dir.
+        std::fs::write(wt.join(".git"), "gitdir: ../repo/.git/worktrees/wt1\n").unwrap();
+        assert_eq!(git_head_sha(&wt.join(".git")), "c0ffee");
+
+        // Absolute redirection.
+        std::fs::write(
+            wt.join(".git"),
+            format!("gitdir: {}\n", wt_git.display()),
+        )
+        .unwrap();
+        assert_eq!(git_head_sha(&wt.join(".git")), "c0ffee");
+
+        // Packed ref reached through commondir.
+        std::fs::remove_file(main_git.join("refs/heads/feature")).unwrap();
+        std::fs::write(main_git.join("packed-refs"), "facade refs/heads/feature\n").unwrap();
+        assert_eq!(git_head_sha(&wt.join(".git")), "facade");
+
+        // Detached HEAD inside the worktree git dir.
+        std::fs::write(wt_git.join("HEAD"), "deadbeef\n").unwrap();
+        assert_eq!(git_head_sha(&wt.join(".git")), "deadbeef");
+
+        // A cyclic redirection must terminate as "unknown".
+        std::fs::write(wt.join(".git"), "gitdir: .git\n").unwrap();
+        assert_eq!(git_head_sha(&wt.join(".git")), "unknown");
+
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

@@ -1,0 +1,79 @@
+//! Property tests pinning the JSON writer's number contract.
+//!
+//! JSON has no NaN or infinity literal; a writer that forwards
+//! `f64::to_string()` emits `NaN` / `inf` and every downstream parser
+//! rejects the whole document — an exporter bug that only fires when a
+//! metric divides by zero, i.e. exactly when you most need the export.
+//! These properties pin the policy: non-finite `f64`s serialize as
+//! `null`, everything else round-trips through our own parser exactly.
+
+use dg_bench::json::{array_document, number, Json, ObjectWriter};
+use dg_check::{any, props};
+
+props! {
+    /// Every f64 — finite, subnormal, NaN (any payload), ±∞ — produces
+    /// a token our parser accepts as a number or null; a document built
+    /// from it never becomes syntactically invalid.
+    fn number_tokens_always_parse(v in any::<f64>()) {
+        let tok = number(v);
+        let parsed = Json::parse(&tok)
+            .unwrap_or_else(|e| panic!("number({v:?}) emitted unparseable {tok:?}: {e}"));
+        match parsed {
+            Json::Null => assert!(
+                !v.is_finite(),
+                "number({v:?}) collapsed a finite value to null"
+            ),
+            Json::Num(_) => assert!(v.is_finite()),
+            other => panic!("number({v:?}) parsed as {other:?}"),
+        }
+    }
+
+    /// Finite values round-trip bit-for-bit through write → parse
+    /// (Rust's f64 Display is shortest-round-trip, and the parser folds
+    /// digits back with full precision).
+    fn finite_values_round_trip_exactly(v in any::<f64>()) {
+        dg_check::assume!(v.is_finite());
+        let parsed = Json::parse(&number(v)).unwrap();
+        let back = parsed.as_f64().expect("finite value must parse as a number");
+        assert_eq!(back.to_bits(), v.to_bits(), "{v:?} round-tripped to {back:?}");
+    }
+
+    /// Non-finite values become null — through the bare token and
+    /// through every writer path that embeds one in a document.
+    fn non_finite_values_become_null(bits in any::<u64>(), sign in any::<bool>()) {
+        // Force the exponent bits on: every such pattern is ±∞ or NaN
+        // (payload from the mantissa bits), covering quiet/signalling
+        // NaNs of both signs.
+        let v = f64::from_bits(bits | 0x7FF0_0000_0000_0000 | ((sign as u64) << 63));
+        assert!(!v.is_finite());
+        assert_eq!(number(v), "null");
+
+        let mut o = ObjectWriter::with_indent(0);
+        o.f64_field("bad", v).f64_field("good", 1.5);
+        let doc = array_document(&[o.finish()]);
+        let parsed = Json::parse(&doc).unwrap();
+        let row = &parsed.as_array().unwrap()[0];
+        assert_eq!(*row.get("bad").unwrap(), Json::Null);
+        assert_eq!(row.get("good").unwrap().as_f64(), Some(1.5));
+    }
+
+    /// The round-trip composes with the object writer: a mixed object
+    /// of finite and non-finite fields parses back field-for-field.
+    fn object_round_trip_with_mixed_finiteness(
+        vals in dg_check::vec(any::<f64>(), 4usize),
+    ) {
+        let mut o = ObjectWriter::with_indent(0);
+        for (i, v) in vals.iter().enumerate() {
+            o.f64_field(&format!("f{i}"), *v);
+        }
+        let parsed = Json::parse(&o.finish()).unwrap();
+        for (i, v) in vals.iter().enumerate() {
+            let field = parsed.get(&format!("f{i}")).unwrap();
+            if v.is_finite() {
+                assert_eq!(field.as_f64().map(f64::to_bits), Some(v.to_bits()));
+            } else {
+                assert_eq!(*field, Json::Null, "non-finite {v:?} must export as null");
+            }
+        }
+    }
+}

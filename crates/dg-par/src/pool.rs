@@ -165,10 +165,17 @@ impl Pool {
                         Some(j) => Some(j),
                         None => {
                             // Steal from the back of the longest victim.
-                            let victim = (0..workers)
-                                .filter(|&w| w != me)
-                                .max_by_key(|&w| queues[w].lock().unwrap().len());
-                            victim.and_then(|w| queues[w].lock().unwrap().pop_back())
+                            let lens: Vec<usize> = (0..workers)
+                                .map(|w| {
+                                    if w == me {
+                                        0
+                                    } else {
+                                        queues[w].lock().unwrap().len()
+                                    }
+                                })
+                                .collect();
+                            steal_victim(me, &lens)
+                                .and_then(|w| queues[w].lock().unwrap().pop_back())
                         }
                     };
                     let Some(job) = job else {
@@ -222,6 +229,25 @@ impl Default for Pool {
     fn default() -> Self {
         Self::new()
     }
+}
+
+/// Choose the queue worker `me` steals from, given every worker's
+/// current queue length: the longest *other* non-empty queue (ties go
+/// to the highest index, matching the historical scan order).
+///
+/// Never returns `me` — a worker re-popping its own queue from the back
+/// would invert its submission-order front-pop contract — and returns
+/// `None` when every other queue is empty, so the caller doesn't
+/// re-lock a victim only to find nothing. Kept as a standalone pure
+/// function so these two properties are directly testable outside the
+/// thread scope.
+fn steal_victim(me: usize, queue_lens: &[usize]) -> Option<usize> {
+    queue_lens
+        .iter()
+        .enumerate()
+        .filter(|&(w, &len)| w != me && len > 0)
+        .max_by_key(|&(_, &len)| len)
+        .map(|(w, _)| w)
 }
 
 #[cfg(test)]
@@ -337,6 +363,67 @@ mod tests {
         assert_eq!(report.job_times.len(), 2);
         assert!(report.job_times[0] >= Duration::from_millis(10));
         assert!(report.elapsed >= report.job_times[0]);
+    }
+
+    #[test]
+    fn steal_victim_never_selects_self() {
+        // Regression guard for the steal path: even when the thief's
+        // own queue is the longest by far, it must never be chosen —
+        // stealing from one's own back would break the front-pop
+        // submission-order contract.
+        let lens = [100, 3, 0, 7];
+        for me in 0..lens.len() {
+            if let Some(v) = steal_victim(me, &lens) {
+                assert_ne!(v, me, "worker {me} stole from itself (lens {lens:?})");
+            }
+        }
+        // me = 0 owns the only long queue; the longest *other* wins.
+        assert_eq!(steal_victim(0, &lens), Some(3));
+        assert_eq!(steal_victim(3, &lens), Some(0));
+    }
+
+    #[test]
+    fn steal_victim_skips_empty_queues() {
+        assert_eq!(steal_victim(0, &[5, 0, 0]), None, "only own work left");
+        assert_eq!(steal_victim(0, &[0, 0, 0]), None);
+        assert_eq!(steal_victim(0, &[9]), None, "single worker has no victims");
+        assert_eq!(steal_victim(1, &[0, 4, 2]), Some(2));
+    }
+
+    #[test]
+    fn steal_victim_prefers_longest_with_stable_ties() {
+        assert_eq!(steal_victim(0, &[1, 2, 9, 3]), Some(2));
+        // Ties resolve to the highest index (historical scan order).
+        assert_eq!(steal_victim(0, &[1, 4, 4, 4]), Some(3));
+        assert_eq!(steal_victim(3, &[4, 4, 4, 1]), Some(2));
+    }
+
+    #[test]
+    fn own_queue_drains_front_first_in_submission_order() {
+        // 2 workers: the round-robin deal gives evens to worker 0 and
+        // odds to worker 1. Worker 1's first job blocks long enough for
+        // worker 0 to drain its own deque, so the evens' execution
+        // order is worker 0's own-pop order — front-first must yield
+        // 0,2,4,6 (a back-pop would yield 6,4,2,0). Worker 0 may then
+        // steal the remaining odd jobs, which cannot reorder the evens
+        // it already ran.
+        let order = Mutex::new(Vec::new());
+        let order = &order;
+        let pool = Pool::with_workers(2);
+        let jobs: Vec<Box<dyn FnOnce() + Send>> = (0..8usize)
+            .map(|i| {
+                Box::new(move || {
+                    if i == 1 {
+                        std::thread::sleep(Duration::from_millis(100));
+                    }
+                    order.lock().unwrap().push(i);
+                }) as Box<dyn FnOnce() + Send>
+            })
+            .collect();
+        pool.run(jobs);
+        let order = order.lock().unwrap();
+        let evens: Vec<usize> = order.iter().copied().filter(|i| i % 2 == 0).collect();
+        assert_eq!(evens, vec![0, 2, 4, 6], "worker 0's deque must drain front-first: {order:?}");
     }
 
     #[test]

@@ -1,0 +1,140 @@
+//! Server configuration: shard count, per-shard cache arrays, and the
+//! value annotation shared by every block.
+
+use dg_mem::{Addr, ApproxRegion, ElemType};
+use doppelganger::DoppelgangerConfig;
+
+/// Configuration of a [`crate::Server`].
+///
+/// The server is an array of `shards` independent Doppelgänger caches;
+/// each shard owns its own tag array and MTag/data (map-set) arrays,
+/// built from `cache`, and is protected by its own lock. Keys are
+/// partitioned over shards by a fixed mixing hash, so aggregate
+/// capacity is `shards ×` the per-shard arrays and similarity
+/// deduplication happens within a shard.
+///
+/// All blocks share one programmer annotation (`elem`, `min`, `max`),
+/// exactly like a single annotated approximate region in the simulator:
+/// it defines the quantization range the map hashes are computed over.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ServeConfig {
+    /// Number of shards (power of two, ≥ 1).
+    pub shards: usize,
+    /// Per-shard tag/MTag/data array shapes and map space.
+    pub cache: DoppelgangerConfig,
+    /// Element type of every stored block.
+    pub elem: ElemType,
+    /// Annotated minimum value (quantization range lower bound).
+    pub min: f64,
+    /// Annotated maximum value (quantization range upper bound).
+    pub max: f64,
+}
+
+impl ServeConfig {
+    /// A small, test-friendly configuration: 4 shards, per-shard 4 K
+    /// tags (16-way) and 256 data entries (16-way), the paper's 14-bit
+    /// map space, f32 values annotated over `[0, 100]`.
+    pub fn small() -> Self {
+        ServeConfig {
+            shards: 4,
+            cache: DoppelgangerConfig {
+                tag_entries: 4 * 1024,
+                tag_ways: 16,
+                data_entries: 256,
+                data_ways: 16,
+                ..DoppelgangerConfig::paper_split()
+            },
+            elem: ElemType::F32,
+            min: 0.0,
+            max: 100.0,
+        }
+    }
+
+    /// A throughput-oriented configuration: 16 shards at the paper's
+    /// split-LLC per-shard shape (16 K tags, 4 K data entries).
+    pub fn bench() -> Self {
+        ServeConfig { shards: 16, cache: DoppelgangerConfig::paper_split(), ..Self::small() }
+    }
+
+    /// Same configuration with a different shard count.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// The annotation every request's block is hashed under.
+    pub fn region(&self) -> ApproxRegion {
+        // The region's address extent is irrelevant to the server (keys
+        // are opaque); only the element type and value range matter.
+        ApproxRegion::new(Addr(0), u64::MAX, self.elem, self.min, self.max)
+    }
+
+    /// Check the configuration without constructing a server.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field: a shard count
+    /// that is zero or not a power of two, degenerate array shapes
+    /// (via [`DoppelgangerConfig::validate`]), or a value range that is
+    /// empty or non-finite.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.shards == 0 || !self.shards.is_power_of_two() {
+            return Err(format!("shard count must be a power of two >= 1, got {}", self.shards));
+        }
+        self.cache.validate()?;
+        if !(self.min.is_finite() && self.max.is_finite()) {
+            return Err(format!("annotation range [{}, {}] must be finite", self.min, self.max));
+        }
+        if self.min >= self.max {
+            return Err(format!("annotation range [{}, {}] is empty", self.min, self.max));
+        }
+        Ok(())
+    }
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self::small()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        assert!(ServeConfig::small().validate().is_ok());
+        assert!(ServeConfig::bench().validate().is_ok());
+        assert!(ServeConfig::small().with_shards(1).validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_shapes() {
+        let mut c = ServeConfig::small();
+        c.shards = 0;
+        assert!(c.validate().unwrap_err().contains("shard count"));
+        c.shards = 3;
+        assert!(c.validate().unwrap_err().contains("power of two"));
+
+        let mut c = ServeConfig::small();
+        c.cache.data_ways = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = ServeConfig::small();
+        c.min = 5.0;
+        c.max = 5.0;
+        assert!(c.validate().unwrap_err().contains("empty"));
+        c.max = f64::NAN;
+        assert!(c.validate().unwrap_err().contains("finite"));
+    }
+
+    #[test]
+    fn region_reflects_annotation() {
+        let c = ServeConfig::small();
+        let r = c.region();
+        assert_eq!(r.ty, ElemType::F32);
+        assert_eq!(r.min, 0.0);
+        assert_eq!(r.max, 100.0);
+    }
+}

@@ -1,0 +1,46 @@
+//! # dg-serve — a sharded concurrent similarity-cache server
+//!
+//! This crate lifts the Doppelgänger machinery (map quantization,
+//! decoupled tag/data arrays, sharing lists — crate `doppelganger`) out
+//! of the simulated memory hierarchy and serves it as an in-process
+//! key → block cache with *similarity deduplication*: blocks whose
+//! quantized map values collide share one stored representative, so the
+//! server answers some misses with a "close enough" block it already
+//! holds (paper §3; DESIGN.md §8).
+//!
+//! ## Architecture
+//!
+//! * **Sharding** — a [`Server`] is a power-of-two array of independent
+//!   Doppelgänger caches, each behind its own mutex. Keys route to
+//!   shards by a fixed mixing hash, so per-key operations always
+//!   serialize on one lock and shards never share state.
+//! * **Batched requests** — [`Server::run_batch`] partitions a
+//!   `Vec<Request>` by shard and serves the partitions as parallel
+//!   `dg-par` pool jobs, returning responses in submission order.
+//!   Because shards are disjoint and each partition preserves its
+//!   suborder, a parallel batch is bitwise identical to the 1-worker
+//!   serial run — the same determinism contract as `Pool::run`.
+//! * **Analytic gate** — [`che`] implements the Che approximation for
+//!   similarity caching specialised to the map partition; for
+//!   [`workload`]'s Zipf-over-clusters streams it predicts the
+//!   steady-state hit rate, and the tier-1 test `tests/hitrate.rs`
+//!   holds the measured rate inside [`CheEstimate::tolerance`].
+//! * **Observability** — per-shard [`ServeStats`] implement the
+//!   `dg-obs` [`dg_obs::Snapshot`] trait, batches emit `serve.batch` /
+//!   `serve.shard` spans, and chunk service times feed a `Hist64`
+//!   (see [`Server::register_metrics`]).
+
+mod che;
+mod config;
+mod request;
+mod server;
+mod shard;
+mod stats;
+mod workload;
+
+pub use che::{estimate_hit_rate, BinRate, CheEstimate, MODEL_TOLERANCE};
+pub use config::ServeConfig;
+pub use request::{Request, Response};
+pub use server::Server;
+pub use stats::ServeStats;
+pub use workload::{SimilarityWorkload, WorkloadSpec};

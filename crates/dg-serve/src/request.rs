@@ -1,0 +1,108 @@
+//! The server's request/response vocabulary.
+
+use dg_mem::BlockData;
+
+/// One operation submitted to the server.
+///
+/// Keys are opaque 64-bit identifiers (the server derives the shard and
+/// the tag-array set from them); blocks are 64-byte payloads whose
+/// *values* drive similarity deduplication through the map machinery.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Request {
+    /// Exact lookup: return the stored (possibly doppelgänger)
+    /// representative for `key`, or miss.
+    Get(u64),
+    /// Store `key → block`: inserts a new tag (deduplicating against a
+    /// similar resident block) or updates a resident one.
+    Put(u64, BlockData),
+    /// Get-or-insert: lookup `key`; on a miss admit `block`, reporting
+    /// whether a similar block already served as its storage. This is
+    /// the LLC-shaped operation the hit-rate oracle reasons about.
+    Query(u64, BlockData),
+}
+
+impl Request {
+    /// The key this request addresses (shard routing is a pure function
+    /// of it).
+    #[inline]
+    pub fn key(&self) -> u64 {
+        match *self {
+            Request::Get(k) | Request::Put(k, _) | Request::Query(k, _) => k,
+        }
+    }
+}
+
+/// The server's answer to one [`Request`], in submission order.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Response {
+    /// Exact hit: the key was resident; the stored representative is
+    /// returned (for approximate blocks, possibly a doppelgänger of
+    /// the values originally put).
+    Hit(BlockData),
+    /// `Query` miss that found a *similar* resident block: the key was
+    /// admitted sharing that block's data entry, whose representative
+    /// is returned.
+    SimilarHit(BlockData),
+    /// `Get` miss (nothing admitted) or `Query` miss that allocated a
+    /// fresh data entry for the offered block.
+    Miss,
+    /// `Put` of a non-resident key; `deduped` reports whether it joined
+    /// an existing similar data entry instead of allocating one.
+    Inserted {
+        /// Whether the block shared an existing similar data entry.
+        deduped: bool,
+    },
+    /// `Put` of a resident key; `moved` reports whether the new values
+    /// changed the map enough to relocate the tag to a different data
+    /// entry (an approximate write that stayed similar is "silent").
+    Updated {
+        /// Whether the tag moved to a different data entry.
+        moved: bool,
+    },
+}
+
+impl Response {
+    /// Whether this response counts as a (similarity-)cache hit: an
+    /// exact hit or a deduplicated near-match.
+    #[inline]
+    pub fn is_hit(&self) -> bool {
+        matches!(self, Response::Hit(_) | Response::SimilarHit(_))
+    }
+
+    /// The returned block, if any.
+    #[inline]
+    pub fn block(&self) -> Option<BlockData> {
+        match *self {
+            Response::Hit(b) | Response::SimilarHit(b) => Some(b),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_mem::ElemType;
+
+    fn blk(v: f64) -> BlockData {
+        BlockData::from_values(ElemType::F32, &[v; 16])
+    }
+
+    #[test]
+    fn key_extraction_covers_all_variants() {
+        assert_eq!(Request::Get(7).key(), 7);
+        assert_eq!(Request::Put(8, blk(1.0)).key(), 8);
+        assert_eq!(Request::Query(9, blk(1.0)).key(), 9);
+    }
+
+    #[test]
+    fn hit_classification() {
+        assert!(Response::Hit(blk(1.0)).is_hit());
+        assert!(Response::SimilarHit(blk(1.0)).is_hit());
+        assert!(!Response::Miss.is_hit());
+        assert!(!Response::Inserted { deduped: true }.is_hit());
+        assert!(!Response::Updated { moved: false }.is_hit());
+        assert_eq!(Response::Hit(blk(2.0)).block(), Some(blk(2.0)));
+        assert_eq!(Response::Miss.block(), None);
+    }
+}

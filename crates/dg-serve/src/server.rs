@@ -1,0 +1,314 @@
+//! The sharded concurrent server.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use dg_mem::{ApproxRegion, BlockData};
+use dg_obs::{enabled, span, Hist64, Level, Registry};
+use dg_par::Pool;
+use dg_rand::SplitMix64;
+use doppelganger::DoppStats;
+
+use crate::config::ServeConfig;
+use crate::request::{Request, Response};
+use crate::shard::ShardState;
+use crate::stats::ServeStats;
+
+/// An in-process key → block similarity-cache server.
+///
+/// The server is `shards` independent Doppelgänger caches behind
+/// per-shard mutexes. Keys are routed to shards by a fixed mixing hash
+/// ([`Server::shard_of`]), so any two requests for the same key always
+/// serialize on the same lock and the server as a whole is
+/// linearizable. Batches submitted to [`Server::run_batch`] are served
+/// in parallel on a [`Pool`], one job per touched shard, and the
+/// response vector is in submission order regardless of worker count —
+/// shards are disjoint, and each job preserves its shard's submission
+/// suborder, so a parallel batch is *bitwise identical* to a serial
+/// one (`tests/determinism.rs` holds this to account).
+pub struct Server {
+    shards: Vec<Mutex<ShardState>>,
+    pool: Pool,
+    region: ApproxRegion,
+    cfg: ServeConfig,
+}
+
+impl Server {
+    /// Build a server from `cfg` with a default worker pool
+    /// (`DG_PAR_THREADS` / available parallelism).
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ServeConfig::validate`] error message for an
+    /// invalid configuration.
+    pub fn new(cfg: ServeConfig) -> Result<Self, String> {
+        Self::with_pool(cfg, Pool::new())
+    }
+
+    /// Build a server running batches on an explicit `pool` (used by
+    /// the determinism tests to pin one worker).
+    pub fn with_pool(cfg: ServeConfig, pool: Pool) -> Result<Self, String> {
+        cfg.validate()?;
+        let shards = (0..cfg.shards).map(|_| Mutex::new(ShardState::new(&cfg))).collect();
+        Ok(Server { shards, pool, region: cfg.region(), cfg })
+    }
+
+    /// The configuration this server was built with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// The annotation every block is quantized under.
+    pub fn region(&self) -> &ApproxRegion {
+        &self.region
+    }
+
+    /// Worker threads used for batches.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// The shard serving `key`: a pure function of the key, stable
+    /// across batches and worker counts. Keys are mixed through the
+    /// SplitMix64 finalizer so that sequential keys spread uniformly,
+    /// then masked onto the power-of-two shard count.
+    #[inline]
+    pub fn shard_of(&self, key: u64) -> usize {
+        (SplitMix64::seed_from_u64(key).next_u64() as usize) & (self.cfg.shards - 1)
+    }
+
+    /// Serve one request (locks a single shard).
+    pub fn execute(&self, req: Request) -> Response {
+        let shard = &self.shards[self.shard_of(req.key())];
+        shard.lock().unwrap().apply(req, &self.region)
+    }
+
+    /// Exact lookup of `key`.
+    pub fn get(&self, key: u64) -> Response {
+        self.execute(Request::Get(key))
+    }
+
+    /// Store `key → block`.
+    pub fn put(&self, key: u64, block: BlockData) -> Response {
+        self.execute(Request::Put(key, block))
+    }
+
+    /// Get-or-insert `key`, offering `block` on a miss.
+    pub fn query(&self, key: u64, block: BlockData) -> Response {
+        self.execute(Request::Query(key, block))
+    }
+
+    /// Serve a batch, returning responses in submission order.
+    ///
+    /// Requests are partitioned by shard (preserving per-shard
+    /// submission order) and the non-empty partitions run as pool jobs.
+    /// With one worker the pool degrades to the inline serial path, so
+    /// the 1-thread run is the reference the parallel runs must match.
+    pub fn run_batch(&self, requests: &[Request]) -> Vec<Response> {
+        let _batch_span = span("serve.batch", 0);
+
+        // Partition request indices by shard, preserving order.
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); self.cfg.shards];
+        for (i, req) in requests.iter().enumerate() {
+            buckets[self.shard_of(req.key())].push(i as u32);
+        }
+
+        let jobs: Vec<_> = buckets
+            .into_iter()
+            .enumerate()
+            .filter(|(_, idxs)| !idxs.is_empty())
+            .map(|(sid, idxs)| {
+                move || {
+                    let _shard_span = span("serve.shard", sid as u64);
+                    let metrics = enabled(Level::Metrics);
+                    let t0 = metrics.then(Instant::now);
+                    let mut shard = self.shards[sid].lock().unwrap();
+                    let out: Vec<(u32, Response)> = idxs
+                        .iter()
+                        .map(|&i| (i, shard.apply(requests[i as usize], &self.region)))
+                        .collect();
+                    if let Some(t0) = t0 {
+                        shard.batch_ns.record(t0.elapsed().as_nanos() as u64);
+                    }
+                    out
+                }
+            })
+            .collect();
+
+        let mut responses: Vec<Option<Response>> = vec![None; requests.len()];
+        for chunk in self.pool.run(jobs) {
+            for (i, resp) in chunk {
+                debug_assert!(responses[i as usize].is_none(), "request {i} served twice");
+                responses[i as usize] = Some(resp);
+            }
+        }
+        responses.into_iter().map(|r| r.expect("every request served")).collect()
+    }
+
+    /// Aggregate server-level counters across shards.
+    pub fn stats(&self) -> ServeStats {
+        let mut total = ServeStats::default();
+        for s in &self.shards {
+            total += s.lock().unwrap().stats;
+        }
+        total
+    }
+
+    /// Per-shard server-level counters, indexed by shard.
+    pub fn shard_stats(&self) -> Vec<ServeStats> {
+        self.shards.iter().map(|s| s.lock().unwrap().stats).collect()
+    }
+
+    /// Aggregate cache-array counters across shards.
+    pub fn cache_stats(&self) -> DoppStats {
+        let mut total = DoppStats::default();
+        for s in &self.shards {
+            total += *s.lock().unwrap().cache.stats();
+        }
+        total
+    }
+
+    /// Reset all counters (e.g. after warm-up); residency is kept.
+    pub fn reset_stats(&self) {
+        for s in &self.shards {
+            s.lock().unwrap().reset_stats();
+        }
+    }
+
+    /// Total resident (tags, data entries) across shards.
+    pub fn residency(&self) -> (usize, usize) {
+        let mut tags = 0;
+        let mut data = 0;
+        for s in &self.shards {
+            let s = s.lock().unwrap();
+            tags += s.cache.resident_tags();
+            data += s.cache.resident_data();
+        }
+        (tags, data)
+    }
+
+    /// Merged distribution of per-shard batch-chunk service times in
+    /// nanoseconds (populated at `Level::Metrics` and above).
+    pub fn batch_ns_hist(&self) -> Hist64 {
+        let mut h = Hist64::new();
+        for s in &self.shards {
+            h.merge(&s.lock().unwrap().batch_ns);
+        }
+        h
+    }
+
+    /// Export the server's metrics into `reg`: per-shard counters under
+    /// `serve.shard<i>.*`, aggregates under `serve.total.*`, and the
+    /// batch-latency histogram as `serve.batch_ns`.
+    pub fn register_metrics(&self, reg: &mut Registry) {
+        for (i, s) in self.shards.iter().enumerate() {
+            let s = s.lock().unwrap();
+            reg.add_snapshot(&format!("serve.shard{i}"), &s.stats);
+        }
+        reg.add_snapshot("serve.total", &self.stats());
+        reg.hist("serve.batch_ns", &self.batch_ns_hist());
+    }
+
+    /// Run the invariant checker on every shard (tests/debugging).
+    pub fn check_invariants(&self) {
+        for s in &self.shards {
+            s.lock().unwrap().cache.check_invariants();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_mem::ElemType;
+
+    fn blk(v: f64) -> BlockData {
+        BlockData::from_values(ElemType::F32, &[v; 16])
+    }
+
+    fn server() -> Server {
+        Server::new(ServeConfig::small()).unwrap()
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        assert!(Server::new(ServeConfig::small().with_shards(3)).is_err());
+    }
+
+    #[test]
+    fn shard_routing_is_total_and_stable() {
+        let s = server();
+        for key in 0..1024u64 {
+            let a = s.shard_of(key);
+            assert!(a < s.config().shards);
+            assert_eq!(a, s.shard_of(key), "routing must be pure");
+        }
+        // The mix actually spreads sequential keys: no shard should be
+        // starved over a small sequential range.
+        let mut counts = vec![0usize; s.config().shards];
+        for key in 0..1024u64 {
+            counts[s.shard_of(key)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 0), "a shard got no keys: {counts:?}");
+    }
+
+    #[test]
+    fn single_request_api_round_trips() {
+        let s = server();
+        assert_eq!(s.get(42), Response::Miss);
+        assert_eq!(s.put(42, blk(7.0)), Response::Inserted { deduped: false });
+        assert_eq!(s.get(42), Response::Hit(blk(7.0)));
+        assert_eq!(s.query(42, blk(7.0)), Response::Hit(blk(7.0)));
+        let st = s.stats();
+        assert_eq!(st.ops(), 4);
+        assert_eq!(st.hits(), 2);
+        assert_eq!(s.residency(), (1, 1));
+        s.check_invariants();
+    }
+
+    #[test]
+    fn batch_matches_singles_and_preserves_order() {
+        let batch: Vec<Request> = (0..256u64)
+            .map(|k| Request::Put(k, blk((k % 10) as f64)))
+            .chain((0..256u64).map(Request::Get))
+            .collect();
+
+        let s = server();
+        let responses = s.run_batch(&batch);
+        assert_eq!(responses.len(), batch.len());
+
+        let reference = server();
+        let serial: Vec<Response> = batch.iter().map(|&r| reference.execute(r)).collect();
+        assert_eq!(responses, serial);
+
+        // Every get at the tail hits: puts of the same batch precede
+        // them in submission order on every shard.
+        assert!(responses[256..].iter().all(|r| r.is_hit()));
+        assert_eq!(s.stats(), reference.stats());
+        s.check_invariants();
+    }
+
+    #[test]
+    fn reset_stats_clears_all_shards() {
+        let s = server();
+        s.run_batch(&(0..64u64).map(|k| Request::Put(k, blk(1.0))).collect::<Vec<_>>());
+        assert!(s.stats().ops() > 0);
+        s.reset_stats();
+        assert_eq!(s.stats(), ServeStats::default());
+        assert_eq!(s.cache_stats().insertions, 0);
+        assert_eq!(s.residency().0, 64);
+    }
+
+    #[test]
+    fn metrics_registry_has_per_shard_and_total_entries() {
+        let s = server();
+        s.put(1, blk(2.0));
+        let mut reg = Registry::new();
+        s.register_metrics(&mut reg);
+        assert!(reg.get("serve.shard0.gets").is_some());
+        assert!(reg.get("serve.total.puts").is_some());
+        assert!(reg.get("serve.batch_ns").is_some());
+        let shards = s.config().shards;
+        assert!(reg.get(&format!("serve.shard{}.gets", shards - 1)).is_some());
+    }
+}

@@ -1,0 +1,311 @@
+//! Synthetic Zipf-over-similarity workloads with an analytically
+//! predictable hit rate.
+//!
+//! The generator draws a *cluster* from a Zipf(α) popularity law, then
+//! a key uniformly within the cluster, and offers a constant-valued
+//! block centred in the cluster's quantization bin (± a small jitter
+//! that provably stays inside the bin). Every request of a cluster
+//! therefore carries the same map value, so the server's data array
+//! behaves as an LRU cache *of clusters* — exactly the regime the
+//! [`crate::che`] oracle models — while keys, tags and shards still
+//! exercise the full concurrent machinery.
+
+use dg_mem::BlockData;
+use dg_rand::SplitMix64;
+use doppelganger::MapValue;
+
+use crate::che::{estimate_hit_rate, BinRate, CheEstimate};
+use crate::config::ServeConfig;
+use crate::request::Request;
+use crate::server::Server;
+
+/// Odd multiplier scattering cluster ids over quantization bins (odd ⇒
+/// a bijection modulo the power-of-two bin count), so clusters spread
+/// over MTag sets instead of piling into set 0.
+const BIN_STRIDE: u64 = 40503;
+
+/// Shape of a [`SimilarityWorkload`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WorkloadSpec {
+    /// Number of distinct keys; must be a multiple of `clusters`.
+    pub universe: u64,
+    /// Number of value clusters (similarity classes). Must fit in the
+    /// configuration's quantization bin count.
+    pub clusters: usize,
+    /// Zipf popularity exponent over clusters (0 = uniform).
+    pub alpha: f64,
+    /// Value jitter as a fraction of one quantization bin width; must
+    /// stay below 0.5 so jittered blocks never change bins.
+    pub jitter: f64,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// The tier-1 oracle-gate shape: enough clusters to oversubscribe
+    /// the small config's data array, mid-strength skew.
+    pub fn tier1() -> Self {
+        WorkloadSpec { universe: 8192, clusters: 512, alpha: 0.8, jitter: 0.1, seed: 0xD0BB_E16A }
+    }
+
+    /// A heavier shape for throughput benches.
+    pub fn bench() -> Self {
+        WorkloadSpec { universe: 65_536, clusters: 4096, alpha: 0.9, jitter: 0.1, seed: 0xB3_4C_11 }
+    }
+
+    /// Same spec with a different seed (for multi-run benches).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// A reproducible request stream over one [`ServeConfig`].
+pub struct SimilarityWorkload {
+    spec: WorkloadSpec,
+    rng: SplitMix64,
+    /// Normalized Zipf weight per cluster.
+    weights: Vec<f64>,
+    /// Cumulative weights for inverse-CDF sampling.
+    cum: Vec<f64>,
+    /// Centre value of each cluster's bin.
+    centers: Vec<f64>,
+    /// Ground-truth map value of each cluster (computed through the
+    /// real map machinery, not assumed from the bin arithmetic).
+    maps: Vec<MapValue>,
+    /// Width of one quantization bin in value units.
+    bin_width: f64,
+    /// Element type and count per block for the configured annotation.
+    elem: dg_mem::ElemType,
+    elems: usize,
+    keys_per_cluster: u64,
+}
+
+impl SimilarityWorkload {
+    /// Build a workload for servers configured as `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is degenerate: universe not divisible by the
+    /// cluster count, jitter ≥ 0.5 bins, more clusters than
+    /// quantization bins, or two clusters colliding on one map value
+    /// (impossible while `BIN_STRIDE` is odd — checked anyway).
+    pub fn new(spec: WorkloadSpec, cfg: &ServeConfig) -> Self {
+        assert!(spec.clusters > 0 && spec.universe > 0, "empty workload");
+        assert!(
+            spec.universe % spec.clusters as u64 == 0,
+            "universe {} must be a multiple of clusters {}",
+            spec.universe,
+            spec.clusters
+        );
+        assert!((0.0..0.5).contains(&spec.jitter), "jitter must stay inside a bin");
+        let bits = cfg.cache.map_space.m_bits().min(cfg.elem.bits());
+        let bins = 1u64 << bits;
+        assert!(
+            (spec.clusters as u64) <= bins,
+            "{} clusters cannot occupy {} bins distinctly",
+            spec.clusters,
+            bins
+        );
+
+        let region = cfg.region();
+        let bin_width = (cfg.max - cfg.min) / bins as f64;
+        let elems = cfg.elem.elems_per_block();
+
+        let mut weights: Vec<f64> =
+            (0..spec.clusters).map(|i| 1.0 / ((i + 1) as f64).powf(spec.alpha)).collect();
+        let total: f64 = weights.iter().sum();
+        weights.iter_mut().for_each(|w| *w /= total);
+        let cum: Vec<f64> = weights
+            .iter()
+            .scan(0.0, |acc, w| {
+                *acc += w;
+                Some(*acc)
+            })
+            .collect();
+
+        let mut centers = Vec::with_capacity(spec.clusters);
+        let mut maps = Vec::with_capacity(spec.clusters);
+        for c in 0..spec.clusters {
+            let bin = (c as u64).wrapping_mul(BIN_STRIDE) & (bins - 1);
+            let center = cfg.min + (bin as f64 + 0.5) * bin_width;
+            let map = cfg.cache.map_space.map_block(
+                &BlockData::from_values(cfg.elem, &vec![center; elems]),
+                &region,
+            );
+            centers.push(center);
+            maps.push(map);
+        }
+        {
+            let mut seen: Vec<MapValue> = maps.clone();
+            seen.sort_by_key(|m| m.0);
+            seen.dedup();
+            assert_eq!(seen.len(), spec.clusters, "cluster map values must be distinct");
+        }
+
+        SimilarityWorkload {
+            rng: SplitMix64::seed_from_u64(spec.seed),
+            weights,
+            cum,
+            centers,
+            maps,
+            bin_width,
+            elem: cfg.elem,
+            elems,
+            keys_per_cluster: spec.universe / spec.clusters as u64,
+            spec,
+        }
+    }
+
+    /// The spec this workload was built from.
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    fn sample_cluster(&mut self) -> usize {
+        let u = self.rng.next_f64();
+        self.cum.partition_point(|&c| c < u).min(self.spec.clusters - 1)
+    }
+
+    /// A uniformly random key of `cluster` (keys are striped:
+    /// `key ≡ cluster (mod clusters)`).
+    fn sample_key(&mut self, cluster: usize) -> u64 {
+        cluster as u64 + self.spec.clusters as u64 * self.rng.gen_range(0..self.keys_per_cluster)
+    }
+
+    /// A block valued inside `cluster`'s bin: the centre plus a jitter
+    /// of at most `spec.jitter` bin widths, constant across elements so
+    /// both the average and the range stay pinned to the bin.
+    fn sample_block(&mut self, cluster: usize) -> BlockData {
+        let jitter = (2.0 * self.rng.next_f64() - 1.0) * self.spec.jitter * self.bin_width;
+        BlockData::from_values(self.elem, &vec![self.centers[cluster] + jitter; self.elems])
+    }
+
+    /// The next get-or-insert request of the stream.
+    pub fn query(&mut self) -> Request {
+        let c = self.sample_cluster();
+        let key = self.sample_key(c);
+        let block = self.sample_block(c);
+        Request::Query(key, block)
+    }
+
+    /// The next request of a get/put mix: a `Put` with probability
+    /// `put_fraction`, otherwise a `Get`, over the same popularity law.
+    pub fn mixed(&mut self, put_fraction: f64) -> Request {
+        let c = self.sample_cluster();
+        let key = self.sample_key(c);
+        if self.rng.gen_bool(put_fraction) {
+            Request::Put(key, self.sample_block(c))
+        } else {
+            Request::Get(key)
+        }
+    }
+
+    /// A batch of [`Self::query`] requests.
+    pub fn batch(&mut self, n: usize) -> Vec<Request> {
+        (0..n).map(|_| self.query()).collect()
+    }
+
+    /// A batch of [`Self::mixed`] requests.
+    pub fn batch_mixed(&mut self, n: usize, put_fraction: f64) -> Vec<Request> {
+        (0..n).map(|_| self.mixed(put_fraction)).collect()
+    }
+
+    /// The Che-approximation prediction of the steady-state hit rate
+    /// this workload's `query` stream achieves against `server`.
+    ///
+    /// Each (cluster, shard) pair contributes one bin to the shard's
+    /// MTag-set cell holding the cluster's map value, at the cluster's
+    /// Zipf rate split by how many of its keys route to that shard.
+    pub fn expected_hit_rate(&self, server: &Server) -> CheEstimate {
+        let cfg = server.config();
+        let sets = cfg.cache.data_entries / cfg.cache.data_ways;
+        let idx_bits = sets.trailing_zeros();
+        let mut bins = Vec::with_capacity(self.spec.clusters * cfg.shards);
+        for c in 0..self.spec.clusters {
+            let set = self.maps[c].index(idx_bits) as u32;
+            let mut per_shard = vec![0u64; cfg.shards];
+            for j in 0..self.keys_per_cluster {
+                let key = c as u64 + self.spec.clusters as u64 * j;
+                per_shard[server.shard_of(key)] += 1;
+            }
+            for (s, &count) in per_shard.iter().enumerate() {
+                if count > 0 {
+                    bins.push(BinRate {
+                        cell: (s as u32, set),
+                        rate: self.weights[c] * count as f64 / self.keys_per_cluster as f64,
+                    });
+                }
+            }
+        }
+        estimate_hit_rate(&bins, cfg.cache.data_ways)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_reproducible() {
+        let cfg = ServeConfig::small();
+        let mut a = SimilarityWorkload::new(WorkloadSpec::tier1(), &cfg);
+        let mut b = SimilarityWorkload::new(WorkloadSpec::tier1(), &cfg);
+        assert_eq!(a.batch(512), b.batch(512));
+        let mut c = SimilarityWorkload::new(WorkloadSpec::tier1().with_seed(7), &cfg);
+        assert_ne!(a.batch(512), c.batch(512));
+    }
+
+    #[test]
+    fn jittered_blocks_never_leave_their_bin() {
+        let cfg = ServeConfig::small();
+        let region = cfg.region();
+        let mut w = SimilarityWorkload::new(WorkloadSpec::tier1(), &cfg);
+        for _ in 0..2000 {
+            let c = w.sample_cluster();
+            let block = w.sample_block(c);
+            assert_eq!(
+                cfg.cache.map_space.map_block(&block, &region),
+                w.maps[c],
+                "jitter must not change the map of cluster {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn keys_stay_in_their_cluster_stripe() {
+        let cfg = ServeConfig::small();
+        let mut w = SimilarityWorkload::new(WorkloadSpec::tier1(), &cfg);
+        for _ in 0..2000 {
+            let c = w.sample_cluster();
+            let k = w.sample_key(c);
+            assert_eq!(k % w.spec.clusters as u64, c as u64);
+            assert!(k < w.spec.universe);
+        }
+    }
+
+    #[test]
+    fn zipf_skew_orders_cluster_frequencies() {
+        let cfg = ServeConfig::small();
+        let mut w = SimilarityWorkload::new(WorkloadSpec::tier1(), &cfg);
+        let mut counts = vec![0u64; w.spec.clusters];
+        for _ in 0..200_000 {
+            counts[w.sample_cluster()] += 1;
+        }
+        // The head must dominate the tail decisively.
+        let head: u64 = counts[..8].iter().sum();
+        let tail: u64 = counts[w.spec.clusters - 8..].iter().sum();
+        assert!(head > 4 * tail, "head {head} vs tail {tail}");
+    }
+
+    #[test]
+    fn degenerate_specs_are_rejected() {
+        let cfg = ServeConfig::small();
+        let bad = WorkloadSpec { universe: 100, clusters: 7, ..WorkloadSpec::tier1() };
+        assert!(std::panic::catch_unwind(|| SimilarityWorkload::new(bad, &cfg)).is_err());
+        let bad = WorkloadSpec { jitter: 0.7, ..WorkloadSpec::tier1() };
+        assert!(std::panic::catch_unwind(|| SimilarityWorkload::new(bad, &cfg)).is_err());
+        let bad = WorkloadSpec { clusters: 1 << 20, universe: 1 << 20, ..WorkloadSpec::tier1() };
+        assert!(std::panic::catch_unwind(|| SimilarityWorkload::new(bad, &cfg)).is_err());
+    }
+}

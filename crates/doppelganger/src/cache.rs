@@ -514,6 +514,17 @@ impl DoppelgangerCache {
         self.locate_tag(addr).is_some()
     }
 
+    /// The stored representative for `addr` without recording an
+    /// access: no statistics, no LRU/MRU updates. Observation-only
+    /// companion to [`Self::read`], used by exporters and by `dg-serve`
+    /// to return a block after an insertion already accounted the
+    /// access.
+    pub fn peek(&self, addr: BlockAddr) -> Option<BlockData> {
+        let tid = self.locate_tag(addr)?;
+        let did = self.data_of_tag(tid);
+        Some(self.data_at(did).data)
+    }
+
     /// Look up `addr` (a read from the upper level, §3.2).
     ///
     /// On a hit returns the stored data — for approximate blocks, the
@@ -1329,6 +1340,21 @@ mod tests {
         assert_eq!(h[1], 1);
         assert_eq!(h[3], 1);
         assert_eq!(h.iter().sum::<usize>(), c.resident_data());
+    }
+
+    #[test]
+    fn peek_is_observation_only() {
+        let mut c = DoppelgangerCache::new(tiny_cfg());
+        let r = region();
+        c.insert_approx(BlockAddr(1), blk(10.0), &r);
+        c.insert_approx(BlockAddr(2), blk(10.003), &r);
+        let before = *c.stats();
+        // Peek returns the shared representative…
+        assert_eq!(c.peek(BlockAddr(2)), Some(blk(10.0)));
+        assert_eq!(c.peek(BlockAddr(99)), None);
+        // …without counting anything.
+        assert_eq!(*c.stats(), before, "peek must not touch statistics");
+        c.check_invariants();
     }
 
     #[test]

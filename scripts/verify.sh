@@ -59,3 +59,16 @@ cargo run --release --offline -q -p dg-bench --bin validate_profile -- \
 test -s "$profile_dir/TRACE_repro.json"
 test -s "$profile_dir/EVENTS_repro.jsonl"
 echo "ok: profile artifacts written and validated"
+
+echo "== serve smoke: serve_bench --smoke =="
+# The concurrent server path: a short multi-threaded batched run over
+# the sharded similarity cache, followed by a shape check of the
+# exported report (same {meta, rows} contract as BENCH_repro.json) and
+# the analytic hit-rate gate — the measured hit rate on the synthetic
+# Zipf workload must land inside the Che-approximation tolerance band.
+cargo run --release --offline -q -p dg-bench --bin serve_bench -- \
+  --smoke --json "$profile_dir/BENCH_serve.json" 2> /dev/null
+cargo run --release --offline -q -p dg-bench --bin serve_bench -- \
+  --validate "$profile_dir/BENCH_serve.json"
+cargo run --release --offline -q -p dg-bench --bin serve_bench -- --smoke --check
+echo "ok: serve bench report validated and hit-rate gate holds"
