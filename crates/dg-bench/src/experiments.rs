@@ -362,9 +362,15 @@ impl Sweep {
         &self.timings
     }
 
-    /// Iterate over every cached `(label, results)` pair.
+    /// Iterate over every cached `(label, results)` pair, in label
+    /// order. The cache is a `HashMap` whose iteration order is
+    /// random per process; exports byte-diff runs against each other
+    /// (the SIMD lane-identity gate in `scripts/verify.sh`), so the
+    /// order must be a pure function of the content.
     pub fn cached_runs(&self) -> impl Iterator<Item = (&str, &[EvalResult])> {
-        self.cache.iter().map(|(k, v)| (k.as_str(), v.as_slice()))
+        let mut labels: Vec<&String> = self.cache.keys().collect();
+        labels.sort_unstable();
+        labels.into_iter().map(|k| (k.as_str(), self.cache[k].as_slice()))
     }
 
     fn record_timing(&mut self, label: &str, times: &[Duration]) {

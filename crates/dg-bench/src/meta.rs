@@ -26,6 +26,10 @@ pub struct RunMeta {
     pub scale: &'static str,
     /// Host `<arch>-<os>` pair, e.g. `x86_64-linux`.
     pub host: String,
+    /// Active SIMD lane (`"avx2"`, `"sse2"` or `"scalar"` — the
+    /// resolved [`dg_simd::lane`], honouring `DG_SIMD`). Wall-clock
+    /// numbers are not comparable across lanes.
+    pub simd: &'static str,
 }
 
 impl RunMeta {
@@ -40,6 +44,7 @@ impl RunMeta {
                 Scale::Paper => "paper",
             },
             host: format!("{}-{}", std::env::consts::ARCH, std::env::consts::OS),
+            simd: dg_simd::lane().name(),
         }
     }
 
@@ -51,7 +56,8 @@ impl RunMeta {
         o.str_field("git_sha", &self.git_sha)
             .u64_field("threads", self.threads as u64)
             .str_field("scale", self.scale)
-            .str_field("host", &self.host);
+            .str_field("host", &self.host)
+            .str_field("simd", self.simd);
         o.finish()
     }
 }
@@ -166,6 +172,8 @@ mod tests {
         assert_eq!(parsed.get("scale").unwrap().as_str(), Some("small"));
         assert!(parsed.get("threads").unwrap().as_u64().unwrap() > 0);
         assert!(parsed.get("git_sha").unwrap().as_str().is_some());
+        let lane = parsed.get("simd").unwrap().as_str().unwrap();
+        assert!(["scalar", "sse2", "avx2"].contains(&lane), "unexpected lane {lane}");
     }
 
     #[test]

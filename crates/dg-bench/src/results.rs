@@ -100,9 +100,19 @@ pub fn export_timings(
 ) -> std::io::Result<()> {
     let mut rows = Vec::new();
     for t in sweep.timings() {
-        for (kernel, secs) in &t.per_kernel {
+        // Timings are only recorded for configurations that were run,
+        // so the cached results (suite order, like `per_kernel`) are
+        // always present; they carry the simulated access counts that
+        // normalise wall-clock to ns per simulated access.
+        let results = sweep.results(&t.label);
+        for ((kernel, secs), r) in t.per_kernel.iter().zip(results) {
+            debug_assert_eq!(*kernel, r.kernel, "timing rows out of sync with results");
             let mut o = ObjectWriter::with_indent(1);
             o.str_field("config", &t.label).str_field("kernel", kernel).f64_field("secs", *secs);
+            o.u64_field("accesses", r.accesses);
+            if r.accesses > 0 {
+                o.f64_field("ns_per_access", secs * 1e9 / r.accesses as f64);
+            }
             rows.push(o.finish());
         }
         let mut o = ObjectWriter::with_indent(1);
@@ -185,9 +195,15 @@ mod tests {
         assert!(meta.get("git_sha").unwrap().as_str().is_some());
         assert!(meta.get("threads").unwrap().as_u64().unwrap() > 0);
         assert!(meta.get("host").unwrap().as_str().unwrap().contains('-'));
+        assert!(meta.get("simd").unwrap().as_str().is_some(), "meta must carry the SIMD lane");
         let rows = doc.get("rows").unwrap().as_array().unwrap();
         // 9 kernel rows + the per-config TOTAL + the ALL/TOTAL row.
         assert_eq!(rows.len(), 11);
+        // Every kernel row normalises wall-clock by simulated accesses.
+        for row in &rows[..9] {
+            assert!(row.get("accesses").unwrap().as_u64().unwrap() > 0);
+            assert!(row.get("ns_per_access").unwrap().as_f64().is_some());
+        }
         let last = rows.last().unwrap();
         assert_eq!(last.get("config").unwrap().as_str(), Some("ALL"));
         assert_eq!(last.get("secs").unwrap().as_f64(), Some(1.25));

@@ -156,13 +156,23 @@ fn plan(smoke: bool) -> BenchPlan {
 }
 
 /// Time one traffic shape against a fresh server.
+///
+/// `predict` attaches the Che-approximation hit-rate estimate to the
+/// row. It is only meaningful for segments whose traffic matches the
+/// oracle's model — a pure get-or-insert stream (`query`). Mixed
+/// get/put traffic mutates residency in ways the model does not cover,
+/// so those rows export `null` instead of a number that looks
+/// authoritative but is not.
 fn run_segment(
     name: &str,
     plan: &BenchPlan,
+    predict: bool,
     mut next_batch: impl FnMut(&mut SimilarityWorkload, usize) -> Vec<dg_serve::Request>,
 ) -> ServeRow {
     let server = Server::new(plan.cfg).expect("bench config is valid");
     let mut workload = SimilarityWorkload::new(plan.spec, &plan.cfg);
+    let predicted =
+        if predict { workload.expected_hit_rate(&server).hit_rate } else { f64::NAN };
     for _ in 0..plan.warmup_batches {
         server.run_batch(&next_batch(&mut workload, plan.batch));
     }
@@ -184,7 +194,7 @@ fn run_segment(
         secs,
         mops: requests as f64 / secs / 1e6,
         hit_rate: stats.hit_rate(),
-        predicted_hit_rate: f64::NAN,
+        predicted_hit_rate: predicted,
         workers: server.workers() as u64,
         shards: plan.cfg.shards as u64,
     }
@@ -234,8 +244,8 @@ pub fn oracle_gate(smoke: bool) -> (ServeRow, bool, f64) {
 /// and the oracle gate. Returns the rows and whether the gate held.
 pub fn run_bench(smoke: bool) -> (Vec<ServeRow>, bool) {
     let p = plan(smoke);
-    let query = run_segment("query", &p, |w, n| w.batch(n));
-    let get_put = run_segment("get_put", &p, |w, n| w.batch_mixed(n, 0.25));
+    let query = run_segment("query", &p, true, |w, n| w.batch(n));
+    let get_put = run_segment("get_put", &p, false, |w, n| w.batch_mixed(n, 0.25));
     let (gate, ok, _) = oracle_gate(smoke);
     (vec![query, get_put, gate], ok)
 }
@@ -303,11 +313,24 @@ pub fn validate_report(text: &str) -> Result<(), String> {
         }
         for field in ["hit_rate", "predicted_hit_rate"] {
             match row.get(field) {
-                Some(Json::Null) if field == "predicted_hit_rate" => {}
+                Some(Json::Null) if field == "predicted_hit_rate" => {
+                    // The prediction is emitted exactly where the Che
+                    // oracle's model applies: get-or-insert streams
+                    // (`query`) and the gate itself. Those rows must
+                    // carry a number; only other segments may be null.
+                    if name == "query" || name == "oracle_gate" {
+                        return Err(format!("rows[{i}] ({name}).{field} must be a number"));
+                    }
+                }
                 Some(v) => {
                     let v = v.as_f64().ok_or(format!("rows[{i}].{field} not a number"))?;
                     if !(0.0..=1.0).contains(&v) {
                         return Err(format!("rows[{i}].{field} = {v} outside [0, 1]"));
+                    }
+                    if field == "predicted_hit_rate" && name == "get_put" {
+                        // Mixed get/put traffic is outside the oracle's
+                        // model; a number here would be fabricated.
+                        return Err(format!("rows[{i}] (get_put).{field} must be null"));
                     }
                 }
                 None => return Err(format!("rows[{i}].{field} missing")),
@@ -356,7 +379,7 @@ mod tests {
                 secs: 0.5,
                 mops: 0.002,
                 hit_rate: 0.5,
-                predicted_hit_rate: f64::NAN,
+                predicted_hit_rate: 0.52,
                 workers: 4,
                 shards: 4,
             },
@@ -383,10 +406,36 @@ mod tests {
         ];
         let doc = report_json(Scale::Small, &rows);
         validate_report(&doc).unwrap();
-        // The NaN prediction on non-gate rows exports as null.
         let parsed = Json::parse(&doc).unwrap();
-        let r0 = &parsed.get("rows").unwrap().as_array().unwrap()[0];
-        assert_eq!(*r0.get("predicted_hit_rate").unwrap(), Json::Null);
+        let arr = parsed.get("rows").unwrap().as_array().unwrap();
+        // Query rows carry the oracle prediction; the mixed get/put
+        // segment is outside the model and exports null (NaN → null).
+        assert_eq!(arr[0].get("predicted_hit_rate").unwrap().as_f64(), Some(0.52));
+        assert_eq!(*arr[1].get("predicted_hit_rate").unwrap(), Json::Null);
+    }
+
+    #[test]
+    fn validation_pins_where_predictions_belong() {
+        let base = |name: &str, predicted: f64| ServeRow {
+            name: name.into(),
+            requests: 1000,
+            secs: 0.5,
+            mops: 0.002,
+            hit_rate: 0.5,
+            predicted_hit_rate: predicted,
+            workers: 4,
+            shards: 4,
+        };
+        let gate = base("oracle_gate", 0.5);
+        // A null prediction on a query row is a shape error…
+        let rows =
+            vec![base("query", f64::NAN), base("get_put", f64::NAN), gate.clone()];
+        let err = validate_report(&report_json(Scale::Small, &rows)).unwrap_err();
+        assert!(err.contains("query"), "unexpected error: {err}");
+        // …and a numeric prediction on get_put is too.
+        let rows = vec![base("query", 0.5), base("get_put", 0.5), gate];
+        let err = validate_report(&report_json(Scale::Small, &rows)).unwrap_err();
+        assert!(err.contains("get_put"), "unexpected error: {err}");
     }
 
     #[test]

@@ -154,6 +154,12 @@ impl<R: Replacer> ConventionalCache<R> {
         if let Some(way) = self.predict(set, tag) {
             return Some((set, way));
         }
+        // Plain scan, not the generation-stamped memo: the private
+        // levels probe each block exactly once per access
+        // (probe-then-fill, never probe-twice), so a memo never hits
+        // here and its bookkeeping is pure per-probe overhead. The
+        // repeat-lookup pattern the memo serves lives in the
+        // Doppelgänger locate paths.
         let way = self.array.find_keyed(set, tag, |l| l.tag == tag)?;
         self.mru[set] = way as u32;
         Some((set, way))
@@ -211,7 +217,7 @@ impl<R: Replacer> ConventionalCache<R> {
                 self.stats.record_hit();
                 self.array.get_mut(set, way).expect("located way is valid").dirty = true;
                 let slot = self.slot(set, way);
-                self.data[slot] = data;
+                self.data[slot].copy_from(&data);
                 true
             }
             None => {
@@ -303,7 +309,7 @@ impl<R: Replacer> ConventionalCache<R> {
             self.stats.record_eviction(l.dirty);
             Evicted { addr: geom.block_addr(l.tag, set), dirty: l.dirty, data: self.data[slot] }
         });
-        self.data[slot] = *data;
+        self.data[slot].copy_from(data);
         if enabled(Level::Metrics) {
             self.record_occupancy(set);
         }
@@ -333,11 +339,11 @@ impl<R: Replacer> ConventionalCache<R> {
         let out = old.map(|l| {
             self.stats.record_eviction(l.dirty);
             if l.dirty {
-                *victim_buf = self.data[slot];
+                victim_buf.copy_from(&self.data[slot]);
             }
             (geom.block_addr(l.tag, set), l.dirty)
         });
-        self.data[slot] = *data;
+        self.data[slot].copy_from(data);
         if enabled(Level::Metrics) {
             self.record_occupancy(set);
         }

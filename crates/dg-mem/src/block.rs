@@ -20,10 +20,22 @@ use std::fmt;
 /// assert_eq!(stats.max, 3.0);
 /// assert_eq!(stats.range(), 3.0);
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Hash)]
 pub struct BlockData {
     bytes: [u8; BLOCK_BYTES],
 }
+
+// Byte equality through the SIMD lane: block compares sit on the fill,
+// writeback and map-memo paths. Exact equality is lane-independent, and
+// the derived `Hash` remains consistent (equal blocks hash equally).
+impl PartialEq for BlockData {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        dg_simd::eq64(&self.bytes, &other.bytes)
+    }
+}
+
+impl Eq for BlockData {}
 
 impl BlockData {
     /// A block of all-zero bytes.
@@ -64,6 +76,24 @@ impl BlockData {
     #[inline]
     pub fn as_bytes_mut(&mut self) -> &mut [u8; BLOCK_BYTES] {
         &mut self.bytes
+    }
+
+    /// Overwrite this block with `src`'s bytes through the SIMD copy
+    /// lane — the fill/writeback block-move primitive.
+    #[inline]
+    pub fn copy_from(&mut self, src: &BlockData) {
+        dg_simd::copy64(&mut self.bytes, &src.bytes);
+    }
+
+    /// The [`dg_simd::ElemKind`] decoding layout of `ty`.
+    #[inline]
+    fn simd_kind(ty: ElemType) -> dg_simd::ElemKind {
+        match ty {
+            ElemType::U8 => dg_simd::ElemKind::U8,
+            ElemType::I32 => dg_simd::ElemKind::I32,
+            ElemType::F32 => dg_simd::ElemKind::F32,
+            ElemType::F64 => dg_simd::ElemKind::F64,
+        }
     }
 
     /// Read element `idx` interpreted as `ty`.
@@ -116,12 +146,34 @@ impl BlockData {
     /// clamping rule).
     ///
     /// Equivalent to clamping each element of [`Self::elems`] and
-    /// folding min/max/sum in element order; this form dispatches on
-    /// the element type once and decodes fixed-width chunks, so the
-    /// inner loop carries no per-element width arithmetic or slice
-    /// bounds checks. The per-element operation order (clamp, then
-    /// min, max, sum) is identical, so the results are bit-identical.
+    /// folding min/max/sum in element order. Dispatches to the
+    /// process-wide SIMD lane (`dg_simd::lane()`, `DG_SIMD` override);
+    /// every lane is bit-identical to the scalar reference — see
+    /// [`Self::clamped_stats_on`] for the contract.
     pub fn clamped_stats(&self, ty: ElemType, lo: f64, hi: f64) -> BlockStats {
+        self.clamped_stats_on(dg_simd::lane(), ty, lo, hi)
+    }
+
+    /// [`Self::clamped_stats`] on an explicit [`dg_simd::Lane`], for
+    /// differential tests that compare lanes in-process.
+    ///
+    /// The scalar lane is the reference: clamp, then min, max, sum per
+    /// element in element order. The vector lanes decode + clamp into
+    /// an element buffer (bitwise identical per element), reduce
+    /// min/max with the same NaN-skipping fold, and sum the buffer
+    /// **sequentially** — f64 addition is non-associative, so the sum
+    /// is never vectorized. The only representational slack is the
+    /// sign of a zero winning a `min`/`max` tie between `+0.0` and
+    /// `-0.0`, which no consumer can observe (`-0.0 == 0.0`, and the
+    /// downstream quantizer's arithmetic is sign-of-zero-blind).
+    pub fn clamped_stats_on(&self, lane: dg_simd::Lane, ty: ElemType, lo: f64, hi: f64) -> BlockStats {
+        if lane != dg_simd::Lane::Scalar {
+            let mut buf = [0f64; BLOCK_BYTES];
+            let n = dg_simd::decode_clamp_on(lane, Self::simd_kind(ty), &self.bytes, lo, hi, &mut buf);
+            let (min, max) = dg_simd::min_max_on(lane, &buf[..n]);
+            let sum = dg_simd::sum_seq(&buf[..n]);
+            return BlockStats { min, max, sum, count: n };
+        }
         #[inline(always)]
         fn fold(vals: impl Iterator<Item = f64>, lo: f64, hi: f64) -> (f64, f64, f64) {
             let (mut min, mut max, mut sum) = (f64::INFINITY, f64::NEG_INFINITY, 0.0);
@@ -151,6 +203,22 @@ impl BlockData {
             }
         };
         BlockStats { min, max, sum, count: ty.elems_per_block() }
+    }
+
+    /// Decode and clamp every element into `out` (element order) on an
+    /// explicit lane, returning the element count. All lanes produce
+    /// bitwise-identical buffers; this feeds order-sensitive map folds
+    /// (e.g. the stride hash) that then run scalar over the buffer.
+    #[inline]
+    pub fn clamped_elems_on(
+        &self,
+        lane: dg_simd::Lane,
+        ty: ElemType,
+        lo: f64,
+        hi: f64,
+        out: &mut [f64; BLOCK_BYTES],
+    ) -> usize {
+        dg_simd::decode_clamp_on(lane, Self::simd_kind(ty), &self.bytes, lo, hi, out)
     }
 
     /// Element-wise approximate similarity test of §2.
@@ -291,5 +359,98 @@ mod tests {
     #[test]
     fn debug_nonempty() {
         assert!(!format!("{:?}", BlockData::zeroed()).is_empty());
+    }
+
+    #[test]
+    fn copy_from_and_eq_are_byte_exact() {
+        let mut src = BlockData::zeroed();
+        for (i, b) in src.as_bytes_mut().iter_mut().enumerate() {
+            *b = (i as u8).wrapping_mul(37).wrapping_add(11);
+        }
+        let mut dst = BlockData::zeroed();
+        assert_ne!(dst, src);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        assert_eq!(dst.as_bytes(), src.as_bytes());
+        dst.as_bytes_mut()[63] ^= 1;
+        assert_ne!(dst, src);
+    }
+
+    #[test]
+    fn clamped_stats_lanes_match_scalar() {
+        // All element types, NaN/∞/denormal payloads included, across
+        // every available lane: min/max/sum must agree with the scalar
+        // reference (bitwise except the unobservable sign of zero).
+        let mut state = 0x9E37u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state
+        };
+        for round in 0..100 {
+            let mut raw = [0u8; 64];
+            for c in raw.chunks_exact_mut(8) {
+                c.copy_from_slice(&next().to_le_bytes());
+            }
+            if round % 5 == 0 {
+                // Plant f64 specials at aligned offsets.
+                raw[0..8].copy_from_slice(&f64::NAN.to_le_bytes());
+                raw[8..16].copy_from_slice(&f64::INFINITY.to_le_bytes());
+                raw[16..24].copy_from_slice(&(f64::MIN_POSITIVE / 8.0).to_le_bytes());
+            }
+            let b = BlockData::from_bytes(raw);
+            for ty in [ElemType::U8, ElemType::I32, ElemType::F32, ElemType::F64] {
+                for (lo, hi) in [(0.0, 255.0), (-1e9, 1e9), (-0.5, 0.5)] {
+                    let want = b.clamped_stats_on(dg_simd::Lane::Scalar, ty, lo, hi);
+                    for lane in [dg_simd::Lane::Sse2, dg_simd::Lane::Avx2] {
+                        if !lane.available() {
+                            continue;
+                        }
+                        let got = b.clamped_stats_on(lane, ty, lo, hi);
+                        assert_eq!(got.count, want.count);
+                        assert_eq!(got.sum.to_bits(), want.sum.to_bits(), "{lane:?} {ty:?} sum");
+                        assert!(
+                            got.min == want.min || got.min.to_bits() == want.min.to_bits(),
+                            "{lane:?} {ty:?} min {} vs {}",
+                            got.min,
+                            want.min
+                        );
+                        assert!(
+                            got.max == want.max || got.max.to_bits() == want.max.to_bits(),
+                            "{lane:?} {ty:?} max {} vs {}",
+                            got.max,
+                            want.max
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clamped_elems_match_scalar_decode_bitwise() {
+        let mut raw = [0u8; 64];
+        for (i, b) in raw.iter_mut().enumerate() {
+            *b = (i as u8).wrapping_mul(101).wrapping_add(3);
+        }
+        let b = BlockData::from_bytes(raw);
+        for ty in [ElemType::U8, ElemType::I32, ElemType::F32, ElemType::F64] {
+            let mut want = [0f64; 64];
+            let n = b.clamped_elems_on(dg_simd::Lane::Scalar, ty, -1e6, 1e6, &mut want);
+            assert_eq!(n, ty.elems_per_block());
+            // Scalar path must equal elems()+clamp exactly.
+            for (i, v) in b.elems(ty).enumerate() {
+                assert_eq!(want[i].to_bits(), v.clamp(-1e6, 1e6).to_bits());
+            }
+            for lane in [dg_simd::Lane::Sse2, dg_simd::Lane::Avx2] {
+                if !lane.available() {
+                    continue;
+                }
+                let mut got = [0f64; 64];
+                assert_eq!(b.clamped_elems_on(lane, ty, -1e6, 1e6, &mut got), n);
+                for i in 0..n {
+                    assert_eq!(got[i].to_bits(), want[i].to_bits(), "{lane:?} {ty:?} elem {i}");
+                }
+            }
+        }
     }
 }

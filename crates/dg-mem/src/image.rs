@@ -166,13 +166,14 @@ impl MemoryImage {
         }
     }
 
-    /// Overwrite the full 64-byte block at `addr`.
+    /// Overwrite the full 64-byte block at `addr` — the writeback-path
+    /// block move, routed through the SIMD copy lane.
     #[inline]
     pub fn set_block(&mut self, addr: BlockAddr, data: BlockData) {
         let (pid, slot) = Self::page_id(addr);
         let idx = self.find_or_alloc_page(pid);
         let page = &mut self.pages[idx];
-        page.blocks[slot] = data;
+        page.blocks[slot].copy_from(&data);
         let bit = 1u64 << slot;
         if page.present & bit == 0 {
             page.present |= bit;

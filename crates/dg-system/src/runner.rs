@@ -13,6 +13,10 @@ pub struct EvalResult {
     pub runtime_cycles: u64,
     /// Total simulated instructions across cores.
     pub instructions: u64,
+    /// Core memory accesses (loads + stores) across cores — the
+    /// denominator for per-access wall-clock normalisation in timing
+    /// exports.
+    pub accesses: u64,
     /// Application output error vs. the precise golden run (0–1).
     pub output_error: f64,
     /// Off-chip traffic in blocks (reads + writebacks).
@@ -163,6 +167,7 @@ fn build_result(
         kernel: kernel.name(),
         runtime_cycles: cycles,
         instructions: sys.total_instructions(),
+        accesses: sys.accesses(),
         output_error: kernel.error_metric(golden, output),
         off_chip_blocks: sys.off_chip_blocks(),
         llc: counters,

@@ -37,6 +37,11 @@ pub struct System {
     fill_scratch: BlockData,
     cycles: Vec<u64>,
     insts: Vec<u64>,
+    /// Core memory accesses (loads + stores) across all cores.
+    /// Observation-only — never read by the simulation and not part of
+    /// any oracle-compared snapshot; feeds the per-access wall-clock
+    /// normalisation in `dg-bench` timing exports.
+    accesses: u64,
     off_chip_reads: u64,
     back_invalidations: u64,
     /// End-to-end latency (cycles) of each core load/store, recorded
@@ -72,6 +77,7 @@ impl System {
             fill_scratch: BlockData::zeroed(),
             cycles: vec![0; cfg.cores],
             insts: vec![0; cfg.cores],
+            accesses: 0,
             off_chip_reads: 0,
             back_invalidations: 0,
             access_latency: Hist64::new(),
@@ -119,6 +125,7 @@ impl System {
     /// Perform a load of `buf.len()` bytes at `addr` on `core`.
     pub fn load(&mut self, core: usize, addr: Addr, buf: &mut [u8]) {
         self.insts[core] += 1;
+        self.accesses += 1;
         let block = addr.block();
         let off = addr.block_offset();
         let c0 = self.cycles[core];
@@ -137,6 +144,7 @@ impl System {
     /// Perform a store of `bytes` at `addr` on `core`.
     pub fn store(&mut self, core: usize, addr: Addr, bytes: &[u8]) {
         self.insts[core] += 1;
+        self.accesses += 1;
         let block = addr.block();
         let c0 = self.cycles[core];
         self.cycles[core] += self.cfg.l1_latency;
@@ -161,6 +169,53 @@ impl System {
         let wrote = self.l1[core].write_bytes(block, addr.block_offset(), bytes);
         debug_assert!(wrote, "l1_miss fills L1");
         self.obs_record_latency(core, c0);
+    }
+
+    // ------------------------------------------------------------------
+    // Batched map generation (trace-driven replay).
+    // ------------------------------------------------------------------
+
+    /// Precompute map hints for one cycle window of accesses.
+    ///
+    /// `window` holds `(core, addr)` pairs — at most one access per
+    /// core, all from the same round-robin round of a trace replay, so
+    /// they are independent in the serial retirement order. For each
+    /// access that (as of the current state) lands in an annotated
+    /// region and would miss this core's private levels and the LLC,
+    /// the block's map is computed from DRAM through the SIMD lane and
+    /// primed into the Doppelgänger cache, which skips recomputing it
+    /// at insert time. Hints are verified at consume time against both
+    /// address and block bytes, so priming is behaviour-preserving even
+    /// when an earlier access in the window invalidates what this
+    /// filter saw: a stale hint is simply never consumed.
+    pub fn prime_window(&mut self, window: &[(usize, Addr)]) {
+        for (i, &(core, addr)) in window.iter().enumerate() {
+            let block = addr.block();
+            // One hint per block per window.
+            if window[..i].iter().any(|&(_, a)| a.block() == block) {
+                continue;
+            }
+            let Some(region) = self.region_of(block) else { continue };
+            if self.l1[core].contains(block)
+                || self.l2[core].contains(block)
+                || self.llc.contains(block)
+            {
+                continue;
+            }
+            let data = self.dram.block(block);
+            self.llc.prime_map_hint(block, &data, &region);
+        }
+    }
+
+    /// Drop unconsumed map hints at the end of a cycle window.
+    pub fn end_window(&mut self) {
+        self.llc.clear_map_hints();
+    }
+
+    /// The LLC's map-hint counters `(primed, consumed)` — observability
+    /// only (not part of any oracle-compared snapshot).
+    pub fn map_hint_counters(&self) -> (u64, u64) {
+        self.llc.map_hint_counters()
     }
 
     // ------------------------------------------------------------------
@@ -404,6 +459,11 @@ impl System {
         self.insts.iter().sum()
     }
 
+    /// Core memory accesses (loads + stores) across all cores.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
     /// Per-core cycle counts.
     pub fn core_cycles(&self) -> &[u64] {
         &self.cycles
@@ -565,6 +625,7 @@ impl System {
         self.llc.reset_stats();
         self.cycles.iter_mut().for_each(|c| *c = 0);
         self.insts.iter_mut().for_each(|c| *c = 0);
+        self.accesses = 0;
         self.off_chip_reads = 0;
         self.back_invalidations = 0;
         self.access_latency = Hist64::new();

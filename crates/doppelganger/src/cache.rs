@@ -115,6 +115,19 @@ pub struct DoppelgangerCache {
     /// `map_generations` still counts the hardware's map computation.
     map_memo: Vec<Option<(BlockAddr, BlockData, MapValue)>>,
     memo_enabled: bool,
+    /// Map hints primed by the batched replay engine in `dg-system`:
+    /// `(addr, block contents, map)` triples whose maps were computed
+    /// ahead of time through the SIMD lane. `insert_approx_with`
+    /// consumes a hint only when both the address and the 64 block
+    /// bytes match, and mapping is deterministic, so a consumed hint is
+    /// bit-identical to the value the insert would have computed —
+    /// hints can skip a recomputation but never change behaviour.
+    map_hints: Vec<(BlockAddr, BlockData, MapValue)>,
+    /// Hint observability counters. Deliberately **not** part of
+    /// [`DoppStats`]: the lockstep oracle compares `DoppStats` field by
+    /// field, and hints are an engine artefact, not modelled hardware.
+    hints_primed: u64,
+    hints_consumed: u64,
     stats: DoppStats,
     data_policy: DataPolicy,
     /// Distribution of sharing-list length sampled each time a tag joins
@@ -138,6 +151,9 @@ impl DoppelgangerCache {
             data_mru: vec![0; data_geom.sets()],
             map_memo: vec![None; tag_geom.entries()],
             memo_enabled: true,
+            map_hints: Vec::new(),
+            hints_primed: 0,
+            hints_consumed: 0,
             stats: DoppStats::default(),
             data_policy: DataPolicy::default(),
             chain_hist: Hist64::new(),
@@ -152,6 +168,41 @@ impl DoppelgangerCache {
         if !enabled {
             self.map_memo.iter_mut().for_each(|m| *m = None);
         }
+    }
+
+    /// Prime a precomputed map for a block about to be inserted.
+    ///
+    /// Used by the batched replay engine: maps for a whole window of
+    /// independent misses are computed up front (through the SIMD
+    /// lane), then each insert consumes its hint instead of recomputing
+    /// the identical value. Unconsumed hints are dropped by
+    /// [`Self::clear_map_hints`] at the end of the window.
+    pub fn prime_map(&mut self, addr: BlockAddr, block: &BlockData, map: MapValue) {
+        self.map_hints.push((addr, *block, map));
+        self.hints_primed += 1;
+    }
+
+    /// Drop all unconsumed map hints (end of a batch window).
+    pub fn clear_map_hints(&mut self) {
+        self.map_hints.clear();
+    }
+
+    /// Hint counters `(primed, consumed)` — observability only.
+    pub fn map_hint_counters(&self) -> (u64, u64) {
+        (self.hints_primed, self.hints_consumed)
+    }
+
+    /// Consume the primed hint for `(addr, block)` if one matches both
+    /// the address and every block byte.
+    #[inline]
+    fn take_map_hint(&mut self, addr: BlockAddr, block: &BlockData) -> Option<MapValue> {
+        if self.map_hints.is_empty() {
+            return None;
+        }
+        let i = self.map_hints.iter().position(|(a, b, _)| *a == addr && b == block)?;
+        let (_, _, map) = self.map_hints.swap_remove(i);
+        self.hints_consumed += 1;
+        Some(map)
     }
 
     /// Select the data-array victim policy (default: LRU, the paper's
@@ -254,7 +305,7 @@ impl DoppelgangerCache {
         if let Some(way) = self.predict_tag(set, tag) {
             return Some(TagId { set: set as u32, way: way as u32 });
         }
-        let way = self.tags.find_keyed(set, tag, |e| e.tag == tag)?;
+        let way = self.tags.find_keyed_cached(set, tag, |e| e.tag == tag)?;
         self.tag_mru[set] = way as u32;
         Some(TagId { set: set as u32, way: way as u32 })
     }
@@ -297,7 +348,7 @@ impl DoppelgangerCache {
         }
         let way = self
             .data
-            .find_keyed(set, mtag, |e| matches!(e.kind, DataKind::Approx { map_tag } if map_tag == mtag))?;
+            .find_keyed_cached(set, mtag, |e| matches!(e.kind, DataKind::Approx { map_tag } if map_tag == mtag))?;
         self.data_mru[set] = way as u32;
         Some(DataId { set: set as u32, way: way as u32 })
     }
@@ -581,7 +632,12 @@ impl DoppelgangerCache {
         // Debug-only: the resident check would re-scan the tag set on
         // every insert, and the hierarchy inserts only after a miss.
         debug_assert!(!self.contains(addr), "insert of a resident block");
-        let map = self.cfg.map_space.map_block(&block, region);
+        // A primed hint (batched replay) is the same deterministic
+        // mapping computed ahead of time; the hardware still computes
+        // one map per insert, so `map_generations` counts either way.
+        let map = self
+            .take_map_hint(addr, &block)
+            .unwrap_or_else(|| self.cfg.map_space.map_block(&block, region));
         self.stats.map_generations += 1;
         self.stats.insertions += 1;
 
@@ -1364,5 +1420,42 @@ mod tests {
         assert!(c.mark_dirty(BlockAddr(1)));
         assert!(!c.mark_dirty(BlockAddr(99)));
         assert!(c.invalidate(BlockAddr(1)).unwrap().dirty);
+    }
+
+    #[test]
+    fn primed_map_hints_are_consumed_and_behaviour_is_identical() {
+        let r = region();
+        let cfg = tiny_cfg();
+        let mut plain = DoppelgangerCache::new(cfg.clone());
+        let mut hinted = DoppelgangerCache::new(cfg);
+
+        // Prime exact hints for two blocks, a byte-mismatched hint for a
+        // third, and leave a fourth unhinted.
+        let blocks =
+            [(BlockAddr(1), blk(10.0)), (BlockAddr(2), blk(10.003)), (BlockAddr(3), blk(55.0))];
+        for (addr, b) in &blocks[..2] {
+            let map = hinted.config().map_space.map_block(b, &r);
+            hinted.prime_map(*addr, b, map);
+        }
+        let wrong = hinted.config().map_space.map_block(&blk(99.0), &r);
+        hinted.prime_map(BlockAddr(3), &blk(99.0), wrong); // bytes won't match blk(55.0)
+
+        for (addr, b) in &blocks {
+            plain.insert_approx(*addr, *b, &r);
+            hinted.insert_approx(*addr, *b, &r);
+        }
+        hinted.clear_map_hints();
+        plain.insert_approx(BlockAddr(4), blk(7.0), &r);
+        hinted.insert_approx(BlockAddr(4), blk(7.0), &r);
+
+        assert_eq!(hinted.map_hint_counters(), (3, 2));
+        assert_eq!(plain.map_hint_counters(), (0, 0));
+        // Hardware-visible state and counters are identical.
+        assert_eq!(plain.stats(), hinted.stats());
+        for (addr, _) in &blocks {
+            assert_eq!(plain.peek(*addr), hinted.peek(*addr));
+        }
+        assert_eq!(plain.resident_data(), hinted.resident_data());
+        hinted.check_invariants();
     }
 }

@@ -254,32 +254,64 @@ impl MapSpace {
     ///
     /// Values are clamped into the annotated range before hashing, as
     /// the paper requires for out-of-range runtime values (§4.1).
+    /// Dispatches to the process-wide SIMD lane (`DG_SIMD` override);
+    /// all lanes are map-bit-identical — see [`Self::map_block_on`].
     pub fn map_block(self, block: &BlockData, region: &ApproxRegion) -> MapValue {
+        self.map_block_on(dg_simd::lane(), block, region)
+    }
+
+    /// [`Self::map_block`] on an explicit [`dg_simd::Lane`], for
+    /// differential tests that compare lanes in-process.
+    ///
+    /// Bit-identity: the decode + clamp element buffer is bitwise
+    /// lane-independent, sums (average, stride) fold the buffer
+    /// sequentially on every lane, and the only lane slack — the sign
+    /// of a zero winning a min/max tie — is erased by [`Self::quantize`]
+    /// (`-0.0 == 0.0` and `x - (±0.0)` are bitwise equal), so the
+    /// returned `MapValue` is identical on every lane.
+    pub fn map_block_on(
+        self,
+        lane: dg_simd::Lane,
+        block: &BlockData,
+        region: &ApproxRegion,
+    ) -> MapValue {
         // The stride hash is the only one needing consecutive-delta
         // state; the order-invariant hashes (including the paper's
         // avg+range) get a tighter single pass without it — map
         // generation runs on every LLC insert and write.
         if self.hash == MapHash::AvgStride {
             let n = region.ty.elems_per_block();
-            let mut min = f64::INFINITY;
-            let mut max = f64::NEG_INFINITY;
-            let mut sum = 0.0;
-            let mut stride_sum = 0.0;
-            let mut prev: Option<f64> = None;
-            for v in block.elems(region.ty) {
-                let v = region.clamp(v);
-                min = min.min(v);
-                max = max.max(v);
-                sum += v;
-                if let Some(p) = prev {
-                    stride_sum += (v - p).abs();
+            let (sum, stride_sum) = if lane != dg_simd::Lane::Scalar {
+                // Vector decode + clamp, then fold the buffer in element
+                // order — the stride hash is order-sensitive, so the
+                // reduction itself must stay sequential.
+                let mut buf = [0f64; 64];
+                let n = block.clamped_elems_on(lane, region.ty, region.min, region.max, &mut buf);
+                let (mut sum, mut stride_sum) = (0.0, 0.0);
+                for (i, &v) in buf[..n].iter().enumerate() {
+                    sum += v;
+                    if i > 0 {
+                        stride_sum += (v - buf[i - 1]).abs();
+                    }
                 }
-                prev = Some(v);
-            }
-            let stats = BlockStats { min, max, sum, count: n };
+                (sum, stride_sum)
+            } else {
+                let (mut sum, mut stride_sum) = (0.0, 0.0);
+                let mut prev: Option<f64> = None;
+                for v in block.elems(region.ty) {
+                    let v = region.clamp(v);
+                    sum += v;
+                    if let Some(p) = prev {
+                        stride_sum += (v - p).abs();
+                    }
+                    prev = Some(v);
+                }
+                (sum, stride_sum)
+            };
+            let avg = sum / n as f64;
             let stride = stride_sum / (n - 1).max(1) as f64;
             return self.combine(
-                stats.average(),
+                avg,
                 region.min,
                 region.max,
                 Some((stride, 0.0, region.range())),
@@ -289,7 +321,7 @@ impl MapSpace {
 
         // Order-invariant hashes: the type-specialized clamped fold
         // (same per-element operation order, so identical results).
-        let stats = block.clamped_stats(region.ty, region.min, region.max);
+        let stats = block.clamped_stats_on(lane, region.ty, region.min, region.max);
         match self.hash {
             MapHash::AvgRange => self.map_stats(&stats, region),
             MapHash::AvgOnly => {

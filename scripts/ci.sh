@@ -2,10 +2,12 @@
 # CI entry point: one command that gates every merge.
 #
 # Thin wrapper over scripts/verify.sh (tier-1 build + tests +
-# hermeticity + differential oracle + repro/profile smoke + concurrent
-# serve smoke with its analytic hit-rate gate) so that CI, pre-commit
-# hooks, and humans all run the *same* check — there is no CI-only
-# logic to drift out of sync with local verification.
+# hermeticity + differential oracle on both the SIMD and scalar lanes +
+# byte-diff of deterministic exports across DG_SIMD lanes +
+# repro/profile smoke + concurrent serve smoke with its analytic
+# hit-rate gate) so that CI, pre-commit hooks, and humans all run the
+# *same* check — there is no CI-only logic to drift out of sync with
+# local verification.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -26,7 +26,7 @@ if [ -n "$violations" ]; then
 fi
 echo "ok: dependency graph is workspace-only"
 
-echo "== differential oracle: repro_all --small --check =="
+echo "== differential oracle: repro_all --small --check (SIMD + scalar) =="
 # The primary correctness gate: every suite kernel's trace is replayed
 # in lockstep through the optimized engine and the dg-oracle reference
 # across every table/figure configuration; the first diverging
@@ -34,9 +34,26 @@ echo "== differential oracle: repro_all --small --check =="
 # block) fails with its access index. This subsumes the old
 # double-run-and-diff determinism check — the oracle is deterministic,
 # so agreement with it on every observable implies determinism and
-# pins the semantics besides.
+# pins the semantics besides. The grid runs twice: once on the
+# auto-detected SIMD lane and once with DG_SIMD=off, so the scalar
+# reference path and the vector path are both held to the oracle.
 cargo run --release --offline -q -p dg-bench --bin repro_all -- --small --check
-echo "ok: optimized engine agrees with the oracle on every configuration"
+DG_SIMD=off cargo run --release --offline -q -p dg-bench --bin repro_all -- --small --check
+echo "ok: optimized engine agrees with the oracle on every configuration (both lanes)"
+
+echo "== SIMD lane identity: byte-diff deterministic exports =="
+# The SIMD kernels promise bit-identical simulation, not merely close:
+# the result export (a pure function of the simulation, no wall-clock
+# or provenance fields) must byte-match across DG_SIMD=auto/off/sse2.
+simd_dir=$(mktemp -d)
+for lane in auto off sse2; do
+  DG_SIMD=$lane cargo run --release --offline -q -p dg-bench --bin repro_all -- \
+    --small --json "$simd_dir/rows_$lane.json" > /dev/null 2>/dev/null
+done
+cmp "$simd_dir/rows_auto.json" "$simd_dir/rows_off.json"
+cmp "$simd_dir/rows_auto.json" "$simd_dir/rows_sse2.json"
+rm -rf "$simd_dir"
+echo "ok: exports byte-identical across SIMD lanes"
 
 echo "== repro smoke: repro_all --small =="
 # One full small-scale reproduction pass: any panic or table-generation
