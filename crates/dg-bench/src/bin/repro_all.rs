@@ -3,17 +3,21 @@
 //! generates the data recorded in EXPERIMENTS.md.
 //!
 //! Usage:
-//! `cargo run --release -p dg-bench --bin repro_all [--small] [--check] [--profile[=PATH]] [--json PATH] [--timing]`
+//! `cargo run --release -p dg-bench --bin repro_all [--small | --medium] [--check] [--sampled[=K]] [--sampled-check] [--profile[=PATH]] [--json PATH] [--timing]`
 //!
 //! `--check` runs the differential-oracle gate instead of the figures:
 //! every kernel trace is replayed in lockstep through the optimized
 //! engine and the `dg-oracle` reference across every table/figure
 //! configuration, and the process exits non-zero on the first
-//! divergence. `--profile` runs the same configuration grid at full
-//! observability instead of the figures, writing `PROFILE_repro.json`
-//! (or `PATH`) plus a Chrome-trace timeline and a JSONL event log next
-//! to it (see `dg_bench::profile`). `--json PATH` additionally exports
-//! every evaluation as a JSON array of result rows. `--timing` records
+//! divergence. `--sampled[=K]` replaces the figures with the sampled
+//! sweep (K representative intervals per kernel over the same
+//! configuration grid); `--sampled-check` gates those estimates against
+//! full-coverage references (see `dg_bench::sampled`). `--profile` runs
+//! the same configuration grid at full observability instead of the
+//! figures, writing `PROFILE_repro.json` (or `PATH`) plus a
+//! Chrome-trace timeline and a JSONL event log next to it (see
+//! `dg_bench::profile`). `--json PATH` additionally exports every
+//! evaluation as a JSON array of result rows. `--timing` records
 //! per-configuration and per-kernel wall-clock into `BENCH_repro.json`.
 //!
 //! Arguments are parsed strictly (`dg_bench::cli`): anything outside
@@ -33,6 +37,41 @@ fn main() {
     if args.check {
         let ok = dg_bench::check::print_check(scale);
         std::process::exit(if ok { 0 } else { 1 });
+    }
+
+    if args.sampled_check {
+        let ok = dg_bench::sampled::print_sampled_check(scale, args.sampled_k());
+        std::process::exit(if ok { 0 } else { 1 });
+    }
+
+    if let Some(k) = args.sampled {
+        let sweep = dg_bench::sampled::run_sampled_suite(scale, k);
+        dg_bench::sampled::print_sampled_summary(&sweep);
+        if let Some(path) = args.json.as_deref() {
+            match dg_bench::sampled::export_sampled_rows(&sweep, std::path::Path::new(path)) {
+                Ok(()) => eprintln!("[repro_all] wrote {path}"),
+                Err(e) => {
+                    eprintln!("[repro_all] failed to write {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        if args.timing {
+            let path = "BENCH_repro.json";
+            let total = start.elapsed().as_secs_f64();
+            match dg_bench::sampled::export_sampled_timings(
+                &sweep,
+                total,
+                std::path::Path::new(path),
+            ) {
+                Ok(()) => eprintln!("[repro_all] wrote {path} ({total:.3}s total)"),
+                Err(e) => {
+                    eprintln!("[repro_all] failed to write {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        std::process::exit(0);
     }
 
     if let Some(path) = args.profile {

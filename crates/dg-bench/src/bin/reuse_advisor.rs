@@ -19,7 +19,7 @@ fn main() {
     let scale = dg_bench::scale_from_args();
     let (data_entries, label) = match scale {
         Scale::Paper => (4096usize, "4K entries (paper 1/4 array)"),
-        Scale::Small => (128, "128 entries (small 1/4 array)"),
+        Scale::Small | Scale::Medium => (128, "128 entries (small 1/4 array)"),
     };
 
     let mut t = Table::new(&["approx blocks", "90% hit needs", "99% hit needs", "fits 1/4?"]);

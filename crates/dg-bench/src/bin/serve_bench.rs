@@ -15,16 +15,13 @@
 //! running. Arguments are parsed strictly: a typo aborts with usage
 //! and exit status 2 rather than silently benchmarking.
 
-use dg_bench::cli::USAGE_EXIT;
+use dg_bench::argparse::usage_error;
 use dg_bench::serve::{self, ServeArgs};
 
 fn main() {
     let args = match ServeArgs::parse(std::env::args().skip(1)) {
         Ok(a) => a,
-        Err(e) => {
-            eprintln!("serve_bench: {e}\n{}", ServeArgs::USAGE);
-            std::process::exit(USAGE_EXIT);
-        }
+        Err(e) => usage_error("serve_bench", &e, ServeArgs::USAGE),
     };
 
     if let Some(path) = args.validate.as_deref() {

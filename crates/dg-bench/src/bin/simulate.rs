@@ -125,6 +125,7 @@ fn main() {
 
     let kernels = match args.scale {
         Scale::Small => dg_workloads::small_suite(args.seed),
+        Scale::Medium => dg_workloads::medium_suite(args.seed),
         Scale::Paper => dg_workloads::paper_suite(args.seed),
     };
     let Some(kernel) = kernels.iter().find(|k| k.name() == args.kernel) else {

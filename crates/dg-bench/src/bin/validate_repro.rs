@@ -61,7 +61,7 @@ fn main() {
         .collect();
     let (lo, hi) = match scale {
         Scale::Paper => (0.30, 0.50), // paper: 37.9%
-        Scale::Small => (0.10, 0.70),
+        Scale::Small | Scale::Medium => (0.10, 0.70),
     };
     gate.check("Fig 7: mean 14-bit savings (paper 0.379)", mean(&savings), lo, hi);
 

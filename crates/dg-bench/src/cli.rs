@@ -1,26 +1,40 @@
-//! Strict command-line parsing for the bench binaries.
+//! Strict command-line parsing for the `repro_all` binary.
 //!
 //! The binaries used to scan `std::env::args()` with `any`/`find`,
 //! which silently ignored anything unrecognised — a misspelled
 //! `--cehck` ran the full figure suite instead of the oracle gate, and
 //! a CI script would never notice. Every flag is now matched against a
 //! closed set and an unknown or malformed argument aborts with a usage
-//! message and a non-zero exit.
+//! message and a non-zero exit. The matching mechanics are shared with
+//! `serve_bench` through [`crate::argparse`].
 
+use crate::argparse::{inline_value, set_flag, set_value, take_value, usage_error};
 use crate::experiments::Scale;
 
-/// Exit status used for command-line errors (the conventional
-/// `EX_USAGE`-adjacent value distinct from runtime failures' `1`).
-pub const USAGE_EXIT: i32 = 2;
+pub use crate::argparse::USAGE_EXIT;
+
+/// Representative-interval count used by `--sampled` when no `=K` is
+/// given (and by `--sampled-check`). Eight intervals keep the detailed
+/// fraction small while leaving enough measured windows for the
+/// inter-interval variance estimate to mean something.
+pub const DEFAULT_SAMPLED_K: usize = 8;
 
 /// Parsed arguments of the `repro_all` binary.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ReproArgs {
     /// Reduced-scale run (`--small`).
     pub small: bool,
+    /// ~10× the small access count on the same caches (`--medium`).
+    pub medium: bool,
     /// Run the differential-oracle gate instead of the figures
     /// (`--check`).
     pub check: bool,
+    /// Sampled-simulation run over the configuration grid
+    /// (`--sampled[=K]`), with the representative-interval count.
+    pub sampled: Option<usize>,
+    /// Gate sampled estimates against full-coverage references instead
+    /// of running the figures (`--sampled-check`).
+    pub sampled_check: bool,
     /// Full-observability profile run instead of the figures
     /// (`--profile[=PATH]`), with the output path.
     pub profile: Option<String>,
@@ -32,11 +46,15 @@ pub struct ReproArgs {
 
 impl ReproArgs {
     /// The usage message printed on a parse error.
-    pub const USAGE: &'static str = "usage: repro_all [--small] [--check] [--profile[=PATH]] \
+    pub const USAGE: &'static str = "usage: repro_all [--small | --medium] [--check] \
+                                     [--sampled[=K]] [--sampled-check] [--profile[=PATH]] \
                                      [--json PATH] [--timing]\n\
                                      \n\
                                      --small          reduced-scale run (small kernels, scaled-down caches)\n\
+                                     --medium         ~10x the small access count on the same caches\n\
                                      --check          run the differential-oracle gate instead of the figures\n\
+                                     --sampled[=K]    sampled run: K representative intervals per kernel\n\
+                                     --sampled-check  gate sampled estimates against full-coverage references\n\
                                      --profile[=PATH] profiled run; writes PROFILE_repro.json (or PATH)\n\
                                      --json PATH      export every evaluation as JSON result rows\n\
                                      --timing         record wall-clock into BENCH_repro.json";
@@ -53,33 +71,56 @@ impl ReproArgs {
         while let Some(arg) = it.next() {
             match arg.as_str() {
                 "--small" => set_flag(&mut out.small, "--small")?,
+                "--medium" => set_flag(&mut out.medium, "--medium")?,
                 "--check" => set_flag(&mut out.check, "--check")?,
+                "--sampled-check" => set_flag(&mut out.sampled_check, "--sampled-check")?,
                 "--timing" => set_flag(&mut out.timing, "--timing")?,
+                "--sampled" => set_sampled(&mut out.sampled, DEFAULT_SAMPLED_K)?,
                 "--profile" => {
-                    set_path(&mut out.profile, "--profile", "PROFILE_repro.json".into())?
+                    set_value(&mut out.profile, "--profile", "PROFILE_repro.json".into())?
                 }
                 "--json" => {
-                    let path = it
-                        .next()
-                        .filter(|p| !p.starts_with("--"))
-                        .ok_or("--json requires a PATH value")?;
-                    set_path(&mut out.json, "--json", path)?;
+                    let path = take_value(&mut it, "--json")?;
+                    set_value(&mut out.json, "--json", path)?;
                 }
                 other => {
-                    if let Some(path) = other.strip_prefix("--profile=") {
-                        if path.is_empty() {
-                            return Err("--profile= requires a non-empty PATH".into());
-                        }
-                        set_path(&mut out.profile, "--profile", path.into())?;
+                    if let Some(path) = inline_value(other, "--profile")? {
+                        set_value(&mut out.profile, "--profile", path.into())?;
+                    } else if let Some(k) = inline_value(other, "--sampled")? {
+                        let k: usize = k
+                            .parse()
+                            .ok()
+                            .filter(|&k| k > 0)
+                            .ok_or(format!("--sampled={k} is not a positive interval count"))?;
+                        set_sampled(&mut out.sampled, k)?;
                     } else {
                         return Err(format!("unknown argument '{other}'"));
                     }
                 }
             }
         }
-        if out.check && (out.profile.is_some() || out.json.is_some() || out.timing) {
+        if out.small && out.medium {
+            return Err("--small and --medium select conflicting scales".into());
+        }
+        if out.check
+            && (out.profile.is_some()
+                || out.json.is_some()
+                || out.timing
+                || out.sampled.is_some()
+                || out.sampled_check)
+        {
             return Err("--check replaces the figure run; it cannot be combined with \
+                        --profile/--json/--timing/--sampled/--sampled-check"
+                .into());
+        }
+        if out.sampled_check && (out.profile.is_some() || out.json.is_some() || out.timing) {
+            return Err("--sampled-check is a gate; it cannot be combined with \
                         --profile/--json/--timing"
+                .into());
+        }
+        if out.sampled.is_some() && out.profile.is_some() {
+            return Err("--sampled replaces the figure run; it cannot be combined with \
+                        --profile"
                 .into());
         }
         Ok(out)
@@ -90,10 +131,7 @@ impl ReproArgs {
     pub fn from_env() -> Self {
         match Self::parse(std::env::args().skip(1)) {
             Ok(args) => args,
-            Err(e) => {
-                eprintln!("repro_all: {e}\n{}", Self::USAGE);
-                std::process::exit(USAGE_EXIT);
-            }
+            Err(e) => usage_error("repro_all", &e, Self::USAGE),
         }
     }
 
@@ -101,22 +139,23 @@ impl ReproArgs {
     pub fn scale(&self) -> Scale {
         if self.small {
             Scale::Small
+        } else if self.medium {
+            Scale::Medium
         } else {
             Scale::Paper
         }
     }
-}
 
-fn set_flag(slot: &mut bool, name: &str) -> Result<(), String> {
-    if std::mem::replace(slot, true) {
-        return Err(format!("duplicate flag '{name}'"));
+    /// The representative-interval count of a sampled run (`--sampled`'s
+    /// K, defaulted for `--sampled-check`).
+    pub fn sampled_k(&self) -> usize {
+        self.sampled.unwrap_or(DEFAULT_SAMPLED_K)
     }
-    Ok(())
 }
 
-fn set_path(slot: &mut Option<String>, name: &str, value: String) -> Result<(), String> {
-    if slot.replace(value).is_some() {
-        return Err(format!("duplicate flag '{name}'"));
+fn set_sampled(slot: &mut Option<usize>, k: usize) -> Result<(), String> {
+    if slot.replace(k).is_some() {
+        return Err("duplicate flag '--sampled'".into());
     }
     Ok(())
 }
@@ -154,12 +193,36 @@ mod tests {
     }
 
     #[test]
+    fn sampled_flags_parse() {
+        let a = parse(&["--medium", "--sampled"]).unwrap();
+        assert!(a.medium);
+        assert_eq!(a.scale(), Scale::Medium);
+        assert_eq!(a.sampled, Some(DEFAULT_SAMPLED_K));
+        assert_eq!(a.sampled_k(), DEFAULT_SAMPLED_K);
+
+        let a = parse(&["--sampled=12", "--timing"]).unwrap();
+        assert_eq!(a.sampled, Some(12));
+
+        let a = parse(&["--small", "--sampled-check"]).unwrap();
+        assert!(a.sampled_check);
+        assert_eq!(a.sampled_k(), DEFAULT_SAMPLED_K);
+        // --sampled-check may borrow --sampled=K to pick its K.
+        assert_eq!(parse(&["--sampled-check", "--sampled=4"]).unwrap().sampled_k(), 4);
+
+        assert!(parse(&["--sampled=0"]).is_err(), "K must be positive");
+        assert!(parse(&["--sampled=abc"]).is_err());
+        assert!(parse(&["--sampled="]).is_err());
+        assert!(parse(&["--sampled", "--sampled=3"]).is_err(), "duplicate");
+    }
+
+    #[test]
     fn typos_are_rejected_not_ignored() {
         // The motivating bug: '--cehck' used to fall through silently
         // and run the figures, so CI believed the oracle gate passed.
         let err = parse(&["--cehck"]).unwrap_err();
         assert!(err.contains("--cehck"), "error must name the bad argument: {err}");
         assert!(parse(&["--smal"]).is_err());
+        assert!(parse(&["--sampledcheck"]).is_err());
         assert!(parse(&["extra"]).is_err());
         assert!(parse(&["--json=out.json"]).is_err(), "--json takes a separate value");
     }
@@ -174,9 +237,15 @@ mod tests {
     }
 
     #[test]
-    fn check_excludes_figure_outputs() {
+    fn mode_conflicts_are_rejected() {
         assert!(parse(&["--check", "--timing"]).is_err());
         assert!(parse(&["--check", "--json", "x"]).is_err());
         assert!(parse(&["--check", "--profile"]).is_err());
+        assert!(parse(&["--check", "--sampled"]).is_err());
+        assert!(parse(&["--check", "--sampled-check"]).is_err());
+        assert!(parse(&["--small", "--medium"]).is_err());
+        assert!(parse(&["--sampled-check", "--timing"]).is_err());
+        assert!(parse(&["--sampled-check", "--json", "x"]).is_err());
+        assert!(parse(&["--sampled", "--profile"]).is_err());
     }
 }

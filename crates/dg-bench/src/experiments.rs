@@ -28,6 +28,10 @@ pub enum Scale {
     /// Reduced problem sizes on proportionally scaled-down caches —
     /// fast enough for CI.
     Small,
+    /// ~10× the small suite's access count on the same scaled-down
+    /// caches: long enough that interval sampling pays off, short
+    /// enough to measure full-vs-sampled wall-clock in CI.
+    Medium,
     /// The paper's Table 1 cache configuration with simulation-sized
     /// working sets.
     Paper,
@@ -46,6 +50,7 @@ pub fn suite(scale: Scale) -> Vec<Box<dyn Kernel>> {
 pub fn suite_with_seed(scale: Scale, seed: u64) -> Vec<Box<dyn Kernel>> {
     match scale {
         Scale::Small => dg_workloads::small_suite(seed),
+        Scale::Medium => dg_workloads::medium_suite(seed),
         Scale::Paper => dg_workloads::paper_suite(seed),
     }
 }
@@ -80,7 +85,9 @@ impl Scale {
                     DoppelgangerConfig::paper_split()
                 }
             }
-            Scale::Small => DoppelgangerConfig {
+            // Medium grows the workload, not the caches: it exists to
+            // measure sampled-vs-full wall-clock on a fixed machine.
+            Scale::Small | Scale::Medium => DoppelgangerConfig {
                 // 1/32-scale versions of the paper arrays.
                 tag_entries: if unified { 1024 } else { 512 },
                 tag_ways: 16,
@@ -95,7 +102,7 @@ impl Scale {
     fn base_config(self) -> SystemConfig {
         match self {
             Scale::Paper => SystemConfig::paper_baseline(),
-            Scale::Small => SystemConfig::tiny(LlcKind::Baseline),
+            Scale::Small | Scale::Medium => SystemConfig::tiny(LlcKind::Baseline),
         }
     }
 

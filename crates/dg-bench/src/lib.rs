@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod argparse;
 pub mod chart;
 pub mod check;
 pub mod cli;
@@ -22,6 +23,7 @@ pub mod obs_export;
 pub mod peraccess;
 pub mod profile;
 pub mod results;
+pub mod sampled;
 pub mod serve;
 pub mod table;
 pub mod timing;

@@ -58,10 +58,10 @@ impl ResultRow {
         }
     }
 
-    /// Render as a pretty-printed JSON object at array-element depth.
-    #[must_use]
-    pub fn to_json(&self) -> String {
-        let mut o = ObjectWriter::with_indent(1);
+    /// Write every field into `o` (shared by the full-run export and
+    /// the sampled export, which appends its statistics to the same
+    /// base schema).
+    pub fn write_fields(&self, o: &mut ObjectWriter) {
         o.str_field("config", &self.config)
             .str_field("kernel", &self.kernel)
             .u64_field("runtime_cycles", self.runtime_cycles)
@@ -76,6 +76,13 @@ impl ResultRow {
             .f64_field("llc_leakage_pj", self.llc_leakage_pj)
             .f64_field("llc_area_mm2", self.llc_area_mm2)
             .f64_field("approx_fraction", self.approx_fraction);
+    }
+
+    /// Render as a pretty-printed JSON object at array-element depth.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut o = ObjectWriter::with_indent(1);
+        self.write_fields(&mut o);
         o.finish()
     }
 }

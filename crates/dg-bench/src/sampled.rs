@@ -1,0 +1,483 @@
+//! Sampled-simulation drivers (`repro_all --sampled[=K]` and
+//! `--sampled-check`; DESIGN.md §10).
+//!
+//! The sampled path replaces the figure run with the same nine-entry
+//! configuration grid the differential-oracle gate uses
+//! ([`crate::check::check_configs`]), but evaluates each (configuration,
+//! kernel) pair with [`dg_system::run_sampled`]: one cheap functional
+//! profiling pass per kernel picks K representative intervals
+//! (deterministic k-medoids over phase feature vectors,
+//! [`dg_sample::select`]), and the hybrid execution simulates only
+//! warm-up plus those intervals in detail.
+//!
+//! `--sampled-check` gates the estimates. The reference for each pair
+//! is a **full-coverage sampled run** — every interval measured, no
+//! warm-up, simulated fraction 1.0 — not a plain
+//! [`dg_system::evaluate_with_golden`] run: the full run counts the
+//! final output-read pass through core 0 in its counters, while the
+//! hybrid indexes phase accesses only and reads the output functionally
+//! after a flush. The full-coverage schedule shares the sampled run's
+//! access space and output conventions exactly, so the comparison
+//! isolates the error introduced by *sampling* rather than the
+//! (documented, deliberate) difference in accounting.
+
+use crate::check::check_configs;
+use crate::experiments::{suite, suite_goldens, Scale, SEED};
+use crate::json::{array_document, ObjectWriter};
+use crate::meta::RunMeta;
+use crate::results::ResultRow;
+use crate::table::Table;
+use dg_par::Pool;
+use dg_sample::{profile, Profile, SampleSchedule};
+use dg_system::{run_sampled, SampledOutcome};
+use dg_workloads::KernelSource;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Interval and warm-up lengths (in accesses) per scale. Longer traces
+/// afford longer intervals: the warm-up must amortise against the
+/// measured window, and the interval count must stay large enough for
+/// k-medoids to have something to cluster — but not so large that the
+/// O(m²) medoid search dominates the profiling pass (halving Medium's
+/// interval length doubles the interval count and roughly quadruples
+/// clustering time for no accuracy gain). Functional warming
+/// (flush-not-drop at skip entry) carries most of the cache state
+/// across skips, so the explicit warm-up stays at half an interval.
+pub fn sampling_params(scale: Scale) -> (u64, u64) {
+    match scale {
+        Scale::Small => (2048, 4096),
+        Scale::Medium => (4096, 2048),
+        Scale::Paper => (16384, 4096),
+    }
+}
+
+/// One (configuration, kernel) sampled evaluation.
+#[derive(Debug)]
+pub struct SampledRun {
+    /// Configuration label from [`check_configs`].
+    pub config: &'static str,
+    /// Kernel name.
+    pub kernel: &'static str,
+    /// The reconstructed estimates.
+    pub outcome: SampledOutcome,
+    /// Wall-clock of the hybrid execution, seconds.
+    pub secs: f64,
+}
+
+/// A full sampled sweep: the configuration grid × the suite.
+#[derive(Debug)]
+pub struct SampledSweep {
+    /// Scale the sweep ran at.
+    pub scale: Scale,
+    /// Representative intervals per kernel.
+    pub k: usize,
+    /// Config-major (in [`check_configs`] order), suite order within.
+    pub runs: Vec<SampledRun>,
+    /// Worker threads of the job pool.
+    pub workers: usize,
+    /// Wall-clock of the per-kernel profiling passes, seconds.
+    pub profile_secs: f64,
+}
+
+/// Profile every suite kernel (one functional streaming pass each) and
+/// build its K-interval schedule. Returns `(profiles, schedules)` in
+/// suite order.
+fn profiles_and_schedules(
+    scale: Scale,
+    k: usize,
+    pool: &Pool,
+) -> (Vec<Arc<Profile>>, Vec<Arc<SampleSchedule>>) {
+    let threads = scale.threads();
+    let cores = scale.baseline().cores;
+    let (interval_len, warmup_len) = sampling_params(scale);
+    let kernels = suite(scale);
+    let jobs: Vec<_> = kernels
+        .iter()
+        .map(|kernel| {
+            move || {
+                let mut src = KernelSource::new(kernel.as_ref(), threads, cores);
+                profile(&mut src, interval_len)
+            }
+        })
+        .collect();
+    let profiles: Vec<Arc<Profile>> = pool.run(jobs).into_iter().map(Arc::new).collect();
+    let schedules = profiles
+        .iter()
+        .map(|p| Arc::new(SampleSchedule::build(p, k, warmup_len, SEED)))
+        .collect();
+    (profiles, schedules)
+}
+
+/// Run the sampled sweep: K representative intervals per kernel across
+/// the whole configuration grid.
+pub fn run_sampled_suite(scale: Scale, k: usize) -> SampledSweep {
+    let threads = scale.threads();
+    let pool = Pool::new();
+    let t0 = Instant::now();
+    let (_, schedules) = profiles_and_schedules(scale, k, &pool);
+    let profile_secs = t0.elapsed().as_secs_f64();
+    let kernels = suite(scale);
+    let goldens = suite_goldens(scale, SEED, threads);
+    let configs = check_configs(scale);
+
+    let mut jobs = Vec::with_capacity(configs.len() * kernels.len());
+    for &(_, cfg) in &configs {
+        for ((kernel, sched), golden) in kernels.iter().zip(&schedules).zip(&goldens) {
+            let sched = Arc::clone(sched);
+            let golden = Arc::clone(golden);
+            jobs.push(move || run_sampled(kernel.as_ref(), cfg, threads, &sched, &golden));
+        }
+    }
+    let (outcomes, report) = pool.run_report(jobs);
+    let mut runs = Vec::with_capacity(outcomes.len());
+    let mut it = outcomes.into_iter().zip(report.job_times);
+    for &(label, _) in &configs {
+        for kernel in kernels.iter() {
+            let (outcome, time) = it.next().expect("one outcome per job");
+            runs.push(SampledRun {
+                config: label,
+                kernel: kernel.name(),
+                outcome,
+                secs: time.as_secs_f64(),
+            });
+        }
+    }
+    SampledSweep { scale, k, runs, workers: pool.workers(), profile_secs }
+}
+
+/// Print the per-configuration summary of a sampled sweep: suite-mean
+/// estimates, the detailed (simulated) fraction actually paid, and the
+/// p50/p99 of per-window cycle deltas pooled across kernels.
+pub fn print_sampled_summary(sweep: &SampledSweep) {
+    let mut t = Table::new(&[
+        "miss rate",
+        "+-ci",
+        "output err",
+        "dopp hits",
+        "sim frac",
+        "win p50 cyc",
+        "win p99 cyc",
+    ]);
+    for (label, _) in check_configs(sweep.scale) {
+        let rows: Vec<&SampledRun> =
+            sweep.runs.iter().filter(|r| r.config == label).collect();
+        let n = rows.len().max(1) as f64;
+        let mean = |f: &dyn Fn(&SampledRun) -> f64| rows.iter().map(|r| f(r)).sum::<f64>() / n;
+        let mut pooled = dg_obs::Hist64::new();
+        for r in &rows {
+            pooled.merge(&r.outcome.estimates.interval_cycles);
+        }
+        t.row_strings(
+            label,
+            vec![
+                format!("{:.4}", mean(&|r| r.outcome.estimates.miss_rate.value)),
+                format!("{:.4}", mean(&|r| r.outcome.estimates.miss_rate.ci)),
+                format!("{:.4}", mean(&|r| r.outcome.result.output_error)),
+                format!("{:.4}", mean(&|r| r.outcome.estimates.dopp_hit_rate.value)),
+                format!("{:.1}%", 100.0 * mean(&|r| r.outcome.estimates.simulated_fraction)),
+                format!("{}", pooled.quantile(0.5).unwrap_or(0)),
+                format!("{}", pooled.quantile(0.99).unwrap_or(0)),
+            ],
+        );
+    }
+    t.print(&format!(
+        "Sampled estimates (K={}, {} workers, profiling {:.2}s)",
+        sweep.k, sweep.workers, sweep.profile_secs
+    ));
+}
+
+/// Export the sampled sweep's result rows as pretty-printed JSON.
+///
+/// Rows are a pure function of the simulation (no wall-clock or
+/// provenance): the full-run reconstruction flattened exactly like a
+/// full evaluation ([`ResultRow`]) plus the sampling statistics. The
+/// byte-diff determinism gate in `scripts/verify.sh` runs this export
+/// twice and across worker counts.
+///
+/// # Errors
+///
+/// Returns any I/O error from writing `path`.
+pub fn export_sampled_rows(sweep: &SampledSweep, path: &Path) -> std::io::Result<()> {
+    let rows: Vec<String> = sweep
+        .runs
+        .iter()
+        .map(|run| {
+            let mut o = ObjectWriter::with_indent(1);
+            ResultRow::from_eval(run.config, &run.outcome.result).write_fields(&mut o);
+            let e = &run.outcome.estimates;
+            o.u64_field("sampled_k", sweep.k as u64)
+                .u64_field("measured_intervals", e.measured_intervals as u64)
+                .f64_field("simulated_fraction", e.simulated_fraction)
+                .f64_field("miss_rate", e.miss_rate.value)
+                .f64_field("miss_rate_ci", e.miss_rate.ci)
+                .f64_field("dopp_hit_rate", e.dopp_hit_rate.value)
+                .f64_field("dopp_hit_rate_ci", e.dopp_hit_rate.ci)
+                .f64_field("output_error_ci", e.output_error.ci)
+                .u64_field("interval_cycles_p50", e.interval_cycles.quantile(0.5).unwrap_or(0))
+                .u64_field("interval_cycles_p99", e.interval_cycles.quantile(0.99).unwrap_or(0));
+            o.finish()
+        })
+        .collect();
+    std::fs::write(path, array_document(&rows))
+}
+
+/// Export wall-clock of the sampled sweep as `{meta, rows}` with the
+/// `sampled` marker in the provenance (the `--sampled --timing` path,
+/// same shape as [`crate::results::export_timings`]).
+///
+/// # Errors
+///
+/// Returns any I/O error from writing `path`.
+pub fn export_sampled_timings(
+    sweep: &SampledSweep,
+    total_secs: f64,
+    path: &Path,
+) -> std::io::Result<()> {
+    let mut rows = Vec::new();
+    for (label, _) in check_configs(sweep.scale) {
+        let mut config_secs = 0.0;
+        for run in sweep.runs.iter().filter(|r| r.config == label) {
+            config_secs += run.secs;
+            let mut o = ObjectWriter::with_indent(1);
+            o.str_field("config", label)
+                .str_field("kernel", run.kernel)
+                .f64_field("secs", run.secs)
+                .u64_field("accesses", run.outcome.result.accesses)
+                .u64_field("detailed_accesses", run.outcome.detailed_accesses);
+            if run.outcome.result.accesses > 0 {
+                o.f64_field(
+                    "ns_per_access",
+                    run.secs * 1e9 / run.outcome.result.accesses as f64,
+                );
+            }
+            rows.push(o.finish());
+        }
+        let mut o = ObjectWriter::with_indent(1);
+        o.str_field("config", label).str_field("kernel", "TOTAL").f64_field("secs", config_secs);
+        rows.push(o.finish());
+    }
+    let mut o = ObjectWriter::with_indent(1);
+    o.str_field("config", "PROFILE")
+        .str_field("kernel", "TOTAL")
+        .f64_field("secs", sweep.profile_secs);
+    rows.push(o.finish());
+    let mut o = ObjectWriter::with_indent(1);
+    o.str_field("config", "ALL")
+        .str_field("kernel", "TOTAL")
+        .f64_field("secs", total_secs)
+        .u64_field("workers", sweep.workers as u64);
+    rows.push(o.finish());
+    let mut doc = ObjectWriter::with_indent(0);
+    doc.raw_field("meta", &RunMeta::capture(sweep.scale).with_sampled(sweep.k).to_json(1))
+        .raw_field("rows", &array_document(&rows));
+    std::fs::write(path, doc.finish())
+}
+
+/// Absolute gate floors added to each estimate's confidence interval.
+/// The CI captures inter-interval variance, which degenerates on short
+/// traces with few measured windows; the floors keep the gate
+/// meaningful there without letting a genuinely wrong estimate slip
+/// through at paper scale.
+const MISS_FLOOR: f64 = 0.08;
+const DOPP_FLOOR: f64 = 0.10;
+const ERR_FLOOR: f64 = 0.10;
+
+/// Verdict of one (configuration, kernel) sampled-vs-reference
+/// comparison.
+#[derive(Debug)]
+pub struct SampledCheckRow {
+    /// Configuration label.
+    pub config: &'static str,
+    /// Kernel name.
+    pub kernel: &'static str,
+    /// |sampled − reference| LLC miss rate, and its tolerance.
+    pub miss: (f64, f64),
+    /// |sampled − reference| Doppelgänger hit rate, and its tolerance.
+    pub dopp: (f64, f64),
+    /// |sampled − reference| output error, and its tolerance.
+    pub err: (f64, f64),
+    /// Detailed fraction the sampled run paid.
+    pub simulated_fraction: f64,
+    /// All three deltas within tolerance.
+    pub ok: bool,
+}
+
+/// Run the sampled-estimate gate: every kernel through every
+/// configuration, sampled (K intervals) vs the full-coverage reference,
+/// parallelized across the worker pool. Returns every verdict plus
+/// whether all passed.
+pub fn run_sampled_check(scale: Scale, k: usize) -> (Vec<SampledCheckRow>, bool) {
+    let threads = scale.threads();
+    let pool = Pool::new();
+    let (profiles, schedules) = profiles_and_schedules(scale, k, &pool);
+    // Reference: every interval measured, no warm-up — simulated
+    // fraction 1.0 over the same access space (see module docs).
+    let references: Vec<Arc<SampleSchedule>> = profiles
+        .iter()
+        .map(|p| Arc::new(SampleSchedule::build(p, p.intervals.len(), 0, SEED)))
+        .collect();
+    let kernels = suite(scale);
+    let goldens = suite_goldens(scale, SEED, threads);
+    let configs = check_configs(scale);
+
+    let mut jobs = Vec::with_capacity(configs.len() * kernels.len());
+    for &(label, cfg) in &configs {
+        for (((kernel, sched), reference), golden) in
+            kernels.iter().zip(&schedules).zip(&references).zip(&goldens)
+        {
+            let sched = Arc::clone(sched);
+            let reference = Arc::clone(reference);
+            let golden = Arc::clone(golden);
+            jobs.push(move || {
+                let s = run_sampled(kernel.as_ref(), cfg, threads, &sched, &golden);
+                let f = run_sampled(kernel.as_ref(), cfg, threads, &reference, &golden);
+                let gap = |a: f64, b: f64| (a - b).abs();
+                let miss = (
+                    gap(s.estimates.miss_rate.value, f.estimates.miss_rate.value),
+                    s.estimates.miss_rate.ci.max(MISS_FLOOR),
+                );
+                let dopp = (
+                    gap(s.estimates.dopp_hit_rate.value, f.estimates.dopp_hit_rate.value),
+                    s.estimates.dopp_hit_rate.ci.max(DOPP_FLOOR),
+                );
+                let err = (
+                    gap(s.result.output_error, f.result.output_error),
+                    s.estimates.output_error.ci.max(ERR_FLOOR),
+                );
+                SampledCheckRow {
+                    config: label,
+                    kernel: kernel.name(),
+                    miss,
+                    dopp,
+                    err,
+                    simulated_fraction: s.estimates.simulated_fraction,
+                    ok: miss.0 <= miss.1 && dopp.0 <= dopp.1 && err.0 <= err.1,
+                }
+            });
+        }
+    }
+    let rows = pool.run(jobs);
+    let ok = rows.iter().all(|r| r.ok);
+    (rows, ok)
+}
+
+/// Print a verdict summary to stdout and every failing pair to stderr.
+/// Returns [`run_sampled_check`]'s pass/fail flag.
+pub fn print_sampled_check(scale: Scale, k: usize) -> bool {
+    let (rows, ok) = run_sampled_check(scale, k);
+    let mut passed = 0usize;
+    let mut worst: (f64, Option<&SampledCheckRow>) = (0.0, None);
+    for r in &rows {
+        if r.ok {
+            passed += 1;
+        } else {
+            eprintln!(
+                "[sampled-check] {} / {}: miss {:.4}/{:.4} dopp {:.4}/{:.4} err {:.4}/{:.4}",
+                r.config, r.kernel, r.miss.0, r.miss.1, r.dopp.0, r.dopp.1, r.err.0, r.err.1
+            );
+        }
+        let slack = (r.miss.0 / r.miss.1).max(r.dopp.0 / r.dopp.1).max(r.err.0 / r.err.1);
+        if slack >= worst.0 {
+            worst = (slack, Some(r));
+        }
+    }
+    let mean_frac =
+        rows.iter().map(|r| r.simulated_fraction).sum::<f64>() / rows.len().max(1) as f64;
+    if let (slack, Some(w)) = worst {
+        println!(
+            "sampled gate: {passed}/{} estimates within tolerance (K={k}, mean detailed \
+             fraction {:.1}%, closest call used {:.0}% of its tolerance at {} / {})",
+            rows.len(),
+            100.0 * mean_frac,
+            100.0 * slack,
+            w.config,
+            w.kernel
+        );
+    }
+    ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    /// One kernel × two configs end-to-end, small scale: the driver
+    /// plumbing (profiles, schedules, exports) without the full-grid
+    /// cost — the grid itself is exercised by `--sampled-check` in
+    /// `scripts/verify.sh`.
+    fn tiny_sweep() -> SampledSweep {
+        let scale = Scale::Small;
+        let threads = scale.threads();
+        let pool = Pool::new();
+        let (_, schedules) = profiles_and_schedules(scale, 3, &pool);
+        let kernels = suite(scale);
+        let goldens = suite_goldens(scale, SEED, threads);
+        let configs = [
+            ("baseline", scale.baseline()),
+            ("split m=14 data=1/4", scale.split(14, 1, 4)),
+        ];
+        let mut runs = Vec::new();
+        for (label, cfg) in configs {
+            let outcome =
+                run_sampled(kernels[0].as_ref(), cfg, threads, &schedules[0], &goldens[0]);
+            runs.push(SampledRun { config: label, kernel: kernels[0].name(), outcome, secs: 0.5 });
+        }
+        SampledSweep { scale, k: 3, runs, workers: pool.workers(), profile_secs: 0.25 }
+    }
+
+    #[test]
+    fn sampled_exports_round_trip_as_json() {
+        let sweep = tiny_sweep();
+        let dir = std::env::temp_dir().join("dg_bench_sampled_test");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let rows_path = dir.join("rows.json");
+        export_sampled_rows(&sweep, &rows_path).unwrap();
+        let rows = Json::parse(&std::fs::read_to_string(&rows_path).unwrap()).unwrap();
+        let arr = rows.as_array().unwrap();
+        assert_eq!(arr.len(), 2);
+        assert_eq!(arr[0].get("config").unwrap().as_str(), Some("baseline"));
+        assert_eq!(arr[0].get("sampled_k").unwrap().as_u64(), Some(3));
+        assert!(arr[0].get("llc.lookups").unwrap().as_u64().unwrap() > 0);
+        let frac = arr[0].get("simulated_fraction").unwrap().as_f64().unwrap();
+        assert!(frac > 0.0 && frac < 1.0, "sampled run must skip most accesses ({frac})");
+        assert!(arr[0].get("miss_rate").unwrap().as_f64().is_some());
+        let p50 = arr[0].get("interval_cycles_p50").unwrap().as_f64().unwrap();
+        let p99 = arr[0].get("interval_cycles_p99").unwrap().as_f64().unwrap();
+        assert!(p50 <= p99);
+
+        let t_path = dir.join("timings.json");
+        export_sampled_timings(&sweep, 2.0, &t_path).unwrap();
+        let doc = Json::parse(&std::fs::read_to_string(&t_path).unwrap()).unwrap();
+        assert_eq!(doc.get("meta").unwrap().get("sampled").unwrap().as_u64(), Some(3));
+        let rows = doc.get("rows").unwrap().as_array().unwrap();
+        let last = rows.last().unwrap();
+        assert_eq!(last.get("config").unwrap().as_str(), Some("ALL"));
+        assert!(rows
+            .iter()
+            .any(|r| r.get("config").unwrap().as_str() == Some("PROFILE")));
+        let first = &rows[0];
+        assert!(first.get("detailed_accesses").unwrap().as_u64().unwrap() > 0);
+    }
+
+    #[test]
+    fn sampled_sweeps_are_deterministic_across_worker_counts() {
+        let sweep = tiny_sweep();
+        let dir = std::env::temp_dir().join("dg_bench_sampled_det_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("a.json");
+        export_sampled_rows(&sweep, &a).unwrap();
+        std::env::set_var("DG_PAR_THREADS", "1");
+        let again = tiny_sweep();
+        std::env::remove_var("DG_PAR_THREADS");
+        let b = dir.join("b.json");
+        export_sampled_rows(&again, &b).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&a).unwrap(),
+            std::fs::read_to_string(&b).unwrap(),
+            "sampled exports must be byte-identical across worker counts"
+        );
+    }
+}

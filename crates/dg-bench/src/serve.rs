@@ -13,6 +13,7 @@
 use std::path::Path;
 use std::time::Instant;
 
+use crate::argparse::{set_flag, set_value, take_value};
 use crate::experiments::Scale;
 use crate::json::{array_document, Json, ObjectWriter};
 use crate::meta::RunMeta;
@@ -45,7 +46,8 @@ impl ServeArgs {
                                      --json PATH      report path (default BENCH_serve.json)\n\
                                      --validate PATH  validate an existing report's shape, no run";
 
-    /// Parse the arguments after the program name.
+    /// Parse the arguments after the program name (strict matching via
+    /// [`crate::argparse`], shared with `repro_all`).
     pub fn parse<I>(args: I) -> Result<Self, String>
     where
         I: IntoIterator,
@@ -55,18 +57,12 @@ impl ServeArgs {
         let mut it = args.into_iter().map(Into::into);
         while let Some(arg) = it.next() {
             match arg.as_str() {
-                "--smoke" if !out.smoke => out.smoke = true,
-                "--check" if !out.check => out.check = true,
-                "--smoke" | "--check" => return Err(format!("duplicate flag '{arg}'")),
+                "--smoke" => set_flag(&mut out.smoke, "--smoke")?,
+                "--check" => set_flag(&mut out.check, "--check")?,
                 "--json" | "--validate" => {
-                    let value = it
-                        .next()
-                        .filter(|p| !p.starts_with("--"))
-                        .ok_or_else(|| format!("{arg} requires a PATH value"))?;
+                    let value = take_value(&mut it, &arg)?;
                     let slot = if arg == "--json" { &mut out.json } else { &mut out.validate };
-                    if slot.replace(value).is_some() {
-                        return Err(format!("duplicate flag '{arg}'"));
-                    }
+                    set_value(slot, &arg, value)?;
                 }
                 other => return Err(format!("unknown argument '{other}'")),
             }
@@ -107,6 +103,17 @@ pub struct ServeRow {
     pub workers: u64,
     /// Server shard count.
     pub shards: u64,
+    /// Lookup-shaped requests (`Get` + `Query`) the segment performed
+    /// against the cache — the denominator of `hit_rate`, exported so
+    /// trajectory diffs can weigh rates by volume.
+    pub accesses: u64,
+    /// Mean wall-clock per request, nanoseconds (`secs / requests`).
+    pub ns_per_op: f64,
+    /// Median per-batch latency, nanoseconds ([`dg_obs::Hist64`]
+    /// quantile over the measured batches).
+    pub batch_p50_ns: u64,
+    /// 99th-percentile per-batch latency, nanoseconds.
+    pub batch_p99_ns: u64,
 }
 
 impl ServeRow {
@@ -121,7 +128,11 @@ impl ServeRow {
             .f64_field("hit_rate", self.hit_rate)
             .f64_field("predicted_hit_rate", self.predicted_hit_rate)
             .u64_field("workers", self.workers)
-            .u64_field("shards", self.shards);
+            .u64_field("shards", self.shards)
+            .u64_field("accesses", self.accesses)
+            .f64_field("ns_per_op", self.ns_per_op)
+            .u64_field("batch_p50_ns", self.batch_p50_ns)
+            .u64_field("batch_p99_ns", self.batch_p99_ns);
         o.finish()
     }
 }
@@ -181,9 +192,12 @@ fn run_segment(
     // server, not the workload generator.
     let batches: Vec<_> =
         (0..plan.measure_batches).map(|_| next_batch(&mut workload, plan.batch)).collect();
+    let mut batch_ns = dg_obs::Hist64::new();
     let t0 = Instant::now();
     for b in &batches {
+        let b0 = Instant::now();
         server.run_batch(b);
+        batch_ns.record(b0.elapsed().as_nanos() as u64);
     }
     let secs = t0.elapsed().as_secs_f64();
     let stats = server.stats();
@@ -197,6 +211,10 @@ fn run_segment(
         predicted_hit_rate: predicted,
         workers: server.workers() as u64,
         shards: plan.cfg.shards as u64,
+        accesses: stats.lookups(),
+        ns_per_op: secs * 1e9 / requests.max(1) as f64,
+        batch_p50_ns: batch_ns.quantile(0.5).unwrap_or(0),
+        batch_p99_ns: batch_ns.quantile(0.99).unwrap_or(0),
     }
 }
 
@@ -219,9 +237,13 @@ pub fn oracle_gate(smoke: bool) -> (ServeRow, bool, f64) {
         server.run_batch(&workload.batch(batch));
     }
     server.reset_stats();
+    let mut batch_ns = dg_obs::Hist64::new();
     let t0 = Instant::now();
     for _ in 0..measure {
-        server.run_batch(&workload.batch(batch));
+        let b = workload.batch(batch);
+        let b0 = Instant::now();
+        server.run_batch(&b);
+        batch_ns.record(b0.elapsed().as_nanos() as u64);
     }
     let secs = t0.elapsed().as_secs_f64();
     let stats = server.stats();
@@ -236,6 +258,10 @@ pub fn oracle_gate(smoke: bool) -> (ServeRow, bool, f64) {
         predicted_hit_rate: estimate.hit_rate,
         workers: server.workers() as u64,
         shards: cfg.shards as u64,
+        accesses: stats.lookups(),
+        ns_per_op: secs * 1e9 / stats.ops().max(1) as f64,
+        batch_p50_ns: batch_ns.quantile(0.5).unwrap_or(0),
+        batch_p99_ns: batch_ns.quantile(0.99).unwrap_or(0),
     };
     (row, ok, tolerance)
 }
@@ -293,7 +319,7 @@ pub fn validate_report(text: &str) -> Result<(), String> {
             .and_then(Json::as_str)
             .ok_or(format!("rows[{i}].name missing"))?;
         names.push(name.to_string());
-        for field in ["requests", "workers", "shards"] {
+        for field in ["requests", "workers", "shards", "accesses"] {
             let v = row
                 .get(field)
                 .and_then(Json::as_u64)
@@ -302,7 +328,7 @@ pub fn validate_report(text: &str) -> Result<(), String> {
                 return Err(format!("rows[{i}].{field} is zero"));
             }
         }
-        for field in ["secs", "mops"] {
+        for field in ["secs", "mops", "ns_per_op"] {
             let v = row
                 .get(field)
                 .and_then(Json::as_f64)
@@ -310,6 +336,22 @@ pub fn validate_report(text: &str) -> Result<(), String> {
             if !(v.is_finite() && v > 0.0) {
                 return Err(format!("rows[{i}].{field} = {v} is not a positive number"));
             }
+        }
+        let mut quantiles = [0u64; 2];
+        for (q, field) in quantiles.iter_mut().zip(["batch_p50_ns", "batch_p99_ns"]) {
+            *q = row
+                .get(field)
+                .and_then(Json::as_u64)
+                .ok_or(format!("rows[{i}].{field} missing or not a u64"))?;
+            if *q == 0 {
+                return Err(format!("rows[{i}].{field} is zero"));
+            }
+        }
+        if quantiles[0] > quantiles[1] {
+            return Err(format!(
+                "rows[{i}].batch_p50_ns {} exceeds batch_p99_ns {}",
+                quantiles[0], quantiles[1]
+            ));
         }
         for field in ["hit_rate", "predicted_hit_rate"] {
             match row.get(field) {
@@ -382,6 +424,10 @@ mod tests {
                 predicted_hit_rate: 0.52,
                 workers: 4,
                 shards: 4,
+                accesses: 800,
+                ns_per_op: 500.0,
+                batch_p50_ns: 100_000,
+                batch_p99_ns: 250_000,
             },
             ServeRow {
                 name: "get_put".into(),
@@ -392,6 +438,10 @@ mod tests {
                 predicted_hit_rate: f64::NAN,
                 workers: 4,
                 shards: 4,
+                accesses: 800,
+                ns_per_op: 500.0,
+                batch_p50_ns: 100_000,
+                batch_p99_ns: 250_000,
             },
             ServeRow {
                 name: "oracle_gate".into(),
@@ -402,6 +452,10 @@ mod tests {
                 predicted_hit_rate: 0.53,
                 workers: 4,
                 shards: 4,
+                accesses: 800,
+                ns_per_op: 500.0,
+                batch_p50_ns: 100_000,
+                batch_p99_ns: 250_000,
             },
         ];
         let doc = report_json(Scale::Small, &rows);
@@ -425,6 +479,10 @@ mod tests {
             predicted_hit_rate: predicted,
             workers: 4,
             shards: 4,
+            accesses: 800,
+            ns_per_op: 500.0,
+            batch_p50_ns: 100_000,
+            batch_p99_ns: 250_000,
         };
         let gate = base("oracle_gate", 0.5);
         // A null prediction on a query row is a shape error…

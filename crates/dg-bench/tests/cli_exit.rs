@@ -1,0 +1,45 @@
+//! Both bench binaries share one strict argument-parsing contract
+//! (`dg_bench::argparse`): anything outside the closed flag set —
+//! typos, duplicates, missing values — must abort with usage on stderr
+//! and exit status 2 before any work starts. These tests pin the
+//! *process-level* behaviour (the in-library parser tests can't see the
+//! exit status), so a refactor that keeps the parser but drops the
+//! `usage_error` call path still fails CI.
+
+use std::process::Command;
+
+fn run(bin: &str, args: &[&str]) -> std::process::Output {
+    Command::new(bin).args(args).output().expect("binary spawns")
+}
+
+fn assert_usage_exit(bin: &str, args: &[&str]) {
+    let out = run(bin, args);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "{bin} {args:?} must exit 2, got {:?}\nstderr: {}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage:"), "stderr must show usage, got: {stderr}");
+}
+
+#[test]
+fn repro_all_rejects_unknown_and_duplicate_flags_with_exit_2() {
+    let bin = env!("CARGO_BIN_EXE_repro_all");
+    assert_usage_exit(bin, &["--cehck"]);
+    assert_usage_exit(bin, &["--small", "--small"]);
+    assert_usage_exit(bin, &["--json"]);
+    assert_usage_exit(bin, &["--sampled=0"]);
+    assert_usage_exit(bin, &["--small", "--medium"]);
+}
+
+#[test]
+fn serve_bench_rejects_unknown_and_duplicate_flags_with_exit_2() {
+    let bin = env!("CARGO_BIN_EXE_serve_bench");
+    assert_usage_exit(bin, &["--smok"]);
+    assert_usage_exit(bin, &["--smoke", "--smoke"]);
+    assert_usage_exit(bin, &["--validate"]);
+    assert_usage_exit(bin, &["--json", "--smoke"]);
+}

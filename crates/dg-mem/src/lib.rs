@@ -46,6 +46,7 @@ mod block;
 mod elem;
 mod image;
 mod memory;
+pub mod stream;
 pub mod synth;
 mod trace;
 mod tracefile;
@@ -58,4 +59,7 @@ pub use block::{BlockData, BlockStats};
 pub use elem::ElemType;
 pub use image::MemoryImage;
 pub use memory::{Memory, RecordingMemory};
+pub use stream::{
+    stream_trace, StreamChunk, SynthPattern, SynthStream, TenantSpec, TraceStream, STREAM_CHUNK,
+};
 pub use trace::{InterleavedIter, Trace, TraceBuilder};

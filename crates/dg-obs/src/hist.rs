@@ -101,6 +101,40 @@ impl Hist64 {
         self.counts.iter().enumerate().filter(|(_, &c)| c > 0).map(|(i, &c)| (i, c))
     }
 
+    /// The `q`-quantile of the recorded samples (`q` clamped to
+    /// `[0, 1]`), or `None` when the histogram is empty.
+    ///
+    /// The histogram only knows bucket membership, so the value is
+    /// reconstructed by linear interpolation inside the bucket where the
+    /// cumulative count crosses `q * count`, then clamped to the exact
+    /// observed `[min, max]`. The result is monotone in `q`, and the
+    /// endpoints are exact: `quantile(0.0) == min`, `quantile(1.0) ==
+    /// max`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.total as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = cum + c;
+            if (next as f64) >= target {
+                let (lo, hi) = Self::bucket_bounds(i);
+                // Fraction of this bucket's mass below the target.
+                let frac = ((target - cum as f64) / c as f64).clamp(0.0, 1.0);
+                let width = (hi - lo) as f64;
+                let v = lo as f64 + frac * width;
+                return Some((v as u64).clamp(self.min, self.max));
+            }
+            cum = next;
+        }
+        Some(self.max)
+    }
+
     /// Merge another histogram into this one. Merging is commutative
     /// and associative, so per-worker histograms can be combined in any
     /// order (min/max/sum/count all compose).
@@ -169,6 +203,50 @@ mod tests {
         }
         a.merge(&b);
         assert_eq!(a, all);
+    }
+
+    #[test]
+    fn quantile_is_monotone_and_exact_at_the_endpoints() {
+        let mut h = Hist64::new();
+        assert_eq!(h.quantile(0.5), None, "empty histogram has no quantiles");
+        for v in [3u64, 9, 17, 170, 3000, 70_000] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), Some(3));
+        assert_eq!(h.quantile(1.0), Some(70_000));
+        assert_eq!(h.quantile(-1.0), Some(3), "q clamps to [0, 1]");
+        assert_eq!(h.quantile(2.0), Some(70_000));
+        let mut prev = 0u64;
+        for step in 0..=100 {
+            let v = h.quantile(step as f64 / 100.0).unwrap();
+            assert!(v >= prev, "quantile not monotone at q={}: {v} < {prev}", step as f64 / 100.0);
+            prev = v;
+        }
+        // The median of six samples lands in the bucket of the middle
+        // pair (17 and 170 straddle it; interpolation stays between).
+        let med = h.quantile(0.5).unwrap();
+        assert!((9..=170).contains(&med), "median {med} out of band");
+    }
+
+    #[test]
+    fn quantile_handles_edge_buckets() {
+        // Bucket 0 (zeros) and the top bucket (values with bit 63 set).
+        let mut h = Hist64::new();
+        for _ in 0..10 {
+            h.record(0);
+        }
+        assert_eq!(h.quantile(0.0), Some(0));
+        assert_eq!(h.quantile(0.5), Some(0));
+        assert_eq!(h.quantile(1.0), Some(0));
+        h.record(u64::MAX);
+        assert_eq!(h.quantile(1.0), Some(u64::MAX), "top bucket reachable");
+        assert_eq!(h.quantile(0.0), Some(0));
+        // A single sample: every quantile is that sample.
+        let mut one = Hist64::new();
+        one.record(42);
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(one.quantile(q), Some(42));
+        }
     }
 
     #[test]

@@ -1,0 +1,160 @@
+//! Full-run reconstruction from per-interval measurements.
+
+/// A reconstructed full-run statistic.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Estimate {
+    /// Point estimate (weighted combination of interval measurements).
+    pub value: f64,
+    /// Half-width of the ~95% confidence interval, derived from
+    /// inter-interval variance. Zero when fewer than two intervals
+    /// contribute — callers should apply an absolute tolerance floor
+    /// (see DESIGN.md §10).
+    pub ci: f64,
+}
+
+/// One interval's contribution to a ratio statistic (e.g. misses per
+/// lookup): `num/den` weighted by the interval's cluster weight.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RatioSample {
+    /// Numerator measured in the interval.
+    pub num: f64,
+    /// Denominator measured in the interval.
+    pub den: f64,
+    /// Interval weight (cluster share; weights across a selection sum
+    /// to 1).
+    pub weight: f64,
+}
+
+/// z-score for a ~95% two-sided normal confidence interval.
+const Z_95: f64 = 1.96;
+
+/// Ratio-of-weighted-sums estimator: `Σ wᵢ·numᵢ / Σ wᵢ·denᵢ`.
+///
+/// Robust to intervals whose denominator is zero (an interval with no
+/// LLC lookups simply contributes no ratio information); the
+/// confidence interval is computed from the spread of per-interval
+/// ratios around the pooled value, scaled by the effective sample size
+/// `(Σŵ)²/Σŵ²` of the contributing intervals.
+pub fn weighted_ratio(samples: &[RatioSample]) -> Estimate {
+    let num: f64 = samples.iter().map(|s| s.weight * s.num).sum();
+    let den: f64 = samples.iter().map(|s| s.weight * s.den).sum();
+    if den <= 0.0 {
+        return Estimate { value: 0.0, ci: 0.0 };
+    }
+    let value = num / den;
+    // Per-interval ratios, restricted to intervals that measured any
+    // denominator events.
+    let contributing: Vec<(f64, f64)> = samples
+        .iter()
+        .filter(|s| s.den > 0.0 && s.weight > 0.0)
+        .map(|s| (s.num / s.den, s.weight))
+        .collect();
+    Estimate { value, ci: spread_ci(value, &contributing) }
+}
+
+/// Weighted-mean estimator for plain per-interval values (no
+/// denominator), e.g. per-access energy.
+pub fn weighted_mean(samples: &[(f64, f64)]) -> Estimate {
+    let wsum: f64 = samples.iter().map(|&(_, w)| w).sum();
+    if wsum <= 0.0 {
+        return Estimate { value: 0.0, ci: 0.0 };
+    }
+    let value = samples.iter().map(|&(v, w)| v * w).sum::<f64>() / wsum;
+    let contributing: Vec<(f64, f64)> =
+        samples.iter().filter(|&&(_, w)| w > 0.0).copied().collect();
+    Estimate { value, ci: spread_ci(value, &contributing) }
+}
+
+/// `z · s / √n_eff` from weighted `(value, weight)` pairs around the
+/// pooled `center`; zero when fewer than two points contribute.
+fn spread_ci(center: f64, points: &[(f64, f64)]) -> f64 {
+    if points.len() < 2 {
+        return 0.0;
+    }
+    let wsum: f64 = points.iter().map(|&(_, w)| w).sum();
+    if wsum <= 0.0 {
+        return 0.0;
+    }
+    let w2sum: f64 = points.iter().map(|&(_, w)| (w / wsum) * (w / wsum)).sum();
+    let n_eff = 1.0 / w2sum;
+    if n_eff <= 1.0 {
+        return 0.0;
+    }
+    let var: f64 = points.iter().map(|&(v, w)| (w / wsum) * (v - center) * (v - center)).sum();
+    // Bessel-style small-sample correction on the effective count.
+    let var = var * n_eff / (n_eff - 1.0);
+    Z_95 * (var / n_eff).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_pools_across_intervals() {
+        // Two equally-weighted intervals: 10/100 and 30/100 misses.
+        let e = weighted_ratio(&[
+            RatioSample { num: 10.0, den: 100.0, weight: 0.5 },
+            RatioSample { num: 30.0, den: 100.0, weight: 0.5 },
+        ]);
+        assert!((e.value - 0.2).abs() < 1e-12);
+        assert!(e.ci > 0.0, "two differing intervals give a nonzero CI");
+        // The spread (0.1 vs 0.3 around 0.2) is what drives the CI.
+        assert!(e.ci < 0.3);
+    }
+
+    #[test]
+    fn zero_denominator_intervals_contribute_nothing() {
+        let with_empty = weighted_ratio(&[
+            RatioSample { num: 10.0, den: 100.0, weight: 0.25 },
+            RatioSample { num: 0.0, den: 0.0, weight: 0.5 },
+            RatioSample { num: 30.0, den: 100.0, weight: 0.25 },
+        ]);
+        let without = weighted_ratio(&[
+            RatioSample { num: 10.0, den: 100.0, weight: 0.25 },
+            RatioSample { num: 30.0, den: 100.0, weight: 0.25 },
+        ]);
+        assert_eq!(with_empty.value, without.value);
+        let all_empty = weighted_ratio(&[RatioSample { num: 0.0, den: 0.0, weight: 1.0 }]);
+        assert_eq!(all_empty, Estimate { value: 0.0, ci: 0.0 });
+    }
+
+    #[test]
+    fn single_interval_has_zero_ci() {
+        let e = weighted_ratio(&[RatioSample { num: 5.0, den: 50.0, weight: 1.0 }]);
+        assert!((e.value - 0.1).abs() < 1e-12);
+        assert_eq!(e.ci, 0.0);
+    }
+
+    #[test]
+    fn identical_intervals_have_zero_spread() {
+        let samples: Vec<RatioSample> = (0..8)
+            .map(|_| RatioSample { num: 7.0, den: 70.0, weight: 0.125 })
+            .collect();
+        let e = weighted_ratio(&samples);
+        assert!((e.value - 0.1).abs() < 1e-12);
+        assert!(e.ci.abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_weights_and_spreads() {
+        let e = weighted_mean(&[(1.0, 0.75), (3.0, 0.25)]);
+        assert!((e.value - 1.5).abs() < 1e-12);
+        assert!(e.ci > 0.0);
+        let uniform = weighted_mean(&[(2.0, 0.5), (2.0, 0.5)]);
+        assert!((uniform.value - 2.0).abs() < 1e-12);
+        assert!(uniform.ci.abs() < 1e-12);
+        assert_eq!(weighted_mean(&[]), Estimate { value: 0.0, ci: 0.0 });
+    }
+
+    #[test]
+    fn more_intervals_shrink_the_ci() {
+        let few: Vec<RatioSample> = (0..3)
+            .map(|i| RatioSample { num: 10.0 + i as f64, den: 100.0, weight: 1.0 / 3.0 })
+            .collect();
+        let many: Vec<RatioSample> = (0..12)
+            .map(|i| RatioSample { num: 10.0 + (i % 3) as f64, den: 100.0, weight: 1.0 / 12.0 })
+            .collect();
+        assert!(weighted_ratio(&many).ci < weighted_ratio(&few).ci);
+    }
+}

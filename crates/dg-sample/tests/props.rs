@@ -1,0 +1,139 @@
+//! Property tests for interval selection (dg-check harness).
+//!
+//! These pin the two contracts the sampled-simulation pipeline depends
+//! on: selection is bit-identical regardless of the `DG_PAR_THREADS`
+//! worker count (the whole pipeline is serial by construction, and this
+//! test keeps it that way), and reconstruction weights always sum to 1
+//! within 1 ulp — including on adversarial phase-free (every interval
+//! different) and single-phase (every interval identical) traces.
+
+use dg_check::{props, vec};
+use dg_obs::Hist64;
+use dg_sample::{profile, select, IntervalFeatures, Profile, SampleSchedule};
+use dg_mem::{Addr, SynthPattern, SynthStream, TenantSpec};
+
+/// A synthetic interval profile built directly from generated feature
+/// values; `phase_free = true` gives every interval distinct features,
+/// otherwise all intervals share the first generated feature row.
+fn build_profile(rows: &[(u32, u32, u32, u64)], single_phase: bool) -> Profile {
+    let interval_len = 1024u64;
+    let intervals: Vec<IntervalFeatures> = rows
+        .iter()
+        .map(|&(loads, stores, approx, value)| {
+            let (loads, stores) = (loads as u64 % 1024, stores as u64 % 1024);
+            let accesses = (loads + stores).max(1);
+            let mut value_bins = Hist64::new();
+            value_bins.record(value);
+            IntervalFeatures {
+                accesses,
+                loads,
+                stores,
+                approx: approx as u64 % (accesses + 1),
+                think: 0,
+                distinct_blocks: (accesses / 2).max(1),
+                new_blocks: accesses / 4,
+                value_bins,
+            }
+        })
+        .collect();
+    let intervals = if single_phase {
+        let first = intervals[0].clone();
+        vec![first; rows.len()].into_iter().collect()
+    } else {
+        intervals
+    };
+    Profile {
+        interval_len,
+        total_accesses: rows.len() as u64 * interval_len,
+        intervals,
+    }
+}
+
+props! {
+    cases = 12;
+
+    /// Same seed ⇒ bit-identical selection and schedule across
+    /// DG_PAR_THREADS ∈ {1, 4}: the profile → select → schedule
+    /// pipeline is serial and must not observe worker-pool settings.
+    fn selection_ignores_worker_count(seed in 0u64..1 << 40, k in 1usize..9) {
+        let run = |threads: &str| {
+            std::env::set_var("DG_PAR_THREADS", threads);
+            let mut s = SynthStream::new(
+                vec![
+                    TenantSpec {
+                        base: Addr(0x1_0000),
+                        blocks: 512,
+                        pattern: SynthPattern::Zipf { theta: 0.9 },
+                        store_sixteenths: 6,
+                        approx: true,
+                    },
+                    TenantSpec {
+                        base: Addr(0x200_0000),
+                        blocks: 1024,
+                        pattern: SynthPattern::Uniform,
+                        store_sixteenths: 2,
+                        approx: false,
+                    },
+                ],
+                24_000,
+                seed,
+            );
+            let p = profile(&mut s, 1024);
+            let sel = select(&p, k, seed);
+            let sched = SampleSchedule::build(&p, k, 512, seed);
+            std::env::remove_var("DG_PAR_THREADS");
+            (sel, sched)
+        };
+        let (sel_1, sched_1) = run("1");
+        let (sel_4, sched_4) = run("4");
+        assert_eq!(sel_1, sel_4, "selection must not depend on DG_PAR_THREADS");
+        assert_eq!(sched_1, sched_4);
+        assert_eq!(sched_1.regions(), sched_4.regions());
+    }
+}
+
+props! {
+    /// Phase-free adversary: every interval has distinct random
+    /// features. Weights still sum to 1 within 1 ulp and clusters
+    /// partition the interval set.
+    fn weights_sum_to_one_on_phase_free_traces(
+        rows in vec((0u32..1024, 0u32..1024, 0u32..2048, 0u64..u64::MAX), 1..40),
+        k in 1usize..10,
+        seed in 0u64..1 << 40,
+    ) {
+        let p = build_profile(&rows, false);
+        let sel = select(&p, k, seed);
+        let sum: f64 = sel.intervals.iter().map(|s| s.weight).sum();
+        assert!(
+            (sum - 1.0).abs() <= f64::EPSILON,
+            "weights sum to {sum}, off by {} ulps-at-1", (sum - 1.0).abs() / f64::EPSILON
+        );
+        let covered: usize = sel.intervals.iter().map(|s| s.cluster_size).sum();
+        assert_eq!(covered, rows.len(), "clusters must partition the intervals");
+        for w in sel.intervals.windows(2) {
+            assert!(w[0].index < w[1].index, "selection must be sorted and duplicate-free");
+        }
+    }
+
+    /// Single-phase adversary: every interval identical. Selection
+    /// must collapse rather than fabricate k clusters, and the (single
+    /// or few) weights still sum to exactly 1.
+    fn weights_sum_to_one_on_single_phase_traces(
+        row in (0u32..1024, 0u32..1024, 0u32..2048, 0u64..u64::MAX),
+        m in 1usize..40,
+        k in 1usize..10,
+        seed in 0u64..1 << 40,
+    ) {
+        let rows = std::vec![row; m];
+        let p = build_profile(&rows, true);
+        let sel = select(&p, k, seed);
+        let sum: f64 = sel.intervals.iter().map(|s| s.weight).sum();
+        assert!((sum - 1.0).abs() <= f64::EPSILON, "weights sum to {sum}");
+        if m > k {
+            assert_eq!(
+                sel.intervals.len(), 1,
+                "identical intervals must collapse to a single cluster"
+            );
+        }
+    }
+}

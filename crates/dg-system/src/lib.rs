@@ -36,6 +36,7 @@ pub mod multiprog;
 mod replay;
 pub mod report;
 mod runner;
+pub mod sampled;
 pub mod similarity;
 mod system;
 
@@ -48,4 +49,5 @@ pub use runner::{
     evaluate_profiled, evaluate_with_golden, golden_output, run_on_system,
     run_on_system_sampled, self_error, EvalResult, PhaseSnapshot,
 };
+pub use sampled::{run_sampled, SampledEstimates, SampledOutcome};
 pub use system::{CoreMemory, System};

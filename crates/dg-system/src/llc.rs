@@ -390,6 +390,105 @@ impl Llc {
         }
     }
 
+    /// Invalidate every resident block, leaving the LLC cold.
+    ///
+    /// Callers must write dirty data back first ([`Self::flush_dirty`])
+    /// — contents are discarded, not flushed. Statistics are untouched.
+    /// Used by the sampled-simulation runner when it fast-forwards over
+    /// a skipped region: the functional image advances past the cached
+    /// copies, so keeping them would serve stale data after the skip.
+    pub fn clear_contents(&mut self) {
+        fn clear_conventional(cache: &mut ConventionalCache) {
+            let resident: Vec<BlockAddr> = cache.iter_blocks().map(|(a, _, _)| a).collect();
+            for a in resident {
+                cache.invalidate(a);
+            }
+        }
+        fn clear_doppel(doppel: &mut DoppelgangerCache) {
+            let resident: Vec<BlockAddr> = doppel.iter_blocks().map(|(a, _, _, _)| a).collect();
+            for a in resident {
+                doppel.invalidate(a);
+            }
+        }
+        match self {
+            Llc::Baseline(c) => clear_conventional(c),
+            Llc::Split { precise, doppel } => {
+                clear_conventional(precise);
+                clear_doppel(doppel);
+            }
+            Llc::Unified(d) => clear_doppel(d),
+        }
+    }
+
+    /// Invalidate one block if resident, discarding its contents.
+    /// Callers must ensure the block is clean (or its data is dead) —
+    /// nothing is written back. Statistics are untouched. This is the
+    /// functional-warming path of the sampled runner: a store executed
+    /// functionally during a skipped region updates DRAM behind the
+    /// caches, so any retained copy of that block must go.
+    pub fn invalidate_block(&mut self, addr: BlockAddr) {
+        match self {
+            Llc::Baseline(c) => {
+                c.invalidate(addr);
+            }
+            Llc::Split { precise, doppel } => {
+                precise.invalidate(addr);
+                doppel.invalidate(addr);
+            }
+            Llc::Unified(d) => {
+                d.invalidate(addr);
+            }
+        }
+    }
+
+    /// Visit every resident *approximate* block together with the
+    /// shared representative the cache would serve for it. Precise
+    /// entries (and the whole baseline cache) are skipped — after a
+    /// flush their contents match DRAM, so only the Doppelgänger
+    /// entries can diverge from memory. Observation-only: no statistics
+    /// or LRU updates. Used by the sampled runner's skip-region
+    /// approximation overlay to snapshot corruption state.
+    pub fn for_each_approx_resident(&self, mut f: impl FnMut(BlockAddr, BlockData)) {
+        let doppel = match self {
+            Llc::Baseline(_) => return,
+            Llc::Split { doppel, .. } => doppel,
+            Llc::Unified(d) => d,
+        };
+        for (addr, _dirty, precise, data) in doppel.iter_blocks() {
+            if !precise {
+                f(addr, *data);
+            }
+        }
+    }
+
+    /// Visit the address of every resident block — precise and
+    /// approximate, across all partitions. Observation-only. Used by
+    /// the sampled runner to build the skip-epoch residency filter that
+    /// lets functional stores to absent blocks bypass the invalidation
+    /// probes entirely.
+    pub fn for_each_resident(&self, mut f: impl FnMut(BlockAddr)) {
+        match self {
+            Llc::Baseline(c) => {
+                for (addr, _, _) in c.iter_blocks() {
+                    f(addr);
+                }
+            }
+            Llc::Split { precise, doppel } => {
+                for (addr, _, _) in precise.iter_blocks() {
+                    f(addr);
+                }
+                for (addr, _, _, _) in doppel.iter_blocks() {
+                    f(addr);
+                }
+            }
+            Llc::Unified(d) => {
+                for (addr, _, _, _) in d.iter_blocks() {
+                    f(addr);
+                }
+            }
+        }
+    }
+
     /// Verify the Doppelgänger structural invariants (no-op for the
     /// baseline). Panics on violation; used by integration and property
     /// tests.

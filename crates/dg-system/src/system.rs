@@ -13,7 +13,7 @@ use crate::{DisplacedBlock, Llc, LlcCounters, SystemConfig};
 use dg_cache::{CacheGeometry, CacheStats, ConventionalCache, Sharers, WritebackBuffer};
 use dg_mem::{Addr, AnnotationTable, ApproxRegion, BlockAddr, BlockData, Memory, MemoryImage};
 use dg_obs::{enabled, event, Hist64, Level, Registry};
-use dg_par::FxHashMap;
+use dg_par::{FxHashMap, FxHashSet};
 
 /// The simulated system.
 #[derive(Debug)]
@@ -50,7 +50,35 @@ pub struct System {
     /// Writeback-buffer depth sampled before each drain, recorded only
     /// at `Level::Metrics` and above. Observation-only.
     wb_residency: Hist64,
+    /// Skip-region approximation overlay active (sampled runs only; see
+    /// [`Self::set_functional_approx`]).
+    approx_overlay: bool,
+    /// Skip-entry snapshot of the Doppelgänger arrays: block → the
+    /// shared representative the cache held when the overlay was
+    /// enabled. Loads from these blocks during the skip return the
+    /// representative; everything else reads exact DRAM contents (what
+    /// a real miss would fetch). Entries are dropped on functional
+    /// stores to the block.
+    func_approx: FxHashMap<BlockAddr, BlockData>,
+    /// Skip-epoch residency filter: every block resident anywhere in
+    /// the hierarchy (directory ∪ LLC) when the overlay was enabled.
+    /// Nothing can *enter* a cache while the detailed model is off, so
+    /// a functional store to a block absent from this set has nothing
+    /// to invalidate and skips the directory/LLC probes entirely.
+    skip_resident: FxHashSet<BlockAddr>,
+    /// Page-granularity Bloom-style pre-filter over
+    /// [`Self::skip_resident`]: one bit per 4 KiB address group,
+    /// modulo-folded into a fixed 8 KiB table. Bit clear ⇒ no resident
+    /// block anywhere in that group, so the per-access skip path can
+    /// skip the hash probes outright; false positives (aliasing, or a
+    /// resident neighbour in the same group) just fall through to the
+    /// exact sets. Resident sets are page-clustered, so occupancy — and
+    /// with it the false-positive rate — stays low.
+    skip_filter: Box<[u64; SKIP_FILTER_WORDS]>,
 }
+
+/// Words in [`System::skip_filter`]: 1024 × 64 bits = 64 Ki groups.
+const SKIP_FILTER_WORDS: usize = 1024;
 
 impl System {
     /// Build a system with `initial` memory contents and the
@@ -82,6 +110,10 @@ impl System {
             back_invalidations: 0,
             access_latency: Hist64::new(),
             wb_residency: Hist64::new(),
+            approx_overlay: false,
+            func_approx: FxHashMap::default(),
+            skip_resident: FxHashSet::default(),
+            skip_filter: Box::new([0; SKIP_FILTER_WORDS]),
             cfg,
         }
     }
@@ -661,6 +693,196 @@ impl System {
             }
         }
         self.llc.flush_dirty(&mut self.dram);
+    }
+
+    /// Flush and then *invalidate* the whole hierarchy: every dirty
+    /// block is written back, then all cache contents, the coherence
+    /// directory, and private-cache copies are dropped, leaving the
+    /// machine architecturally cold with an up-to-date DRAM image.
+    ///
+    /// This is the sampled runner's skip transition ([`flush`] alone is
+    /// wrong there: the functional fast-forward updates DRAM behind the
+    /// caches' backs, so any retained copy would serve stale data when
+    /// detailed simulation resumes). Statistics are untouched.
+    ///
+    /// [`flush`]: Self::flush
+    pub fn drop_cache_contents(&mut self) {
+        self.flush();
+        fn clear(cache: &mut dg_cache::ConventionalCache) {
+            let resident: Vec<BlockAddr> = cache.iter_blocks().map(|(a, _, _)| a).collect();
+            for a in resident {
+                cache.invalidate(a);
+            }
+        }
+        for c in &mut self.l1 {
+            clear(c);
+        }
+        for c in &mut self.l2 {
+            clear(c);
+        }
+        self.llc.clear_contents();
+        self.directory.clear();
+    }
+
+    /// Functional load straight from the DRAM image: no caches, no
+    /// counters, no cycles. The sampled runner uses this to fast-forward
+    /// skipped regions while keeping program semantics exact.
+    ///
+    /// Safe against cached copies because the hierarchy is *clean*
+    /// throughout a skipped region: the runner flushes at the
+    /// detailed→skip transition, and [`Self::functional_store`]
+    /// invalidates the blocks it touches, so DRAM is authoritative.
+    ///
+    /// When the approximation overlay is on
+    /// ([`Self::set_functional_approx`]), loads from blocks that were
+    /// resident in the Doppelgänger arrays at skip entry return the
+    /// shared representative the cache held, mirroring what a
+    /// Doppelgänger LLC hit would have served.
+    pub fn functional_load(&mut self, addr: Addr, buf: &mut [u8]) {
+        self.dram.load_bytes(addr, buf);
+        if self.approx_overlay && !self.func_approx.is_empty() {
+            self.overlay_approx(addr, buf);
+        }
+    }
+
+    /// Enable or disable the skip-region approximation overlay.
+    ///
+    /// The overlay exists because output error in a full run accrues on
+    /// *every* approximate load that hits the Doppelgänger arrays (the
+    /// cache serves a shared representative, not the block's own
+    /// bytes), while the functional fast-forward serves precise DRAM
+    /// data. A sampled run that skips most of the trace would therefore
+    /// structurally underestimate output error — badly so for
+    /// threshold-style metrics like ferret's rank mismatch, where
+    /// per-query corruption has to cross a flip point before the metric
+    /// moves at all.
+    ///
+    /// Enabling snapshots the resident approximate blocks and the
+    /// representative each would be served
+    /// ([`Llc::for_each_approx_resident`]); loads from those blocks
+    /// during the skip return the snapshot value, and every other load
+    /// returns exact DRAM bytes — which is precisely what the real
+    /// machine returns on a miss. The snapshot is frozen for the skip
+    /// epoch (insertions and evictions the detailed model would have
+    /// performed are not replayed); that proxy-fidelity gap is what the
+    /// sampled estimator's output-error confidence interval covers.
+    ///
+    /// Baseline (non-Doppelgänger) configurations have no approximate
+    /// entries, so the snapshot is empty and the overlay a no-op.
+    pub fn set_functional_approx(&mut self, on: bool) {
+        self.approx_overlay = on;
+        self.func_approx.clear();
+        self.skip_resident.clear();
+        self.skip_filter.fill(0);
+        if on {
+            let func_approx = &mut self.func_approx;
+            self.llc.for_each_approx_resident(|addr, data| {
+                func_approx.insert(addr, data);
+            });
+            // Residency filter for functional stores: directory keys
+            // cover every private-cache copy, the LLC walk covers the
+            // shared level. While the overlay is on, the detailed model
+            // is off, so no block can become resident behind the set.
+            let skip_resident = &mut self.skip_resident;
+            skip_resident.extend(self.directory.keys().copied());
+            self.llc.for_each_resident(|addr| {
+                skip_resident.insert(addr);
+            });
+            for &block in self.skip_resident.iter() {
+                let (w, bit) = Self::skip_filter_slot(block);
+                self.skip_filter[w] |= bit;
+            }
+        }
+    }
+
+    /// (word, bit) position of `block`'s 4 KiB group in the skip-path
+    /// pre-filter.
+    #[inline]
+    fn skip_filter_slot(block: BlockAddr) -> (usize, u64) {
+        let group = (block.0 >> 6) as usize & (SKIP_FILTER_WORDS * 64 - 1);
+        (group >> 6, 1u64 << (group & 63))
+    }
+
+    /// Whether `block`'s group *may* contain a skip-epoch resident
+    /// block. A clear bit is definitive absence.
+    #[inline]
+    fn skip_filter_hit(&self, block: BlockAddr) -> bool {
+        let (w, bit) = Self::skip_filter_slot(block);
+        self.skip_filter[w] & bit != 0
+    }
+
+    /// Replace the bytes of `buf` that fall in snapshot blocks with the
+    /// snapshot representative's bytes (see
+    /// [`Self::set_functional_approx`]).
+    fn overlay_approx(&mut self, addr: Addr, buf: &mut [u8]) {
+        if buf.is_empty() {
+            return;
+        }
+        let first = addr.block().0;
+        let last = addr.offset(buf.len() as u64 - 1).block().0;
+        for b in first..=last {
+            let block = BlockAddr(b);
+            if !self.skip_filter_hit(block) {
+                continue;
+            }
+            let Some(rep) = self.func_approx.get(&block) else { continue };
+            // Byte overlap of this block with the loaded span.
+            let base = block.base().0;
+            let lo = base.max(addr.0);
+            let hi = (base + dg_mem::BLOCK_BYTES as u64).min(addr.0 + buf.len() as u64);
+            let src = &rep.as_bytes()[(lo - base) as usize..(hi - base) as usize];
+            buf[(lo - addr.0) as usize..(hi - addr.0) as usize].copy_from_slice(src);
+        }
+    }
+
+    /// Functional store straight to the DRAM image (see
+    /// [`Self::functional_load`]), dropping any cached copy of the
+    /// touched blocks first.
+    ///
+    /// This is what lets the sampled runner keep cache contents warm
+    /// across skipped regions (flush instead of drop at the transition):
+    /// a functional store updates DRAM behind the caches, so the stale
+    /// copy — and only it — is invalidated everywhere, exactly like a
+    /// DMA write from a non-coherent agent. Untouched blocks stay
+    /// resident, and detailed simulation resumes against a warm
+    /// hierarchy instead of a cold one.
+    pub fn functional_store(&mut self, addr: Addr, bytes: &[u8]) {
+        if !bytes.is_empty() {
+            let first = addr.block().0;
+            let last = addr.offset(bytes.len() as u64 - 1).block().0;
+            for b in first..=last {
+                let block = BlockAddr(b);
+                if self.approx_overlay {
+                    // Fast path: the skip-epoch residency filter knows
+                    // whether any cache holds the block at all; stores
+                    // to absent blocks (the common case in streaming
+                    // writes) touch only DRAM. The Bloom pre-filter
+                    // short-circuits even the hash probe when the whole
+                    // 4 KiB group is resident-free.
+                    if !self.skip_filter_hit(block) || !self.skip_resident.remove(&block) {
+                        continue;
+                    }
+                }
+                self.functional_invalidate(block);
+                // The snapshot held the block's *old* representative.
+                self.func_approx.remove(&block);
+            }
+        }
+        self.dram.store_bytes(addr, bytes);
+    }
+
+    /// Drop one block from every cache and the directory without a
+    /// writeback (the caller is overwriting its memory). No statistics
+    /// are attributed — this models warm-state maintenance, not
+    /// simulated coherence traffic.
+    fn functional_invalidate(&mut self, block: BlockAddr) {
+        if let Some(sharers) = self.directory.remove(&block) {
+            for c in sharers.iter() {
+                self.l2[c].invalidate(block);
+                self.l1[c].invalidate(block);
+            }
+        }
+        self.llc.invalidate_block(block);
     }
 
     /// A [`Memory`] view of this system as seen from `core`.

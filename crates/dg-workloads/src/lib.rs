@@ -45,9 +45,11 @@ mod array;
 mod kernel;
 pub mod kernels;
 pub mod metrics;
+pub mod stream;
 
 pub use array::{ArrayF32, ArrayF64, ArrayI32, ArrayU8};
 pub use kernel::{run_phase_range, run_to_completion, Kernel};
+pub use stream::KernelSource;
 
 use dg_mem::{AnnotationTable, MemoryImage};
 
@@ -87,6 +89,23 @@ pub fn small_suite(seed: u64) -> Vec<Box<dyn Kernel>> {
     ]
 }
 
+/// A medium suite (~10× the small suite's access count, same kernels):
+/// long enough for interval sampling to pay off, short enough to
+/// measure in CI. Used by `repro_all --medium`.
+pub fn medium_suite(seed: u64) -> Vec<Box<dyn Kernel>> {
+    vec![
+        Box::new(kernels::Blackscholes::new(4 * 1024, seed)),
+        Box::new(kernels::Canneal::new(4 * 1024, 16_000, seed)),
+        Box::new(kernels::Ferret::new(768, 16, 24, seed)),
+        Box::new(kernels::Fluidanimate::new(1024, 3, seed)),
+        Box::new(kernels::Inversek2j::new(10 * 1024, seed)),
+        Box::new(kernels::Jmeint::new(4 * 1024, seed)),
+        Box::new(kernels::Jpeg::new(160, 160, seed)),
+        Box::new(kernels::Kmeans::new(2 * 1024, 12, 6, 4, seed)),
+        Box::new(kernels::Swaptions::new(24, 96, seed)),
+    ]
+}
+
 /// Prepared state for a kernel: its initial memory image and
 /// annotations.
 #[derive(Debug)]
@@ -102,4 +121,31 @@ pub fn prepare(kernel: &dyn Kernel) -> Prepared {
     let mut image = MemoryImage::new();
     let annotations = kernel.setup(&mut image);
     Prepared { image, annotations }
+}
+
+#[cfg(test)]
+mod suite_tests {
+    use super::*;
+    use dg_mem::TraceStream;
+
+    fn total_accesses(suite: &[Box<dyn Kernel>]) -> u64 {
+        suite
+            .iter()
+            .map(|k| KernelSource::new(k.as_ref(), 4, 4).total_accesses())
+            .sum()
+    }
+
+    #[test]
+    fn medium_suite_is_an_order_of_magnitude_above_small() {
+        let small = small_suite(7);
+        let medium = medium_suite(7);
+        for (s, m) in small.iter().zip(&medium) {
+            assert_eq!(s.name(), m.name(), "suites must share kernel order");
+        }
+        let ratio = total_accesses(&medium) as f64 / total_accesses(&small) as f64;
+        assert!(
+            (5.0..25.0).contains(&ratio),
+            "medium/small access ratio {ratio:.1} outside the ~10x target"
+        );
+    }
 }

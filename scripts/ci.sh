@@ -5,9 +5,11 @@
 # hermeticity + differential oracle on both the SIMD and scalar lanes +
 # byte-diff of deterministic exports across DG_SIMD lanes +
 # repro/profile smoke + concurrent serve smoke with its analytic
-# hit-rate gate) so that CI, pre-commit hooks, and humans all run the
-# *same* check — there is no CI-only logic to drift out of sync with
-# local verification.
+# hit-rate gate + sampled-simulation gate against full-coverage
+# references with byte-diff determinism across runs and worker counts)
+# so that CI, pre-commit hooks, and humans all run the *same* check —
+# there is no CI-only logic to drift out of sync with local
+# verification.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

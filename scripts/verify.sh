@@ -89,3 +89,27 @@ cargo run --release --offline -q -p dg-bench --bin serve_bench -- \
   --validate "$profile_dir/BENCH_serve.json"
 cargo run --release --offline -q -p dg-bench --bin serve_bench -- --smoke --check
 echo "ok: serve bench report validated and hit-rate gate holds"
+
+echo "== sampled gate: repro_all --small --sampled-check =="
+# Sampled interval simulation (DESIGN.md §10): every (configuration,
+# kernel) pair's K-interval estimates — LLC miss rate, Doppelgänger
+# hit rate, output error — must land within max(ci, floor) of a
+# full-coverage reference run over the same access space. Catches
+# selection bias, cold-start bias and any drift between the hybrid
+# runner and the detailed model.
+cargo run --release --offline -q -p dg-bench --bin repro_all -- --small --sampled-check
+echo "ok: sampled estimates within tolerance of full-coverage references"
+
+echo "== sampled determinism: byte-diff exports across runs and workers =="
+# Profiling, k-medoids selection and the hybrid run are seeded and
+# iteration-order-free; the sampled export must be byte-identical
+# across repeated runs and across worker-pool sizes.
+cargo run --release --offline -q -p dg-bench --bin repro_all -- \
+  --small --sampled --json "$profile_dir/sampled_a.json" > /dev/null
+cargo run --release --offline -q -p dg-bench --bin repro_all -- \
+  --small --sampled --json "$profile_dir/sampled_b.json" > /dev/null
+DG_PAR_THREADS=1 cargo run --release --offline -q -p dg-bench --bin repro_all -- \
+  --small --sampled --json "$profile_dir/sampled_serial.json" > /dev/null
+cmp "$profile_dir/sampled_a.json" "$profile_dir/sampled_b.json"
+cmp "$profile_dir/sampled_a.json" "$profile_dir/sampled_serial.json"
+echo "ok: sampled exports byte-identical across runs and worker counts"
