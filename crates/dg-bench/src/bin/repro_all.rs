@@ -120,6 +120,13 @@ fn main() {
     run.print("Fig. 14b: uniDoppelganger normalized runtime");
     dynamic.print("Fig. 14c: uniDoppelganger LLC dynamic energy reduction");
 
+    let (err, run, dynamic) = figures::compressed_compare(&mut sweep);
+    err.print("Touche LLC (a): output error");
+    run.print("Touche LLC (b): normalized runtime");
+    dynamic.print("Touche LLC (c): LLC dynamic energy reduction");
+    figures::compressed_storage(&mut sweep, &base.snapshots)
+        .print("Touche LLC (d): realized BdI storage savings vs the Fig. 8 bound");
+
     if let Some(path) = args.json.as_deref() {
         match dg_bench::results::export_sweep(&sweep, std::path::Path::new(path)) {
             Ok(()) => eprintln!("[repro_all] wrote {path}"),

@@ -6,9 +6,9 @@
 //!
 //! ```text
 //! USAGE:
-//!   simulate [--kernel NAME] [--llc baseline|split|unified]
-//!            [--map-bits M] [--data-frac N/D] [--threads T]
-//!            [--policy lru|fewest-sharers]
+//!   simulate [--kernel NAME] [--llc baseline|split|unified|compressed]
+//!            [--map-bits M] [--data-frac N/D] [--sb-blocks 2|4]
+//!            [--threads T] [--policy lru|fewest-sharers]
 //!            [--hash avg+range|avg|min+max|avg+stride]
 //!            [--small] [--seed S]
 //!
@@ -16,6 +16,7 @@
 //!   simulate --kernel jpeg --llc split --map-bits 12 --data-frac 1/8
 //!   simulate --kernel kmeans --llc unified --small
 //!   simulate --kernel inversek2j --llc split --policy fewest-sharers
+//!   simulate --kernel canneal --llc compressed --sb-blocks 4
 //! ```
 
 use dg_bench::experiments::Scale;
@@ -28,6 +29,7 @@ struct Args {
     llc: String,
     map_bits: u32,
     frac: (usize, usize),
+    sb_blocks: usize,
     threads: usize,
     policy: DataPolicy,
     hash: MapHash,
@@ -41,6 +43,7 @@ fn parse_args() -> Result<Args, String> {
         llc: "split".to_string(),
         map_bits: 14,
         frac: (1, 4),
+        sb_blocks: 2,
         threads: 4,
         policy: DataPolicy::Lru,
         hash: MapHash::AvgRange,
@@ -69,6 +72,16 @@ fn parse_args() -> Result<Args, String> {
                     n.parse().map_err(|e| format!("--data-frac: {e}"))?,
                     d.parse().map_err(|e| format!("--data-frac: {e}"))?,
                 );
+            }
+            "--sb-blocks" => {
+                args.sb_blocks =
+                    next(&mut i)?.parse().map_err(|e| format!("--sb-blocks: {e}"))?;
+                if !matches!(args.sb_blocks, 2 | 4) {
+                    return Err(format!(
+                        "--sb-blocks: expected 2 or 4, got {}",
+                        args.sb_blocks
+                    ));
+                }
             }
             "--threads" => {
                 args.threads = next(&mut i)?.parse().map_err(|e| format!("--threads: {e}"))?
@@ -102,8 +115,8 @@ fn parse_args() -> Result<Args, String> {
 
 fn usage() {
     eprintln!(
-        "usage: simulate [--kernel NAME] [--llc baseline|split|unified] \
-         [--map-bits M] [--data-frac N/D] [--threads T] \
+        "usage: simulate [--kernel NAME] [--llc baseline|split|unified|compressed] \
+         [--map-bits M] [--data-frac N/D] [--sb-blocks 2|4] [--threads T] \
          [--policy lru|fewest-sharers] [--hash avg+range|avg|min+max|avg+stride] \
          [--small] [--seed S]\n\
          kernels: blackscholes canneal ferret fluidanimate inversek2j \
@@ -151,6 +164,7 @@ fn main() {
             }
             c
         }
+        "compressed" => args.scale.compressed(args.sb_blocks),
         other => {
             eprintln!("error: unknown llc kind '{other}'");
             usage();
@@ -173,6 +187,7 @@ fn main() {
         let paper_cfg = match args.llc.as_str() {
             "baseline" => paper.baseline(),
             "split" => paper.split(args.map_bits, args.frac.0, args.frac.1),
+            "compressed" => paper.compressed(args.sb_blocks),
             _ => paper.unified(args.frac.0, args.frac.1),
         };
         r.energy = dg_system::llc_energy(&paper_cfg, &r.llc, r.runtime_cycles);
@@ -237,7 +252,29 @@ fn main() {
             stats.affected * 100.0
         );
     }
-    if args.llc != "baseline" {
+    if args.llc == "compressed" {
+        let seg_bytes = match cfg.llc {
+            LlcKind::Compressed(c) => c.segment_bytes,
+            _ => unreachable!("--llc compressed builds a compressed LLC"),
+        };
+        println!();
+        println!("{:<32} {:>16}", "compressed insertions", r.llc.comp.insertions);
+        println!("{:<32} {:>16}", "recompressions", r.llc.comp.recompressions);
+        println!(
+            "{:<32} {:>16}",
+            "expansion evictions", r.llc.comp.expansion_evictions
+        );
+        println!(
+            "{:<32} {:>15.1}% of raw bytes (after segment rounding)",
+            "stored size",
+            r.llc.comp.stored_fraction(seg_bytes) * 100.0
+        );
+        println!(
+            "{:<32} {:>15.1}% of raw bytes",
+            "exact BdI size",
+            r.llc.comp.bdi_fraction() * 100.0
+        );
+    } else if args.llc != "baseline" {
         println!();
         println!(
             "{:<32} {:>16}",

@@ -14,8 +14,9 @@ use dg_system::{capture_trace, SystemConfig};
 
 /// Every distinct system configuration exercised by the evaluation:
 /// the baseline, the map-space sweep (Fig. 9), the data-array sweep
-/// (Fig. 10; 1/4 doubles as the base design point of Figs. 11–13), and
-/// the uniDoppelgänger sweep (Fig. 14).
+/// (Fig. 10; 1/4 doubles as the base design point of Figs. 11–13), the
+/// uniDoppelgänger sweep (Fig. 14), and the Touché-style compressed
+/// organization (both superblock arities).
 pub fn check_configs(scale: Scale) -> Vec<(&'static str, SystemConfig)> {
     vec![
         ("baseline", scale.baseline()),
@@ -27,6 +28,8 @@ pub fn check_configs(scale: Scale) -> Vec<(&'static str, SystemConfig)> {
         ("unified data=3/4", scale.unified(3, 4)),
         ("unified data=1/2", scale.unified(1, 2)),
         ("unified data=1/4", scale.unified(1, 4)),
+        ("compressed sb=2", scale.compressed(2)),
+        ("compressed sb=4", scale.compressed(4)),
     ]
 }
 

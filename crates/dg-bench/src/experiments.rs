@@ -11,6 +11,7 @@
 //! All jobs are pure functions of `(kernel, config, threads, seed)`,
 //! so results are bit-identical regardless of worker count.
 
+use dg_cache::CompressedConfig;
 use dg_par::Pool;
 use dg_system::{
     evaluate_and_snapshots, evaluate_with_golden, golden_output, EvalResult, LlcKind,
@@ -130,6 +131,14 @@ impl Scale {
     pub fn unified(self, numer: usize, denom: usize) -> SystemConfig {
         let dopp = self.doppel_base(true).with_data_fraction(numer, denom);
         SystemConfig { llc: LlcKind::Unified(dopp), ..self.base_config() }
+    }
+
+    /// The Touché-style compressed LLC with `sb_blocks`-block
+    /// superblocks over the same byte budget as the baseline.
+    pub fn compressed(self, sb_blocks: usize) -> SystemConfig {
+        let base = self.base_config();
+        let comp = CompressedConfig::from_llc(base.llc_bytes, base.llc_ways, sb_blocks);
+        SystemConfig { llc: LlcKind::Compressed(comp), ..base }
     }
 }
 

@@ -9,6 +9,7 @@ use crate::experiments::{
 };
 use crate::Table;
 use dg_system::llc_area_mm2;
+use dg_system::LlcKind;
 use dg_system::similarity::{
     avg_bdi_savings, avg_dedup_savings, avg_dopp_bdi_savings, avg_map_savings,
     avg_threshold_savings, Snapshot,
@@ -293,6 +294,54 @@ pub fn fig14(sweep: &mut Sweep) -> (Table, Table, Table) {
     (err, run, dyn_t)
 }
 
+/// Touché-style compressed LLC next to the split base design: output
+/// error (a; identically zero — BΔI is exact), normalized runtime (b)
+/// and LLC dynamic energy reduction (c), for 2- and 4-block
+/// superblocks.
+pub fn compressed_compare(sweep: &mut Sweep) -> (Table, Table, Table) {
+    let scale = sweep.scale();
+    let labels = ["compressed-sb2", "compressed-sb4", "split-m14-d1/4"];
+    let configs = [scale.compressed(2), scale.compressed(4), scale.split(14, 1, 4)];
+    let columns = ["sb=2", "sb=4", "split 1/4"];
+    let (err, run) = error_and_runtime(sweep, &labels, &configs, &columns);
+    let (dyn_t, _) = energy_tables(sweep, &labels, &configs, &columns);
+    (err, run, dyn_t)
+}
+
+/// Fig. 8 cross-check: the storage savings the compressed LLC realizes
+/// at runtime — fill-weighted, after segment rounding ("realized") and
+/// before it ("exact BdI") — next to the trace-level BΔI bound computed
+/// from the baseline similarity snapshots. The runtime numbers also
+/// cover precise traffic the snapshot bound never sees, so they may
+/// land on either side of it; what they must not do is disagree wildly,
+/// which would mean the compressed array and `similarity.rs` implement
+/// different BΔI.
+pub fn compressed_storage(sweep: &mut Sweep, snaps: &[Vec<Snapshot>]) -> Table {
+    let scale = sweep.scale();
+    let cfg = scale.compressed(2);
+    let seg_bytes = match cfg.llc {
+        LlcKind::Compressed(c) => c.segment_bytes,
+        _ => unreachable!("Scale::compressed builds a compressed LLC"),
+    };
+    sweep.run_batch(&[("compressed-sb2", cfg)]);
+    let results = sweep.results("compressed-sb2");
+    let mut t = Table::new(&["realized", "exact BdI", "snapshot bound"]);
+    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    for ((name, ksnaps), r) in kernel_names().iter().zip(snaps).zip(results) {
+        let vals = vec![
+            1.0 - r.llc.comp.stored_fraction(seg_bytes),
+            1.0 - r.llc.comp.bdi_fraction(),
+            avg_bdi_savings(ksnaps),
+        ];
+        for (c, v) in cols.iter_mut().zip(&vals) {
+            c.push(*v);
+        }
+        t.row_pct(name, &vals);
+    }
+    t.row_pct("MEAN", &cols.iter().map(|c| mean(c)).collect::<Vec<_>>());
+    t
+}
+
 /// Table 3: hardware cost of every structure — our computed bit budgets
 /// and CACTI-lite estimates next to the paper's reported values.
 pub fn table3() -> String {
@@ -379,5 +428,31 @@ mod tests {
         assert!(e.render().contains("MEAN"));
         assert!(r.render().contains("MEAN"));
         let _ = fig12(&mut sweep);
+        let t = compressed_storage(&mut sweep, &art.snapshots);
+        assert!(t.render().contains("MEAN"));
+    }
+
+    /// The compressed organization is exact: its output error column
+    /// must be identically zero, and the realized storage savings must
+    /// stay within segment-rounding distance of the exact BΔI fraction
+    /// its own counters report.
+    #[test]
+    fn compressed_small_scale_is_exact_and_saves_storage() {
+        let mut sweep = Sweep::new(Scale::Small);
+        let (err, _run, _dyn_t) = compressed_compare(&mut sweep);
+        let _ = err;
+        for r in sweep.results("compressed-sb2") {
+            assert_eq!(r.output_error, 0.0, "{}: BdI must be exact", r.kernel);
+            let comp = &r.llc.comp;
+            assert!(comp.insertions > 0, "{}: compressed LLC never filled", r.kernel);
+            assert!(
+                comp.bdi_fraction() <= comp.stored_fraction(8) + 1e-12,
+                "{}: segment rounding cannot beat exact BdI",
+                r.kernel
+            );
+        }
+        for r in sweep.results("compressed-sb4") {
+            assert_eq!(r.output_error, 0.0, "{}: BdI must be exact", r.kernel);
+        }
     }
 }

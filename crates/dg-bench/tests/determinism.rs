@@ -32,7 +32,11 @@ fn assert_bit_identical(a: &[EvalResult], b: &[EvalResult]) {
 fn parallel_sweep_matches_single_worker_and_serial_runs() {
     let scale = Scale::Small;
     let cfg = scale.split_default();
-    let batch = [("baseline", scale.baseline()), ("split-m14-d1/4", cfg)];
+    let batch = [
+        ("baseline", scale.baseline()),
+        ("split-m14-d1/4", cfg),
+        ("compressed-sb2", scale.compressed(2)),
+    ];
 
     let mut parallel = Sweep::new(scale);
     parallel.run_batch(&batch);
@@ -41,6 +45,7 @@ fn parallel_sweep_matches_single_worker_and_serial_runs() {
     single.run_batch(&batch);
     assert_bit_identical(parallel.results("split-m14-d1/4"), single.results("split-m14-d1/4"));
     assert_bit_identical(parallel.results("baseline"), single.results("baseline"));
+    assert_bit_identical(parallel.results("compressed-sb2"), single.results("compressed-sb2"));
 
     // Strongest check: direct serial evaluation, no pool, no golden or
     // baseline memo involved at all.
@@ -54,4 +59,10 @@ fn parallel_sweep_matches_single_worker_and_serial_runs() {
         .map(|k| evaluate(k.as_ref(), scale.baseline(), threads))
         .collect();
     assert_bit_identical(parallel.results("baseline"), &direct_base);
+
+    let direct_comp: Vec<EvalResult> = suite(scale)
+        .iter()
+        .map(|k| evaluate(k.as_ref(), scale.compressed(2), threads))
+        .collect();
+    assert_bit_identical(parallel.results("compressed-sb2"), &direct_comp);
 }

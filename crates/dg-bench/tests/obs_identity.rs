@@ -52,9 +52,10 @@ fn assert_bit_identical(off: &[EvalResult], traced: &[EvalResult]) {
 fn full_trace_level_is_bit_identical_to_off() {
     let scale = Scale::Small;
     // Every LLC organization: conventional, split Doppelgänger (the
-    // instrumented occupancy path), unified (the chain-depth path).
+    // instrumented occupancy path), unified (the chain-depth path),
+    // compressed (the segment-occupancy path).
     let configs =
-        [scale.baseline(), scale.split_default(), scale.unified(1, 2)];
+        [scale.baseline(), scale.split_default(), scale.unified(1, 2), scale.compressed(2)];
 
     dg_obs::set_level(Level::Off);
     let off: Vec<Vec<EvalResult>> = configs.iter().map(|&c| run_suite(c)).collect();

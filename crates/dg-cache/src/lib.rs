@@ -11,6 +11,8 @@
 //! * [`ConventionalCache`] — a data-carrying write-back cache used for
 //!   the private L1/L2 levels, the precise LLC partition, and the
 //!   baseline 2 MB LLC.
+//! * [`CompressedCache`] — a Touché-style compressed array (superblock
+//!   tags, segment-granular BΔI data) backing `LlcKind::Compressed`.
 //! * [`Sharers`] — directory sharer sets for MSI coherence at an
 //!   inclusive LLC.
 //! * [`WritebackBuffer`] — the LLC's buffer of pending DRAM writes.
@@ -25,6 +27,7 @@
 
 mod array;
 mod cache;
+mod compressed;
 mod geometry;
 mod replacement;
 pub mod reuse;
@@ -34,6 +37,7 @@ mod writeback;
 
 pub use array::TagArray;
 pub use cache::{ConventionalCache, Evicted, Line};
+pub use compressed::{CompStats, CompressedCache, CompressedConfig};
 pub use geometry::{CacheGeometry, GeometryError};
 pub use replacement::{Fifo, Lru, RandomRepl, Replacer, Srrip};
 pub use reuse::ReuseProfile;

@@ -1,0 +1,134 @@
+//! Property tests for the BΔI codec: `decompress(compress(b)) == b`
+//! bit-for-bit over random bytes, structured base+delta blocks, the
+//! sign-extension boundaries of every delta width, and float payloads
+//! full of NaN/±∞/subnormals. The compressed LLC stores exactly what
+//! the codec reconstructs, so any losslessness gap here would surface
+//! as silent data corruption in an "exact" organization.
+
+use dg_check::{props, vec};
+use dg_compress::bdi::{choose_encoding, compress, compressed_size, decompress, BdiEncoding};
+use dg_mem::{BlockData, BLOCK_BYTES};
+
+fn block_from(bytes: &[u8]) -> BlockData {
+    let mut raw = [0u8; BLOCK_BYTES];
+    raw.copy_from_slice(bytes);
+    BlockData::from_bytes(raw)
+}
+
+fn assert_round_trip(b: &BlockData) {
+    let c = compress(b);
+    assert_eq!(c.encoding(), choose_encoding(b));
+    assert_eq!(c.size_bytes(), compressed_size(b));
+    assert!(c.size_bytes() <= BLOCK_BYTES, "{} cannot exceed raw", c.encoding());
+    assert_eq!(&decompress(&c), b, "BΔI lost data under {}", c.encoding());
+}
+
+/// One structured block: values near a shared wide `base`, a subset
+/// flagged as small immediates (zero-base deltas), with per-value
+/// offsets drawn to sit inside or at the edge of a delta width.
+type Structured = (u8, u64, Vec<(u8, i64)>);
+
+fn structured_strategy() -> impl dg_check::Strategy<Value = Structured> {
+    // (base width selector, base value, per-value (immediate?, offset))
+    (0u8..3, 0u64..=u64::MAX, vec((0u8..2, -70_000i64..70_000), 32..33usize))
+}
+
+fn build_structured((bw, base, offs): &Structured) -> BlockData {
+    let base_w = [2usize, 4, 8][*bw as usize];
+    let values = BLOCK_BYTES / base_w;
+    let mut bytes = [0u8; BLOCK_BYTES];
+    for (k, off) in (0..BLOCK_BYTES).step_by(base_w).enumerate() {
+        let (imm, d) = offs[k % offs.len()];
+        let v = if imm == 0 { base.wrapping_add_signed(d) } else { d as u64 };
+        bytes[off..off + base_w].copy_from_slice(&v.to_le_bytes()[..base_w]);
+        let _ = values;
+    }
+    BlockData::from_bytes(bytes)
+}
+
+props! {
+    cases = 300;
+
+    fn random_bytes_round_trip(bytes in vec(0u8..=255, 64..65usize)) {
+        assert_round_trip(&block_from(&bytes));
+    }
+
+    fn structured_base_delta_blocks_round_trip(s in structured_strategy()) {
+        assert_round_trip(&build_structured(&s));
+    }
+
+    fn float_bit_patterns_round_trip(words in vec(0u64..=u64::MAX, 8..9usize)) {
+        // Raw u64 lanes reinterpreted as f64: hits NaN payloads,
+        // infinities and subnormals without any float arithmetic.
+        let mut bytes = [0u8; BLOCK_BYTES];
+        for (i, w) in words.iter().enumerate() {
+            bytes[i * 8..(i + 1) * 8].copy_from_slice(&w.to_le_bytes());
+        }
+        assert_round_trip(&BlockData::from_bytes(bytes));
+    }
+}
+
+/// Every delta width, at both signed boundaries: deltas of exactly
+/// `±(2^(8d−1) − 1)` (the widest that fits) and `±2^(8d−1)` (one past,
+/// which must spill to a wider encoding or raw — never corrupt).
+#[test]
+fn sign_extension_boundary_deltas_round_trip() {
+    for base_w in [2usize, 4, 8] {
+        for delta_w in [1usize, 2, 4] {
+            if delta_w >= base_w {
+                continue;
+            }
+            let max_fit = (1i64 << (8 * delta_w - 1)) - 1;
+            for d in [max_fit, -max_fit - 1, max_fit + 1, -max_fit - 2] {
+                let base: i64 = 1 << (8 * base_w as u32 - 2);
+                let mut bytes = [0u8; BLOCK_BYTES];
+                for (k, off) in (0..BLOCK_BYTES).step_by(base_w).enumerate() {
+                    // Alternate base+delta and boundary immediates.
+                    let v = if k % 2 == 0 { base.wrapping_add(d) } else { d };
+                    bytes[off..off + base_w]
+                        .copy_from_slice(&v.to_le_bytes()[..base_w]);
+                }
+                assert_round_trip(&BlockData::from_bytes(bytes));
+            }
+        }
+    }
+}
+
+/// Canonical float specials, in every lane arrangement the palette
+/// allows: quiet/signalling NaNs, ±∞, ±0, subnormals.
+#[test]
+fn float_specials_round_trip_bit_exactly() {
+    let specials = [
+        f64::NAN.to_bits(),
+        f64::NAN.to_bits() | 1,           // NaN with a payload bit
+        0x7FF0_0000_0000_0001,            // signalling NaN
+        f64::INFINITY.to_bits(),
+        f64::NEG_INFINITY.to_bits(),
+        (-0.0f64).to_bits(),
+        f64::MIN_POSITIVE.to_bits() >> 1, // subnormal
+        1.0f64.to_bits(),
+    ];
+    for rot in 0..specials.len() {
+        let mut bytes = [0u8; BLOCK_BYTES];
+        for i in 0..8 {
+            let w = specials[(i + rot) % specials.len()];
+            bytes[i * 8..(i + 1) * 8].copy_from_slice(&w.to_le_bytes());
+        }
+        let b = BlockData::from_bytes(bytes);
+        let c = compress(&b);
+        assert_eq!(
+            decompress(&c).as_bytes(),
+            b.as_bytes(),
+            "float specials corrupted under {}",
+            c.encoding()
+        );
+    }
+    // A block of one repeated NaN must take the 8-byte repeat form.
+    let mut bytes = [0u8; BLOCK_BYTES];
+    for i in 0..8 {
+        bytes[i * 8..(i + 1) * 8].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+    }
+    let b = BlockData::from_bytes(bytes);
+    assert_eq!(choose_encoding(&b), BdiEncoding::Repeat);
+    assert_eq!(decompress(&compress(&b)).as_bytes(), b.as_bytes());
+}

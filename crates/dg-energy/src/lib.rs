@@ -47,6 +47,13 @@ pub const MAP_ENERGY_PJ: f64 = MAP_FLOPS as f64 * FPU_ENERGY_PJ;
 /// Total area of the map-generation units, mm².
 pub const MAP_UNITS_AREA_MM2: f64 = FPU_COUNT as f64 * FPU_AREA_MM2;
 
+/// Energy of one BΔI compression or decompression pass over a 64-byte
+/// block, picojoules. BΔI hardware is narrow integer adders and
+/// comparators — Pekhimenko et al. (PACT 2012) report single-cycle
+/// decompression with negligible cost next to an LLC data access; one
+/// FPU-op's worth is a conservative stand-in at this fidelity.
+pub const BDI_CODEC_PJ: f64 = 8.0;
+
 #[cfg(test)]
 mod tests {
     use super::*;

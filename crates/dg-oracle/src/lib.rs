@@ -25,6 +25,7 @@
 #![warn(missing_debug_implementations)]
 
 mod cache;
+mod compressed;
 mod doppel;
 mod llc;
 mod lockstep;
@@ -32,6 +33,7 @@ mod mem;
 mod system;
 
 pub use cache::{OracleCache, OracleEvicted};
+pub use compressed::OracleCompressed;
 pub use doppel::OracleDoppelganger;
 pub use llc::OracleLlc;
 pub use lockstep::{lockstep, lockstep_verbose, Divergence, LockstepSummary};

@@ -1,8 +1,8 @@
 //! Reference LLC: routes accesses between the precise cache and the
 //! Doppelgänger cache exactly like `dg_system::Llc`.
 
-use crate::{OracleCache, OracleDoppelganger, OracleMemory};
-use dg_cache::{CacheGeometry, CacheStats};
+use crate::{OracleCache, OracleCompressed, OracleDoppelganger, OracleMemory};
+use dg_cache::{CacheGeometry, CacheStats, Evicted};
 use dg_mem::{ApproxRegion, BlockAddr, BlockData};
 use dg_system::{DisplacedBlock, LlcAccess, LlcCounters, LlcKind, SystemConfig};
 use doppelganger::{Displaced, WriteStatus};
@@ -21,12 +21,19 @@ pub enum OracleLlc {
     },
     /// uniDoppelgänger: everything in one Doppelgänger-organized cache.
     Unified(OracleDoppelganger),
+    /// Touché-style compressed LLC (superblock tags + BΔI segments).
+    Compressed(OracleCompressed),
 }
 
 /// Adapt `doppelganger::Displaced` to the system's `DisplacedBlock`
 /// (sharers are tracked by the directory, not the LLC, so they drop).
 fn emit_into(out: &mut Vec<DisplacedBlock>) -> impl FnMut(Displaced) + '_ {
     |d| out.push(DisplacedBlock { addr: d.addr, dirty: d.dirty, data: d.data })
+}
+
+/// Same adapter for the compressed array's eviction type.
+fn emit_evicted(out: &mut Vec<DisplacedBlock>) -> impl FnMut(Evicted) + '_ {
+    |e| out.push(DisplacedBlock { addr: e.addr, dirty: e.dirty, data: e.data })
 }
 
 impl OracleLlc {
@@ -53,6 +60,7 @@ impl OracleLlc {
                 doppel.set_data_policy(cfg.data_policy);
                 OracleLlc::Unified(doppel)
             }
+            LlcKind::Compressed(comp) => OracleLlc::Compressed(OracleCompressed::new(comp)),
         }
     }
 
@@ -71,6 +79,7 @@ impl OracleLlc {
                 Some(r) => doppel_read(doppel, addr, Some(r), dram, displaced),
             },
             OracleLlc::Unified(d) => doppel_read(d, addr, region, dram, displaced),
+            OracleLlc::Compressed(c) => compressed_read(c, addr, dram, displaced),
         }
     }
 
@@ -89,6 +98,7 @@ impl OracleLlc {
                 Some(r) => doppel_writeback(doppel, addr, data, Some(r), displaced),
             },
             OracleLlc::Unified(d) => doppel_writeback(d, addr, data, region, displaced),
+            OracleLlc::Compressed(c) => compressed_writeback(c, addr, data, displaced),
         }
     }
 
@@ -104,6 +114,7 @@ impl OracleLlc {
                     precise_tag_accesses: t,
                     precise_data_accesses: d,
                     dopp: Default::default(),
+                    comp: Default::default(),
                     lookups: c.stats().accesses(),
                     hits: c.stats().hits,
                 }
@@ -115,6 +126,7 @@ impl OracleLlc {
                     precise_tag_accesses: t,
                     precise_data_accesses: d,
                     dopp,
+                    comp: Default::default(),
                     lookups: precise.stats().accesses() + dopp.lookups(),
                     hits: precise.stats().hits + dopp.hits,
                 }
@@ -125,10 +137,19 @@ impl OracleLlc {
                     precise_tag_accesses: 0,
                     precise_data_accesses: 0,
                     dopp,
+                    comp: Default::default(),
                     lookups: dopp.lookups(),
                     hits: dopp.hits,
                 }
             }
+            OracleLlc::Compressed(c) => LlcCounters {
+                precise_tag_accesses: 0,
+                precise_data_accesses: 0,
+                dopp: Default::default(),
+                comp: *c.stats(),
+                lookups: c.stats().accesses(),
+                hits: c.stats().hits,
+            },
         }
     }
 
@@ -142,13 +163,14 @@ impl OracleLlc {
                 .chain(doppel.iter_blocks().map(|(a, _, _, d)| (a, *d)))
                 .collect(),
             OracleLlc::Unified(d) => d.iter_blocks().map(|(a, _, _, d)| (a, *d)).collect(),
+            OracleLlc::Compressed(c) => c.iter_blocks().map(|(a, _, d)| (a, *d)).collect(),
         }
     }
 
     /// Tag-sharing factor (0 for the baseline).
     pub fn sharing_factor(&self) -> f64 {
         match self {
-            OracleLlc::Baseline(_) => 0.0,
+            OracleLlc::Baseline(_) | OracleLlc::Compressed(_) => 0.0,
             OracleLlc::Split { doppel, .. } => doppel.avg_tags_per_data(),
             OracleLlc::Unified(d) => d.avg_tags_per_data(),
         }
@@ -171,6 +193,14 @@ impl OracleLlc {
                 doppel.flush_dirty(|a, data| dram.set_block(a, data));
             }
             OracleLlc::Unified(d) => d.flush_dirty(|a, data| dram.set_block(a, data)),
+            OracleLlc::Compressed(c) => {
+                let dirty: Vec<(BlockAddr, BlockData)> =
+                    c.iter_blocks().filter(|(_, d, _)| *d).map(|(a, _, data)| (a, *data)).collect();
+                for (a, data) in dirty {
+                    dram.set_block(a, data);
+                    c.clear_dirty(a);
+                }
+            }
         }
     }
 
@@ -182,6 +212,7 @@ impl OracleLlc {
                 precise.contains(addr) || doppel.contains(addr)
             }
             OracleLlc::Unified(d) => d.contains(addr),
+            OracleLlc::Compressed(c) => c.contains(addr),
         }
     }
 
@@ -191,6 +222,7 @@ impl OracleLlc {
             OracleLlc::Baseline(_) => {}
             OracleLlc::Split { doppel, .. } => doppel.check_invariants(),
             OracleLlc::Unified(d) => d.check_invariants(),
+            OracleLlc::Compressed(c) => c.check_invariants(),
         }
     }
 
@@ -203,6 +235,7 @@ impl OracleLlc {
                 doppel.reset_stats();
             }
             OracleLlc::Unified(d) => d.reset_stats(),
+            OracleLlc::Compressed(c) => c.reset_stats(),
         }
     }
 
@@ -236,6 +269,27 @@ impl OracleLlc {
             );
             assert!(s.silent_writes + s.moved_writes <= s.writes, "doppel: write kinds exceed writes");
         }
+        fn comp(c: &OracleCompressed) {
+            let s = c.stats();
+            assert_eq!(
+                s.insertions,
+                c.len() as u64 + s.evictions + s.invalidations,
+                "compressed: insertions != resident + evictions + invalidations ({s:?})"
+            );
+            assert_eq!(s.compressions, s.insertions, "compressed: every fill compresses once");
+            assert_eq!(
+                s.decompressions + s.recompressions,
+                s.hits,
+                "compressed: every hit is one codec pass ({s:?})"
+            );
+            assert!(s.dirty_evictions <= s.evictions, "compressed: dirty evictions exceed evictions");
+            assert!(
+                s.expansion_evictions <= s.evictions,
+                "compressed: expansion evictions exceed evictions"
+            );
+            assert!(s.tag_evictions <= s.evictions, "compressed: tag evictions exceed evictions");
+            assert!(s.fill_segments >= s.insertions, "compressed: fills must take >= 1 segment");
+        }
         match self {
             OracleLlc::Baseline(c) => conv("baseline LLC", c),
             OracleLlc::Split { precise, doppel: d } => {
@@ -243,6 +297,7 @@ impl OracleLlc {
                 dopp(d);
             }
             OracleLlc::Unified(d) => dopp(d),
+            OracleLlc::Compressed(c) => comp(c),
         }
     }
 }
@@ -275,6 +330,35 @@ fn conventional_writeback(
     if let Some(ev) = cache.fill(addr, &data, true) {
         displaced.push(DisplacedBlock { addr: ev.addr, dirty: ev.dirty, data: ev.data });
     }
+    LlcAccess { hit: false, data, fetched_from_memory: false }
+}
+
+fn compressed_read(
+    cache: &mut OracleCompressed,
+    addr: BlockAddr,
+    dram: &mut OracleMemory,
+    displaced: &mut Vec<DisplacedBlock>,
+) -> LlcAccess {
+    if let Some(data) = cache.read(addr) {
+        return LlcAccess { hit: true, data, fetched_from_memory: false };
+    }
+    let data = dram.fetch_block(addr);
+    cache.fill(addr, &data, false, &mut emit_evicted(displaced));
+    LlcAccess { hit: false, data, fetched_from_memory: true }
+}
+
+fn compressed_writeback(
+    cache: &mut OracleCompressed,
+    addr: BlockAddr,
+    data: BlockData,
+    displaced: &mut Vec<DisplacedBlock>,
+) -> LlcAccess {
+    if cache.write(addr, &data, &mut emit_evicted(displaced)) {
+        return LlcAccess { hit: true, data, fetched_from_memory: false };
+    }
+    // Non-inclusive corner (the block was displaced concurrently):
+    // allocate it dirty.
+    cache.fill(addr, &data, true, &mut emit_evicted(displaced));
     LlcAccess { hit: false, data, fetched_from_memory: false }
 }
 

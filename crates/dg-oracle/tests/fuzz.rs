@@ -10,6 +10,7 @@
 //! 200-access trace already exercises evictions, back-invalidations,
 //! tag-list displacement and the writeback path.
 
+use dg_cache::CompressedConfig;
 use dg_check::{props, vec};
 use dg_mem::{Access, AccessKind, Addr, AnnotationTable, ApproxRegion, ElemType, MemoryImage, Trace};
 use dg_oracle::lockstep;
@@ -86,6 +87,18 @@ fn micro_unified() -> SystemConfig {
     }))
 }
 
+fn micro_compressed() -> SystemConfig {
+    // 32 segments/set against an 8-block × 8-segment tag reach, so the
+    // fuzz hits segment pressure as well as tag conflicts.
+    micro(LlcKind::Compressed(CompressedConfig {
+        data_bytes: 2048,
+        sets: 8,
+        tag_ways: 4,
+        sb_blocks: 2,
+        segment_bytes: 8,
+    }))
+}
+
 /// Deterministically expand raw ops into a two-core trace. Blocks
 /// `APPROX_START..` are annotated as an f32 region with a finite range
 /// so stores there flow through map quantization (with clamping).
@@ -135,6 +148,10 @@ props! {
     fn fuzz_unified_agrees(ops in ops_strategy()) {
         assert_agrees(&ops, micro_unified());
     }
+
+    fn fuzz_compressed_agrees(ops in ops_strategy()) {
+        assert_agrees(&ops, micro_compressed());
+    }
 }
 
 /// A fixed dense store/load storm over the approximate half of the
@@ -150,7 +167,7 @@ fn dense_approx_storm_agrees() {
             ops.push((1 - core, block, round, 0, 0));
         }
     }
-    for cfg in [micro(LlcKind::Baseline), micro_split(), micro_unified()] {
+    for cfg in [micro(LlcKind::Baseline), micro_split(), micro_unified(), micro_compressed()] {
         assert_agrees(&ops, cfg);
     }
 }

@@ -118,20 +118,36 @@ pub fn estimate_hit_rate(bins: &[BinRate], ways: usize) -> CheEstimate {
 
 /// Solve `Σ_b (1 − e^{−λ_b·T}) = capacity` for `T` by bisection.
 ///
-/// The left side is 0 at `T = 0`, strictly increasing, and approaches
-/// the bin count as `T → ∞`; the caller guarantees
-/// `capacity < rates.len()`, so a unique root exists.
+/// The left side is 0 at `T = 0`, strictly increasing in `T`, and
+/// approaches the number of bins with positive rate as `T → ∞`.
+///
+/// Degenerate rate vectors are handled rather than assumed away: bins
+/// with zero, negative, or non-finite rates contribute nothing to
+/// occupancy and are dropped, and whenever the remaining bins cannot
+/// exceed `capacity` — or the root lies beyond f64 range, which happens
+/// when subnormal rates must be driven to residency — the solver
+/// saturates to `f64::MAX` (every live bin effectively resident)
+/// instead of diverging.
 fn characteristic_time(rates: &[f64], capacity: f64) -> f64 {
+    let live: Vec<f64> =
+        rates.iter().copied().filter(|r| r.is_finite() && *r > 0.0).collect();
+    if live.is_empty() || capacity >= live.len() as f64 {
+        return f64::MAX;
+    }
     let occupancy =
-        |t: f64| rates.iter().map(|&l| 1.0 - (-l * t).exp()).sum::<f64>();
+        |t: f64| live.iter().map(|&l| 1.0 - (-l * t).exp()).sum::<f64>();
     // Bracket the root: grow the upper bound until occupancy exceeds
     // the capacity. Starting from the reciprocal mean rate puts the
     // bracket near the answer for balanced rate profiles.
-    let mean = rates.iter().sum::<f64>() / rates.len() as f64;
+    let mean = live.iter().sum::<f64>() / live.len() as f64;
     let mut hi = 1.0 / mean;
     while occupancy(hi) < capacity {
         hi *= 2.0;
-        assert!(hi.is_finite(), "characteristic-time bracket diverged");
+        if !hi.is_finite() {
+            // Subnormal stragglers can push the root past f64::MAX; the
+            // occupancy they still withhold there is negligible.
+            return f64::MAX;
+        }
     }
     let mut lo = 0.0f64;
     // 80 halvings drive the bracket below any f64 the inputs can
@@ -196,6 +212,55 @@ mod tests {
         let t = characteristic_time(&rates, 12.0);
         let occ: f64 = rates.iter().map(|&l| 1.0 - (-l * t).exp()).sum();
         assert!((occ - 12.0).abs() < 1e-9, "occupancy {occ} at T = {t}");
+    }
+
+    #[test]
+    fn all_zero_rates_saturate_instead_of_dividing_by_zero() {
+        // Nothing carries traffic: the old solver took 1/mean = 1/0.
+        let t = characteristic_time(&[0.0; 8], 4.0);
+        assert_eq!(t, f64::MAX);
+    }
+
+    #[test]
+    fn zero_rate_bins_act_exactly_as_if_absent() {
+        // A zero-rate bin adds nothing to occupancy at any T, so the
+        // root must be bit-identical with and without it. (The old
+        // solver panicked whenever zero bins capped the occupancy
+        // asymptote below capacity, and skewed the bracket's starting
+        // mean otherwise.)
+        let rates: Vec<f64> = (1..=40).map(|i| 1.0 / i as f64).collect();
+        let mut padded = rates.clone();
+        padded.push(0.0);
+        assert_eq!(
+            characteristic_time(&rates, 12.0).to_bits(),
+            characteristic_time(&padded, 12.0).to_bits()
+        );
+        // Degenerate asymptote: one live bin can never fill two ways.
+        let t = characteristic_time(&[1.0, 0.0, 0.0], 2.0);
+        assert_eq!(t, f64::MAX);
+    }
+
+    #[test]
+    fn subnormal_rates_terminate_with_a_sane_estimate() {
+        // Subnormal stragglers pass a `> 0` filter but need T beyond
+        // f64 range to become resident — the old bracket doubled to
+        // infinity and hit the divergence assert. The solver must
+        // saturate, and the estimator must stay within [0, 1].
+        let mut rates = vec![1.0; 16];
+        rates.extend([f64::MIN_POSITIVE / 4.0; 4]);
+        let t = characteristic_time(&rates, 18.0);
+        assert!(t.is_finite());
+
+        let bins: Vec<BinRate> =
+            rates.iter().map(|&r| BinRate { cell: (0, 0), rate: r }).collect();
+        let est = estimate_hit_rate(&bins, 18);
+        assert!(
+            (0.0..=1.0).contains(&est.hit_rate),
+            "hit rate {} out of range",
+            est.hit_rate
+        );
+        // The 16 unit-rate bins are effectively always resident.
+        assert!(est.hit_rate > 0.99, "hot bins should dominate: {}", est.hit_rate);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! System configuration (paper Table 1).
 
-use dg_cache::{CacheGeometry, Sharers};
+use dg_cache::{CacheGeometry, CompressedConfig, Sharers};
 use doppelganger::{DataPolicy, DoppelgangerConfig};
 
 /// Which LLC organization the system simulates.
@@ -14,6 +14,10 @@ pub enum LlcKind {
     /// uniDoppelgänger: precise and approximate blocks share one
     /// Doppelgänger-organized cache (§3.8).
     Unified(DoppelgangerConfig),
+    /// An exact-compression competitor: a Touché-style compressed LLC
+    /// (superblock tags, segment-granular BΔI data array) over the
+    /// same capacity budget as the baseline.
+    Compressed(CompressedConfig),
 }
 
 impl LlcKind {
@@ -27,6 +31,12 @@ impl LlcKind {
     /// 1/2 data array).
     pub fn paper_unified() -> Self {
         LlcKind::Unified(DoppelgangerConfig::paper_unified())
+    }
+
+    /// A compressed LLC over the paper's 2 MB / 16-way budget with
+    /// `sb_blocks`-block superblock tags (2 or 4 in Touché).
+    pub fn paper_compressed(sb_blocks: usize) -> Self {
+        LlcKind::Compressed(CompressedConfig::from_llc(2 << 20, 16, sb_blocks))
     }
 }
 
@@ -117,6 +127,19 @@ impl SystemConfig {
         }
     }
 
+    /// A tiny compressed configuration over the tiny baseline's
+    /// 64 KB / 16-way budget, with 2-block superblock tags.
+    pub fn tiny_compressed() -> Self {
+        let comp = CompressedConfig::from_llc(64 << 10, 16, 2);
+        SystemConfig::tiny(LlcKind::Compressed(comp))
+    }
+
+    /// The paper-scale compressed system (2 MB budget, Touché-style
+    /// superblock tags).
+    pub fn paper_compressed(sb_blocks: usize) -> Self {
+        SystemConfig { llc: LlcKind::paper_compressed(sb_blocks), ..Self::paper_baseline() }
+    }
+
     /// A tiny split configuration whose Doppelgänger arrays match the
     /// tiny baseline's capacity budget (32 KB precise + 512-tag
     /// Doppelgänger with a 1/4 data array).
@@ -173,6 +196,9 @@ impl SystemConfig {
                     );
                 }
             }
+            LlcKind::Compressed(c) => {
+                c.validate().map_err(|e| format!("compressed LLC: {e}"))?;
+            }
         }
         Ok(())
     }
@@ -217,8 +243,11 @@ mod tests {
             SystemConfig::paper_baseline(),
             SystemConfig::paper_split(),
             SystemConfig::paper_unified(),
+            SystemConfig::paper_compressed(2),
+            SystemConfig::paper_compressed(4),
             SystemConfig::tiny(LlcKind::Baseline),
             SystemConfig::tiny_split(),
+            SystemConfig::tiny_compressed(),
         ] {
             assert_eq!(c.validate(), Ok(()), "{:?}", c.llc);
         }
@@ -265,5 +294,11 @@ mod tests {
             ..SystemConfig::paper_baseline()
         };
         assert!(c.validate().unwrap_err().contains("non-unified"));
+
+        // Compressed shapes that cannot hold one uncompressed block.
+        let comp = CompressedConfig { data_bytes: 64, sets: 2, tag_ways: 2, sb_blocks: 2, segment_bytes: 8 };
+        let c = SystemConfig { llc: LlcKind::Compressed(comp), ..SystemConfig::paper_baseline() };
+        let msg = c.validate().unwrap_err();
+        assert!(msg.contains("compressed LLC"), "{msg}");
     }
 }

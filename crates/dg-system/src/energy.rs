@@ -1,7 +1,9 @@
 //! LLC energy and area accounting (Figs. 11, 13).
 
 use crate::{LlcCounters, LlcKind, SystemConfig};
-use dg_energy::{CactiLite, EnergyAccount, MAP_ENERGY_PJ, MAP_UNITS_AREA_MM2};
+use dg_cache::CompressedConfig;
+use dg_energy::{CactiLite, EnergyAccount, BDI_CODEC_PJ, MAP_ENERGY_PJ, MAP_UNITS_AREA_MM2};
+use dg_mem::BLOCK_OFFSET_BITS;
 use doppelganger::HardwareCost;
 
 /// Energy/area summary for one run's LLC (baseline: the 2 MB cache;
@@ -24,7 +26,8 @@ pub struct EnergyReport {
 /// Per-component split of the dynamic LLC energy.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct EnergyBreakdown {
-    /// Conventional portion (baseline LLC or precise cache), pJ.
+    /// Conventional portion (baseline LLC, precise cache, or the
+    /// compressed organization's tag + data arrays), pJ.
     pub precise_pj: f64,
     /// Doppelgänger tag-array probes, pJ.
     pub dopp_tag_pj: f64,
@@ -34,12 +37,19 @@ pub struct EnergyBreakdown {
     pub dopp_data_pj: f64,
     /// Map-generation FPU work (168 pJ per map, §5.6), pJ.
     pub map_pj: f64,
+    /// BΔI (de)compression passes (compressed LLC only), pJ.
+    pub codec_pj: f64,
 }
 
 impl EnergyBreakdown {
     /// Total across components, pJ.
     pub fn total_pj(&self) -> f64 {
-        self.precise_pj + self.dopp_tag_pj + self.mtag_pj + self.dopp_data_pj + self.map_pj
+        self.precise_pj
+            + self.dopp_tag_pj
+            + self.mtag_pj
+            + self.dopp_data_pj
+            + self.map_pj
+            + self.codec_pj
     }
 }
 
@@ -110,6 +120,13 @@ pub fn llc_energy(cfg: &SystemConfig, counters: &LlcCounters, cycles: u64) -> En
             area += a;
             total_kb += k;
         }
+        LlcKind::Compressed(comp) => {
+            let (l, a, k) =
+                add_compressed(&model, &hw, &comp, counters, &mut dynamic, &mut breakdown);
+            leak_mw += l;
+            area += a;
+            total_kb += k;
+        }
     }
 
     EnergyReport {
@@ -156,6 +173,52 @@ fn add_doppel(
         tag_est.area_mm2 + mtag_est.area_mm2 + data_est.area_mm2 + MAP_UNITS_AREA_MM2,
         tag_cost.total_kbytes() + data_cost.total_kbytes(),
     )
+}
+
+/// Add the compressed organization's contributions; returns
+/// `(leakage_mw, area_mm2, kbytes)`.
+///
+/// The superblock tag array stores, per entry, the shared superblock
+/// tag plus `sb_blocks` × (valid + dirty + segment-count) state and an
+/// LRU stamp; the data array is the full segment budget. Segment
+/// accesses are charged a `segment_bytes / 64` fraction of a full-line
+/// data read, and every codec pass (compression, re-compression,
+/// decompression) costs [`BDI_CODEC_PJ`].
+fn add_compressed(
+    model: &CactiLite,
+    hw: &HardwareCost,
+    comp: &CompressedConfig,
+    counters: &LlcCounters,
+    dynamic: &mut EnergyAccount,
+    breakdown: &mut EnergyBreakdown,
+) -> (f64, f64, f64) {
+    let log2 = |n: usize| n.trailing_zeros() as u64;
+    let sb_tag_bits = hw.addr_bits as u64
+        - BLOCK_OFFSET_BITS as u64
+        - log2(comp.sb_blocks)
+        - log2(comp.sets);
+    let seg_count_bits = (usize::BITS - comp.max_block_segments().leading_zeros()) as u64;
+    let per_block_state = 2 + seg_count_bits; // valid + dirty + size
+    let lru_bits = 8;
+    let tag_entry_bits = sb_tag_bits + comp.sb_blocks as u64 * per_block_state + lru_bits;
+    let tag_kb = kb(comp.sets as u64 * comp.tag_ways as u64 * tag_entry_bits);
+    let data_kb = comp.data_bytes as f64 / 1024.0;
+
+    let tag_est = model.tag_array(tag_kb);
+    let data_est = model.data_array(data_kb);
+    let seg_frac = comp.segment_bytes as f64 / 64.0;
+    let codec_passes =
+        counters.comp.compressions + counters.comp.recompressions + counters.comp.decompressions;
+
+    dynamic.add(counters.comp.tag_accesses, tag_est.read_energy_pj);
+    dynamic.add(counters.comp.data_seg_accesses, data_est.read_energy_pj * seg_frac);
+    dynamic.add(codec_passes, BDI_CODEC_PJ);
+    breakdown.precise_pj = counters.comp.tag_accesses as f64 * tag_est.read_energy_pj
+        + counters.comp.data_seg_accesses as f64 * data_est.read_energy_pj * seg_frac;
+    breakdown.codec_pj = codec_passes as f64 * BDI_CODEC_PJ;
+
+    let est = model.structure(tag_kb, Some(data_kb));
+    (est.leakage_mw, tag_est.area_mm2 + data_est.area_mm2, tag_kb + data_kb)
 }
 
 /// LLC area for a configuration (no activity needed) — Fig. 13's
@@ -233,6 +296,44 @@ mod tests {
         assert!((e.breakdown.total_pj() - e.llc_dynamic_pj).abs() < 1e-6);
         assert!(e.breakdown.map_pj == 30.0 * dg_energy::MAP_ENERGY_PJ);
         assert!(e.breakdown.precise_pj > 0.0);
+    }
+
+    #[test]
+    fn compressed_geometry_tracks_baseline_budget() {
+        // Same data budget as the baseline plus a superblock tag array
+        // that must cost *less* than a per-block tag array would.
+        let base = llc_energy(&SystemConfig::paper_baseline(), &LlcCounters::default(), 0);
+        let comp2 = llc_energy(&SystemConfig::paper_compressed(2), &LlcCounters::default(), 0);
+        let comp4 = llc_energy(&SystemConfig::paper_compressed(4), &LlcCounters::default(), 0);
+        assert!(comp2.llc_kbytes >= 2048.0, "data budget is the full 2 MB");
+        // Same entry count: sb=4 entries are a little wider than sb=2
+        // but each covers twice the blocks, so tag cost per covered
+        // block drops.
+        let tag2 = comp2.llc_kbytes - 2048.0;
+        let tag4 = comp4.llc_kbytes - 2048.0;
+        assert!(tag2 > 0.0 && tag4 > 0.0);
+        assert!(
+            tag4 / 2.0 < tag2,
+            "per-covered-block tag cost must shrink (sb4 {tag4:.0} KB vs sb2 {tag2:.0} KB)"
+        );
+        let ratio = comp2.llc_area_mm2 / base.llc_area_mm2;
+        assert!((0.8..=1.3).contains(&ratio), "area ratio {ratio:.2} vs baseline");
+    }
+
+    #[test]
+    fn compressed_dynamic_energy_charges_segments_and_codec() {
+        let cfg = SystemConfig::paper_compressed(2);
+        let mut c = LlcCounters::default();
+        c.comp.tag_accesses = 100;
+        c.comp.data_seg_accesses = 400;
+        c.comp.compressions = 50;
+        c.comp.recompressions = 10;
+        c.comp.decompressions = 40;
+        let e = llc_energy(&cfg, &c, 0);
+        assert!((e.breakdown.total_pj() - e.llc_dynamic_pj).abs() < 1e-6);
+        assert_eq!(e.breakdown.codec_pj, 100.0 * dg_energy::BDI_CODEC_PJ);
+        assert!(e.breakdown.precise_pj > 0.0);
+        assert_eq!(e.breakdown.map_pj, 0.0, "no map generation in the compressed LLC");
     }
 
     #[test]

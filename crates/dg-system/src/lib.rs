@@ -2,9 +2,10 @@
 //!
 //! Ties every substrate together into the paper's evaluation platform
 //! (Table 1): four 1 GHz cores with private 16 KB L1 and 128 KB L2
-//! caches, a shared LLC in one of three organizations (2 MB baseline,
-//! 1 MB precise + Doppelgänger split, or 2 MB-tag uniDoppelgänger), an
-//! MSI directory, a writeback buffer, and 160-cycle main memory.
+//! caches, a shared LLC in one of four organizations (2 MB baseline,
+//! 1 MB precise + Doppelgänger split, 2 MB-tag uniDoppelgänger, or a
+//! Touché-style BΔI-compressed array), an MSI directory, a writeback
+//! buffer, and 160-cycle main memory.
 //!
 //! The simulator is **execution-driven**: workload kernels from
 //! `dg-workloads` issue loads and stores through [`CoreMemory`], so

@@ -1,8 +1,8 @@
-//! The shared LLC in its three organizations (baseline / split /
-//! uniDoppelgänger).
+//! The shared LLC in its four organizations (baseline / split /
+//! uniDoppelgänger / compressed).
 
 use crate::{LlcKind, SystemConfig};
-use dg_cache::{CacheGeometry, CacheStats, ConventionalCache};
+use dg_cache::{CacheGeometry, CacheStats, CompStats, CompressedCache, ConventionalCache, Evicted};
 use dg_mem::{ApproxRegion, BlockAddr, BlockData, MemoryImage};
 use dg_obs::{Hist64, Snapshot};
 use doppelganger::{Displaced, DoppStats, DoppelgangerCache, WriteStatus};
@@ -60,6 +60,8 @@ pub struct LlcCounters {
     pub precise_data_accesses: u64,
     /// Doppelgänger statistics (zeroed for the baseline).
     pub dopp: DoppStats,
+    /// Compressed-organization statistics (zeroed for the others).
+    pub comp: CompStats,
     /// Total LLC lookups.
     pub lookups: u64,
     /// Total LLC lookup hits.
@@ -84,8 +86,9 @@ impl LlcCounters {
 
 impl Snapshot for LlcCounters {
     fn metrics(&self) -> Vec<(&'static str, u64)> {
-        // Flatten the embedded DoppStats under `dopp.` so one zip over
-        // two snapshots compares the whole struct field-for-field.
+        // Flatten the embedded DoppStats under `dopp.` (and CompStats
+        // under `comp.`) so one zip over two snapshots compares the
+        // whole struct field-for-field.
         let out = vec![
             ("precise_tag_accesses", self.precise_tag_accesses),
             ("precise_data_accesses", self.precise_data_accesses),
@@ -107,11 +110,27 @@ impl Snapshot for LlcCounters {
             ("dopp.tag_array_accesses", self.dopp.tag_array_accesses),
             ("dopp.mtag_accesses", self.dopp.mtag_accesses),
             ("dopp.data_accesses", self.dopp.data_accesses),
+            ("comp.hits", self.comp.hits),
+            ("comp.misses", self.comp.misses),
+            ("comp.insertions", self.comp.insertions),
+            ("comp.evictions", self.comp.evictions),
+            ("comp.dirty_evictions", self.comp.dirty_evictions),
+            ("comp.invalidations", self.comp.invalidations),
+            ("comp.tag_evictions", self.comp.tag_evictions),
+            ("comp.expansion_evictions", self.comp.expansion_evictions),
+            ("comp.compressions", self.comp.compressions),
+            ("comp.recompressions", self.comp.recompressions),
+            ("comp.decompressions", self.comp.decompressions),
+            ("comp.tag_accesses", self.comp.tag_accesses),
+            ("comp.data_seg_accesses", self.comp.data_seg_accesses),
+            ("comp.fill_bytes", self.comp.fill_bytes),
+            ("comp.fill_segments", self.comp.fill_segments),
         ];
         debug_assert_eq!(
-            out.len() - 5,
-            self.dopp.metrics().len() - 1, // minus the derived "lookups"
-            "LlcCounters flattening fell out of sync with DoppStats"
+            out.len(),
+            5 + (self.dopp.metrics().len() - 1) // minus the derived "lookups"
+                + self.comp.metrics().len(),
+            "LlcCounters flattening fell out of sync with DoppStats/CompStats"
         );
         out
     }
@@ -131,6 +150,8 @@ pub enum Llc {
     },
     /// uniDoppelgänger: everything in one Doppelgänger-organized cache.
     Unified(DoppelgangerCache),
+    /// A Touché-style compressed cache (exact: BΔI, superblock tags).
+    Compressed(CompressedCache),
 }
 
 impl Llc {
@@ -157,6 +178,7 @@ impl Llc {
                 doppel.set_data_policy(cfg.data_policy);
                 Llc::Unified(doppel)
             }
+            LlcKind::Compressed(comp) => Llc::Compressed(CompressedCache::new(comp)),
         }
     }
 
@@ -192,6 +214,9 @@ impl Llc {
                 Some(r) => Self::doppel_read(doppel, addr, Some(r), dram, displaced),
             },
             Llc::Unified(doppel) => Self::doppel_read(doppel, addr, region, dram, displaced),
+            // Compression is exact and region-blind: approximate and
+            // precise blocks take the same path.
+            Llc::Compressed(cache) => Self::compressed_read(cache, addr, dram, displaced),
         }
     }
 
@@ -222,6 +247,7 @@ impl Llc {
                 Some(r) => Self::doppel_writeback(doppel, addr, data, Some(r), displaced),
             },
             Llc::Unified(doppel) => Self::doppel_writeback(doppel, addr, data, region, displaced),
+            Llc::Compressed(cache) => Self::compressed_writeback(cache, addr, data, displaced),
         }
     }
 
@@ -233,7 +259,7 @@ impl Llc {
     /// which never computes maps.
     pub fn prime_map_hint(&mut self, addr: BlockAddr, block: &BlockData, region: &ApproxRegion) {
         let doppel = match self {
-            Llc::Baseline(_) => return,
+            Llc::Baseline(_) | Llc::Compressed(_) => return,
             Llc::Split { doppel, .. } => doppel,
             Llc::Unified(d) => d,
         };
@@ -244,7 +270,7 @@ impl Llc {
     /// Drop unconsumed map hints (end of a batch window).
     pub fn clear_map_hints(&mut self) {
         match self {
-            Llc::Baseline(_) => {}
+            Llc::Baseline(_) | Llc::Compressed(_) => {}
             Llc::Split { doppel, .. } => doppel.clear_map_hints(),
             Llc::Unified(d) => d.clear_map_hints(),
         }
@@ -253,7 +279,7 @@ impl Llc {
     /// Map-hint counters `(primed, consumed)` — observability only.
     pub fn map_hint_counters(&self) -> (u64, u64) {
         match self {
-            Llc::Baseline(_) => (0, 0),
+            Llc::Baseline(_) | Llc::Compressed(_) => (0, 0),
             Llc::Split { doppel, .. } => doppel.map_hint_counters(),
             Llc::Unified(d) => d.map_hint_counters(),
         }
@@ -265,6 +291,7 @@ impl Llc {
             Llc::Baseline(c) => c.contains(addr),
             Llc::Split { precise, doppel } => precise.contains(addr) || doppel.contains(addr),
             Llc::Unified(d) => d.contains(addr),
+            Llc::Compressed(c) => c.contains(addr),
         }
     }
 
@@ -282,6 +309,7 @@ impl Llc {
                     precise_tag_accesses: t,
                     precise_data_accesses: d,
                     dopp: DoppStats::default(),
+                    comp: CompStats::default(),
                     lookups: c.stats().accesses(),
                     hits: c.stats().hits,
                 }
@@ -292,6 +320,7 @@ impl Llc {
                     precise_tag_accesses: t,
                     precise_data_accesses: d,
                     dopp: *doppel.stats(),
+                    comp: CompStats::default(),
                     lookups: precise.stats().accesses() + doppel.stats().lookups(),
                     hits: precise.stats().hits + doppel.stats().hits,
                 }
@@ -300,8 +329,17 @@ impl Llc {
                 precise_tag_accesses: 0,
                 precise_data_accesses: 0,
                 dopp: *d.stats(),
+                comp: CompStats::default(),
                 lookups: d.stats().lookups(),
                 hits: d.stats().hits,
+            },
+            Llc::Compressed(c) => LlcCounters {
+                precise_tag_accesses: 0,
+                precise_data_accesses: 0,
+                dopp: DoppStats::default(),
+                comp: *c.stats(),
+                lookups: c.stats().accesses(),
+                hits: c.stats().hits,
             },
         }
     }
@@ -320,6 +358,7 @@ impl Llc {
                 .chain(doppel.iter_blocks().map(|(a, _, _, d)| (a, *d)))
                 .collect(),
             Llc::Unified(d) => d.iter_blocks().map(|(a, _, _, d)| (a, *d)).collect(),
+            Llc::Compressed(c) => c.iter_blocks().map(|(a, _, d)| (a, *d)).collect(),
         }
     }
 
@@ -328,20 +367,22 @@ impl Llc {
     /// or an empty cache). The paper reports a 4.4 average (§3.5).
     pub fn sharing_factor(&self) -> f64 {
         match self {
-            Llc::Baseline(_) => 0.0,
+            Llc::Baseline(_) | Llc::Compressed(_) => 0.0,
             Llc::Split { doppel, .. } => doppel.avg_tags_per_data(),
             Llc::Unified(d) => d.avg_tags_per_data(),
         }
     }
 
     /// Distribution of conventional-partition set occupancy at fill
-    /// time (the baseline cache, or the precise half of the split
-    /// design; empty for uniDoppelgänger and unprofiled runs).
+    /// time (the baseline cache, the precise half of the split design,
+    /// or — in data segments — the compressed array; empty for
+    /// uniDoppelgänger and unprofiled runs).
     pub fn occupancy_hist(&self) -> Hist64 {
         match self {
             Llc::Baseline(c) => c.occupancy_hist().clone(),
             Llc::Split { precise, .. } => precise.occupancy_hist().clone(),
             Llc::Unified(_) => Hist64::new(),
+            Llc::Compressed(c) => c.occupancy_hist().clone(),
         }
     }
 
@@ -349,7 +390,7 @@ impl Llc {
     /// time (empty for the baseline and unprofiled runs).
     pub fn chain_depth_hist(&self) -> Hist64 {
         match self {
-            Llc::Baseline(_) => Hist64::new(),
+            Llc::Baseline(_) | Llc::Compressed(_) => Hist64::new(),
             Llc::Split { doppel, .. } => doppel.chain_depth_hist().clone(),
             Llc::Unified(d) => d.chain_depth_hist().clone(),
         }
@@ -364,6 +405,7 @@ impl Llc {
                 doppel.reset_stats();
             }
             Llc::Unified(d) => d.reset_stats(),
+            Llc::Compressed(c) => c.reset_stats(),
         }
     }
 
@@ -387,6 +429,17 @@ impl Llc {
                 doppel.flush_dirty(|a, data| dram.set_block(a, data));
             }
             Llc::Unified(d) => d.flush_dirty(|a, data| dram.set_block(a, data)),
+            Llc::Compressed(c) => {
+                let dirty: Vec<(BlockAddr, BlockData)> = c
+                    .iter_blocks()
+                    .filter(|(_, d, _)| *d)
+                    .map(|(a, _, data)| (a, *data))
+                    .collect();
+                for (a, data) in dirty {
+                    dram.set_block(a, data);
+                    c.clear_dirty(a);
+                }
+            }
         }
     }
 
@@ -417,6 +470,12 @@ impl Llc {
                 clear_doppel(doppel);
             }
             Llc::Unified(d) => clear_doppel(d),
+            Llc::Compressed(c) => {
+                let resident: Vec<BlockAddr> = c.iter_blocks().map(|(a, _, _)| a).collect();
+                for a in resident {
+                    c.invalidate(a);
+                }
+            }
         }
     }
 
@@ -438,6 +497,9 @@ impl Llc {
             Llc::Unified(d) => {
                 d.invalidate(addr);
             }
+            Llc::Compressed(c) => {
+                c.invalidate(addr);
+            }
         }
     }
 
@@ -450,7 +512,9 @@ impl Llc {
     /// approximation overlay to snapshot corruption state.
     pub fn for_each_approx_resident(&self, mut f: impl FnMut(BlockAddr, BlockData)) {
         let doppel = match self {
-            Llc::Baseline(_) => return,
+            // BΔI is exact, so a flushed compressed cache matches DRAM
+            // just like the baseline: nothing can diverge.
+            Llc::Baseline(_) | Llc::Compressed(_) => return,
             Llc::Split { doppel, .. } => doppel,
             Llc::Unified(d) => d,
         };
@@ -486,17 +550,23 @@ impl Llc {
                     f(addr);
                 }
             }
+            Llc::Compressed(c) => {
+                for (addr, _, _) in c.iter_blocks() {
+                    f(addr);
+                }
+            }
         }
     }
 
-    /// Verify the Doppelgänger structural invariants (no-op for the
-    /// baseline). Panics on violation; used by integration and property
-    /// tests.
+    /// Verify the Doppelgänger or compressed-array structural
+    /// invariants (no-op for the baseline). Panics on violation; used
+    /// by integration and property tests.
     pub fn check_invariants(&self) {
         match self {
             Llc::Baseline(_) => {}
             Llc::Split { doppel, .. } => doppel.check_invariants(),
             Llc::Unified(d) => d.check_invariants(),
+            Llc::Compressed(c) => c.check_invariants(),
         }
     }
 
@@ -532,6 +602,35 @@ impl Llc {
         if let Some(ev) = cache.fill_ref(addr, &data, true) {
             displaced.push(DisplacedBlock { addr: ev.addr, dirty: ev.dirty, data: ev.data });
         }
+        LlcAccess { hit: false, data, fetched_from_memory: false }
+    }
+
+    fn compressed_read(
+        cache: &mut CompressedCache,
+        addr: BlockAddr,
+        dram: &mut MemoryImage,
+        displaced: &mut Vec<DisplacedBlock>,
+    ) -> LlcAccess {
+        if let Some(data) = cache.read(addr) {
+            return LlcAccess { hit: true, data, fetched_from_memory: false };
+        }
+        let data = dram.fetch_block(addr);
+        cache.fill(addr, &data, false, &mut emit_evicted(displaced));
+        LlcAccess { hit: false, data, fetched_from_memory: true }
+    }
+
+    fn compressed_writeback(
+        cache: &mut CompressedCache,
+        addr: BlockAddr,
+        data: BlockData,
+        displaced: &mut Vec<DisplacedBlock>,
+    ) -> LlcAccess {
+        if cache.write(addr, &data, &mut emit_evicted(displaced)) {
+            return LlcAccess { hit: true, data, fetched_from_memory: false };
+        }
+        // Non-inclusive corner (the block was displaced concurrently):
+        // allocate it dirty.
+        cache.fill(addr, &data, true, &mut emit_evicted(displaced));
         LlcAccess { hit: false, data, fetched_from_memory: false }
     }
 
@@ -588,6 +687,12 @@ impl Llc {
 /// the Doppelgänger cache's `*_with` entry points.
 fn emit_into(out: &mut Vec<DisplacedBlock>) -> impl FnMut(Displaced) + '_ {
     |d: Displaced| out.push(DisplacedBlock { addr: d.addr, dirty: d.dirty, data: d.data })
+}
+
+/// Adapt the same scratch buffer into the compressed cache's eviction
+/// sink.
+fn emit_evicted(out: &mut Vec<DisplacedBlock>) -> impl FnMut(Evicted) + '_ {
+    |e: Evicted| out.push(DisplacedBlock { addr: e.addr, dirty: e.dirty, data: e.data })
 }
 
 #[cfg(test)]
@@ -712,6 +817,36 @@ mod tests {
         assert_eq!(c.hits, 1);
         assert_eq!(c.misses(), 2);
         assert!(c.mpki(1000) > 0.0);
+    }
+
+    #[test]
+    fn compressed_serves_exact_data_for_both_kinds() {
+        let mut dram = MemoryImage::new();
+        dram.set_block(BlockAddr(1), blk(1.0));
+        dram.set_block(BlockAddr(2), blk(2.0));
+        let mut llc = Llc::new(&SystemConfig::tiny_compressed());
+        let r = region();
+        let out = llc.read(BlockAddr(1), Some(&r), &mut dram); // approximate
+        assert!(!out.hit && out.fetched_from_memory);
+        llc.read(BlockAddr(2), None, &mut dram); // precise
+        // Both hit now, both byte-exact (compression is lossless).
+        let out = llc.read(BlockAddr(1), Some(&r), &mut dram);
+        assert!(out.hit);
+        assert_eq!(out.data, blk(1.0));
+        let out = llc.read(BlockAddr(2), None, &mut dram);
+        assert!(out.hit);
+        assert_eq!(out.data, blk(2.0));
+        let c = llc.counters();
+        assert_eq!(c.comp.insertions, 2);
+        assert_eq!(c.lookups, 4);
+        assert_eq!(c.hits, 2);
+        assert_eq!(llc.sharing_factor(), 0.0);
+        llc.check_invariants();
+        // Dirty writeback re-compresses and flushes exactly.
+        let out = llc.writeback(BlockAddr(1), blk(9.0), Some(&r));
+        assert!(out.hit);
+        llc.flush_dirty(&mut dram);
+        assert_eq!(dram.fetch_block(BlockAddr(1)), blk(9.0));
     }
 
     #[test]

@@ -53,11 +53,12 @@ use dg_mem::{Addr, Memory};
 use dg_obs::Hist64;
 use dg_sample::{weighted_mean, weighted_ratio, Estimate, RatioSample, Region, RegionKind, SampleSchedule};
 use dg_workloads::{prepare, Kernel};
+use dg_cache::CompStats;
 use doppelganger::DoppStats;
 
 /// Flattened view of [`LlcCounters`] for field-wise delta/reconstruct
-/// arithmetic (4 top-level + 15 Doppelgänger counters).
-const LLC_FIELDS: usize = 19;
+/// arithmetic (4 top-level + 15 Doppelgänger + 15 compressed counters).
+const LLC_FIELDS: usize = 34;
 
 fn llc_to_array(c: &LlcCounters) -> [u64; LLC_FIELDS] {
     [
@@ -80,6 +81,21 @@ fn llc_to_array(c: &LlcCounters) -> [u64; LLC_FIELDS] {
         c.dopp.tag_array_accesses,
         c.dopp.mtag_accesses,
         c.dopp.data_accesses,
+        c.comp.hits,
+        c.comp.misses,
+        c.comp.insertions,
+        c.comp.evictions,
+        c.comp.dirty_evictions,
+        c.comp.invalidations,
+        c.comp.tag_evictions,
+        c.comp.expansion_evictions,
+        c.comp.compressions,
+        c.comp.recompressions,
+        c.comp.decompressions,
+        c.comp.tag_accesses,
+        c.comp.data_seg_accesses,
+        c.comp.fill_bytes,
+        c.comp.fill_segments,
     ]
 }
 
@@ -105,6 +121,23 @@ fn llc_from_array(a: &[u64; LLC_FIELDS]) -> LlcCounters {
             tag_array_accesses: a[16],
             mtag_accesses: a[17],
             data_accesses: a[18],
+        },
+        comp: CompStats {
+            hits: a[19],
+            misses: a[20],
+            insertions: a[21],
+            evictions: a[22],
+            dirty_evictions: a[23],
+            invalidations: a[24],
+            tag_evictions: a[25],
+            expansion_evictions: a[26],
+            compressions: a[27],
+            recompressions: a[28],
+            decompressions: a[29],
+            tag_accesses: a[30],
+            data_seg_accesses: a[31],
+            fill_bytes: a[32],
+            fill_segments: a[33],
         },
     }
 }
