@@ -23,6 +23,13 @@
 //! Arguments are parsed strictly (`dg_bench::cli`): anything outside
 //! this set — including near-miss typos like `--cehck` — aborts with a
 //! usage message and exit status 2 instead of being silently ignored.
+//!
+//! The `DG_OBS_LEVEL` environment variable (off / spans / metrics /
+//! trace) sets the process observability level before the run;
+//! instrumentation is observation-only, so results are bit-identical at
+//! every level (`tests/obs_identity.rs`). A malformed value aborts with
+//! exit status 2, like a bad flag. `--profile` still forces
+//! `Level::Trace` for its own grid regardless of the variable.
 
 use dg_bench::cli::ReproArgs;
 use dg_bench::figures;
@@ -31,6 +38,7 @@ use dg_bench::Sweep;
 fn main() {
     let start = std::time::Instant::now();
     let args = ReproArgs::from_env();
+    dg_bench::cli::apply_obs_level_env("repro_all");
     let scale = args.scale();
     eprintln!("[repro_all] running at {scale:?} scale");
 

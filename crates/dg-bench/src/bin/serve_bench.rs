@@ -23,6 +23,10 @@ fn main() {
         Ok(a) => a,
         Err(e) => usage_error("serve_bench", &e, ServeArgs::USAGE),
     };
+    // DG_OBS_LEVEL raises the observability level (e.g. `metrics` to
+    // populate the per-shard batch-latency histograms); observation is
+    // identity-preserving, so the measured hit rates are unaffected.
+    dg_bench::cli::apply_obs_level_env("serve_bench");
 
     if let Some(path) = args.validate.as_deref() {
         let text = match std::fs::read_to_string(path) {

@@ -1,0 +1,148 @@
+//! Long-running monitored serve with an injected degradation phase.
+//!
+//! Usage:
+//! `cargo run --release -p dg-bench --bin serve_monitor [--smoke] [--json PATH] [--incident PATH]`
+//! or `serve_monitor [--validate PATH] [--validate-incident PATH]`
+//!
+//! Drives a sharded `dg-serve` server under the `dg-obs` windowed
+//! monitor: a steady Zipf-over-similarity phase whose per-shard hit
+//! rates the Che oracle predicts, then a mid-run skew mutation into the
+//! low-similarity adversarial preset. The run *gates* on the monitor's
+//! behaviour — every steady window must be silent, the degradation must
+//! be flagged within the anomaly-window budget, and the triggering
+//! alarms must include the hit-rate drift detector (the watermark
+//! detector may fire alongside it; anything else is a failure). On
+//! detection the flight recorder is dumped to an incident JSONL file
+//! with full provenance. Exit status: 0 when every gate holds, 1
+//! otherwise, 2 on a usage error.
+
+use dg_bench::argparse::usage_error;
+use dg_bench::monitor::{self, MonitorArgs};
+use dg_bench::meta::RunMeta;
+
+fn validate_file(path: &str, what: &str, check: impl Fn(&str) -> Result<(), String>) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("serve_monitor: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match check(&text) {
+        Ok(()) => eprintln!("[serve_monitor] {path}: {what} shape OK"),
+        Err(e) => {
+            eprintln!("serve_monitor: {path}: invalid {what}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let args = match MonitorArgs::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => usage_error("serve_monitor", &e, MonitorArgs::USAGE),
+    };
+
+    if args.validate.is_some() || args.validate_incident.is_some() {
+        if let Some(path) = args.validate.as_deref() {
+            validate_file(path, "report", monitor::validate_monitor_report);
+        }
+        if let Some(path) = args.validate_incident.as_deref() {
+            validate_file(path, "incident", monitor::validate_incident);
+        }
+        return;
+    }
+
+    eprintln!(
+        "[serve_monitor] running {} monitored serve",
+        if args.smoke { "smoke" } else { "full" }
+    );
+    let out = monitor::run_monitor(args.smoke);
+    for r in &out.rows {
+        if r.alarms > 0 || r.window.index % 10 == 0 {
+            eprintln!(
+                "[serve_monitor] {:>7} window {:>3}: {:>6} ops, hit rate {:.4}, {} alarm(s)",
+                r.phase,
+                r.window.index,
+                r.window.ops(),
+                r.window.hit_rate(),
+                r.alarms
+            );
+        }
+    }
+
+    let report_path = args.json.as_deref().unwrap_or("MONITOR_serve.json");
+    let report = monitor::report_json(args.scale(), &out);
+    if let Err(e) = std::fs::write(report_path, report + "\n") {
+        eprintln!("serve_monitor: failed to write {report_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("[serve_monitor] wrote {report_path}");
+
+    if let Some(incident) = out.incident.as_ref() {
+        let incident_path = args.incident.as_deref().unwrap_or("INCIDENT_serve.jsonl");
+        let jsonl = monitor::incident_jsonl(&RunMeta::capture(args.scale()), incident);
+        if let Err(e) = std::fs::write(incident_path, jsonl) {
+            eprintln!("serve_monitor: failed to write {incident_path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "[serve_monitor] wrote {incident_path} ({} alarms, {} windows, {} events)",
+            incident.alarms.len(),
+            incident.windows.len(),
+            incident.events.len()
+        );
+    }
+
+    // The gates: steady silence, bounded detection, expected detectors.
+    let mut ok = true;
+    if out.steady_alarms > 0 {
+        eprintln!(
+            "serve_monitor: FAIL — {} false alarm(s) across {} steady windows",
+            out.steady_alarms,
+            out.steady_windows()
+        );
+        ok = false;
+    }
+    match out.detection_window {
+        Some(w) => {
+            eprintln!(
+                "[serve_monitor] degradation flagged on anomaly window {w} of {} \
+                 (kinds: {})",
+                out.plan.max_anomaly_windows,
+                out.alarm_kinds.join(", ")
+            );
+            if !out.alarm_kinds.contains(&"hit_rate_drift") {
+                eprintln!("serve_monitor: FAIL — drift detector missing from the triggers");
+                ok = false;
+            }
+            for kind in &out.alarm_kinds {
+                if !["hit_rate_drift", "watermark"].contains(kind) {
+                    eprintln!("serve_monitor: FAIL — unexpected trigger kind '{kind}'");
+                    ok = false;
+                }
+            }
+        }
+        None => {
+            eprintln!(
+                "serve_monitor: FAIL — anomaly not flagged within {} windows",
+                out.plan.max_anomaly_windows
+            );
+            ok = false;
+        }
+    }
+    if out.events_dropped > 0 {
+        eprintln!(
+            "[serve_monitor] warning: {} events dropped by the ring (incident event \
+             tail is incomplete)",
+            out.events_dropped
+        );
+    }
+    if ok {
+        eprintln!(
+            "[serve_monitor] OK: {} silent steady windows, detection within budget",
+            out.steady_windows()
+        );
+    }
+    std::process::exit(if ok { 0 } else { 1 });
+}

@@ -31,6 +31,20 @@ fn main() {
         fail("meta.threads missing or not an integer");
     }
 
+    // Event loss is surfaced, not hidden, but it is a capacity warning
+    // rather than a shape error: the profile rows and histograms are
+    // complete either way, only the EVENTS_repro.jsonl tail may be
+    // truncated (the ring drops oldest-first).
+    match doc.get("events_dropped").and_then(Json::as_u64) {
+        Some(0) => {}
+        Some(n) => eprintln!(
+            "validate_profile: warning: {n} events were dropped by the ring — \
+             EVENTS_repro.jsonl is missing the oldest events (raise the event \
+             capacity if the full log matters)"
+        ),
+        None => fail("missing `events_dropped` counter"),
+    }
+
     let rows = doc
         .get("rows")
         .and_then(Json::as_array)

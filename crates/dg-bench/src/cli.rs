@@ -153,6 +153,35 @@ impl ReproArgs {
     }
 }
 
+/// Resolve the `DG_OBS_LEVEL` environment knob: `None` when unset,
+/// the parsed [`dg_obs::Level`] when valid, an error naming the bad
+/// value otherwise. Pure so it can be tested without touching the
+/// process environment.
+pub fn parse_obs_level(var: Option<&str>) -> Result<Option<dg_obs::Level>, String> {
+    match var {
+        None => Ok(None),
+        Some(v) => dg_obs::Level::parse(v).map(Some).ok_or(format!(
+            "DG_OBS_LEVEL='{v}' is not an observability level (off, spans, metrics, trace)"
+        )),
+    }
+}
+
+/// Apply `DG_OBS_LEVEL` to the process-global observability level.
+/// An unset variable leaves the default (`Off`); a malformed value
+/// aborts with [`USAGE_EXIT`], same as a bad flag — a typo must not
+/// silently run at the wrong level and invalidate a benchmark.
+pub fn apply_obs_level_env(bin: &str) {
+    let var = std::env::var("DG_OBS_LEVEL").ok();
+    match parse_obs_level(var.as_deref()) {
+        Ok(Some(level)) => dg_obs::set_level(level),
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("{bin}: {e}");
+            std::process::exit(USAGE_EXIT);
+        }
+    }
+}
+
 fn set_sampled(slot: &mut Option<usize>, k: usize) -> Result<(), String> {
     if slot.replace(k).is_some() {
         return Err("duplicate flag '--sampled'".into());
@@ -166,6 +195,17 @@ mod tests {
 
     fn parse(args: &[&str]) -> Result<ReproArgs, String> {
         ReproArgs::parse(args.iter().copied())
+    }
+
+    #[test]
+    fn obs_level_knob_parses_and_rejects_typos() {
+        assert_eq!(parse_obs_level(None), Ok(None));
+        assert_eq!(parse_obs_level(Some("off")), Ok(Some(dg_obs::Level::Off)));
+        assert_eq!(parse_obs_level(Some("Trace")), Ok(Some(dg_obs::Level::Trace)));
+        assert_eq!(parse_obs_level(Some("METRICS")), Ok(Some(dg_obs::Level::Metrics)));
+        let err = parse_obs_level(Some("verbose")).unwrap_err();
+        assert!(err.contains("verbose"), "error must name the bad value: {err}");
+        assert!(parse_obs_level(Some("")).is_err());
     }
 
     #[test]

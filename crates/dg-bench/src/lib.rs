@@ -19,6 +19,7 @@ pub mod experiments;
 pub mod figures;
 pub mod json;
 pub mod meta;
+pub mod monitor;
 pub mod obs_export;
 pub mod peraccess;
 pub mod profile;

@@ -112,6 +112,8 @@ pub struct ServeRow {
     /// Median per-batch latency, nanoseconds ([`dg_obs::Hist64`]
     /// quantile over the measured batches).
     pub batch_p50_ns: u64,
+    /// 90th-percentile per-batch latency, nanoseconds.
+    pub batch_p90_ns: u64,
     /// 99th-percentile per-batch latency, nanoseconds.
     pub batch_p99_ns: u64,
 }
@@ -132,6 +134,7 @@ impl ServeRow {
             .u64_field("accesses", self.accesses)
             .f64_field("ns_per_op", self.ns_per_op)
             .u64_field("batch_p50_ns", self.batch_p50_ns)
+            .u64_field("batch_p90_ns", self.batch_p90_ns)
             .u64_field("batch_p99_ns", self.batch_p99_ns);
         o.finish()
     }
@@ -214,6 +217,7 @@ fn run_segment(
         accesses: stats.lookups(),
         ns_per_op: secs * 1e9 / requests.max(1) as f64,
         batch_p50_ns: batch_ns.quantile(0.5).unwrap_or(0),
+        batch_p90_ns: batch_ns.quantile(0.9).unwrap_or(0),
         batch_p99_ns: batch_ns.quantile(0.99).unwrap_or(0),
     }
 }
@@ -261,6 +265,7 @@ pub fn oracle_gate(smoke: bool) -> (ServeRow, bool, f64) {
         accesses: stats.lookups(),
         ns_per_op: secs * 1e9 / stats.ops().max(1) as f64,
         batch_p50_ns: batch_ns.quantile(0.5).unwrap_or(0),
+        batch_p90_ns: batch_ns.quantile(0.9).unwrap_or(0),
         batch_p99_ns: batch_ns.quantile(0.99).unwrap_or(0),
     };
     (row, ok, tolerance)
@@ -337,8 +342,9 @@ pub fn validate_report(text: &str) -> Result<(), String> {
                 return Err(format!("rows[{i}].{field} = {v} is not a positive number"));
             }
         }
-        let mut quantiles = [0u64; 2];
-        for (q, field) in quantiles.iter_mut().zip(["batch_p50_ns", "batch_p99_ns"]) {
+        let mut quantiles = [0u64; 3];
+        let names_q = ["batch_p50_ns", "batch_p90_ns", "batch_p99_ns"];
+        for (q, field) in quantiles.iter_mut().zip(names_q) {
             *q = row
                 .get(field)
                 .and_then(Json::as_u64)
@@ -347,11 +353,14 @@ pub fn validate_report(text: &str) -> Result<(), String> {
                 return Err(format!("rows[{i}].{field} is zero"));
             }
         }
-        if quantiles[0] > quantiles[1] {
-            return Err(format!(
-                "rows[{i}].batch_p50_ns {} exceeds batch_p99_ns {}",
-                quantiles[0], quantiles[1]
-            ));
+        for pair in quantiles.windows(2).zip(names_q.windows(2)) {
+            let (q, n) = pair;
+            if q[0] > q[1] {
+                return Err(format!(
+                    "rows[{i}].{} {} exceeds {} {} (quantiles must be monotone)",
+                    n[0], q[0], n[1], q[1]
+                ));
+            }
         }
         for field in ["hit_rate", "predicted_hit_rate"] {
             match row.get(field) {
@@ -427,6 +436,7 @@ mod tests {
                 accesses: 800,
                 ns_per_op: 500.0,
                 batch_p50_ns: 100_000,
+                batch_p90_ns: 180_000,
                 batch_p99_ns: 250_000,
             },
             ServeRow {
@@ -441,6 +451,7 @@ mod tests {
                 accesses: 800,
                 ns_per_op: 500.0,
                 batch_p50_ns: 100_000,
+                batch_p90_ns: 180_000,
                 batch_p99_ns: 250_000,
             },
             ServeRow {
@@ -455,6 +466,7 @@ mod tests {
                 accesses: 800,
                 ns_per_op: 500.0,
                 batch_p50_ns: 100_000,
+                batch_p90_ns: 180_000,
                 batch_p99_ns: 250_000,
             },
         ];
@@ -482,6 +494,7 @@ mod tests {
             accesses: 800,
             ns_per_op: 500.0,
             batch_p50_ns: 100_000,
+            batch_p90_ns: 180_000,
             batch_p99_ns: 250_000,
         };
         let gate = base("oracle_gate", 0.5);
@@ -494,6 +507,36 @@ mod tests {
         let rows = vec![base("query", 0.5), base("get_put", 0.5), gate];
         let err = validate_report(&report_json(Scale::Small, &rows)).unwrap_err();
         assert!(err.contains("get_put"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn validation_requires_monotone_latency_quantiles() {
+        let row = |p50: u64, p90: u64, p99: u64| ServeRow {
+            name: "query".into(),
+            requests: 1000,
+            secs: 0.5,
+            mops: 0.002,
+            hit_rate: 0.5,
+            predicted_hit_rate: 0.52,
+            workers: 4,
+            shards: 4,
+            accesses: 800,
+            ns_per_op: 500.0,
+            batch_p50_ns: p50,
+            batch_p90_ns: p90,
+            batch_p99_ns: p99,
+        };
+        let mut rows = vec![row(100, 180, 250)];
+        rows.push(ServeRow { name: "get_put".into(), predicted_hit_rate: f64::NAN, ..row(1, 2, 3) });
+        rows.push(ServeRow { name: "oracle_gate".into(), ..row(5, 5, 5) });
+        validate_report(&report_json(Scale::Small, &rows)).unwrap();
+
+        let bad = vec![row(200, 180, 250), rows[1].clone(), rows[2].clone()];
+        let err = validate_report(&report_json(Scale::Small, &bad)).unwrap_err();
+        assert!(err.contains("monotone"), "unexpected error: {err}");
+        let bad = vec![row(100, 300, 250), rows[1].clone(), rows[2].clone()];
+        let err = validate_report(&report_json(Scale::Small, &bad)).unwrap_err();
+        assert!(err.contains("monotone"), "unexpected error: {err}");
     }
 
     #[test]

@@ -135,6 +135,38 @@ impl Hist64 {
         Some(self.max)
     }
 
+    /// The histogram of samples recorded *after* the `earlier` snapshot
+    /// was taken, or `None` when `earlier` is not a prefix of this
+    /// histogram (some bucket or the total would go negative —
+    /// indicating the snapshot came from a different or reset
+    /// histogram).
+    ///
+    /// This is the windowing primitive of the monitor: snapshot a live
+    /// histogram at window boundaries and subtract to get the
+    /// per-window distribution, without draining (and thereby mutating)
+    /// the instrumented state. Bucket counts and the sample count are
+    /// exact; `min`/`max` (and hence the quantile clamp) are
+    /// reconstructed at bucket resolution from the occupied range,
+    /// because the exact extrema of the difference are not recoverable
+    /// from two summaries.
+    pub fn checked_sub(&self, earlier: &Hist64) -> Option<Hist64> {
+        let total = self.total.checked_sub(earlier.total)?;
+        let mut counts = [0u64; BUCKETS];
+        for i in 0..BUCKETS {
+            counts[i] = self.counts[i].checked_sub(earlier.counts[i])?;
+        }
+        if total == 0 {
+            return Some(Hist64::new());
+        }
+        // `sum` saturates on record/merge, so subtraction is best-effort.
+        let sum = self.sum.saturating_sub(earlier.sum);
+        let first = counts.iter().position(|&c| c > 0).unwrap();
+        let last = counts.iter().rposition(|&c| c > 0).unwrap();
+        let min = Self::bucket_bounds(first).0.max(self.min);
+        let max = (Self::bucket_bounds(last).1 - 1).min(self.max);
+        Some(Hist64 { counts, total, sum, min, max })
+    }
+
     /// Merge another histogram into this one. Merging is commutative
     /// and associative, so per-worker histograms can be combined in any
     /// order (min/max/sum/count all compose).
@@ -247,6 +279,60 @@ mod tests {
         for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
             assert_eq!(one.quantile(q), Some(42));
         }
+    }
+
+    #[test]
+    fn checked_sub_recovers_the_window_buckets() {
+        let early = [3u64, 0, 170, 3];
+        let late = [9u64, 17, 3000, 0, 9];
+        let mut snap = Hist64::new();
+        let mut full = Hist64::new();
+        for v in early {
+            snap.record(v);
+            full.record(v);
+        }
+        for v in late {
+            full.record(v);
+        }
+        let diff = full.checked_sub(&snap).expect("snapshot is a prefix");
+        let mut expect = Hist64::new();
+        for v in late {
+            expect.record(v);
+        }
+        assert_eq!(diff.buckets(), expect.buckets());
+        assert_eq!(diff.count(), expect.count());
+        assert_eq!(diff.sum(), expect.sum());
+        // min/max are bucket-resolution estimates: same bucket as truth.
+        assert_eq!(
+            Hist64::bucket_of(diff.min().unwrap()),
+            Hist64::bucket_of(expect.min().unwrap())
+        );
+        assert_eq!(
+            Hist64::bucket_of(diff.max().unwrap()),
+            Hist64::bucket_of(expect.max().unwrap())
+        );
+        // Quantiles of the difference stay inside the occupied range.
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            let v = diff.quantile(q).unwrap();
+            assert!(v >= diff.min().unwrap() && v <= diff.max().unwrap());
+        }
+    }
+
+    #[test]
+    fn checked_sub_edge_cases() {
+        let mut h = Hist64::new();
+        h.record(7);
+        // Subtracting a histogram from itself leaves an empty window.
+        let zero = h.checked_sub(&h.clone()).unwrap();
+        assert_eq!(zero.count(), 0);
+        assert_eq!(zero.quantile(0.5), None);
+        // Subtracting from an empty history: only the empty snapshot works.
+        assert_eq!(Hist64::new().checked_sub(&Hist64::new()).unwrap().count(), 0);
+        assert!(Hist64::new().checked_sub(&h).is_none(), "larger snapshot rejected");
+        // A snapshot with mass in a bucket the live histogram lacks.
+        let mut other = Hist64::new();
+        other.record(1 << 20);
+        assert!(h.checked_sub(&other).is_none());
     }
 
     #[test]

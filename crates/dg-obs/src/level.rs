@@ -20,6 +20,33 @@ pub enum Level {
     Trace = 3,
 }
 
+impl Level {
+    /// Parse a level from its lowercase name as used by the
+    /// `DG_OBS_LEVEL` environment knob: `off`, `spans`, `metrics`, or
+    /// `trace` (case-insensitive). Returns `None` for anything else so
+    /// callers can reject typos loudly instead of silently running
+    /// unobserved.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.to_ascii_lowercase().as_str() {
+            "off" => Some(Level::Off),
+            "spans" => Some(Level::Spans),
+            "metrics" => Some(Level::Metrics),
+            "trace" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+
+    /// The canonical lowercase name [`Level::parse`] accepts.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Off => "off",
+            Level::Spans => "spans",
+            Level::Metrics => "metrics",
+            Level::Trace => "trace",
+        }
+    }
+}
+
 /// The global level. `Relaxed` is sufficient: the level is a pure
 /// sampling knob — instrumentation reads it without ordering any other
 /// memory, and a racing `set_level` merely moves the boundary of which
@@ -51,6 +78,18 @@ pub fn enabled(at: Level) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn parse_round_trips_names_and_rejects_typos() {
+        for l in [Level::Off, Level::Spans, Level::Metrics, Level::Trace] {
+            assert_eq!(Level::parse(l.name()), Some(l));
+        }
+        assert_eq!(Level::parse("TRACE"), Some(Level::Trace), "case-insensitive");
+        assert_eq!(Level::parse("Metrics"), Some(Level::Metrics));
+        for bad in ["", "of", "all", "debug", "trace "] {
+            assert_eq!(Level::parse(bad), None, "{bad:?} must be rejected");
+        }
+    }
 
     // All level manipulation lives in this single test: tests in one
     // binary run concurrently and the level is process-global.

@@ -23,6 +23,13 @@
 //!   wall-clock appears only in [`span`] records and event timestamps,
 //!   which exist purely for profiling exports.
 //!
+//! On top of the recording substrate, the [`monitor`] module turns
+//! periodic snapshots into an *online* health check: windowed deltas
+//! and rates, detector rules (hit-rate drift vs an analytic baseline,
+//! latency-tail regression, shard imbalance, watermarks), and a
+//! flight recorder that packages the last K windows plus the event
+//! ring into an incident dump when a detector fires.
+//!
 //! The crate is a leaf: no dependencies, so every layer of the
 //! workspace (`dg-cache`, `doppelganger`, `dg-system`, `dg-par`,
 //! `dg-bench`) can depend on it without cycles. JSON export of the
@@ -35,6 +42,7 @@
 mod hist;
 mod level;
 mod metrics;
+pub mod monitor;
 mod ring;
 mod snapshot;
 mod span;

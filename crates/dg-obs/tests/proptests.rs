@@ -73,6 +73,43 @@ props! {
         assert_eq!(left, flat);
     }
 
+    /// Windowing: for any split of a sample stream into (early, late),
+    /// subtracting the early snapshot from the full histogram recovers
+    /// exactly the late samples' buckets, count, and sum — the property
+    /// the monitor's per-window latency quantiles rest on.
+    fn hist_checked_sub_recovers_the_suffix(
+        early in vec(any::<u32>(), 0..150),
+        late in vec(any::<u32>(), 0..150),
+    ) {
+        let mut snap = Hist64::new();
+        let mut full = Hist64::new();
+        let mut suffix = Hist64::new();
+        for &s in &early {
+            snap.record(s as u64);
+            full.record(s as u64);
+        }
+        for &s in &late {
+            full.record(s as u64);
+            suffix.record(s as u64);
+        }
+        let diff = full.checked_sub(&snap).expect("a true prefix always subtracts");
+        assert_eq!(diff.buckets(), suffix.buckets());
+        assert_eq!(diff.count(), suffix.count());
+        assert_eq!(diff.sum(), suffix.sum());
+        if !late.is_empty() {
+            // min/max come back at bucket resolution.
+            let (tmin, tmax) = (suffix.min().unwrap(), suffix.max().unwrap());
+            assert_eq!(Hist64::bucket_of(diff.min().unwrap()), Hist64::bucket_of(tmin));
+            assert_eq!(Hist64::bucket_of(diff.max().unwrap()), Hist64::bucket_of(tmax));
+            assert!(diff.min().unwrap() <= tmin);
+            assert!(diff.max().unwrap() >= tmax || diff.max().unwrap() == full.max().unwrap());
+        }
+        // The reverse direction only succeeds when early is empty.
+        if full.count() > snap.count() {
+            assert!(snap.checked_sub(&full).is_none());
+        }
+    }
+
     /// Ring wraparound: after pushing any sequence into a ring of any
     /// capacity, the ring holds exactly the newest min(len, cap) items
     /// in push order and reports the rest as dropped.

@@ -29,9 +29,17 @@
 //!   `dg-obs` [`dg_obs::Snapshot`] trait, batches emit `serve.batch` /
 //!   `serve.shard` spans, and chunk service times feed a `Hist64`
 //!   (see [`Server::register_metrics`]).
+//! * **Online monitoring** — a [`ServerMonitor`] snapshots the server
+//!   at window boundaries and feeds per-shard deltas (hit rate,
+//!   displacement and writeback rates, occupancy, batch-latency
+//!   quantiles) to the `dg_obs::monitor` detector engine, with
+//!   [`SimilarityWorkload::expected_shard_hit_rates`] supplying the
+//!   analytic drift baselines. Monitoring is strictly observation-only:
+//!   armed or not, every response byte is identical.
 
 mod che;
 mod config;
+mod monitor;
 mod request;
 mod server;
 mod shard;
@@ -40,6 +48,7 @@ mod workload;
 
 pub use che::{estimate_hit_rate, BinRate, CheEstimate, MODEL_TOLERANCE};
 pub use config::ServeConfig;
+pub use monitor::ServerMonitor;
 pub use request::{Request, Response};
 pub use server::Server;
 pub use stats::ServeStats;

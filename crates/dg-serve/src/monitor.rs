@@ -1,0 +1,179 @@
+//! The server-side half of the telemetry plane: snapshots a live
+//! [`Server`] at window boundaries and feeds per-shard deltas to a
+//! [`dg_obs::monitor::Monitor`].
+//!
+//! A [`ServerMonitor`] is armed against a running server and then
+//! *pulled*: the driving loop calls [`ServerMonitor::window`] whenever
+//! it wants to close a window (typically every N batches). Closing a
+//! window takes each shard's counter and latency-histogram snapshot,
+//! diffs it against the previous boundary ([`ServeStats::checked_delta`],
+//! [`Hist64::checked_sub`]), samples occupancy, and hands the resulting
+//! [`Window`] to the detector engine. Everything is read-only against
+//! the server — the monitor can be armed or not without changing a
+//! single response byte (`tests/monitor.rs` holds this to account, and
+//! `dg-bench`'s `obs_identity` keeps holding for the simulation side).
+//!
+//! Per-window batch-latency quantiles exist only when the process runs
+//! at [`dg_obs::Level::Metrics`] or above (the server only records
+//! batch timings then); at lower levels the monitor still sees counters
+//! and occupancy, and the latency detector simply never judges.
+
+use std::time::Instant;
+
+use dg_obs::monitor::{Alarm, Incident, Monitor, MonitorConfig, ShardWindow, Window};
+use dg_obs::{Hist64, Level};
+
+use crate::server::Server;
+use crate::stats::ServeStats;
+
+/// Windowed monitoring of one [`Server`].
+pub struct ServerMonitor {
+    monitor: Monitor,
+    prev_stats: Vec<ServeStats>,
+    prev_hists: Vec<Hist64>,
+    last: Instant,
+    next_index: u64,
+}
+
+impl ServerMonitor {
+    /// Arm a monitor against `server`: the current counters become the
+    /// first window's opening boundary, so warm-up traffic served
+    /// before arming never pollutes window deltas.
+    pub fn arm(server: &Server, cfg: MonitorConfig) -> ServerMonitor {
+        ServerMonitor {
+            monitor: Monitor::new(cfg),
+            prev_stats: server.shard_stats(),
+            prev_hists: server.shard_batch_hists(),
+            last: Instant::now(),
+            next_index: 0,
+        }
+    }
+
+    /// Close the current window: snapshot every shard, diff against
+    /// the previous boundary, evaluate the detectors, and return the
+    /// observed window plus any alarms it raised.
+    ///
+    /// If counters went backwards since the last boundary (someone
+    /// called [`Server::reset_stats`] mid-window), the affected deltas
+    /// are replaced by empty ones rather than panicking — the next
+    /// window re-synchronizes on the fresh boundary.
+    pub fn window(&mut self, server: &Server) -> (Window, Vec<Alarm>) {
+        let now = Instant::now();
+        let wall_ns = now.duration_since(self.last).as_nanos() as u64;
+        self.last = now;
+
+        let stats = server.shard_stats();
+        let hists = server.shard_batch_hists();
+        let residency = server.shard_residency();
+        let capacity = server.config().cache.data_entries.max(1) as f64;
+
+        let mut shards = Vec::with_capacity(stats.len());
+        let mut merged = Hist64::new();
+        for (i, cur) in stats.iter().enumerate() {
+            let delta = cur.checked_delta(&self.prev_stats[i]).unwrap_or_default();
+            let lat = hists[i].checked_sub(&self.prev_hists[i]).unwrap_or_default();
+            merged.merge(&lat);
+            shards.push(ShardWindow {
+                shard: i as u32,
+                ops: delta.ops(),
+                lookups: delta.lookups(),
+                hits: delta.hits(),
+                displaced: delta.displaced,
+                dirty_writebacks: delta.dirty_writebacks,
+                occupancy: residency[i].1 as f64 / capacity,
+                batch_p50_ns: lat.quantile(0.5),
+                batch_p99_ns: lat.quantile(0.99),
+            });
+        }
+        self.prev_stats = stats;
+        self.prev_hists = hists;
+
+        let window = Window {
+            index: self.next_index,
+            wall_ns,
+            shards,
+            batch_p50_ns: merged.quantile(0.5),
+            batch_p99_ns: merged.quantile(0.99),
+        };
+        self.next_index += 1;
+
+        dg_obs::event!(Level::Metrics, "monitor.window", window.index, window.hits());
+        let alarms = self.monitor.observe(window.clone());
+        for a in &alarms {
+            // Payload: the window index and the shard (u64::MAX for
+            // whole-server alarms); the full alarm detail travels in
+            // the incident dump, not the event ring.
+            dg_obs::event!(
+                Level::Metrics,
+                "monitor.alarm",
+                a.window,
+                a.shard.map_or(u64::MAX, u64::from)
+            );
+        }
+        (window, alarms)
+    }
+
+    /// The underlying detector engine (for recorder/config inspection).
+    pub fn monitor(&self) -> &Monitor {
+        &self.monitor
+    }
+
+    /// Dump the flight recorder (see [`Monitor::incident`]).
+    pub fn incident(&mut self, alarms: Vec<Alarm>) -> Incident {
+        self.monitor.incident(alarms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ServeConfig;
+    use crate::workload::{SimilarityWorkload, WorkloadSpec};
+
+    #[test]
+    fn windows_carry_deltas_not_totals() {
+        let cfg = ServeConfig::small();
+        let server = Server::new(cfg).unwrap();
+        let mut w = SimilarityWorkload::new(WorkloadSpec::tier1(), &cfg);
+        server.run_batch(&w.batch(512));
+        let mut mon = ServerMonitor::arm(&server, MonitorConfig::default());
+
+        server.run_batch(&w.batch(256));
+        let (win0, alarms) = mon.window(&server);
+        assert!(alarms.is_empty(), "no detectors armed");
+        assert_eq!(win0.index, 0);
+        assert_eq!(win0.ops(), 256, "pre-arm traffic must not leak into the window");
+        assert_eq!(win0.shards.len(), cfg.shards);
+
+        server.run_batch(&w.batch(128));
+        let (win1, _) = mon.window(&server);
+        assert_eq!(win1.index, 1);
+        assert_eq!(win1.ops(), 128);
+        for s in &win1.shards {
+            assert!((0.0..=1.0).contains(&s.occupancy));
+        }
+        assert_eq!(mon.monitor().windows_seen(), 2);
+    }
+
+    #[test]
+    fn reset_between_windows_degrades_to_an_empty_window() {
+        let cfg = ServeConfig::small();
+        let server = Server::new(cfg).unwrap();
+        let mut w = SimilarityWorkload::new(WorkloadSpec::tier1(), &cfg);
+        let mut mon = ServerMonitor::arm(&server, MonitorConfig::default());
+        server.run_batch(&w.batch(4096));
+        let (win, _) = mon.window(&server);
+        assert_eq!(win.ops(), 4096);
+        server.reset_stats();
+        server.run_batch(&w.batch(64));
+        let (win, _) = mon.window(&server);
+        // 64 post-reset ops vs a 4096-op boundary: every shard's
+        // counters went backwards, so the deltas degrade to empty
+        // instead of garbage.
+        assert_eq!(win.ops(), 0);
+        // The next window re-synchronizes.
+        server.run_batch(&w.batch(96));
+        let (win, _) = mon.window(&server);
+        assert_eq!(win.ops(), 96);
+    }
+}

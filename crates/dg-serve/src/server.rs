@@ -127,6 +127,7 @@ impl Server {
                         .iter()
                         .map(|&i| (i, shard.apply(requests[i as usize], &self.region)))
                         .collect();
+                    shard.batches += 1;
                     if let Some(t0) = t0 {
                         shard.batch_ns.record(t0.elapsed().as_nanos() as u64);
                     }
@@ -187,6 +188,18 @@ impl Server {
         (tags, data)
     }
 
+    /// Per-shard resident (tags, data entries), indexed by shard — the
+    /// occupancy gauges the monitor samples at window boundaries.
+    pub fn shard_residency(&self) -> Vec<(usize, usize)> {
+        self.shards
+            .iter()
+            .map(|s| {
+                let s = s.lock().unwrap();
+                (s.cache.resident_tags(), s.cache.resident_data())
+            })
+            .collect()
+    }
+
     /// Merged distribution of per-shard batch-chunk service times in
     /// nanoseconds (populated at `Level::Metrics` and above).
     pub fn batch_ns_hist(&self) -> Hist64 {
@@ -197,15 +210,36 @@ impl Server {
         h
     }
 
+    /// Per-shard batch-chunk service-time histograms, indexed by shard.
+    /// Snapshots (clones) — the monitor diffs successive snapshots with
+    /// [`Hist64::checked_sub`] rather than draining live state.
+    pub fn shard_batch_hists(&self) -> Vec<Hist64> {
+        self.shards.iter().map(|s| s.lock().unwrap().batch_ns.clone()).collect()
+    }
+
+    /// Total batch chunks served across shards (one per non-empty
+    /// per-shard partition of every [`Server::run_batch`] call).
+    pub fn batches_served(&self) -> u64 {
+        self.shards.iter().map(|s| s.lock().unwrap().batches).sum()
+    }
+
     /// Export the server's metrics into `reg`: per-shard counters under
-    /// `serve.shard<i>.*`, aggregates under `serve.total.*`, and the
-    /// batch-latency histogram as `serve.batch_ns`.
+    /// `serve.shard<i>.*` (operation counters, batch chunks, the
+    /// shard's batch-latency histogram, and an occupancy gauge),
+    /// aggregates under `serve.total.*`, and the merged batch-latency
+    /// histogram as `serve.batch_ns`.
     pub fn register_metrics(&self, reg: &mut Registry) {
+        let capacity = (self.cfg.cache.data_entries.max(1)) as f64;
         for (i, s) in self.shards.iter().enumerate() {
             let s = s.lock().unwrap();
-            reg.add_snapshot(&format!("serve.shard{i}"), &s.stats);
+            let prefix = format!("serve.shard{i}");
+            reg.add_snapshot(&prefix, &s.stats);
+            reg.counter(&format!("{prefix}.batches"), s.batches);
+            reg.hist(&format!("{prefix}.batch_ns"), &s.batch_ns);
+            reg.gauge(&format!("{prefix}.occupancy"), s.cache.resident_data() as f64 / capacity);
         }
         reg.add_snapshot("serve.total", &self.stats());
+        reg.counter("serve.total.batches", self.batches_served());
         reg.hist("serve.batch_ns", &self.batch_ns_hist());
     }
 

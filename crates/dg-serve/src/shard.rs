@@ -20,6 +20,10 @@ pub(crate) struct ShardState {
     /// Wall-clock nanoseconds per batch chunk served by this shard
     /// (recorded only at `Level::Metrics` and above).
     pub batch_ns: Hist64,
+    /// Batch chunks this shard has served. Kept outside [`ServeStats`]
+    /// because it counts scheduling (how work arrived), not requests —
+    /// a batch and the equivalent singles must leave identical stats.
+    pub batches: u64,
 }
 
 impl ShardState {
@@ -28,6 +32,7 @@ impl ShardState {
             cache: DoppelgangerCache::new(cfg.cache),
             stats: ServeStats::default(),
             batch_ns: Hist64::new(),
+            batches: 0,
         }
     }
 
@@ -119,6 +124,7 @@ impl ShardState {
         self.stats = ServeStats::default();
         self.cache.reset_stats();
         self.batch_ns = Hist64::new();
+        self.batches = 0;
     }
 }
 

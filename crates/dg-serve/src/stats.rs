@@ -75,6 +75,30 @@ impl ServeStats {
             self.hits() as f64 / self.lookups() as f64
         }
     }
+
+    /// Counters accumulated since `earlier` — the per-window delta the
+    /// monitor works with. Every counter is monotone between resets, so
+    /// a `None` (some field went backwards) means `earlier` is not an
+    /// older snapshot of these counters (e.g. `reset_stats` ran between
+    /// the two) and the window must be discarded.
+    pub fn checked_delta(&self, earlier: &ServeStats) -> Option<ServeStats> {
+        Some(ServeStats {
+            gets: self.gets.checked_sub(earlier.gets)?,
+            get_hits: self.get_hits.checked_sub(earlier.get_hits)?,
+            get_misses: self.get_misses.checked_sub(earlier.get_misses)?,
+            puts: self.puts.checked_sub(earlier.puts)?,
+            put_inserts: self.put_inserts.checked_sub(earlier.put_inserts)?,
+            put_dedup: self.put_dedup.checked_sub(earlier.put_dedup)?,
+            put_updates: self.put_updates.checked_sub(earlier.put_updates)?,
+            put_moved: self.put_moved.checked_sub(earlier.put_moved)?,
+            queries: self.queries.checked_sub(earlier.queries)?,
+            query_exact_hits: self.query_exact_hits.checked_sub(earlier.query_exact_hits)?,
+            query_similar_hits: self.query_similar_hits.checked_sub(earlier.query_similar_hits)?,
+            query_misses: self.query_misses.checked_sub(earlier.query_misses)?,
+            displaced: self.displaced.checked_sub(earlier.displaced)?,
+            dirty_writebacks: self.dirty_writebacks.checked_sub(earlier.dirty_writebacks)?,
+        })
+    }
 }
 
 impl AddAssign for ServeStats {
@@ -150,6 +174,25 @@ mod tests {
         assert_eq!(m.len(), 14);
         let sum: u64 = m.iter().map(|(_, v)| v).sum();
         assert_eq!(sum, (1..=14).sum::<u64>(), "every field enumerated exactly once");
+    }
+
+    #[test]
+    fn checked_delta_recovers_the_increment() {
+        let earlier = ServeStats { gets: 10, get_hits: 6, get_misses: 4, ..Default::default() };
+        let mut later = earlier;
+        let inc = ServeStats {
+            gets: 5,
+            get_hits: 2,
+            get_misses: 3,
+            queries: 7,
+            query_misses: 7,
+            displaced: 1,
+            ..Default::default()
+        };
+        later += inc;
+        assert_eq!(later.checked_delta(&earlier), Some(inc));
+        assert_eq!(later.checked_delta(&later), Some(ServeStats::default()));
+        assert_eq!(earlier.checked_delta(&later), None, "reversed snapshots are rejected");
     }
 
     #[test]

@@ -53,6 +53,34 @@ impl WorkloadSpec {
         WorkloadSpec { universe: 65_536, clusters: 4096, alpha: 0.9, jitter: 0.1, seed: 0xB3_4C_11 }
     }
 
+    /// An adversarial low-similarity phase over the tier-1 key space
+    /// (ROADMAP item 5): the cluster count explodes to one cluster per
+    /// two keys and the Zipf skew flattens to uniform, so similarity
+    /// reuse collapses — far more live bins than the small config's
+    /// data arrays can hold. Swapping a steady [`WorkloadSpec::tier1`]
+    /// stream for this one mid-run is the degradation `serve_monitor`
+    /// must detect.
+    pub fn tier1_adversarial() -> Self {
+        WorkloadSpec { universe: 16_384, clusters: 8192, alpha: 0.0, jitter: 0.1, seed: 0xBAD_51A }
+    }
+
+    /// The adversarial counterpart of [`WorkloadSpec::bench`], sized
+    /// against the paper-split bench server (16 shards × 16K-entry tag
+    /// arrays): every quantization bin of the 14-bit map space live
+    /// and uniformly popular, over a key universe ~8× the aggregate
+    /// tag capacity — tags thrash no matter how well the data array
+    /// deduplicates, so the hit rate collapses far below the steady
+    /// phase's.
+    pub fn bench_adversarial() -> Self {
+        WorkloadSpec {
+            universe: 1 << 21,
+            clusters: 16_384,
+            alpha: 0.0,
+            jitter: 0.1,
+            seed: 0xBADB_17,
+        }
+    }
+
     /// Same spec with a different seed (for multi-run benches).
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -211,13 +239,10 @@ impl SimilarityWorkload {
         (0..n).map(|_| self.mixed(put_fraction)).collect()
     }
 
-    /// The Che-approximation prediction of the steady-state hit rate
-    /// this workload's `query` stream achieves against `server`.
-    ///
     /// Each (cluster, shard) pair contributes one bin to the shard's
     /// MTag-set cell holding the cluster's map value, at the cluster's
     /// Zipf rate split by how many of its keys route to that shard.
-    pub fn expected_hit_rate(&self, server: &Server) -> CheEstimate {
+    fn bin_rates(&self, server: &Server) -> Vec<BinRate> {
         let cfg = server.config();
         let sets = cfg.cache.data_entries / cfg.cache.data_ways;
         let idx_bits = sets.trailing_zeros();
@@ -238,7 +263,31 @@ impl SimilarityWorkload {
                 }
             }
         }
-        estimate_hit_rate(&bins, cfg.cache.data_ways)
+        bins
+    }
+
+    /// The Che-approximation prediction of the steady-state hit rate
+    /// this workload's `query` stream achieves against `server` (see
+    /// [`Self::bin_rates`] for the bin construction).
+    pub fn expected_hit_rate(&self, server: &Server) -> CheEstimate {
+        estimate_hit_rate(&self.bin_rates(server), server.config().cache.data_ways)
+    }
+
+    /// Per-shard Che predictions, indexed by shard — the drift
+    /// baselines the online monitor compares live windows against.
+    /// Each shard's estimate uses only the bins whose keys route to
+    /// that shard, so the prediction is for the hit rate *that shard's*
+    /// lookups see, not the server-wide mean.
+    pub fn expected_shard_hit_rates(&self, server: &Server) -> Vec<CheEstimate> {
+        let bins = self.bin_rates(server);
+        let ways = server.config().cache.data_ways;
+        (0..server.config().shards as u32)
+            .map(|s| {
+                let shard_bins: Vec<BinRate> =
+                    bins.iter().filter(|b| b.cell.0 == s).copied().collect();
+                estimate_hit_rate(&shard_bins, ways)
+            })
+            .collect()
     }
 }
 
@@ -296,6 +345,52 @@ mod tests {
         let head: u64 = counts[..8].iter().sum();
         let tail: u64 = counts[w.spec.clusters - 8..].iter().sum();
         assert!(head > 4 * tail, "head {head} vs tail {tail}");
+    }
+
+    #[test]
+    fn shard_predictions_aggregate_to_the_server_prediction() {
+        use crate::server::Server;
+        let cfg = ServeConfig::small();
+        let server = Server::new(cfg).unwrap();
+        let w = SimilarityWorkload::new(WorkloadSpec::tier1(), &cfg);
+        let total = w.expected_hit_rate(&server);
+        let per_shard = w.expected_shard_hit_rates(&server);
+        assert_eq!(per_shard.len(), cfg.shards);
+        // Each shard sees roughly 1/shards of the traffic, so the
+        // rate-weighted mean of the shard predictions must reproduce
+        // the whole-server estimate. Shard traffic shares are not
+        // exactly equal (keys route by hash), so weight by each
+        // shard's bin-rate mass.
+        let bins = w.bin_rates(&server);
+        let mut weighted = 0.0;
+        let mut mass = 0.0;
+        for (s, est) in per_shard.iter().enumerate() {
+            let share: f64 =
+                bins.iter().filter(|b| b.cell.0 == s as u32).map(|b| b.rate).sum();
+            weighted += est.hit_rate * share;
+            mass += share;
+        }
+        assert!((weighted / mass - total.hit_rate).abs() < 1e-9);
+        for est in &per_shard {
+            assert!(est.cells > 0, "every shard receives traffic under tier1");
+            assert!((0.0..=1.0).contains(&est.hit_rate));
+        }
+    }
+
+    #[test]
+    fn adversarial_phase_predicts_a_hit_rate_collapse() {
+        use crate::server::Server;
+        let cfg = ServeConfig::small();
+        let server = Server::new(cfg).unwrap();
+        let steady = SimilarityWorkload::new(WorkloadSpec::tier1(), &cfg);
+        let adversarial = SimilarityWorkload::new(WorkloadSpec::tier1_adversarial(), &cfg);
+        let calm = steady.expected_hit_rate(&server).hit_rate;
+        let degraded = adversarial.expected_hit_rate(&server).hit_rate;
+        assert!(
+            calm - degraded > 3.0 * crate::che::MODEL_TOLERANCE,
+            "adversarial phase must collapse the predicted hit rate decisively \
+             (steady {calm:.3} vs adversarial {degraded:.3})"
+        );
     }
 
     #[test]

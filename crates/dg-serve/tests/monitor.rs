@@ -1,0 +1,211 @@
+//! The telemetry plane end to end against a live server: steady-phase
+//! silence, bounded-latency detection of an injected low-similarity
+//! phase, and the observation-only contract (arming the monitor changes
+//! no response byte).
+//!
+//! These tests leave the process-global observability level at `Off`
+//! except where a test explicitly flips it; each test builds its own
+//! server, so the only shared state is the dg-obs globals.
+
+use dg_obs::monitor::{AlarmKind, DriftRule, ImbalanceRule, MonitorConfig, WatermarkRule};
+use dg_serve::{ServeConfig, Server, ServerMonitor, SimilarityWorkload, WorkloadSpec};
+
+const BATCH: usize = 2048;
+const BATCHES_PER_WINDOW: usize = 2;
+
+/// Warm a fresh small-config server past the cold-start transient the
+/// Che model ignores (same budget as the tier-1 hit-rate gate).
+fn warmed_server() -> (Server, SimilarityWorkload) {
+    let cfg = ServeConfig::small();
+    let server = Server::new(cfg).unwrap();
+    let mut w = SimilarityWorkload::new(WorkloadSpec::tier1(), &cfg);
+    for _ in 0..15 {
+        server.run_batch(&w.batch(10_000));
+    }
+    (server, w)
+}
+
+/// The detector configuration `serve_monitor` ships by default, minus
+/// the latency rule (these tests run at `Level::Off`, so there is no
+/// latency data to judge).
+fn detector_config(server: &Server, w: &SimilarityWorkload) -> MonitorConfig {
+    let baseline =
+        w.expected_shard_hit_rates(server).iter().map(|e| e.hit_rate).collect::<Vec<_>>();
+    MonitorConfig {
+        history: 12,
+        drift: Some(DriftRule {
+            baseline,
+            model_tolerance: dg_serve::MODEL_TOLERANCE,
+            sigmas: 3.0,
+            min_lookups: 256,
+        }),
+        latency: None,
+        imbalance: Some(ImbalanceRule { max_over_mean: 3.0, min_ops: 1024 }),
+        watermark: Some(WatermarkRule {
+            displaced_per_lookup: 0.6,
+            dirty_per_op: 0.5,
+            occupancy: f64::INFINITY,
+            min_lookups: 256,
+        }),
+        ..MonitorConfig::default()
+    }
+}
+
+fn run_window(server: &Server, w: &mut SimilarityWorkload, mon: &mut ServerMonitor) -> Vec<dg_obs::monitor::Alarm> {
+    for _ in 0..BATCHES_PER_WINDOW {
+        server.run_batch(&w.batch(BATCH));
+    }
+    mon.window(server).1
+}
+
+#[test]
+fn steady_phase_raises_no_alarms() {
+    let (server, mut w) = warmed_server();
+    let cfg = detector_config(&server, &w);
+    let mut mon = ServerMonitor::arm(&server, cfg);
+    for win in 0..12 {
+        let alarms = run_window(&server, &mut w, &mut mon);
+        assert!(alarms.is_empty(), "steady window {win} raised {alarms:?}");
+    }
+    assert_eq!(mon.monitor().windows_seen(), 12);
+    assert_eq!(mon.monitor().alarms_raised(), 0);
+}
+
+#[test]
+fn injected_low_similarity_phase_is_flagged_within_five_windows() {
+    let (server, mut w) = warmed_server();
+    let spec = *w.spec();
+    let cfg = detector_config(&server, &w);
+    let mut mon = ServerMonitor::arm(&server, cfg);
+
+    // A few silent steady windows first: the detection must come from
+    // the phase flip, not from arming.
+    for win in 0..3 {
+        let alarms = run_window(&server, &mut w, &mut mon);
+        assert!(alarms.is_empty(), "steady window {win} raised {alarms:?}");
+    }
+
+    // Mid-run skew mutation: same key universe, similarity collapsed.
+    let mut adversarial =
+        SimilarityWorkload::new(WorkloadSpec::tier1_adversarial(), &ServeConfig::small());
+    assert_eq!(WorkloadSpec::tier1_adversarial().universe, spec.universe * 2);
+
+    let mut detected_at = None;
+    let mut triggering = Vec::new();
+    for win in 1..=5u64 {
+        let alarms = run_window(&server, &mut adversarial, &mut mon);
+        if !alarms.is_empty() {
+            detected_at = Some(win);
+            triggering = alarms;
+            break;
+        }
+    }
+    let detected_at = detected_at.expect("degradation must be flagged within 5 windows");
+    assert!(detected_at <= 5);
+    assert!(
+        triggering.iter().any(|a| a.kind == AlarmKind::HitRateDrift),
+        "the drift detector must be among the triggers: {triggering:?}"
+    );
+    let drift = triggering.iter().find(|a| a.kind == AlarmKind::HitRateDrift).unwrap();
+    assert!(
+        drift.measured < drift.expected - drift.threshold,
+        "drift alarm must report a collapse below the band: {drift:?}"
+    );
+
+    // The flight recorder holds the evidence: the triggering window is
+    // the newest recorded one, preceded by the steady tail.
+    let incident = mon.incident(triggering.clone());
+    assert!(!incident.windows.is_empty());
+    assert!(incident.windows.len() <= 12);
+    let last = incident.windows.last().unwrap();
+    assert_eq!(last.index, triggering[0].window);
+    assert_eq!(incident.alarms, triggering);
+    let indices: Vec<u64> = incident.windows.iter().map(|w| w.index).collect();
+    let mut sorted = indices.clone();
+    sorted.sort_unstable();
+    assert_eq!(indices, sorted, "recorded windows stay in order");
+}
+
+#[test]
+fn arming_the_monitor_is_observation_only() {
+    let cfg = ServeConfig::small();
+    let monitored = Server::new(cfg).unwrap();
+    let plain = Server::new(cfg).unwrap();
+    let mut w_a = SimilarityWorkload::new(WorkloadSpec::tier1(), &cfg);
+    let mut w_b = SimilarityWorkload::new(WorkloadSpec::tier1(), &cfg);
+
+    let mut mon = ServerMonitor::arm(&monitored, {
+        let baseline = w_a.expected_shard_hit_rates(&monitored);
+        MonitorConfig {
+            history: 4,
+            drift: Some(DriftRule {
+                baseline: baseline.iter().map(|e| e.hit_rate).collect(),
+                model_tolerance: dg_serve::MODEL_TOLERANCE,
+                sigmas: 3.0,
+                min_lookups: 1,
+            }),
+            imbalance: Some(ImbalanceRule { max_over_mean: 1.5, min_ops: 1 }),
+            watermark: Some(WatermarkRule {
+                displaced_per_lookup: 0.0,
+                dirty_per_op: 0.0,
+                occupancy: 0.0,
+                min_lookups: 1,
+            }),
+            ..MonitorConfig::default()
+        }
+    });
+
+    for round in 0..20 {
+        let batch_a = w_a.batch(1024);
+        let batch_b = w_b.batch(1024);
+        assert_eq!(batch_a, batch_b, "identical streams by construction");
+        let ra = monitored.run_batch(&batch_a);
+        let rb = plain.run_batch(&batch_b);
+        assert_eq!(ra, rb, "round {round}: monitoring changed a response");
+        // Window every round with deliberately trigger-happy rules:
+        // even a storm of alarms must not perturb the server.
+        let _ = mon.window(&monitored);
+    }
+    assert!(mon.monitor().alarms_raised() > 0, "rules were chosen to fire constantly");
+    assert_eq!(monitored.stats(), plain.stats());
+    assert_eq!(monitored.shard_stats(), plain.shard_stats());
+    assert_eq!(monitored.residency(), plain.residency());
+    assert_eq!(monitored.cache_stats(), plain.cache_stats());
+    monitored.check_invariants();
+}
+
+#[test]
+fn metrics_level_populates_latency_quantiles() {
+    // This test flips the process-global level; it restores Off before
+    // returning so concurrent tests (which don't read hist state) are
+    // unaffected.
+    let cfg = ServeConfig::small();
+    let server = Server::new(cfg).unwrap();
+    let mut w = SimilarityWorkload::new(WorkloadSpec::tier1(), &cfg);
+    let mut mon = ServerMonitor::arm(&server, MonitorConfig::default());
+
+    dg_obs::set_level(dg_obs::Level::Metrics);
+    for _ in 0..4 {
+        server.run_batch(&w.batch(1024));
+    }
+    let (win, _) = mon.window(&server);
+    dg_obs::set_level(dg_obs::Level::Off);
+
+    assert!(win.batch_p50_ns.is_some(), "metrics level must yield latency quantiles");
+    assert!(win.batch_p99_ns.is_some());
+    assert!(win.batch_p50_ns <= win.batch_p99_ns);
+    let with_data = win.shards.iter().filter(|s| s.batch_p99_ns.is_some()).count();
+    assert!(with_data > 0, "at least one shard recorded batch timings");
+    for s in &win.shards {
+        if let (Some(p50), Some(p99)) = (s.batch_p50_ns, s.batch_p99_ns) {
+            assert!(p50 <= p99, "shard {} p50 {p50} > p99 {p99}", s.shard);
+        }
+    }
+
+    // A second window at Level::Off sees no new latency data.
+    for _ in 0..2 {
+        server.run_batch(&w.batch(1024));
+    }
+    let (win, _) = mon.window(&server);
+    assert_eq!(win.batch_p50_ns, None, "Off level records no batch timings");
+}

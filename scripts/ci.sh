@@ -5,8 +5,11 @@
 # hermeticity + differential oracle on both the SIMD and scalar lanes +
 # byte-diff of deterministic exports across DG_SIMD lanes +
 # repro/profile smoke + concurrent serve smoke with its analytic
-# hit-rate gate + sampled-simulation gate against full-coverage
-# references with byte-diff determinism across runs and worker counts)
+# hit-rate gate + monitored-serve smoke asserting the telemetry plane
+# flags an injected anomaly without steady-state false positives +
+# observability pay-for-use timing gate + sampled-simulation gate
+# against full-coverage references with byte-diff determinism across
+# runs and worker counts)
 # so that CI, pre-commit hooks, and humans all run the *same* check —
 # there is no CI-only logic to drift out of sync with local
 # verification.
